@@ -1,0 +1,47 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the functional pipeline on dataset surrogates (timed with
+pytest-benchmark), prices the structural costs with the device cost model,
+and writes the paper-style table — reproduction next to publication — to
+``benchmarks/results/`` and the terminal.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: surrogate volume per dataset for benchmark runs
+SURROGATE_BYTES = 4_000_000
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(2021)
+
+
+@pytest.fixture(scope="session")
+def nyx_surrogate(bench_rng):
+    from repro.datasets.registry import get_dataset
+
+    ds = get_dataset("nyx_quant")
+    data, scale = ds.generate(SURROGATE_BYTES, bench_rng)
+    return ds, data, scale
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write a rendered table to results/ and echo it."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

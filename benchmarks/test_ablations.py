@@ -1,0 +1,181 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper tables — these isolate individual design decisions:
+
+- per-chunk adaptive reduction factor (our implementation of the paper's
+  §VII future work) vs the paper's global r, on heterogeneous data;
+- the representing-word width (uint16 vs uint32 cells);
+- histogram privatization (replicated shared copies vs a single copy);
+- canonization path: GenerateCW's fused canonical output vs the baseline
+  separate canonize kernel.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.adaptive import adaptive_decode, adaptive_encode
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.cuda.atomics import expected_conflict_degree
+from repro.cuda.costmodel import CostModel
+from repro.cuda.device import V100
+from repro.datasets.synthetic import probs_for_avg_bits, sample_symbols
+from repro.perf.report import render_table
+
+
+def _book(data, n):
+    return parallel_codebook(np.bincount(data, minlength=n)).codebook
+
+
+def test_ablation_adaptive_r(benchmark, results_dir, bench_rng):
+    """Heterogeneous stream: half β≈1.2, half β≈7 — global r must pick a
+    compromise; adaptive picks per chunk."""
+    n_half = 256 * 1024
+    low = sample_symbols(probs_for_avg_bits(256, 1.2), n_half, bench_rng,
+                         dtype=np.uint16)
+    high = sample_symbols(probs_for_avg_bits(256, 7.0), n_half, bench_rng,
+                          dtype=np.uint16)
+    data = np.concatenate([low, high])
+    book = _book(data, 256)
+
+    adaptive = benchmark(adaptive_encode, data, book)
+    assert np.array_equal(adaptive_decode(adaptive, book), data)
+
+    rows = []
+    for r in (3, 2):
+        fixed = gpu_encode(data, book, reduction_factor=r)
+        rows.append([
+            f"global r={r}",
+            fixed.breaking_fraction,
+            fixed.stream.compression_ratio(data.nbytes),
+            fixed.modeled_gbps(V100, scale=64),
+        ])
+    rows.append([
+        "adaptive (per chunk)",
+        adaptive.breaking_fraction,
+        adaptive.compression_ratio(data.nbytes),
+        adaptive.modeled_gbps(V100, data.nbytes, scale=64),
+    ])
+    table = render_table(
+        ["scheme", "breaking", "ratio", "enc GB/s (V100)"], rows,
+        title="Ablation — adaptive vs global reduction factor "
+              "(heterogeneous stream, future work of §VII)",
+    )
+    emit(results_dir, "ablation_adaptive_r", table)
+
+    fixed3 = gpu_encode(data, book, reduction_factor=3)
+    assert adaptive.breaking_fraction < fixed3.breaking_fraction
+    assert adaptive.compression_ratio(data.nbytes) > (
+        fixed3.stream.compression_ratio(data.nbytes)
+    )
+
+
+def test_ablation_word_width(benchmark, results_dir, bench_rng):
+    data = sample_symbols(probs_for_avg_bits(256, 4.0), 256 * 1024,
+                          bench_rng, dtype=np.uint8)
+    book = _book(data, 256)
+    res32 = benchmark(gpu_encode, data, book, None, 10, 2, 32)
+    rows = []
+    for w, r in ((16, 1), (32, 2)):
+        res = gpu_encode(data, book, magnitude=10, reduction_factor=r,
+                         word_bits=w)
+        rows.append([
+            f"uint{w} cells (r={r})",
+            res.breaking_fraction,
+            res.stream.compression_ratio(data.nbytes),
+            res.modeled_gbps(V100, scale=100),
+        ])
+    table = render_table(
+        ["config", "breaking", "ratio", "enc GB/s (V100)"], rows,
+        title="Ablation — representing word width (β≈4 byte data)",
+    )
+    emit(results_dir, "ablation_word_width", table)
+    assert res32.stream.n_symbols == data.size
+
+
+def test_ablation_length_limited_vs_breaking(benchmark, results_dir,
+                                             bench_rng):
+    """Two ways to tame breaking points: the paper's sparse side channel
+    (unconstrained codes) vs length-limited codes (L <= W / 2^r makes
+    overflow impossible, at a small ratio cost)."""
+    from repro.huffman.length_limited import length_limited_codebook
+
+    probs = probs_for_avg_bits(64, 3.2)
+    data = sample_symbols(probs, 256 * 1024, bench_rng, dtype=np.uint8)
+    freqs = np.bincount(data, minlength=64)
+
+    free_book = _book(data, 64)
+    free = benchmark(gpu_encode, data, free_book, None, 10, 2)
+
+    rows = [[
+        "unconstrained + side channel",
+        int(free_book.max_length), free.breaking_fraction,
+        free.stream.compression_ratio(data.nbytes),
+    ]]
+    for L in (16, 8):
+        ll = length_limited_codebook(freqs, L)
+        enc = gpu_encode(data, ll.codebook, reduction_factor=2)
+        rows.append([
+            f"length-limited L={L} (excess {ll.excess_bits_per_symbol:.4f} b/sym)",
+            L, enc.breaking_fraction,
+            enc.stream.compression_ratio(data.nbytes),
+        ])
+    table = render_table(
+        ["codebook", "max len", "breaking", "ratio"], rows,
+        title="Ablation — breaking side channel vs length-limited codes "
+              "(r = 2, W = 32)",
+    )
+    emit(results_dir, "ablation_length_limited", table)
+    assert rows[-1][2] == 0.0  # L = 8, r = 2: breaking impossible
+
+
+def test_ablation_histogram_replication(benchmark, results_dir, bench_rng):
+    """Gómez-Luna's replication: conflict degree with R copies vs one."""
+    data = sample_symbols(probs_for_avg_bits(1024, 1.03), 512 * 1024,
+                          bench_rng, dtype=np.uint16)
+    hist = np.bincount(data, minlength=1024)
+    model = CostModel(V100)
+    rows = []
+    for repl in (1, 4, 12, 32):
+        conflict = benchmark.pedantic(
+            expected_conflict_degree, args=(hist, 32, repl),
+            iterations=1, rounds=1,
+        ) if repl == 1 else expected_conflict_degree(hist, 32, repl)
+        atomic_s = model.atomic_seconds(256e6, conflict)
+        rows.append([repl, conflict, 256e6 * 2 / atomic_s / 1e9])
+    table = render_table(
+        ["replication", "conflict degree", "atomic-bound hist GB/s"],
+        rows,
+        title="Ablation — histogram privatization on skewed (Nyx-like) data",
+    )
+    emit(results_dir, "ablation_hist_replication", table)
+    assert rows[0][1] > rows[-1][1]  # replication reduces conflicts
+
+
+def test_ablation_canonization_path(benchmark, results_dir, bench_rng):
+    """The paper's fused canonical GenerateCW vs base codebook + separate
+    canonize kernel (what cuSZ's stage 3 pays)."""
+    from repro.baselines.serial_gpu_codebook import serial_gpu_codebook
+
+    hist = np.bincount(
+        sample_symbols(probs_for_avg_bits(1024, 1.03), 512 * 1024,
+                       bench_rng, dtype=np.uint16),
+        minlength=1024,
+    )
+    ours = benchmark(parallel_codebook, hist)
+    cusz = serial_gpu_codebook(hist)
+    model = CostModel(V100)
+    ours_ms = sum(model.time(c).milliseconds for c in ours.costs)
+    gen_ms, canon_ms = cusz.stage_ms(V100)
+    table = render_table(
+        ["path", "generate ms", "canonize ms", "total ms"],
+        [
+            ["cuSZ: serial tree + canonize kernel", gen_ms, canon_ms,
+             gen_ms + canon_ms],
+            ["ours: GenerateCL + canonical GenerateCW", ours_ms, 0.0,
+             ours_ms],
+        ],
+        title="Ablation — canonization path (1024 symbols, V100)",
+    )
+    emit(results_dir, "ablation_canonize_path", table)
+    assert ours_ms < gen_ms

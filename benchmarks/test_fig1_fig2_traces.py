@@ -1,0 +1,41 @@
+"""Figures 1 & 2: concrete traces of REDUCE-merge (8-to-1) and the
+two-step batch moves of SHUFFLE-merge, rendered as the paper draws them."""
+
+import numpy as np
+from conftest import emit
+
+from repro.perf.tables import fig1_reduce_trace, fig2_shuffle_trace
+
+
+def _bits(v: int, l: int) -> str:
+    return format(int(v), f"0{int(l)}b") if l else "·"
+
+
+def test_fig1(benchmark, results_dir):
+    snaps = benchmark(fig1_reduce_trace)
+    lines = ["Fig. 1 — REDUCE-merge of 8-to-1 (codewords as bit strings)"]
+    for level, (vals, lens) in enumerate(snaps):
+        cells = "  ".join(_bits(v, l) for v, l in zip(vals, lens))
+        lines.append(f"iter {level}: [{cells}]")
+    total = int(snaps[0][1].sum())
+    lines.append(f"total bits conserved: {total}")
+    emit(results_dir, "fig1_reduce_trace", "\n".join(lines))
+    assert all(int(l.sum()) == total for _, l in snaps)
+    assert snaps[-1][0].size == 1
+
+
+def test_fig2(benchmark, results_dir):
+    snaps = benchmark(fig2_shuffle_trace)
+    lines = ["Fig. 2 — SHUFFLE-merge batch moves (per-group word/bit state)"]
+    for level, (words, glen) in enumerate(snaps):
+        groups = "  ".join(f"{int(g)}b" for g in glen)
+        lines.append(f"iter {level}: groups [{groups}]")
+    lines.append(
+        f"final dense stream: {int(snaps[-1][1][0])} bits in "
+        f"{snaps[-1][0].size} words"
+    )
+    emit(results_dir, "fig2_shuffle_trace", "\n".join(lines))
+    # group bit totals conserved; one dense group at the end
+    total = int(snaps[0][1].sum())
+    assert all(int(g.sum()) == total for _, g in snaps)
+    assert snaps[-1][1].size == 1

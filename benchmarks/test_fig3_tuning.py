@@ -1,0 +1,23 @@
+"""Figure 3: the average-bitwidth -> reduction-factor decision curve."""
+
+from conftest import emit
+
+from repro.perf.report import render_table
+from repro.perf.tables import fig3_tuning_curve
+
+
+def test_fig3(benchmark, results_dir):
+    rows = benchmark(fig3_tuning_curve)
+    table = render_table(
+        ["avg bits", "r (rule)", "r (used)", "merged bits (rule)",
+         "merged bits (used)"],
+        [[r["avg_bits"], r["r_rule"], r["r_used"],
+          r["merged_bits_rule"], r["merged_bits_used"]] for r in rows],
+        title="Fig. 3 — reduction-factor decision vs average bitwidth "
+              "(W = 32)",
+    )
+    emit(results_dir, "fig3_tuning_curve", table)
+    # the rule keeps the merged width in [W/2, W) + the empirical cap at 3
+    for r in rows:
+        assert 16 <= r["merged_bits_rule"] < 40
+        assert r["r_used"] <= 3 or r["r_used"] == r["r_rule"]

@@ -1,0 +1,80 @@
+"""Wall-clock microbenchmarks of the functional NumPy kernels themselves.
+
+These measure what the *Python library* actually sustains on the host
+machine (pytest-benchmark statistics), complementing the modeled-GPU
+tables: histogram, codebook construction, reduce-merge, shuffle-merge,
+reference packer, and full encode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.reduce_merge import reduce_merge
+from repro.core.shuffle_merge import shuffle_merge
+from repro.histogram.gpu_histogram import gpu_histogram
+from repro.huffman.serial import serial_encode
+from repro.utils.bits import pack_codewords
+
+N = 1 << 20  # symbols per microbench
+
+
+@pytest.fixture(scope="module")
+def workload(bench_rng):
+    from repro.datasets.registry import get_dataset
+
+    ds = get_dataset("nyx_quant")
+    data, _ = ds.generate(2 * N, bench_rng)
+    data = data[:N]
+    freqs = np.bincount(data, minlength=ds.n_symbols)
+    book = parallel_codebook(freqs).codebook
+    codes, lens = book.lookup(data)
+    return data, freqs, book, codes, lens.astype(np.int64)
+
+
+def test_bench_histogram(benchmark, workload):
+    data = workload[0]
+    res = benchmark(gpu_histogram, data, 1024)
+    assert res.histogram.sum() == data.size
+
+
+def test_bench_parallel_codebook(benchmark, workload):
+    freqs = workload[1]
+    res = benchmark(parallel_codebook, freqs)
+    assert res.codebook.n_used > 0
+
+
+def test_bench_reduce_merge(benchmark, workload):
+    codes, lens = workload[3], workload[4]
+    res = benchmark(reduce_merge, codes, lens, 3)
+    assert res.n_cells == N >> 3
+
+
+def test_bench_shuffle_merge(benchmark, workload):
+    codes, lens = workload[3], workload[4]
+    red = reduce_merge(codes, lens, 3)
+    vals = red.values.copy()
+    clens = red.lengths.copy()
+    vals[red.broken] = 0
+    clens[red.broken] = 0
+    res = benchmark(shuffle_merge, vals, clens, 128)
+    assert res.n_chunks == N // 1024
+
+
+def test_bench_reference_packer(benchmark, workload):
+    codes, lens = workload[3], workload[4]
+    buf, nbits = benchmark(pack_codewords, codes, lens)
+    assert nbits == int(lens.sum())
+
+
+def test_bench_full_encode(benchmark, workload):
+    data, book = workload[0], workload[2]
+    res = benchmark(gpu_encode, data, book)
+    assert res.stream.n_symbols == data.size
+
+
+def test_bench_serial_reference(benchmark, workload):
+    data, book = workload[0], workload[2]
+    buf, nbits = benchmark(serial_encode, data, book)
+    assert nbits > 0

@@ -1,0 +1,15 @@
+"""Sensitivity bench: the reproduction's conclusions under calibration
+error (the robustness argument of EXPERIMENTS.md, regenerated live)."""
+
+from conftest import emit
+
+from repro.perf.sensitivity import sensitivity_sweep, sensitivity_table
+
+
+def test_sensitivity(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        sensitivity_sweep, kwargs={"surrogate_bytes": 1_000_000},
+        iterations=1, rounds=1,
+    )
+    emit(results_dir, "sensitivity", sensitivity_table(rows))
+    assert all(r.all_hold for r in rows)

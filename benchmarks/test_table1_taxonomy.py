@@ -1,0 +1,25 @@
+"""Table I: parallelism taxonomy of every pipeline kernel.
+
+Regenerated from the live kernel registry, so the table cannot drift from
+the implementation.  The benchmark times the registry construction (cheap,
+but it exercises the full import of every kernel module).
+"""
+
+from conftest import emit
+
+from repro.perf.report import render_table
+from repro.perf.tables import table1_taxonomy
+
+
+def test_table1(benchmark, results_dir):
+    rows = benchmark(table1_taxonomy)
+    headers = ["kernel", "stage", "sequential", "coarse-grained",
+               "fine-grained", "many-to-one", "one-to-one", "atomic write",
+               "reduction", "prefix sum", "boundary"]
+    table = render_table(
+        headers, [[r[h] for h in headers] for r in rows],
+        title="Table I — parallelism implemented for Huffman coding's "
+              "sub-procedures (from the kernel registry)",
+    )
+    emit(results_dir, "table1_taxonomy", table)
+    assert len(rows) >= 12

@@ -1,0 +1,51 @@
+"""Table II: encode throughput vs chunk magnitude M and reduction factor r
+on Nyx-Quant, on both GPUs, plus breaking fractions."""
+
+from conftest import SURROGATE_BYTES, emit
+
+from repro.perf.report import render_table
+from repro.perf.tables import table2_magnitude_sweep
+
+
+def test_table2(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        table2_magnitude_sweep,
+        kwargs={"surrogate_bytes": SURROGATE_BYTES},
+        iterations=1, rounds=1,
+    )
+    by = {(r.device, r.reduction_factor, r.magnitude): r for r in rows}
+    out_rows = []
+    for dev in ("V100", "RTX5000"):
+        for r in (4, 3, 2):
+            row = [dev, f"{r} ({1 << r}x)"]
+            for m in (12, 11, 10):
+                rec = by[(dev, r, m)]
+                row.append(rec.gbps)
+                row.append(rec.paper_gbps)
+            rec = by[(dev, r, 10)]
+            row.append(rec.breaking_fraction)
+            row.append(rec.paper_breaking)
+            out_rows.append(row)
+    table = render_table(
+        ["device", "r", "M=12", "paper", "M=11", "paper", "M=10", "paper",
+         "breaking", "paper"],
+        out_rows,
+        title="Table II — encoding GB/s vs chunk magnitude and reduction "
+              "factor (Nyx-Quant surrogate)",
+    )
+    from repro.perf.plotting import surface
+
+    v100_grid = [[by[("V100", r, m)].gbps for m in (12, 11, 10)]
+                 for r in (4, 3, 2)]
+    table += "\n\n" + surface(
+        [f"r={r}" for r in (4, 3, 2)],
+        [f"M={m}" for m in (12, 11, 10)],
+        v100_grid,
+        title="V100 (M, r) surface — darker is faster; optimum at (M=10, r=3):",
+    )
+    emit(results_dir, "table2_magnitude_sweep", table)
+
+    # the paper's conclusion must hold: M=10, r=3 is the optimum on V100
+    v100 = {(r.reduction_factor, r.magnitude): r.gbps
+            for r in rows if r.device == "V100"}
+    assert max(v100, key=v100.get) == (3, 10)

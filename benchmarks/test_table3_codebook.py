@@ -1,0 +1,45 @@
+"""Table III: codebook-construction time breakdown, cuSZ serial-on-GPU vs
+our two-phase parallel construction, 1024-8192 symbols, both GPUs.
+
+Also prints the §II-C motivation datum (naive pointer-tree at 8192
+symbols ~ 144 ms on V100)."""
+
+from conftest import emit
+
+from repro.perf.paper_reference import CLAIMS, TABLE3_MAX_SPEEDUP
+from repro.perf.report import render_table
+from repro.perf.tables import naive_tree_motivation_ms, table3_codebook
+
+
+def test_table3(benchmark, results_dir):
+    rows = benchmark.pedantic(table3_codebook, iterations=1, rounds=1)
+    out = []
+    for r in rows:
+        paper = r.paper or (None,) * 13
+        out.append([
+            r.workload, r.n_symbols,
+            r.serial_cpu_ms, paper[0],
+            r.cusz_total_ms["RTX5000"], paper[5],
+            r.cusz_total_ms["V100"], paper[6],
+            r.ours_gencl_ms["V100"], paper[8],
+            r.ours_gencw_ms["V100"], paper[10],
+            r.ours_total_ms["V100"], paper[12],
+            r.speedup_v100,
+        ])
+    table = render_table(
+        ["workload", "#sym", "serial", "paper", "cuSZ TU", "paper",
+         "cuSZ V", "paper", "GEN.CL V", "paper", "GEN.CW V", "paper",
+         "ours V", "paper", "speedup V"],
+        out,
+        title="Table III — codebook construction time (ms)",
+    )
+    naive = naive_tree_motivation_ms()
+    table += (
+        f"\n[motivation, §II-C] naive pointer-tree @8192 on V100: "
+        f"{naive:.1f} ms (paper: {CLAIMS['naive_tree_8192_ms']:.0f} ms); "
+        f"paper's max Table III speedup: {TABLE3_MAX_SPEEDUP}x"
+    )
+    emit(results_dir, "table3_codebook", table)
+
+    assert rows[-1].speedup_v100 > 10
+    assert rows[-1].speedup_v100 > rows[0].speedup_v100

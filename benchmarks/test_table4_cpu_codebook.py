@@ -1,0 +1,31 @@
+"""Table IV: multi-thread CPU codebook construction vs SZ serial,
+1024-65536 symbols, 1-8 cores."""
+
+from conftest import emit
+
+from repro.perf.report import render_table
+from repro.perf.tables import table4_cpu_codebook
+
+
+def test_table4(benchmark, results_dir):
+    rows = benchmark.pedantic(table4_cpu_codebook, iterations=1, rounds=1)
+    out = []
+    for r in rows:
+        paper = r.paper or (None,) * 6
+        line = [r.n_symbols, r.serial_ms, paper[0]]
+        for i, c in enumerate((1, 2, 4, 6, 8), start=1):
+            line.append(r.mt_ms[c])
+            line.append(paper[i])
+        out.append(line)
+    table = render_table(
+        ["#sym", "serial", "paper", "1c", "paper", "2c", "paper",
+         "4c", "paper", "6c", "paper", "8c", "paper"],
+        out,
+        title="Table IV — multi-thread CPU codebook construction (ms)",
+    )
+    emit(results_dir, "table4_cpu_codebook", table)
+
+    by_n = {r.n_symbols: r for r in rows}
+    # serial wins small alphabets; MT wins at 65536 (the paper's crossover)
+    assert by_n[1024].serial_ms < by_n[1024].mt_ms[1]
+    assert by_n[65536].mt_ms[4] < by_n[65536].serial_ms

@@ -1,0 +1,54 @@
+"""Table V: overall pipeline breakdown on all six datasets, cuSZ baseline
+vs ours, on both GPUs — the paper's main results table."""
+
+from conftest import SURROGATE_BYTES, emit
+
+from repro.perf.report import render_table
+from repro.perf.tables import table5_overall
+
+
+def test_table5(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        table5_overall,
+        kwargs={"surrogate_bytes": SURROGATE_BYTES},
+        iterations=1, rounds=1,
+    )
+    out = []
+    for r in rows:
+        paper = r.paper or {}
+
+        def pap(stage, idx):
+            v = paper.get(stage)
+            return v[idx] if v else None
+
+        out.append([
+            r.dataset, r.scheme, r.avg_bits,
+            r.reduce_factor if r.reduce_factor is not None else "-",
+            r.breaking_fraction if r.breaking_fraction is not None else "-",
+            r.hist_gbps["V100"], pap("hist", 1),
+            r.codebook_ms["V100"], pap("codebook_ms", 1),
+            r.encode_gbps["V100"], pap("encode", 1),
+            r.overall_gbps["V100"], pap("overall", 1),
+            r.encode_gbps["RTX5000"], pap("encode", 0),
+            r.overall_gbps["RTX5000"], pap("overall", 0),
+            r.compression_ratio,
+        ])
+    table = render_table(
+        ["dataset", "scheme", "avg bits", "r", "breaking",
+         "hist V", "paper", "cb ms V", "paper", "enc V", "paper",
+         "all V", "paper", "enc TU", "paper", "all TU", "paper", "CR"],
+        out,
+        title="Table V — overall Huffman encoder breakdown "
+              "(GB/s except codebook ms)",
+    )
+    emit(results_dir, "table5_overall", table)
+
+    # orderings that define the paper's result
+    ours = {r.dataset: r for r in rows if r.scheme == "ours"}
+    cusz = {r.dataset: r for r in rows if r.scheme == "cusz"}
+    for name in ours:
+        assert ours[name].encode_gbps["V100"] > 2.5 * cusz[name].encode_gbps["V100"], name
+        assert ours[name].codebook_ms["V100"] < cusz[name].codebook_ms["V100"], name
+    assert ours["nyx_quant"].encode_gbps["V100"] == max(
+        r.encode_gbps["V100"] for r in ours.values()
+    )

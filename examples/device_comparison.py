@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Compare encoding schemes and devices on a paper dataset surrogate.
+
+Reproduces the Table V narrative in one script: on the Nyx-Quant
+surrogate, run the cuSZ coarse-grained baseline, the prefix-sum baseline,
+and the paper's reduce-shuffle-merge encoder on the modeled V100 and
+RTX 5000, plus the multi-thread CPU encoder, and print a ranking with an
+nvprof-style kernel breakdown for the winner.
+"""
+
+import numpy as np
+
+from repro.core.pipeline import run_pipeline
+from repro.cuda.device import RTX5000, V100
+from repro.cuda.profiler import Profiler
+from repro.datasets.registry import get_dataset
+from repro.huffman.cpu_mt import cpu_mt_codebook, cpu_mt_encode, cpu_mt_histogram
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    ds = get_dataset("nyx_quant")
+    data, scale = ds.generate(4_000_000, rng)
+    print(f"dataset: {ds.name} surrogate, {data.nbytes / 1e6:.0f} MB "
+          f"(modeled at the paper's {ds.paper_bytes / 1e6:.0f} MB)")
+
+    rows = []
+    best = None
+    for device in (V100, RTX5000):
+        for scheme in ("reduce_shuffle", "prefix_sum", "cusz_coarse"):
+            res = run_pipeline(data, ds.n_symbols, device=device,
+                               encoder_scheme=scheme, scale=scale)
+            g = res.stage_gbps()
+            rows.append((g["encode"], device.name, scheme, g["overall"]))
+            if best is None or g["encode"] > best[0]:
+                best = (g["encode"], res, device)
+
+    # CPU multi-thread encoder at its best core count
+    hist = np.bincount(data, minlength=ds.n_symbols).astype(np.int64)
+    book = cpu_mt_codebook(hist, threads=56).codebook
+    cpu = cpu_mt_encode(data, book, threads=56)
+    h = cpu_mt_histogram(data, ds.n_symbols, threads=56)
+    full = data.nbytes * scale
+    t = (full / (h.modeled_gbps * 1e9)
+         + cpu_mt_codebook(hist, threads=56).modeled_ms / 1e3
+         + full / (cpu.modeled_gbps * 1e9))
+    rows.append((cpu.modeled_gbps, "Xeon8280x2", "cpu_mt (56 cores)",
+                 full / t / 1e9))
+
+    rows.sort(reverse=True)
+    print(f"\n{'encode GB/s':>12} {'device':>12} {'scheme':>20} {'overall':>9}")
+    for enc, dev, scheme, overall in rows:
+        print(f"{enc:>12.1f} {dev:>12} {scheme:>20} {overall:>9.1f}")
+
+    # nvprof-style breakdown of the winning configuration
+    _, res, device = best
+    prof = Profiler(device)
+    for c in res.histogram.costs + res.codebook.costs + res.encode.costs:
+        prof.record(c.scaled(scale) if not c.name.startswith("codebook")
+                    else c, payload_bytes=full)
+    print(f"\n{prof.report()}")
+
+
+if __name__ == "__main__":
+    main()

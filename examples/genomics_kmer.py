@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""n-gram / k-mer compression with large Huffman alphabets (§II-A).
+
+The paper's second motivating scenario: segmenting sequence data into
+k-character symbols makes the Huffman alphabet grow as ~|Σ|^k, which is
+exactly where serial codebook construction becomes the bottleneck and the
+two-phase parallel construction pays off (Table III).
+
+The script symbolizes a GenBank-like byte stream at k = 1, 3, 4, 5,
+builds codebooks with both constructions, encodes, round-trips, and
+prints the codebook-construction scaling.
+"""
+
+import numpy as np
+
+from repro.baselines.serial_gpu_codebook import serial_gpu_codebook
+from repro.core.bitstream import decode_stream
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.cuda.device import V100
+from repro.datasets.genomics import generate_genbank_like
+
+KMER_SYMBOLS = {1: 256, 3: 2048, 4: 4096, 5: 8192}
+
+
+def symbolize(stream: np.ndarray, k: int, n_symbols: int) -> np.ndarray:
+    """Pack k bytes per symbol and rank-compact into n_symbols codes."""
+    n = (stream.size // k) * k
+    windows = stream[:n].reshape(-1, k).astype(np.int64)
+    weights = 256 ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    raw = windows @ weights
+    uniq, inverse, counts = np.unique(raw, return_inverse=True,
+                                      return_counts=True)
+    if uniq.size > n_symbols:
+        # keep the n_symbols-1 most frequent k-mers; fold the rest
+        order = np.argsort(counts)[::-1]
+        keep = order[: n_symbols - 1]
+        remap = np.full(uniq.size, n_symbols - 1, dtype=np.int64)
+        remap[keep] = np.arange(keep.size)
+        return remap[inverse].astype(np.uint16)
+    return inverse.astype(np.uint16)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    stream = generate_genbank_like(3_000_000, rng)
+    print(f"GenBank-like stream: {stream.nbytes / 1e6:.1f} MB")
+    print(f"{'k':>2} {'#symbols':>9} {'distinct':>9} {'serial-GPU ms':>14} "
+          f"{'parallel ms':>12} {'speedup':>8} {'ratio':>6}")
+
+    for k, n_symbols in KMER_SYMBOLS.items():
+        syms = symbolize(stream, k, n_symbols)
+        freqs = np.bincount(syms, minlength=n_symbols).astype(np.int64)
+
+        cusz = serial_gpu_codebook(freqs)
+        ours = parallel_codebook(freqs)
+        t_cusz = cusz.modeled_ms(V100)
+        t_ours = ours.modeled_ms(V100)
+
+        enc = gpu_encode(syms, ours.codebook)
+        back = decode_stream(enc.stream, ours.codebook)
+        assert np.array_equal(back, syms)
+        in_bytes = stream.nbytes * (syms.size * k / stream.size)
+        ratio = in_bytes / enc.stream.compressed_bytes
+
+        print(f"{k:>2} {n_symbols:>9} {int((freqs > 0).sum()):>9} "
+              f"{t_cusz:>14.3f} {t_ours:>12.3f} "
+              f"{t_cusz / t_ours:>8.1f} {ratio:>6.2f}")
+
+    print("\nparallel codebook construction scales ~O(log n); the serial "
+          "baseline scales ~O(n log n) — the Table III story.")
+
+
+if __name__ == "__main__":
+    main()

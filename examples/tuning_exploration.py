@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Explore the (magnitude, reduction factor) space on your own data.
+
+The paper's Table II fixes (M = 10, r = 3) as the sweet spot for
+Nyx-Quant.  This script shows how to sweep the space for any dataset:
+it prints the modeled-V100 throughput grid, the breaking fraction, the
+rule-based r, and where the sweet spot lands for data of different
+average bitwidths.
+"""
+
+import numpy as np
+
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.tuning import choose_reduction_factor, proper_reduction_factor
+from repro.cuda.device import V100
+from repro.datasets.synthetic import probs_for_avg_bits, sample_symbols
+
+
+def sweep(data: np.ndarray, n_symbols: int, scale: float) -> None:
+    freqs = np.bincount(data, minlength=n_symbols)
+    book = parallel_codebook(freqs).codebook
+    avg = book.average_bitwidth(freqs)
+    print(f"\navg bitwidth {avg:.3f}: rule says r = "
+          f"{proper_reduction_factor(avg)}, "
+          f"used (capped) r = {choose_reduction_factor(avg)}")
+    print(f"{'':>8}" + "".join(f"{f'M={m}':>10}" for m in (12, 11, 10)))
+    best = (0.0, None)
+    for r in (4, 3, 2):
+        line = f"{f'r={r}':>8}"
+        for m in (12, 11, 10):
+            if r >= m:
+                line += f"{'-':>10}"
+                continue
+            res = gpu_encode(data, book, magnitude=m, reduction_factor=r)
+            gbps = res.modeled_gbps(V100, scale)
+            if gbps > best[0]:
+                best = (gbps, (m, r, res.breaking_fraction))
+            line += f"{gbps:>10.1f}"
+        print(line)
+    m, r, brk = best[1]
+    print(f"best: M={m}, r={r} at {best[0]:.1f} GB/s "
+          f"(breaking {brk:.2e})")
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    print("modeled V100 encode throughput (GB/s) across (M, r)")
+    for avg_bits in (1.1, 2.7, 5.2):
+        probs = probs_for_avg_bits(1024, avg_bits)
+        data = sample_symbols(probs, 1_000_000, rng)
+        sweep(data, 1024, scale=128.0)
+
+
+if __name__ == "__main__":
+    main()

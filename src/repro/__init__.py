@@ -1,0 +1,109 @@
+"""repro — reproduction of "Revisiting Huffman Coding: Toward Extreme
+Performance on Modern GPU Architectures" (Tian et al., IPDPS 2021).
+
+The package implements the paper's full GPU Huffman *encoding* pipeline —
+privatized histogramming, two-phase parallel canonical codebook
+construction (GenerateCL / GenerateCW with GPU Merge Path), and the
+reduce-shuffle-merge encoding scheme with breaking-point handling — plus
+every baseline it is evaluated against (cuSZ's coarse-grained encoder and
+serial-on-GPU codebook, a Rahmani-style prefix-sum encoder, SZ's serial
+CPU path, and an OpenMP-style multi-thread CPU encoder), on top of a
+simulated CUDA execution substrate with an analytic cost model for the
+V100, RTX 5000, and dual Xeon 8280 platforms of the paper.
+
+Quick start::
+
+    import numpy as np
+    from repro import encode, decode
+
+    data = np.random.default_rng(0).integers(0, 256, 1 << 20).astype(np.uint8)
+    encoded = encode(data, num_symbols=256)
+    assert np.array_equal(decode(encoded), data)
+    print(encoded.stream.compression_ratio(data.nbytes))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitstream import EncodedStream, decode_stream
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.pipeline import PipelineResult, run_pipeline
+from repro.core.tuning import DEFAULT_MAGNITUDE, EncoderTuning
+from repro.cuda.device import DEVICES, RTX5000, V100, XEON_8280_2S, get_device
+from repro.histogram.gpu_histogram import gpu_histogram
+from repro.huffman.codebook import CanonicalCodebook
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "encode",
+    "decode",
+    "EncodedData",
+    "run_pipeline",
+    "PipelineResult",
+    "EncodedStream",
+    "CanonicalCodebook",
+    "EncoderTuning",
+    "DEFAULT_MAGNITUDE",
+    "DEVICES",
+    "V100",
+    "RTX5000",
+    "XEON_8280_2S",
+    "get_device",
+    "__version__",
+]
+
+
+@dataclass
+class EncodedData:
+    """Self-contained encode result: stream + the codebook to decode it."""
+
+    stream: EncodedStream
+    codebook: CanonicalCodebook
+    input_dtype: np.dtype
+
+    @property
+    def compression_ratio(self) -> float:
+        itemsize = np.dtype(self.input_dtype).itemsize
+        return self.stream.compression_ratio(self.stream.n_symbols * itemsize)
+
+
+def encode(
+    data: np.ndarray,
+    num_symbols: int | None = None,
+    magnitude: int = DEFAULT_MAGNITUDE,
+    reduction_factor: int | None = None,
+    device=V100,
+) -> EncodedData:
+    """One-call Huffman encode: histogram → parallel codebook → encode.
+
+    ``data`` must be non-negative integers below ``num_symbols`` (inferred
+    from the data when omitted).  Returns an :class:`EncodedData` that
+    :func:`decode` inverts exactly.
+    """
+    data = np.asarray(data)
+    if not np.issubdtype(data.dtype, np.integer):
+        raise TypeError("encode() expects integer symbols")
+    if num_symbols is None:
+        num_symbols = int(data.max()) + 1 if data.size else 1
+    hist = gpu_histogram(data, num_symbols, device=device)
+    book = parallel_codebook(hist.histogram, device=device).codebook
+    enc = gpu_encode(
+        data, book, magnitude=magnitude, reduction_factor=reduction_factor,
+        device=device,
+    )
+    return EncodedData(stream=enc.stream, codebook=book,
+                       input_dtype=data.dtype)
+
+
+def decode(encoded: EncodedData) -> np.ndarray:
+    """Inverse of :func:`encode`."""
+    out = decode_stream(encoded.stream, encoded.codebook)
+    return out.astype(encoded.input_dtype)

@@ -1,0 +1,17 @@
+"""Application layer: cuSZ-like compression facade and CLI."""
+
+from repro.app.compressor import (
+    CompressionReport,
+    compress_field,
+    compress_symbols,
+    decompress_field,
+    decompress_symbols,
+)
+
+__all__ = [
+    "CompressionReport",
+    "compress_field",
+    "compress_symbols",
+    "decompress_field",
+    "decompress_symbols",
+]

@@ -1,0 +1,214 @@
+"""Command-line interface: compress/decompress .npy arrays, inspect
+containers, and regenerate the paper's tables.
+
+Installed as ``repro-huff`` (see pyproject) or runnable as
+``python -m repro.app.cli``::
+
+    repro-huff compress data.npy out.rph [--error-bound 1e-3] [--bins 1024]
+    repro-huff decompress out.rph restored.npy
+    repro-huff info out.rph
+    repro-huff tables [--table 2|3|4|5|6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import struct
+import sys
+
+import numpy as np
+
+from repro.app.compressor import (
+    compress_field,
+    compress_symbols,
+    decompress_field,
+    decompress_symbols,
+)
+from repro.cuda.device import get_device
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-huff",
+        description="GPU-style Huffman compression (IPDPS'21 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compress", help="compress a .npy array")
+    c.add_argument("input", type=pathlib.Path)
+    c.add_argument("output", type=pathlib.Path)
+    c.add_argument("--error-bound", type=float, default=None,
+                   help="lossy float compression with this absolute bound; "
+                        "omit for lossless integer compression")
+    c.add_argument("--bins", type=int, default=1024,
+                   help="quantization bins for lossy mode")
+    c.add_argument("--magnitude", type=int, default=10,
+                   help="chunk magnitude M (N = 2^M symbols per chunk)")
+    c.add_argument("--adaptive", action="store_true",
+                   help="choose the reduction factor per chunk "
+                        "(heterogeneous data)")
+    c.add_argument("--device", default="V100",
+                   help="modeled device for the throughput report")
+
+    d = sub.add_parser("decompress", help="decompress a container to .npy")
+    d.add_argument("input", type=pathlib.Path)
+    d.add_argument("output", type=pathlib.Path)
+
+    i = sub.add_parser("info", help="describe a container")
+    i.add_argument("input", type=pathlib.Path)
+
+    t = sub.add_parser("tables", help="regenerate paper tables")
+    t.add_argument("--table", type=int, choices=(1, 2, 3, 4, 6),
+                   default=None, help="which table (default: all fast ones)")
+    return p
+
+
+def _cmd_compress(args) -> int:
+    data = np.load(args.input)
+    device = get_device(args.device)
+    if args.error_bound is not None:
+        if not np.issubdtype(data.dtype, np.floating):
+            print("error: --error-bound requires floating-point input",
+                  file=sys.stderr)
+            return 2
+        blob, report = compress_field(
+            data, args.error_bound, n_bins=args.bins,
+            magnitude=args.magnitude, device=device,
+        )
+        extra = f", outliers {report.outliers}"
+    else:
+        if not np.issubdtype(data.dtype, np.integer):
+            print("error: lossless mode requires integer input "
+                  "(use --error-bound for floats)", file=sys.stderr)
+            return 2
+        blob, report = compress_symbols(
+            data, magnitude=args.magnitude, device=device,
+            adaptive=args.adaptive,
+        )
+        extra = " (adaptive r)" if args.adaptive else ""
+    args.output.write_bytes(blob)
+    print(f"{args.input} ({report.input_bytes:,} B) -> {args.output} "
+          f"({report.compressed_bytes:,} B), ratio {report.ratio:.2f}, "
+          f"avg {report.avg_bits:.3f} bits, breaking "
+          f"{report.breaking_fraction:.2e}{extra}")
+    print(f"modeled encode on {report.device}: "
+          f"{report.modeled_encode_gbps:.1f} GB/s")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    blob = args.input.read_bytes()
+    if blob[:4] == b"RPRF":
+        out = decompress_field(blob)
+    elif blob[:4] == b"RPRS":
+        out = decompress_symbols(blob)
+    else:
+        print("error: unrecognized container", file=sys.stderr)
+        return 2
+    np.save(args.output, out)
+    print(f"{args.input} -> {args.output} "
+          f"({out.nbytes:,} B, dtype {out.dtype}, shape {out.shape})")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    blob = args.input.read_bytes()
+    kind = blob[:4]
+    if kind == b"RPRS":
+        itemsize, n = struct.unpack("<BQ", blob[4:13])
+        body = blob[13:]
+        if body[:4] == b"RPRA":
+            from repro.core.serialization import deserialize_adaptive
+
+            result, book = deserialize_adaptive(body)
+            print(f"lossless symbol container (adaptive r): {n:,} symbols "
+                  f"x {itemsize} B")
+            print(f"  chunks: {result.n_chunks} x 2^{result.magnitude}; "
+                  f"r groups: "
+                  f"{{{', '.join(f'{r}: {ids.size}' for r, ids in sorted(result.group_chunks.items()))}}}")
+            print(f"  payload {result.payload_bytes:,} B; breaking "
+                  f"{result.breaking_fraction:.2e}")
+            print(f"  codebook: {book.n_used}/{book.n_symbols} symbols, "
+                  f"max code {book.max_length} bits")
+            return 0
+        from repro.core.serialization import deserialize_stream
+
+        stream, book = deserialize_stream(body)
+        print(f"lossless symbol container: {n:,} symbols x {itemsize} B")
+    elif kind == b"RPRF":
+        eb, n_bins, ndim, n_out = struct.unpack("<dIIQ", blob[4:28])
+        shape = struct.unpack(f"<{ndim}Q", blob[28: 28 + 8 * ndim])
+        print(f"lossy field container: shape {shape}, error bound {eb:g}, "
+              f"{n_bins} bins, {n_out} outliers")
+        skip = 28 + 8 * ndim + 8 + 16 * n_out
+        from repro.core.serialization import deserialize_stream
+
+        stream, book = deserialize_stream(blob[skip:])
+    else:
+        print("error: unrecognized container", file=sys.stderr)
+        return 2
+    t = stream.tuning
+    print(f"  chunks: {stream.n_chunks} x 2^{t.magnitude} symbols, "
+          f"r = {t.reduction_factor}, tail = {stream.tail_symbols}")
+    print(f"  payload {stream.payload_bytes:,} B + metadata "
+          f"{stream.metadata_bytes:,} B")
+    print(f"  breaking cells: {stream.breaking.nnz} "
+          f"({stream.breaking.breaking_fraction:.2e})")
+    print(f"  codebook: {book.n_used}/{book.n_symbols} symbols, "
+          f"max code {book.max_length} bits")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.perf import tables as T
+    from repro.perf.report import render_table
+
+    wanted = (args.table,) if args.table else (1, 3, 4, 6)
+    if 1 in wanted:
+        rows = T.table1_taxonomy()
+        headers = list(rows[0].keys())
+        print(render_table(headers, [[r[h] for h in headers] for r in rows],
+                           title="Table I"))
+    if 2 in wanted:
+        rows = T.table2_magnitude_sweep()
+        print(render_table(
+            ["device", "r", "M", "GB/s", "paper"],
+            [[r.device, r.reduction_factor, r.magnitude, r.gbps,
+              r.paper_gbps] for r in rows], title="Table II"))
+    if 3 in wanted:
+        rows = T.table3_codebook()
+        print(render_table(
+            ["workload", "#sym", "cuSZ V100 ms", "ours V100 ms", "speedup"],
+            [[r.workload, r.n_symbols, r.cusz_total_ms["V100"],
+              r.ours_total_ms["V100"], r.speedup_v100] for r in rows],
+            title="Table III"))
+    if 4 in wanted:
+        rows = T.table4_cpu_codebook()
+        print(render_table(
+            ["#sym", "serial ms", "1c", "4c", "8c"],
+            [[r.n_symbols, r.serial_ms, r.mt_ms[1], r.mt_ms[4], r.mt_ms[8]]
+             for r in rows], title="Table IV"))
+    if 6 in wanted:
+        rows = T.table6_cpu_scaling()
+        print(render_table(
+            ["cores", "enc GB/s", "paper", "overall", "paper"],
+            [[r.cores, r.enc_gbps, r.paper_enc_gbps, r.overall_gbps,
+              r.paper_overall_gbps] for r in rows], title="Table VI"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "compress": _cmd_compress,
+        "decompress": _cmd_decompress,
+        "info": _cmd_info,
+        "tables": _cmd_tables,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""cuSZ-like application facade: error-bounded float compression.
+
+The paper's encoder exists to serve error-bounded lossy compressors; this
+module wires the full application path a downstream user wants:
+
+    float field --Lorenzo/quantize--> codes --Huffman--> bytes
+    bytes --Huffman decode--> codes --dequantize--> field (|err| <= eb)
+
+plus a lossless path for integer symbol streams.  Both directions work on
+plain ``bytes`` (self-describing containers built on
+:mod:`repro.core.serialization`), and every compress call returns a
+:class:`CompressionReport` with sizes, ratios, and the modeled encode
+throughput on the chosen device.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adaptive import adaptive_decode, adaptive_encode
+from repro.core.bitstream import decode_stream
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.serialization import (
+    deserialize_adaptive,
+    deserialize_stream,
+    serialize_adaptive,
+    serialize_stream,
+)
+from repro.core.tuning import DEFAULT_MAGNITUDE
+from repro.cuda.costmodel import CostModel
+from repro.cuda.device import DeviceSpec, V100
+from repro.datasets.quantization import QuantizedField, dequantize, lorenzo_quantize
+from repro.histogram.gpu_histogram import MAX_HISTOGRAM_BINS, gpu_histogram
+
+__all__ = [
+    "CompressionReport",
+    "compress_symbols",
+    "decompress_symbols",
+    "compress_field",
+    "decompress_field",
+]
+
+_FIELD_MAGIC = b"RPRF"
+_SYM_MAGIC = b"RPRS"
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """What happened during one compress call."""
+
+    input_bytes: int
+    compressed_bytes: int
+    avg_bits: float
+    breaking_fraction: float
+    modeled_encode_gbps: float
+    device: str
+    outliers: int = 0
+
+    @property
+    def ratio(self) -> float:
+        return self.input_bytes / self.compressed_bytes if self.compressed_bytes else float("inf")
+
+
+def _encode_to_bytes(
+    data: np.ndarray, num_symbols: int, magnitude: int, device: DeviceSpec
+) -> tuple[bytes, CompressionReport]:
+    hist = gpu_histogram(data, num_symbols, device=device)
+    book = parallel_codebook(hist.histogram, device=device).codebook
+    enc = gpu_encode(data, book, magnitude=magnitude, device=device)
+    payload = serialize_stream(enc.stream, book)
+    report = CompressionReport(
+        input_bytes=int(data.nbytes),
+        compressed_bytes=len(payload),
+        avg_bits=enc.avg_bits,
+        breaking_fraction=enc.breaking_fraction,
+        modeled_encode_gbps=enc.modeled_gbps(device),
+        device=device.name,
+    )
+    return payload, report
+
+
+def compress_symbols(
+    data: np.ndarray,
+    num_symbols: int | None = None,
+    magnitude: int = DEFAULT_MAGNITUDE,
+    device: DeviceSpec = V100,
+    adaptive: bool = False,
+) -> tuple[bytes, CompressionReport]:
+    """Lossless Huffman compression of an integer symbol stream.
+
+    ``adaptive=True`` selects the per-chunk reduction factor (better for
+    heterogeneous data, see :mod:`repro.core.adaptive`).
+    """
+    data = np.asarray(data)
+    if not np.issubdtype(data.dtype, np.integer):
+        raise TypeError("compress_symbols expects integer data")
+    if num_symbols is None:
+        num_symbols = int(data.max()) + 1 if data.size else 1
+    itemsize = data.dtype.itemsize
+    if adaptive:
+        hist = gpu_histogram(data, num_symbols, device=device)
+        book = parallel_codebook(hist.histogram, device=device).codebook
+        enc = adaptive_encode(data, book, magnitude=magnitude, device=device)
+        payload = serialize_adaptive(enc, book)
+        report = CompressionReport(
+            input_bytes=int(data.nbytes),
+            compressed_bytes=len(payload),
+            avg_bits=enc.avg_bits,
+            breaking_fraction=enc.breaking_fraction,
+            modeled_encode_gbps=enc.modeled_gbps(device, data.nbytes),
+            device=device.name,
+        )
+    else:
+        payload, report = _encode_to_bytes(data, num_symbols, magnitude,
+                                           device)
+    header = _SYM_MAGIC + struct.pack("<BQ", itemsize, data.size)
+    return header + payload, report
+
+
+def decompress_symbols(buf: bytes) -> np.ndarray:
+    buf = bytes(buf)
+    if buf[:4] != _SYM_MAGIC:
+        raise ValueError("not a symbol container")
+    itemsize, n = struct.unpack("<BQ", buf[4:13])
+    body = buf[13:]
+    if body[:4] == b"RPRA":
+        result, book = deserialize_adaptive(body)
+        if result.n_symbols != n:
+            raise ValueError("symbol count mismatch in container")
+        out = adaptive_decode(result, book)
+    else:
+        stream, book = deserialize_stream(body)
+        if stream.n_symbols != n:
+            raise ValueError("symbol count mismatch in container")
+        out = decode_stream(stream, book)
+    dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}[itemsize]
+    return out.astype(dtype)
+
+
+def compress_field(
+    field: np.ndarray,
+    error_bound: float,
+    n_bins: int = 1024,
+    magnitude: int = DEFAULT_MAGNITUDE,
+    device: DeviceSpec = V100,
+) -> tuple[bytes, CompressionReport]:
+    """Error-bounded lossy compression of a floating-point array.
+
+    The reconstruction returned by :func:`decompress_field` satisfies
+    ``|recon - field| <= error_bound`` point-wise — the SZ contract.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if n_bins > MAX_HISTOGRAM_BINS:
+        raise ValueError(f"n_bins must be <= {MAX_HISTOGRAM_BINS}")
+    qf = lorenzo_quantize(field, error_bound, n_bins)
+    codes = qf.codes.astype(np.uint16 if n_bins <= 65536 else np.uint32)
+
+    payload, enc_report = _encode_to_bytes(codes, n_bins, magnitude, device)
+    header = _FIELD_MAGIC + struct.pack(
+        "<dIIQ", error_bound, n_bins, len(qf.shape), qf.outliers_idx.size
+    )
+    header += struct.pack(f"<{len(qf.shape)}Q", *qf.shape)
+    header += struct.pack("<d", qf.first_value)
+    header += qf.outliers_idx.astype(np.int64).tobytes()
+    header += qf.outliers_val.astype(np.float64).tobytes()
+    blob = header + payload
+    report = CompressionReport(
+        input_bytes=int(field.nbytes),
+        compressed_bytes=len(blob),
+        avg_bits=enc_report.avg_bits,
+        breaking_fraction=enc_report.breaking_fraction,
+        modeled_encode_gbps=enc_report.modeled_encode_gbps,
+        device=enc_report.device,
+        outliers=int(qf.outliers_idx.size),
+    )
+    return blob, report
+
+
+def decompress_field(buf: bytes) -> np.ndarray:
+    buf = bytes(buf)
+    if buf[:4] != _FIELD_MAGIC:
+        raise ValueError("not a field container")
+    pos = 4
+    eb, n_bins, ndim, n_out = struct.unpack("<dIIQ", buf[pos: pos + 24])
+    pos += 24
+    shape = struct.unpack(f"<{ndim}Q", buf[pos: pos + 8 * ndim])
+    pos += 8 * ndim
+    (first_value,) = struct.unpack("<d", buf[pos: pos + 8])
+    pos += 8
+    out_idx = np.frombuffer(buf[pos: pos + 8 * n_out], dtype=np.int64).copy()
+    pos += 8 * n_out
+    out_val = np.frombuffer(buf[pos: pos + 8 * n_out], dtype=np.float64).copy()
+    pos += 8 * n_out
+
+    stream, book = deserialize_stream(buf[pos:])
+    codes = decode_stream(stream, book).astype(np.int32)
+    qf = QuantizedField(
+        codes=codes, first_value=first_value, error_bound=eb, n_bins=n_bins,
+        shape=tuple(int(s) for s in shape),
+        outliers_idx=out_idx, outliers_val=out_val,
+    )
+    return dequantize(qf)

@@ -1,0 +1,22 @@
+"""Baseline encoders and codebook constructors the paper compares against."""
+
+from repro.baselines.cusz_encoder import CuszEncodeResult, cusz_coarse_encode
+from repro.baselines.prefix_sum_encoder import (
+    PrefixSumEncodeResult,
+    prefix_sum_encode,
+)
+from repro.baselines.serial_gpu_codebook import (
+    SerialGpuCodebookResult,
+    naive_gpu_tree_ms,
+    serial_gpu_codebook,
+)
+
+__all__ = [
+    "CuszEncodeResult",
+    "cusz_coarse_encode",
+    "PrefixSumEncodeResult",
+    "prefix_sum_encode",
+    "SerialGpuCodebookResult",
+    "naive_gpu_tree_ms",
+    "serial_gpu_codebook",
+]

@@ -1,0 +1,98 @@
+"""cuSZ's coarse-grained GPU Huffman encoder (baseline, §III-B).
+
+One thread per chunk walks its symbols sequentially, appending codeword
+bits to a per-chunk output cursor.  The writes are word-granular and
+uncoalesced across the warp — each lane's cursor lives in a different
+region of global memory — which is why cuSZ measures ~30 GB/s on the
+V100, about 1/30 of peak (§III-B).  Per-thread bit appends additionally
+serialize on the output bit count.
+
+Functionally the output is the same chunk-concatenated container as the
+multi-thread CPU encoder: per-chunk byte-aligned bitstreams plus a length
+table, every chunk independently decodable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cuda.costmodel import KernelCost
+from repro.cuda.launch import KernelInfo, register_kernel
+from repro.huffman.codebook import CanonicalCodebook
+from repro.utils.bits import pack_codewords
+
+__all__ = ["CuszEncodeResult", "cusz_coarse_encode"]
+
+register_kernel(KernelInfo(
+    name="enc.cusz_coarse",
+    stage="Huffman enc.",
+    granularity="coarse",
+    mapping="many-to-one",
+    primitives=(),
+    boundary="sync device",
+))
+
+#: cycles per emitted output bit in the per-thread append loop
+#: (shift/or/cursor bookkeeping, serialized within the thread)
+_BIT_CYCLES = 45.0
+
+
+@dataclass
+class CuszEncodeResult:
+    chunk_buffers: list[np.ndarray]
+    chunk_bits: np.ndarray
+    chunk_symbols: int  # symbols per chunk (last chunk may be shorter)
+    n_symbols: int
+    input_bytes: int
+    cost: KernelCost
+
+    @property
+    def payload_bytes(self) -> int:
+        return int(sum(b.nbytes for b in self.chunk_buffers))
+
+    def compression_ratio(self) -> float:
+        out = self.payload_bytes + self.chunk_bits.nbytes
+        return self.input_bytes / out if out else float("inf")
+
+
+def cusz_coarse_encode(
+    data: np.ndarray,
+    book: CanonicalCodebook,
+    chunk_symbols: int = 4096,
+) -> CuszEncodeResult:
+    """Encode with the coarse-grained one-thread-per-chunk scheme."""
+    data = np.asarray(data)
+    codes, lens = book.lookup(data)
+    if data.size and int(lens.min()) == 0:
+        raise ValueError("input contains a symbol with no codeword")
+    n_chunks = max(1, (data.size + chunk_symbols - 1) // chunk_symbols)
+    buffers: list[np.ndarray] = []
+    bits = np.zeros(n_chunks, dtype=np.int64)
+    for c in range(n_chunks):
+        lo = c * chunk_symbols
+        hi = min(lo + chunk_symbols, data.size)
+        buf, nb = pack_codewords(codes[lo:hi], lens[lo:hi])
+        buffers.append(buf)
+        bits[c] = nb
+    out_bytes = float(sum(b.nbytes for b in buffers))
+    out_bits = float(bits.sum())
+    cost = KernelCost(
+        name="enc.cusz_coarse",
+        # word-granular uncoalesced reads of the input slice and writes of
+        # the output cursor: priced at the device's random efficiency
+        bytes_random=float(data.nbytes) + out_bytes,
+        launches=1,
+        compute_cycles=out_bits * _BIT_CYCLES,
+        mem_compute_overlap=False,  # bit appends chain on the loads
+        meta={"chunks": n_chunks, "chunk_symbols": chunk_symbols},
+    )
+    return CuszEncodeResult(
+        chunk_buffers=buffers,
+        chunk_bits=bits,
+        chunk_symbols=chunk_symbols,
+        n_symbols=int(data.size),
+        input_bytes=int(data.nbytes),
+        cost=cost,
+    )

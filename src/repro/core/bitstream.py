@@ -1,0 +1,138 @@
+"""Encoded-stream container and its chunked decoder.
+
+The encoder's output container mirrors the paper's deployment inside
+cuSZ: data is chunked (coarse grain, N = 2^M symbols per chunk) "not only
+because it is easy to map chunks to thread blocks ... but also because it
+will facilitate the reverse process, decoding".  Per chunk we store the
+dense bit length; chunk payloads are byte-aligned; breaking cells live in
+the :class:`~repro.core.breaking.BreakingStore` side channel addressed by
+global cell index; trailing symbols that do not fill a chunk are encoded
+with the reference packer into a tail section.
+
+:func:`decode_stream` is the full inverse used by tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.breaking import BreakingStore
+from repro.core.tuning import EncoderTuning
+from repro.huffman.codebook import CanonicalCodebook
+from repro.huffman.decoder import DecodeTable, build_decode_table, decode_canonical
+
+__all__ = ["EncodedStream", "decode_stream"]
+
+#: per-chunk metadata: dense bit length (uint32)
+_CHUNK_META_BYTES = 4
+#: fixed header: magnitude, r, word bits, symbol count, chunk count, ...
+_HEADER_BYTES = 40
+
+
+@dataclass
+class EncodedStream:
+    """Complete output of the reduce-shuffle-merge encoder."""
+
+    tuning: EncoderTuning
+    n_symbols: int
+    chunk_bits: np.ndarray  # int64 per full chunk
+    payload: np.ndarray  # uint8, byte-aligned chunk streams
+    chunk_offsets: np.ndarray  # int64, len = n_chunks + 1
+    breaking: BreakingStore
+    tail_payload: np.ndarray = field(default_factory=lambda: np.empty(0, np.uint8))
+    tail_bits: int = 0
+    tail_symbols: int = 0
+
+    # ------------------------------------------------------------ sizes --
+    @property
+    def n_chunks(self) -> int:
+        return int(self.chunk_bits.size)
+
+    @property
+    def payload_bytes(self) -> int:
+        return int(self.payload.nbytes + self.tail_payload.nbytes)
+
+    @property
+    def metadata_bytes(self) -> int:
+        return int(
+            _HEADER_BYTES
+            + self.n_chunks * _CHUNK_META_BYTES
+            + self.breaking.nbytes()
+        )
+
+    @property
+    def compressed_bytes(self) -> int:
+        return self.payload_bytes + self.metadata_bytes
+
+    def compression_ratio(self, input_bytes: int) -> float:
+        return input_bytes / self.compressed_bytes if self.compressed_bytes else float("inf")
+
+    @property
+    def encoded_bits(self) -> int:
+        """Dense code bits (excluding container framing)."""
+        side = int(self.breaking.bit_lengths.sum()) if self.breaking.nnz else 0
+        return int(self.chunk_bits.sum()) + side + self.tail_bits
+
+    def chunk_payload(self, chunk: int) -> tuple[np.ndarray, int]:
+        lo = int(self.chunk_offsets[chunk])
+        hi = int(self.chunk_offsets[chunk + 1])
+        return self.payload[lo:hi], int(self.chunk_bits[chunk])
+
+
+def decode_stream(
+    stream: EncodedStream,
+    book: CanonicalCodebook,
+    table: DecodeTable | None = None,
+) -> np.ndarray:
+    """Decode an :class:`EncodedStream` back to its symbol array."""
+    if table is None:
+        table = build_decode_table(book)
+    t = stream.tuning
+    cpc = t.cells_per_chunk
+    group = t.group_symbols
+    out = np.empty(stream.n_symbols, dtype=np.int64)
+
+    bidx = stream.breaking.cell_indices
+    for chunk in range(stream.n_chunks):
+        cell_lo = chunk * cpc
+        cell_hi = cell_lo + cpc
+        blo = int(np.searchsorted(bidx, cell_lo))
+        bhi = int(np.searchsorted(bidx, cell_hi))
+        broken_cells = bidx[blo:bhi] - cell_lo
+        n_dense_syms = (cpc - (bhi - blo)) * group
+
+        payload, bits = stream.chunk_payload(chunk)
+        dense = (
+            decode_canonical(payload, bits, book, n_dense_syms, table)
+            if n_dense_syms
+            else np.empty(0, dtype=np.int64)
+        )
+
+        base = chunk * t.chunk_symbols
+        if bhi == blo:
+            out[base: base + t.chunk_symbols] = dense
+        else:
+            broken_set = np.zeros(cpc, dtype=bool)
+            broken_set[broken_cells] = True
+            chunk_out = np.empty(cpc * group, dtype=np.int64)
+            # scatter dense groups into the non-broken cell slots
+            dense_cells = np.flatnonzero(~broken_set)
+            chunk_view = chunk_out.reshape(cpc, group)
+            if dense_cells.size:
+                chunk_view[dense_cells] = dense.reshape(-1, group)
+            for j, cell in enumerate(broken_cells, start=blo):
+                pbuf, pbits = stream.breaking.cell_payload(j)
+                chunk_view[cell] = decode_canonical(
+                    pbuf, pbits, book, group, table
+                )
+            out[base: base + t.chunk_symbols] = chunk_out
+
+    if stream.tail_symbols:
+        tail = decode_canonical(
+            stream.tail_payload, stream.tail_bits, book, stream.tail_symbols,
+            table,
+        )
+        out[stream.n_chunks * t.chunk_symbols:] = tail
+    return out

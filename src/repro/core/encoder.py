@@ -1,0 +1,243 @@
+"""The reduce-shuffle-merge GPU encoder (paper §IV-C).
+
+Public entry point :func:`gpu_encode`, realizing the paper's kernel
+interface ``ReduceShuffleMerge<M, r>(in, out, metadata)``:
+
+1. codebook lookup fused with the first merge;
+2. ``r`` REDUCE-merge iterations (:mod:`repro.core.reduce_merge`);
+3. breaking-point backtrace + dense-to-sparse save
+   (:mod:`repro.core.breaking`);
+4. ``s = M - r`` SHUFFLE-merge iterations building each chunk's dense
+   bitstream (:mod:`repro.core.shuffle_merge`);
+5. a per-chunk code-length prefix sum and the final coalescing copy that
+   packs chunk streams contiguously (the last two kernels of Table I).
+
+The returned :class:`GpuEncodeResult` carries the decodable
+:class:`~repro.core.bitstream.EncodedStream` plus the structural kernel
+costs.  Cost constants below are the calibrated per-operation cycle
+charges documented in EXPERIMENTS.md; all *counts* (symbols, merges,
+moved words, breaking cells) come from the functional execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitstream import EncodedStream
+from repro.core.breaking import BreakingStore, breaking_costs, extract_breaking
+from repro.core.reduce_merge import reduce_merge
+from repro.core.shuffle_merge import shuffle_merge
+from repro.core.tuning import (
+    DEFAULT_MAGNITUDE,
+    EMPIRICAL_MAX_REDUCTION,
+    EncoderTuning,
+    average_bitwidth,
+)
+from repro.cuda.costmodel import KernelCost
+from repro.cuda.device import DeviceSpec, V100
+from repro.cuda.launch import KernelInfo, register_kernel
+from repro.huffman.codebook import CanonicalCodebook
+from repro.utils.bits import pack_codewords
+
+__all__ = ["GpuEncodeResult", "gpu_encode"]
+
+register_kernel(KernelInfo(
+    name="enc.blockwise_len",
+    stage="Huffman enc.",
+    granularity="coarse+fine",
+    mapping="one-to-one",
+    primitives=("prefix sum",),
+    boundary="sync grid",
+))
+register_kernel(KernelInfo(
+    name="enc.coalesce_copy",
+    stage="Huffman enc.",
+    granularity="coarse+fine",
+    mapping="one-to-one",
+    primitives=(),
+    boundary="sync device",
+))
+
+# ---------------------------------------------------------------------------
+# calibrated cost constants (see EXPERIMENTS.md, "Encoder cost constants")
+# ---------------------------------------------------------------------------
+#: shared-memory codebook lookup, cycles per symbol
+_LOOKUP_CYCLES = 6.0
+#: one pairwise REDUCE merge (shift+or+length add in shared/registers)
+_MERGE_CYCLES = 12.0
+#: one SHUFFLE word move: two-step deposit, bank conflicts, and the
+#: factor-2 warp divergence of straddling group boundaries
+_MOVE_CYCLES = 40.0
+#: write-amplification of the dense output (shared-to-global staging plus
+#: the read+write of the coalescing copy)
+_OUTPUT_TRAFFIC_FACTOR = 3.0
+
+
+def _occupancy_penalty(shuffle_factor: int) -> float:
+    """Barrier-stall penalty of 2^s-thread blocks (Table II's collapse at
+    magnitude 12 with small r), from the occupancy calculator: few
+    resident blocks per SM leave nothing to schedule across the
+    per-iteration block barriers."""
+    from repro.cuda.occupancy import block_scheduling_penalty
+
+    block = 1 << min(shuffle_factor, 10)
+    extra = 0.25 * max(shuffle_factor - 10, 0)  # multi-block chunks
+    return block_scheduling_penalty(block) + extra
+
+
+def _deep_reduce_penalty(r: int) -> float:
+    """r >= 4 serializes 16+ dependent merges per thread and spills
+    registers; Table II shows r = 4 losing to r = 3 at every magnitude."""
+    return 1.7 if r >= 4 else 1.0
+
+
+@dataclass
+class GpuEncodeResult:
+    stream: EncodedStream
+    costs: list[KernelCost]
+    tuning: EncoderTuning
+    avg_bits: float
+    breaking_fraction: float
+    input_bytes: int
+
+    @property
+    def total_cost(self) -> KernelCost:
+        from repro.cuda.costmodel import combine_costs
+
+        return combine_costs(self.costs, name="enc")
+
+    def modeled_seconds(self, device: DeviceSpec, scale: float = 1.0) -> float:
+        from repro.cuda.costmodel import CostModel
+
+        model = CostModel(device)
+        return sum(model.time(c.scaled(scale)).seconds for c in self.costs)
+
+    def modeled_gbps(self, device: DeviceSpec, scale: float = 1.0) -> float:
+        secs = self.modeled_seconds(device, scale)
+        return self.input_bytes * scale / secs / 1e9 if secs else float("inf")
+
+
+def gpu_encode(
+    data: np.ndarray,
+    book: CanonicalCodebook,
+    tuning: EncoderTuning | None = None,
+    magnitude: int = DEFAULT_MAGNITUDE,
+    reduction_factor: int | None = None,
+    word_bits: int = 32,
+    device: DeviceSpec = V100,
+) -> GpuEncodeResult:
+    """Encode ``data`` with the reduce-shuffle-merge scheme.
+
+    ``tuning`` pins (M, r) explicitly; otherwise ``magnitude`` is used and
+    ``r`` comes from the average-bitwidth rule (or ``reduction_factor``
+    when given).  Every symbol must have a codeword in ``book``.
+    """
+    data = np.asarray(data)
+    codes, lens = book.lookup(data)
+    if data.size and int(lens.min()) == 0:
+        bad = int(data[np.argmin(lens)])
+        raise ValueError(f"symbol {bad} has no codeword (zero frequency)")
+    lens = lens.astype(np.int64)
+    total_bits = int(lens.sum())
+    avg_bits = total_bits / data.size if data.size else 0.0
+
+    if tuning is None:
+        if reduction_factor is None:
+            from repro.core.tuning import choose_reduction_factor
+
+            reduction_factor = choose_reduction_factor(
+                max(avg_bits, 1e-9), word_bits, magnitude,
+                EMPIRICAL_MAX_REDUCTION,
+            )
+        tuning = EncoderTuning(magnitude, reduction_factor, word_bits)
+    N = tuning.chunk_symbols
+    r = tuning.reduction_factor
+    s = tuning.shuffle_factor
+    group = tuning.group_symbols
+
+    n_full = data.size // N
+    n_main = n_full * N
+    main_codes, main_lens = codes[:n_main], lens[:n_main]
+
+    # -- REDUCE-merge (+ fused lookup) ------------------------------------
+    red = reduce_merge(main_codes, main_lens, r, tuning.word_bits)
+
+    # -- breaking backtrace + sparse save ----------------------------------
+    breaking = extract_breaking(main_codes, main_lens, red.broken, group)
+
+    # -- SHUFFLE-merge ------------------------------------------------------
+    vals = red.values.copy()
+    cell_lens = red.lengths.copy()
+    vals[red.broken] = 0
+    cell_lens[red.broken] = 0
+    shuf = shuffle_merge(vals, cell_lens, tuning.cells_per_chunk,
+                         tuning.word_bits)
+    payload, offsets = shuf.payload()
+
+    # -- tail ---------------------------------------------------------------
+    tail_codes, tail_lens = codes[n_main:], lens[n_main:]
+    tail_buf, tail_bits = pack_codewords(tail_codes, tail_lens)
+
+    stream = EncodedStream(
+        tuning=tuning,
+        n_symbols=int(data.size),
+        chunk_bits=shuf.bits,
+        payload=payload,
+        chunk_offsets=offsets,
+        breaking=breaking,
+        tail_payload=tail_buf,
+        tail_bits=tail_bits,
+        tail_symbols=int(data.size - n_main),
+    )
+
+    # -- structural costs ----------------------------------------------------
+    in_bytes = float(data.nbytes)
+    out_bytes = float(stream.payload_bytes)
+    merges = float(n_main) * (1.0 - 0.5**r) if r else 0.0
+    penalty = _occupancy_penalty(s) * _deep_reduce_penalty(r)
+    fused = KernelCost(
+        name="enc.reduce_shuffle_merge",
+        bytes_coalesced=in_bytes + out_bytes,
+        launches=1,
+        compute_cycles=(
+            _LOOKUP_CYCLES * data.size
+            + _MERGE_CYCLES * merges
+            + _MOVE_CYCLES * shuf.moved_words
+        ) * penalty,
+        divergence_factor=1.0,  # divergence folded into _MOVE_CYCLES
+        meta={
+            "M": tuning.magnitude,
+            "r": r,
+            "s": s,
+            "chunks": n_full,
+            "moved_words": shuf.moved_words,
+            "breaking_fraction": red.breaking_fraction,
+            "occupancy_penalty": _occupancy_penalty(s),
+            "deep_reduce_penalty": _deep_reduce_penalty(r),
+        },
+    )
+    blockwise = KernelCost(
+        name="enc.blockwise_len",
+        bytes_coalesced=float(n_full * 16),
+        launches=1,
+        compute_cycles=float(n_full) * 4.0,
+        meta={"chunks": n_full},
+    )
+    coalesce = KernelCost(
+        name="enc.coalesce_copy",
+        bytes_coalesced=(_OUTPUT_TRAFFIC_FACTOR - 1.0) * out_bytes,
+        launches=1,
+        compute_cycles=out_bytes / 4.0,
+        meta={},
+    )
+    costs = [fused, *breaking_costs(breaking), blockwise, coalesce]
+    return GpuEncodeResult(
+        stream=stream,
+        costs=costs,
+        tuning=tuning,
+        avg_bits=avg_bits,
+        breaking_fraction=red.breaking_fraction,
+        input_bytes=int(data.nbytes),
+    )

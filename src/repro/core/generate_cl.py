@@ -1,0 +1,235 @@
+"""GenerateCL: parallel codeword-length construction (Algorithm 1, top).
+
+This is the GPU implementation of the first phase of Ostadzadeh et al.'s
+two-phase parallel Huffman algorithm, as modified by the paper.  Given the
+histogram sorted by ascending frequency, each round:
+
+1. melds the two globally smallest nodes into a threshold node ``t``;
+2. selects every remaining *leaf* with frequency below ``t`` (a prefix of
+   the sorted leaf queue — found with the ``copy``/``atomicMax`` idiom of
+   Algorithm 1, lines 8–13);
+3. PARMERGEs the selected leaves with the internal-node queue (GPU Merge
+   Path, fused into the same kernel — :mod:`repro.core.merge_path`);
+4. melds adjacent pairs of the merged sequence in parallel (dropping the
+   largest element back into the queue when the count is odd, the
+   ``s``-adjustment of line 16);
+5. concurrently updates every leaf's codeword length and leader pointer
+   (line 23–25).
+
+Rounds repeat until one subtree remains; the number of rounds is O(H) for
+codeword height H, which is what gives the observed O(H log(n/H)) ≈
+O(log n) scaling of Table III.
+
+Node bookkeeping is structure-of-arrays, as in the paper ("accesses to
+single fields of consecutive elements are coalesced"): per-leaf ``CL`` and
+``leader`` vectors plus a flat registry of subtree nodes.  The safety of
+pairwise melding (every selected node is smaller than ``t``) is
+Ostadzadeh's Lemma; we assert the resulting queue stays sorted and the
+test-suite validates optimality against the serial tree on thousands of
+histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.merge_path import parallel_merge
+from repro.cuda.costmodel import KernelCost
+from repro.cuda.device import DeviceSpec, V100
+
+__all__ = ["GenerateCLResult", "generate_cl"]
+
+#: grid synchronizations per round in the fused kernel: threshold meld,
+#: leaf selection (atomicMax), merge-path partition + merge, and the
+#: fused pairwise-meld + leaf-update region
+_SYNCS_PER_ROUND = 4
+#: shared/register cycles charged per element touched in a round
+_CYCLES_PER_ELEMENT = 10.0
+
+
+@dataclass
+class GenerateCLResult:
+    """Codeword lengths for the frequency-sorted alphabet + structure."""
+
+    lengths_sorted: np.ndarray  # int32, aligned with the sorted histogram
+    rounds: int
+    cost: KernelCost
+    merge_elements: int  # total elements passed through PARMERGE
+    max_queue: int
+
+
+def generate_cl(
+    freq_sorted: np.ndarray, device: DeviceSpec = V100
+) -> GenerateCLResult:
+    """Run GenerateCL on an ascending-sorted positive histogram.
+
+    ``freq_sorted`` must contain only the *used* symbols' frequencies in
+    ascending order; returns one codeword length per entry.
+    """
+    f = np.asarray(freq_sorted, dtype=np.int64)
+    if f.ndim != 1:
+        raise ValueError("freq_sorted must be one-dimensional")
+    if f.size and np.any(np.diff(f) < 0):
+        raise ValueError("freq_sorted must be ascending")
+    if np.any(f <= 0):
+        raise ValueError("freq_sorted must be strictly positive")
+    m = int(f.size)
+    CL = np.zeros(m, dtype=np.int32)
+    if m <= 1:
+        CL[:] = 1 if m == 1 else 0
+        return GenerateCLResult(
+            lengths_sorted=CL, rounds=0,
+            cost=KernelCost(name="codebook.generate_cl", launches=1,
+                            meta={"rounds": 0, "n": m}),
+            merge_elements=0, max_queue=0,
+        )
+
+    # ---- structure-of-arrays node registry ------------------------------
+    # ids < m are raw leaves; ids >= m are subtree (internal) nodes
+    cap = 4 * m + 8
+    node_freq = np.zeros(cap, dtype=np.int64)
+    node_freq[:m] = f
+    next_id = m
+    # per-leaf state
+    leader = np.full(m, -1, dtype=np.int64)
+
+    # queues: leaf front index + internal deque of node ids (kept sorted
+    # ascending by frequency)
+    c = 0  # leaves consumed
+    iq: list[int] = []
+
+    # round→leaf remapping scratch
+    rounds = 0
+    merge_elements = 0
+    max_queue = 0
+    atomic_ops = 0
+
+    def new_node(freq: int) -> int:
+        nonlocal next_id, node_freq
+        if next_id == node_freq.size:
+            node_freq = np.concatenate([node_freq, np.zeros(cap, dtype=np.int64)])
+        node_freq[next_id] = freq
+        next_id += 1
+        return next_id - 1
+
+    def apply_melds(pairs: list[tuple[int, int, int]]) -> None:
+        """Concurrent UPDATELEAFNODE: remap leaders, bump CL."""
+        nonlocal leader, CL
+        remap = {}
+        for x, y, nid in pairs:
+            remap[x] = nid
+            remap[y] = nid
+        # raw-leaf children attach directly (first meld: CL 0 -> 1)
+        for x, y, nid in pairs:
+            for child in (x, y):
+                if child < m:
+                    leader[child] = nid
+                    CL[child] += 1
+        # subtree children: vectorized remap of all leaves at once
+        internal_olds = [o for o in remap if o >= m]
+        if internal_olds:
+            lo = min(internal_olds)
+            hi = max(internal_olds)
+            table = np.full(hi - lo + 1, -1, dtype=np.int64)
+            for o in internal_olds:
+                table[o - lo] = remap[o]
+            mask = (leader >= lo) & (leader <= hi)
+            if np.any(mask):
+                mapped = table[leader[mask] - lo]
+                hit = mapped >= 0
+                idx = np.flatnonzero(mask)[hit]
+                leader[idx] = mapped[hit]
+                CL[idx] += 1
+
+    while (m - c) + len(iq) > 1:
+        rounds += 1
+        # -- 1. threshold node t from the two smallest -------------------
+        picks: list[int] = []
+        for _ in range(2):
+            take_leaf = c < m and (not iq or f[c] <= node_freq[iq[0]])
+            if take_leaf:
+                picks.append(c)
+                c += 1
+            else:
+                picks.append(iq.pop(0))
+        t_freq = int(node_freq[picks[0]] + node_freq[picks[1]])
+        t_id = new_node(t_freq)
+        apply_melds([(picks[0], picks[1], t_id)])
+
+        # -- 2. select eligible leaves (freq < t) ------------------------
+        # (the copy/atomicMax selection of lines 8-13; a prefix because the
+        # leaf queue is sorted)
+        k = int(np.searchsorted(f[c:], t_freq, side="left"))
+        copy_ids = list(range(c, c + k))
+        atomic_ops += k
+        c += k
+
+        # -- 3. PARMERGE leaves with the internal queue ------------------
+        sel = iq  # Ostadzadeh's Lemma: all queued internal nodes are < t
+        iq = []
+        if copy_ids or sel:
+            a = f[copy_ids[0]: copy_ids[-1] + 1] if copy_ids else f[:0]
+            b = node_freq[sel] if sel else node_freq[:0]
+            merged_freqs, _stats = parallel_merge(a, b, p=device.sm_count * 2)
+            merge_elements += merged_freqs.size
+            # id order of the stable merge: a stable argsort of the
+            # concatenated keys IS the two-pointer merge with leaf priority
+            # on ties (copy precedes sel in the concatenation)
+            all_ids = np.asarray(copy_ids + sel, dtype=np.int64)
+            keys = node_freq[all_ids]
+            temp_arr = all_ids[np.argsort(keys, kind="stable")]
+            assert np.array_equal(node_freq[temp_arr], merged_freqs)
+            temp = temp_arr.tolist()
+        else:
+            temp = []
+
+        # -- 4. even-size adjustment + pairwise meld ---------------------
+        leftover: list[int] = []
+        if len(temp) % 2 == 1:
+            leftover.append(temp.pop())
+        pairs = []
+        new_ids = []
+        for j in range(0, len(temp), 2):
+            x, y = temp[j], temp[j + 1]
+            nid = new_node(int(node_freq[x] + node_freq[y]))
+            pairs.append((x, y, nid))
+            new_ids.append(nid)
+        if pairs:
+            apply_melds(pairs)
+
+        # -- 5. rebuild the queue: leftover < t <= melds (ascending) -----
+        iq = leftover + [t_id] + new_ids
+        qf = node_freq[iq]
+        if np.any(np.diff(qf) < 0):  # pragma: no cover - theory guard
+            order = np.argsort(qf, kind="stable")
+            iq = [iq[int(o)] for o in order]
+        max_queue = max(max_queue, len(iq))
+
+    H = int(CL.max()) if m else 0
+    # structural cost: every round touches O(n) node state across five
+    # fine-grained parallel regions synchronized with cooperative groups
+    cost = KernelCost(
+        name="codebook.generate_cl",
+        bytes_coalesced=float(rounds * (m * 12) + merge_elements * 16),
+        shared_atomics=float(atomic_ops),
+        atomic_conflict_degree=1.0,
+        launches=1,
+        grid_syncs=rounds * _SYNCS_PER_ROUND,
+        compute_cycles=float(rounds * m + 2 * merge_elements) * _CYCLES_PER_ELEMENT,
+        meta={
+            "rounds": rounds,
+            "n": m,
+            "H": H,
+            "merge_elements": merge_elements,
+            "max_queue": max_queue,
+        },
+    )
+    return GenerateCLResult(
+        lengths_sorted=CL,
+        rounds=rounds,
+        cost=cost,
+        merge_elements=merge_elements,
+        max_queue=max_queue,
+    )

@@ -1,0 +1,164 @@
+"""GenerateCW: parallel canonical codeword generation (Algorithm 1, bottom).
+
+Second phase of the two-phase construction.  Input is the codeword-length
+array produced by GenerateCL, which — because the histogram was sorted by
+ascending frequency — is *non-increasing*; line 27's PARREVERSE turns it
+into the non-decreasing order the level loop wants.
+
+The level loop then walks the distinct codeword lengths (``CCL``): an
+``atomicMin`` scan finds where the current length class ends
+(``newCDPI``), one fine-grained parallel region assigns that class's
+codewords, and the ``First``/``Entry`` decoding metadata for the class is
+recorded in O(1) (lines 40-41).  Per the paper's canonization insight
+(§IV-B2), codewords are emitted *in decreasing numeric order per level*
+and bit-inverted at the end (line 47), which makes the final codebook
+canonical without a separate radix-sort pass; we realize the identical
+observable scheme by tracking the canonical first-codeword recurrence
+directly and emitting each class's complements.
+
+Output is a complete :class:`~repro.huffman.codebook.CanonicalCodebook`
+(forward codes per symbol + First/Entry + symbols-in-code-order), i.e. the
+reverse codebook for treeless decoding comes for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cuda.costmodel import KernelCost
+from repro.cuda.device import DeviceSpec, V100
+from repro.huffman.codebook import MAX_CODE_BITS, CanonicalCodebook
+
+__all__ = ["GenerateCWResult", "generate_cw"]
+
+#: grid syncs per length class: the atomicMin boundary scan and the
+#: class-assignment region
+_SYNCS_PER_LEVEL = 2
+
+
+@dataclass
+class GenerateCWResult:
+    codebook: CanonicalCodebook
+    levels: int  # number of distinct codeword lengths processed
+    cost: KernelCost
+
+
+def generate_cw(
+    lengths_sorted: np.ndarray,
+    symbols_sorted: np.ndarray,
+    n_symbols: int,
+    device: DeviceSpec = V100,
+) -> GenerateCWResult:
+    """Generate canonical codewords from GenerateCL output.
+
+    ``lengths_sorted[i]`` is the codeword length of ``symbols_sorted[i]``,
+    ordered by ascending frequency (hence non-increasing lengths).
+    ``n_symbols`` is the full alphabet size; unused symbols get length 0.
+    """
+    lengths_sorted = np.asarray(lengths_sorted, dtype=np.int32)
+    symbols_sorted = np.asarray(symbols_sorted, dtype=np.int64)
+    if lengths_sorted.shape != symbols_sorted.shape:
+        raise ValueError("lengths/symbols shape mismatch")
+    m = int(lengths_sorted.size)
+
+    codes = np.zeros(n_symbols, dtype=np.uint64)
+    lengths = np.zeros(n_symbols, dtype=np.int32)
+    lengths[symbols_sorted] = lengths_sorted
+
+    if m == 0:
+        return GenerateCWResult(
+            codebook=CanonicalCodebook(
+                codes=codes, lengths=lengths,
+                first=np.zeros(1, dtype=np.int64),
+                entry=np.zeros(1, dtype=np.int64),
+                symbols_by_code=np.empty(0, dtype=np.int64),
+            ),
+            levels=0,
+            cost=KernelCost(name="codebook.generate_cw", launches=1,
+                            meta={"levels": 0, "n": m}),
+        )
+
+    # PARREVERSE (line 27): ascending code lengths, i.e. symbols by
+    # descending frequency
+    cl = lengths_sorted[::-1].copy()
+    sym = symbols_sorted[::-1].copy()
+    maxlen = int(cl[-1])
+    if maxlen > MAX_CODE_BITS:
+        raise ValueError(f"codeword length {maxlen} exceeds {MAX_CODE_BITS}")
+
+    first = np.zeros(maxlen + 1, dtype=np.int64)
+    entry = np.zeros(maxlen + 1, dtype=np.int64)
+
+    levels = 0
+    atomic_ops = 0
+    cdpi = 0
+    ccl = int(cl[0])
+    fcw = 0  # canonical first codeword of the current level
+    prev_l = 0
+    # fill First/Entry for lengths shorter than the shortest code
+    while cdpi < m:
+        # -- boundary scan (lines 31-36): first index whose CL > CCL -----
+        new_cdpi = cdpi + int(np.searchsorted(cl[cdpi:], ccl, side="right"))
+        atomic_ops += new_cdpi - cdpi  # the atomicMin candidates
+        count = new_cdpi - cdpi
+
+        # canonical recurrence across skipped and current levels
+        fcw = fcw << (ccl - prev_l) if prev_l else 0
+        # -- per-class assignment (lines 37-39): decreasing order, then
+        # inverted at the end; net effect = fcw + rank ------------------
+        ranks = np.arange(count, dtype=np.int64)
+        mask = (np.int64(1) << np.int64(ccl)) - np.int64(1)
+        raw = (~(fcw + ranks)) & mask  # decreasing per level (pre-invert)
+        codes_level = (~raw.astype(np.int64)) & mask  # InvertCW (line 47)
+        # Within a length class the paper hands out codes in histogram
+        # order; we rank by symbol index instead — the conventional
+        # canonical tie-break (as in DEFLATE), which makes the bare length
+        # vector a complete codebook description for serialization.  The
+        # class's code-value *set* is identical either way.
+        class_syms = np.sort(sym[cdpi:new_cdpi])
+        sym[cdpi:new_cdpi] = class_syms
+        codes[class_syms] = codes_level.astype(np.uint64)
+
+        # -- record decoding metadata (lines 40-41) ----------------------
+        first[ccl] = fcw
+        entry[ccl] = cdpi
+        levels += 1
+
+        # -- prepare next level (lines 42-44) -----------------------------
+        prev_l = ccl
+        fcw = fcw + count
+        cdpi = new_cdpi
+        if cdpi < m:
+            ccl = int(cl[cdpi])
+
+    # pad entry for lengths above the last level boundary lookups
+    # (entry[l] = number of codewords shorter than l)
+    # recompute entry/first consistently from the class structure:
+    counts = np.bincount(cl, minlength=maxlen + 1).astype(np.int64)
+    counts[0] = 0
+    code = 0
+    for l in range(1, maxlen + 1):
+        code = (code + int(counts[l - 1])) << 1
+        first[l] = code
+        entry[l] = entry[l - 1] + counts[l - 1]
+
+    book = CanonicalCodebook(
+        codes=codes,
+        lengths=lengths,
+        first=first,
+        entry=entry,
+        symbols_by_code=sym.copy(),
+    )
+    cost = KernelCost(
+        name="codebook.generate_cw",
+        bytes_coalesced=float(m * 16),
+        bytes_random=float(m * 12),  # final reorder to symbol order
+        shared_atomics=float(atomic_ops),
+        launches=1,
+        grid_syncs=levels * _SYNCS_PER_LEVEL + 2,  # + reverse & invert passes
+        compute_cycles=float(levels * m) * 2.0,
+        meta={"levels": levels, "n": m, "H": maxlen},
+    )
+    return GenerateCWResult(codebook=book, levels=levels, cost=cost)

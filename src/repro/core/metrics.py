@@ -1,0 +1,119 @@
+"""Compression quality metrics: where every bit of the output went.
+
+Separates the three things "compression ratio" conflates — the entropy
+floor of the data, the Huffman code's redundancy above it, and the
+container's framing overhead (chunk tables, breaking side channel,
+codebook, tail) — so regressions in any one of them are visible on their
+own.  The Shannon bound ``avg_code_bits >= entropy`` is asserted by the
+property tests; a ``coding_efficiency`` near 1.0 says the codebook is
+doing its job and any ratio gap is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitstream import EncodedStream
+from repro.core.tuning import average_bitwidth, entropy_bits
+from repro.huffman.codebook import CanonicalCodebook
+
+__all__ = ["CompressionMetrics", "analyze_stream", "metrics_report"]
+
+
+@dataclass(frozen=True)
+class CompressionMetrics:
+    n_symbols: int
+    input_bytes: int
+    #: Shannon entropy of the empirical distribution, bits/symbol
+    entropy_bits_per_symbol: float
+    #: frequency-weighted Huffman codeword length, bits/symbol
+    avg_code_bits: float
+    #: avg_code_bits - entropy (the code's distance from optimal)
+    redundancy_bits_per_symbol: float
+    #: exact code payload, bits
+    code_bits: int
+    #: container framing: chunk table + breaking store + header, bytes
+    metadata_bytes: int
+    #: serialized codebook size (lengths-only canonical form), bytes
+    codebook_bytes: int
+    breaking_fraction: float
+
+    @property
+    def coding_efficiency(self) -> float:
+        """entropy / avg code bits; 1.0 = entropy-optimal code."""
+        if self.avg_code_bits == 0:
+            return 1.0
+        return self.entropy_bits_per_symbol / self.avg_code_bits
+
+    @property
+    def payload_bytes(self) -> int:
+        return (self.code_bits + 7) // 8
+
+    @property
+    def compressed_bytes(self) -> int:
+        return self.payload_bytes + self.metadata_bytes + self.codebook_bytes
+
+    @property
+    def ratio_code_only(self) -> float:
+        """Ratio counting only code bits (the algorithmic limit)."""
+        return (8 * self.input_bytes / self.code_bits
+                if self.code_bits else float("inf"))
+
+    @property
+    def ratio_end_to_end(self) -> float:
+        """Ratio a user sees: payload + all framing + the codebook."""
+        total = self.compressed_bytes
+        return self.input_bytes / total if total else float("inf")
+
+    @property
+    def overhead_bits_per_symbol(self) -> float:
+        """Framing cost amortized per symbol."""
+        if self.n_symbols == 0:
+            return 0.0
+        return 8.0 * (self.metadata_bytes + self.codebook_bytes) / self.n_symbols
+
+
+def analyze_stream(
+    data: np.ndarray,
+    book: CanonicalCodebook,
+    stream: EncodedStream,
+) -> CompressionMetrics:
+    """Break a stream's size down into entropy / code / container parts."""
+    data = np.asarray(data)
+    freqs = np.bincount(data.reshape(-1), minlength=book.n_symbols)
+    from repro.core.serialization import serialize_codebook
+
+    return CompressionMetrics(
+        n_symbols=int(data.size),
+        input_bytes=int(data.nbytes),
+        entropy_bits_per_symbol=entropy_bits(freqs),
+        avg_code_bits=average_bitwidth(freqs, book.lengths),
+        redundancy_bits_per_symbol=(
+            average_bitwidth(freqs, book.lengths) - entropy_bits(freqs)
+        ),
+        code_bits=int(stream.encoded_bits),
+        metadata_bytes=int(stream.metadata_bytes),
+        codebook_bytes=len(serialize_codebook(book)),
+        breaking_fraction=stream.breaking.breaking_fraction,
+    )
+
+
+def metrics_report(m: CompressionMetrics) -> str:
+    lines = [
+        f"symbols:            {m.n_symbols:,} ({m.input_bytes:,} B input)",
+        f"entropy:            {m.entropy_bits_per_symbol:.4f} bits/symbol",
+        f"code length:        {m.avg_code_bits:.4f} bits/symbol "
+        f"(redundancy {m.redundancy_bits_per_symbol:.4f}, "
+        f"efficiency {m.coding_efficiency:.4f})",
+        f"code payload:       {m.code_bits:,} bits "
+        f"({m.payload_bytes:,} B)",
+        f"container overhead: {m.metadata_bytes:,} B framing + "
+        f"{m.codebook_bytes:,} B codebook "
+        f"({m.overhead_bits_per_symbol:.4f} bits/symbol)",
+        f"breaking cells:     {m.breaking_fraction:.3e}",
+        f"ratio:              {m.ratio_code_only:.3f} (code only) -> "
+        f"{m.ratio_end_to_end:.3f} (end to end)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""End-to-end encoder pipeline: histogram → codebook → encode.
+
+This is the top-level composition the paper evaluates in Table V: the
+four modular stages of §IV wired together, with pluggable codebook and
+encoding schemes so the cuSZ baseline pipeline and the paper's pipeline
+run through identical plumbing.
+
+Because the functional kernels run on reduced-size surrogate data while
+the paper's numbers are for multi-hundred-MB datasets, every stage
+reports volume-linear costs that :meth:`PipelineResult.stage_seconds`
+scales by ``scale`` (= paper size / surrogate size) before pricing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.baselines.cusz_encoder import CuszEncodeResult, cusz_coarse_encode
+from repro.core.adaptive import AdaptiveEncodeResult, adaptive_encode
+from repro.baselines.prefix_sum_encoder import (
+    PrefixSumEncodeResult,
+    prefix_sum_encode,
+)
+from repro.baselines.serial_gpu_codebook import (
+    SerialGpuCodebookResult,
+    serial_gpu_codebook,
+)
+from repro.core.codebook_parallel import ParallelCodebookResult, parallel_codebook
+from repro.core.encoder import GpuEncodeResult, gpu_encode
+from repro.core.tuning import DEFAULT_MAGNITUDE
+from repro.cuda.costmodel import CostModel, KernelCost
+from repro.cuda.device import DeviceSpec, V100
+from repro.histogram.gpu_histogram import GpuHistogramResult, gpu_histogram
+
+__all__ = ["PipelineResult", "run_pipeline", "CODEBOOK_SCHEMES", "ENCODER_SCHEMES"]
+
+CODEBOOK_SCHEMES = ("parallel", "serial_gpu")
+ENCODER_SCHEMES = ("reduce_shuffle", "adaptive", "cusz_coarse", "prefix_sum")
+
+EncodeResult = Union[GpuEncodeResult, AdaptiveEncodeResult, CuszEncodeResult,
+                     PrefixSumEncodeResult]
+CodebookResult = Union[ParallelCodebookResult, SerialGpuCodebookResult]
+
+
+@dataclass
+class PipelineResult:
+    histogram: GpuHistogramResult
+    codebook: CodebookResult
+    encode: EncodeResult
+    codebook_scheme: str
+    encoder_scheme: str
+    input_bytes: int
+    scale: float = 1.0
+    device: DeviceSpec = V100
+
+    # ------------------------------------------------------------ costs --
+    def _encode_costs(self) -> list[KernelCost]:
+        if isinstance(self.encode, (GpuEncodeResult, AdaptiveEncodeResult)):
+            return self.encode.costs
+        return [self.encode.cost]
+
+    def stage_seconds(self, device: DeviceSpec | None = None) -> dict[str, float]:
+        """Modeled seconds per stage at the paper's data scale."""
+        device = device or self.device
+        model = CostModel(device)
+        hist = sum(
+            model.time(c.scaled(self.scale)).seconds for c in self.histogram.costs
+        )
+        book = sum(model.time(c).seconds for c in self.codebook.costs)
+        enc = sum(
+            model.time(c.scaled(self.scale)).seconds for c in self._encode_costs()
+        )
+        return {"hist": hist, "codebook": book, "encode": enc,
+                "overall": hist + book + enc}
+
+    def stage_gbps(self, device: DeviceSpec | None = None) -> dict[str, float]:
+        """Paper-style stage throughputs (GB/s of *input* payload)."""
+        secs = self.stage_seconds(device)
+        payload = self.input_bytes * self.scale
+        out = {}
+        for k, v in secs.items():
+            out[k] = payload / v / 1e9 if v > 0 else float("inf")
+        out["codebook_ms"] = secs["codebook"] * 1e3
+        return out
+
+    @property
+    def compression_ratio(self) -> float:
+        if isinstance(self.encode, GpuEncodeResult):
+            return self.encode.stream.compression_ratio(self.input_bytes)
+        if isinstance(self.encode, AdaptiveEncodeResult):
+            return self.encode.compression_ratio(self.input_bytes)
+        return self.encode.compression_ratio()
+
+    @property
+    def avg_bits(self) -> float:
+        if isinstance(self.encode, (GpuEncodeResult, AdaptiveEncodeResult)):
+            return self.encode.avg_bits
+        lens = self.codebook.codebook.lengths
+        h = self.histogram.histogram
+        total = h.sum()
+        return float(np.sum(h * lens) / total) if total else 0.0
+
+    @property
+    def breaking_fraction(self) -> float:
+        if isinstance(self.encode, (GpuEncodeResult, AdaptiveEncodeResult)):
+            return self.encode.breaking_fraction
+        return 0.0
+
+
+def run_pipeline(
+    data: np.ndarray,
+    n_symbols: int,
+    device: DeviceSpec = V100,
+    codebook_scheme: str = "parallel",
+    encoder_scheme: str = "reduce_shuffle",
+    magnitude: int = DEFAULT_MAGNITUDE,
+    reduction_factor: int | None = None,
+    scale: float = 1.0,
+) -> PipelineResult:
+    """Run the full Huffman encoding pipeline on the modeled device."""
+    if codebook_scheme not in CODEBOOK_SCHEMES:
+        raise ValueError(f"codebook_scheme must be one of {CODEBOOK_SCHEMES}")
+    if encoder_scheme not in ENCODER_SCHEMES:
+        raise ValueError(f"encoder_scheme must be one of {ENCODER_SCHEMES}")
+    data = np.asarray(data)
+
+    hist = gpu_histogram(data, n_symbols, device=device)
+
+    if codebook_scheme == "parallel":
+        book_res: CodebookResult = parallel_codebook(hist.histogram, device=device)
+    else:
+        book_res = serial_gpu_codebook(hist.histogram)
+    book = book_res.codebook
+
+    if encoder_scheme == "reduce_shuffle":
+        enc: EncodeResult = gpu_encode(
+            data, book, magnitude=magnitude,
+            reduction_factor=reduction_factor, device=device,
+        )
+    elif encoder_scheme == "adaptive":
+        enc = adaptive_encode(data, book, magnitude=magnitude, device=device)
+    elif encoder_scheme == "cusz_coarse":
+        enc = cusz_coarse_encode(data, book)
+    else:
+        enc = prefix_sum_encode(data, book)
+
+    return PipelineResult(
+        histogram=hist,
+        codebook=book_res,
+        encode=enc,
+        codebook_scheme=codebook_scheme,
+        encoder_scheme=encoder_scheme,
+        input_bytes=int(data.nbytes),
+        scale=scale,
+        device=device,
+    )

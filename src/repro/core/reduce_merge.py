@@ -1,0 +1,126 @@
+"""REDUCE-merge: iterative pairwise codeword concatenation (§IV-C-a).
+
+Each of the ``r`` iterations halves the number of code-length tuples by
+merging neighbours::
+
+    MERGE((a, l)_{2k}, (a, l)_{2k+1}) = (a_{2k} ⊕ a_{2k+1}, l_{2k} + l_{2k+1})
+
+where ⊕ concatenates the right cell's bits after the left's (order
+preserving — the merge is not commutative).  The first merge includes the
+codebook lookup.  Mapping ``2^r`` codewords to one thread keeps lanes
+busy moving word-sized payloads instead of single bits; the operations
+are homogeneous, so there is no warp divergence (paper: time complexity
+Σ 2^{r-i}).
+
+Cells whose accumulated length exceeds the representing word ``W`` are
+*breaking* cells; they are flagged here and routed to the side channel by
+:mod:`repro.core.breaking` — the dense path records them as empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cuda.launch import KernelInfo, register_kernel
+
+__all__ = ["ReduceMergeResult", "reduce_merge", "reduce_merge_trace"]
+
+register_kernel(KernelInfo(
+    name="enc.reduce_merge",
+    stage="Huffman enc.",
+    granularity="coarse+fine",
+    mapping="many-to-one",
+    primitives=("reduction",),
+    boundary="sync block",
+))
+
+
+@dataclass
+class ReduceMergeResult:
+    """Merged cells after r iterations.
+
+    ``values``/``lengths`` hold one entry per cell (right-aligned bits);
+    broken cells (length > word_bits) carry their true total length but an
+    *invalid* value — consumers must honour ``broken``.
+    """
+
+    values: np.ndarray  # uint64 per cell
+    lengths: np.ndarray  # int64 per cell (true concatenated length)
+    broken: np.ndarray  # bool per cell
+    iterations: int
+    word_bits: int
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def breaking_fraction(self) -> float:
+        """Fraction of cells that overflow the representing word."""
+        return float(self.broken.mean()) if self.broken.size else 0.0
+
+
+def reduce_merge(
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    r: int,
+    word_bits: int = 32,
+) -> ReduceMergeResult:
+    """Merge ``2^r`` consecutive codewords per cell.
+
+    ``codes.size`` must be a multiple of ``2^r`` (the encoder pads the
+    stream to whole chunks before calling).
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lens = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lens.shape or codes.ndim != 1:
+        raise ValueError("codes/lengths must be equal-shape 1-D arrays")
+    if r < 0:
+        raise ValueError("r must be non-negative")
+    group = 1 << r
+    if codes.size % group:
+        raise ValueError(f"input size must be a multiple of 2^r = {group}")
+    if word_bits >= 64:
+        raise ValueError("word_bits must be below 64")
+
+    vals = codes.copy()
+    out_lens = lens.copy()
+    for _ in range(r):
+        v = vals.reshape(-1, 2)
+        l = out_lens.reshape(-1, 2)
+        new_len = l[:, 0] + l[:, 1]
+        # values stay exact while they fit in the uint64 accumulator;
+        # beyond that the cell is broken anyway (> word_bits)
+        representable = new_len <= 63
+        shift = np.where(representable, l[:, 1], 0).astype(np.uint64)
+        merged = (v[:, 0] << shift) | v[:, 1]
+        merged[~representable] = 0
+        vals = merged
+        out_lens = new_len
+
+    broken = out_lens > word_bits
+    return ReduceMergeResult(
+        values=vals,
+        lengths=out_lens,
+        broken=broken,
+        iterations=r,
+        word_bits=word_bits,
+    )
+
+
+def reduce_merge_trace(
+    codes: np.ndarray, lengths: np.ndarray, r: int, word_bits: int = 32
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-iteration snapshots of (values, lengths) — the Fig. 1 view.
+
+    Index 0 is the input; index i is the state after i merges.  Intended
+    for small inputs (documentation benches and tests).
+    """
+    snaps = [(np.asarray(codes, dtype=np.uint64).copy(),
+              np.asarray(lengths, dtype=np.int64).copy())]
+    for i in range(1, r + 1):
+        res = reduce_merge(codes, lengths, i, word_bits)
+        snaps.append((res.values.copy(), res.lengths.copy()))
+    return snaps

@@ -1,0 +1,196 @@
+"""SHUFFLE-merge: batch word moves forming the dense bitstream (§IV-C-b).
+
+After REDUCE-merge a chunk holds ``n = 2^s`` cells of at most ``W`` bits.
+Each of the ``s`` iterations merges adjacent cell *groups* pairwise: one
+thread per typed word of the right group moves it onto the bit tail of
+the left group in two steps (Fig. 2) — fill the left group's residual
+bits ``l_o = W - (L mod W)``, then deposit the remaining ``L mod W`` bits
+into the next word.  The move is contention-free; because each warp
+straddles a left/right boundary the paper charges a warp-divergence
+factor of 2, and overlapping read/write word locations cause shared-bank
+conflicts — both are priced in the encoder's cost constants.
+
+The functional implementation is fully vectorized across all chunks and
+groups: every group is a span of 32-bit words plus a bit length, and one
+iteration shifts-and-ORs all right groups into their left neighbours
+simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cuda.launch import KernelInfo, register_kernel
+
+__all__ = ["ShuffleMergeResult", "shuffle_merge", "shuffle_merge_trace"]
+
+register_kernel(KernelInfo(
+    name="enc.shuffle_merge",
+    stage="Huffman enc.",
+    granularity="coarse+fine",
+    mapping="one-to-one",
+    primitives=(),
+    boundary="sync device",
+))
+
+#: supported representing-word widths (the paper's uint{8,16,32}_t)
+_WORD_DTYPES = {8: ">u1", 16: ">u2", 32: ">u4"}
+
+
+@dataclass
+class ShuffleMergeResult:
+    """Dense per-chunk bitstreams."""
+
+    words: np.ndarray  # uint32 storage, shape (n_chunks, cells_per_chunk)
+    bits: np.ndarray  # int64 dense bits per chunk
+    iterations: int
+    moved_words: int  # total word moves across all iterations
+    word_bits: int = 32
+
+    @property
+    def n_chunks(self) -> int:
+        return int(self.words.shape[0])
+
+    def chunk_bytes(self, chunk: int) -> np.ndarray:
+        """Byte view of one chunk's dense stream (zero-padded tail)."""
+        nbytes = (int(self.bits[chunk]) + 7) // 8
+        raw = self.words[chunk].astype(_WORD_DTYPES[self.word_bits]).tobytes()
+        return np.frombuffer(raw[:nbytes], dtype=np.uint8).copy()
+
+    def payload(self) -> tuple[np.ndarray, np.ndarray]:
+        """Byte-aligned concatenation of all chunks.
+
+        Returns ``(buffer, byte_offsets)`` with ``byte_offsets`` of length
+        ``n_chunks + 1``.
+        """
+        nbytes = (self.bits + 7) // 8
+        offsets = np.zeros(self.n_chunks + 1, dtype=np.int64)
+        np.cumsum(nbytes, out=offsets[1:])
+        if self.n_chunks == 0:
+            return np.empty(0, dtype=np.uint8), offsets
+        big = self.words.astype(
+            _WORD_DTYPES[self.word_bits]
+        ).reshape(self.n_chunks, -1)
+        raw = big.view(np.uint8).reshape(self.n_chunks, -1)
+        buf = np.empty(int(offsets[-1]), dtype=np.uint8)
+        for c in range(self.n_chunks):
+            buf[offsets[c]: offsets[c + 1]] = raw[c, : int(nbytes[c])]
+        return buf, offsets
+
+
+def _merge_iteration(
+    words: np.ndarray, glen: np.ndarray, word_bits: int = 32
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """One SHUFFLE-merge step over (n_chunks, groups, C)-shaped words."""
+    n_chunks, groups, C = words.shape
+    mask = np.uint64((1 << word_bits) - 1)
+    left = words[:, 0::2, :]
+    right = words[:, 1::2, :]
+    L = glen[:, 0::2]
+    R = glen[:, 1::2]
+    pairs = groups // 2
+
+    offset = (L // word_bits).astype(np.int64)  # word index of the left tail
+    sh = (L % word_bits).astype(np.uint64)  # residual-bit shift
+
+    # shifted right-group stream: C+1 words, MSB-first semantics
+    r64 = right.astype(np.uint64)
+    prev = np.concatenate(
+        [np.zeros((n_chunks, pairs, 1), dtype=np.uint64), r64], axis=2
+    )
+    cur = np.concatenate(
+        [r64, np.zeros((n_chunks, pairs, 1), dtype=np.uint64)], axis=2
+    )
+    shifted = (((prev << np.uint64(word_bits)) | cur) >> sh[:, :, None]) & mask
+
+    out = np.zeros((n_chunks, pairs, 2 * C + 1), dtype=np.uint64)
+    out[:, :, :C] = left
+    flat = out.reshape(n_chunks * pairs, 2 * C + 1)
+    cols = offset.reshape(-1, 1) + np.arange(C + 1, dtype=np.int64)
+    flat[np.arange(flat.shape[0])[:, None], cols] |= shifted.reshape(
+        n_chunks * pairs, C + 1
+    )
+    # the (2C)-th column can only be written when L == 32*C, and then the
+    # shift is 0 and the spill word is all padding zeros
+    assert not np.any(out[:, :, 2 * C]), "shuffle spill beyond group capacity"
+    new_words = out[:, :, : 2 * C].astype(np.uint32)
+    new_glen = L + R
+    moved = n_chunks * pairs * (C + 1)
+    return new_words, new_glen, moved
+
+
+def shuffle_merge(
+    cell_values: np.ndarray,
+    cell_lengths: np.ndarray,
+    cells_per_chunk: int,
+    word_bits: int = 32,
+) -> ShuffleMergeResult:
+    """Run s = log2(cells_per_chunk) merge iterations per chunk.
+
+    ``cell_values``/``cell_lengths``: flat arrays, one entry per merged
+    cell (right-aligned bits, lengths <= word_bits; broken cells must
+    arrive zeroed).  Total size must be a multiple of ``cells_per_chunk``.
+    """
+    if word_bits not in _WORD_DTYPES:
+        raise ValueError("word_bits must be 8, 16, or 32")
+    vals = np.asarray(cell_values, dtype=np.uint64)
+    lens = np.asarray(cell_lengths, dtype=np.int64)
+    if vals.shape != lens.shape or vals.ndim != 1:
+        raise ValueError("cell arrays must be equal-shape 1-D")
+    if cells_per_chunk < 1 or cells_per_chunk & (cells_per_chunk - 1):
+        raise ValueError("cells_per_chunk must be a power of two")
+    if vals.size % cells_per_chunk:
+        raise ValueError("input must be whole chunks")
+    if np.any(lens > word_bits) or np.any(lens < 0):
+        raise ValueError("cell lengths must be in [0, word_bits]")
+
+    n_chunks = vals.size // cells_per_chunk
+    if n_chunks == 0:
+        return ShuffleMergeResult(
+            words=np.zeros((0, cells_per_chunk), dtype=np.uint32),
+            bits=np.zeros(0, dtype=np.int64), iterations=0, moved_words=0,
+            word_bits=word_bits,
+        )
+    s = int(np.log2(cells_per_chunk))
+    mask = np.uint64((1 << word_bits) - 1)
+    # left-align every cell within its own word
+    shift_up = (np.uint64(word_bits) - lens.astype(np.uint64)) % np.uint64(64)
+    words = ((vals << shift_up) & mask).astype(np.uint32)
+    words = words.reshape(n_chunks, cells_per_chunk, 1)
+    glen = lens.reshape(n_chunks, cells_per_chunk).copy()
+
+    moved_total = 0
+    for _ in range(s):
+        words, glen, moved = _merge_iteration(words, glen, word_bits)
+        moved_total += moved
+
+    return ShuffleMergeResult(
+        words=words.reshape(n_chunks, cells_per_chunk),
+        bits=glen.reshape(n_chunks),
+        iterations=s,
+        moved_words=moved_total,
+        word_bits=word_bits,
+    )
+
+
+def shuffle_merge_trace(
+    cell_values: np.ndarray, cell_lengths: np.ndarray, cells_per_chunk: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-iteration (words, group_bits) snapshots for one chunk — Fig. 2.
+
+    For small documentation/test inputs.
+    """
+    vals = np.asarray(cell_values, dtype=np.uint64)
+    lens = np.asarray(cell_lengths, dtype=np.int64)
+    shift_up = (np.uint64(32) - lens.astype(np.uint64)) % np.uint64(64)
+    words = ((vals << shift_up) & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    words = words.reshape(1, cells_per_chunk, 1)
+    glen = lens.reshape(1, cells_per_chunk).copy()
+    snaps = [(words.reshape(cells_per_chunk, -1).copy(), glen[0].copy())]
+    s = int(np.log2(cells_per_chunk))
+    for _ in range(s):
+        words, glen, _m = _merge_iteration(words, glen)
+        snaps.append((words[0].copy(), glen[0].copy()))
+    return snaps

@@ -1,0 +1,139 @@
+"""Thread-faithful SIMT kernels for the encoder's two merge phases.
+
+These are the CUDA-shaped counterparts of the vectorized implementations
+in :mod:`repro.core.reduce_merge` and :mod:`repro.core.shuffle_merge`,
+written for the micro-SIMT interpreter (:mod:`repro.cuda.simt`): one block
+per chunk, explicit shared memory, real ``__syncthreads()`` phases.  The
+test-suite executes both paths on the same inputs and requires identical
+cell values, lengths, breaking flags, dense words, and bit counts — the
+strongest evidence that the fast NumPy kernels implement the same
+algorithm a GPU would run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reduce_merge_simt_kernel", "shuffle_merge_simt_kernel"]
+
+_MASK32 = (1 << 32) - 1
+
+
+def reduce_merge_simt_kernel(ctx, codes, lens, r, word_bits,
+                             out_vals, out_lens, out_broken):
+    """One block per chunk; ``blockDim = chunk_symbols / 2`` threads.
+
+    Shared-memory tree reduction: iteration i merges cell pairs at stride
+    2^i, halving the live cells, with a block barrier between levels —
+    the textbook REDUCE shape of Fig. 1.
+    """
+    n = 2 * ctx.num_threads_block  # chunk symbols
+    svals = ctx.shared_array("vals", n, np.uint64)
+    slens = ctx.shared_array("lens", n, np.int64)
+    t = ctx.thread_rank
+    base = ctx.block_idx * n
+    # fused load (the "first merge includes a codebook lookup" stage loads
+    # two codewords per thread)
+    for j in (2 * t, 2 * t + 1):
+        svals[j] = codes[base + j]
+        slens[j] = lens[base + j]
+    yield ctx.sync_block
+
+    cells = n
+    for _level in range(r):
+        pairs = cells // 2
+        if t < pairs:
+            a, b = 2 * t, 2 * t + 1
+            la = int(slens[a])
+            lb = int(slens[b])
+            new_len = la + lb
+            if new_len <= 63:
+                merged = (int(svals[a]) << lb) | int(svals[b])
+            else:
+                merged = 0
+            # compact into the low slots (coalesced for the next level)
+            svals_t, slens_t = merged, new_len
+        else:
+            svals_t, slens_t = None, None
+        yield ctx.sync_block
+        if t < pairs:
+            svals[t] = svals_t
+            slens[t] = slens_t
+        yield ctx.sync_block
+        cells = pairs
+
+    group = 1 << r
+    out_cells = n // group
+    if t < out_cells:
+        ln = int(slens[t])
+        broken = ln > word_bits
+        out_vals[ctx.block_idx * out_cells + t] = 0 if broken else int(svals[t])
+        out_lens[ctx.block_idx * out_cells + t] = ln
+        out_broken[ctx.block_idx * out_cells + t] = broken
+
+
+def shuffle_merge_simt_kernel(ctx, cell_vals, cell_lens, out_words, out_bits):
+    """One block per chunk; ``blockDim = cells_per_chunk`` threads.
+
+    Each iteration merges adjacent groups: phase 1 zero-fills the
+    double-buffer and copies the left groups; phase 2 assigns one thread
+    per right-group word to perform the two-step deposit of Fig. 2
+    (residual fill, then spill into the next word); phase 3 folds group
+    bit-lengths.  Every phase ends at a block barrier, and each target
+    word is written by exactly one thread per phase — the "free of data
+    contention" property the paper claims.
+    """
+    cells = ctx.num_threads_block
+    words = ctx.shared_array("words", cells, np.uint64)
+    tmp = ctx.shared_array("tmp", cells, np.uint64)
+    glen = ctx.shared_array("glen", cells, np.int64)
+    gtmp = ctx.shared_array("gtmp", cells, np.int64)
+    t = ctx.thread_rank
+    base = ctx.block_idx * cells
+
+    l = int(cell_lens[base + t])
+    v = int(cell_vals[base + t])
+    words[t] = ((v << (32 - l)) & _MASK32) if l else 0
+    glen[t] = l
+    yield ctx.sync_block
+
+    groups = cells
+    C = 1  # words per group
+    while groups > 1:
+        pairs = groups // 2
+        # phase 1a: clear the double buffer
+        tmp[t] = 0
+        yield ctx.sync_block
+        # phase 1b: copy left-group words into the pair buffer
+        if t < pairs * C:
+            p, k = divmod(t, C)
+            tmp[p * 2 * C + k] = words[(2 * p) * C + k]
+        yield ctx.sync_block
+        # phase 2: deposit the right group's shifted word stream
+        if t < pairs * (C + 1):
+            p, w = divmod(t, C + 1)
+            L = int(glen[2 * p])
+            sh = L % 32
+            off = L // 32
+            right = (2 * p + 1) * C
+            cur = int(words[right + w]) if w < C else 0
+            prev = int(words[right + w - 1]) if w > 0 else 0
+            val = (((prev << 32) | cur) >> sh) & _MASK32
+            if off + w < 2 * C:
+                tmp[p * 2 * C + off + w] |= val
+            # else: the spill word is provably zero (L == 32*C => sh == 0)
+        yield ctx.sync_block
+        # phase 3: fold group lengths (into a temp to avoid read races)
+        if t < pairs:
+            gtmp[t] = int(glen[2 * t]) + int(glen[2 * t + 1])
+        yield ctx.sync_block
+        words[t] = tmp[t]
+        if t < pairs:
+            glen[t] = gtmp[t]
+        yield ctx.sync_block
+        groups = pairs
+        C *= 2
+
+    out_words[base + t] = int(words[t]) & _MASK32
+    if t == 0:
+        out_bits[ctx.block_idx] = int(glen[0])

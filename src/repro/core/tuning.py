@@ -1,0 +1,139 @@
+"""Reduction-factor selection (paper §IV-C, Fig. 3).
+
+The REDUCE-merge phase maps ``2^r`` codewords to one thread; the right
+``r`` makes the expected merged length land in ``[W/2, W)`` for the
+``W``-bit representing word, maximizing bandwidth per thread without
+excessive breaking.  The paper's rule: with average bitwidth β,
+
+    floor(log2 β) + r + 1 = log2 W
+    =>  r = log2 W - 1 - floor(log2 β)
+
+Empirically (Table II) the paper caps r at 3 — the deep r = 4 unrolling
+costs more than it saves even on Nyx-Quant (β ≈ 1.03, where the formula
+alone would say r = 4) — and uses chunk magnitude M = 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "entropy_bits",
+    "average_bitwidth",
+    "proper_reduction_factor",
+    "choose_reduction_factor",
+    "expected_merged_bits",
+    "EncoderTuning",
+    "DEFAULT_MAGNITUDE",
+    "EMPIRICAL_MAX_REDUCTION",
+]
+
+#: the paper's chosen chunk magnitude (N = 2^10 symbols per chunk)
+DEFAULT_MAGNITUDE = 10
+#: the paper's empirical cap on the reduction factor
+EMPIRICAL_MAX_REDUCTION = 3
+
+
+def entropy_bits(freqs: np.ndarray) -> float:
+    """Shannon entropy of the symbol distribution, bits per symbol."""
+    freqs = np.asarray(freqs, dtype=np.float64)
+    total = freqs.sum()
+    if total <= 0:
+        return 0.0
+    p = freqs[freqs > 0] / total
+    return float(-np.sum(p * np.log2(p)))
+
+
+def average_bitwidth(freqs: np.ndarray, lengths: np.ndarray) -> float:
+    """Frequency-weighted average codeword length β."""
+    freqs = np.asarray(freqs, dtype=np.float64)
+    total = freqs.sum()
+    if total <= 0:
+        return 0.0
+    return float(np.sum(freqs * np.asarray(lengths, dtype=np.float64)) / total)
+
+
+def proper_reduction_factor(avg_bits: float, word_bits: int = 32) -> int:
+    """The paper's closed-form rule (before the empirical cap)."""
+    if avg_bits <= 0:
+        raise ValueError("avg_bits must be positive")
+    if word_bits & (word_bits - 1) or word_bits < 8:
+        raise ValueError("word_bits must be a power of two >= 8")
+    r = int(math.log2(word_bits)) - 1 - math.floor(math.log2(avg_bits))
+    return max(r, 0)
+
+
+def choose_reduction_factor(
+    avg_bits: float,
+    word_bits: int = 32,
+    magnitude: int = DEFAULT_MAGNITUDE,
+    empirical_cap: int | None = EMPIRICAL_MAX_REDUCTION,
+) -> int:
+    """Reduction factor used by the encoder.
+
+    Applies the closed-form rule, the paper's empirical cap (pass
+    ``empirical_cap=None`` to disable), and the structural bound r < M
+    (at least one shuffle group must remain).
+    """
+    r = proper_reduction_factor(avg_bits, word_bits)
+    if empirical_cap is not None:
+        r = min(r, empirical_cap)
+    return int(min(r, magnitude - 1))
+
+
+def expected_merged_bits(avg_bits: float, r: int) -> float:
+    """Expected bit length of a cell after r pairwise merges (= 2^r β)."""
+    return avg_bits * (1 << r)
+
+
+@dataclass(frozen=True)
+class EncoderTuning:
+    """Resolved (M, r, s, W) tuple describing one encoder configuration."""
+
+    magnitude: int
+    reduction_factor: int
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.reduction_factor < self.magnitude):
+            raise ValueError("need 0 <= r < M")
+        if self.word_bits not in (8, 16, 32):
+            raise ValueError("word_bits must be 8, 16, or 32")
+
+    @property
+    def chunk_symbols(self) -> int:
+        """N = 2^M symbols per chunk."""
+        return 1 << self.magnitude
+
+    @property
+    def shuffle_factor(self) -> int:
+        """s = M - r shuffle iterations."""
+        return self.magnitude - self.reduction_factor
+
+    @property
+    def cells_per_chunk(self) -> int:
+        """n = 2^s merged cells entering SHUFFLE-merge."""
+        return 1 << self.shuffle_factor
+
+    @property
+    def group_symbols(self) -> int:
+        """Symbols represented by one merged cell (2^r)."""
+        return 1 << self.reduction_factor
+
+    @classmethod
+    def for_histogram(
+        cls,
+        freqs: np.ndarray,
+        lengths: np.ndarray,
+        magnitude: int = DEFAULT_MAGNITUDE,
+        word_bits: int = 32,
+        empirical_cap: int | None = EMPIRICAL_MAX_REDUCTION,
+    ) -> "EncoderTuning":
+        beta = average_bitwidth(freqs, lengths)
+        r = choose_reduction_factor(
+            max(beta, 1e-9), word_bits, magnitude, empirical_cap
+        )
+        return cls(magnitude=magnitude, reduction_factor=r, word_bits=word_bits)

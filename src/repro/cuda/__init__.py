@@ -1,0 +1,68 @@
+"""Simulated CUDA execution substrate.
+
+Provides everything the Huffman kernels need from "the GPU":
+
+- :mod:`repro.cuda.device` — catalog of modeled platforms (V100, RTX 5000,
+  dual Xeon 8280);
+- :mod:`repro.cuda.costmodel` — roofline cost model turning per-kernel
+  structural work counts into modeled time;
+- :mod:`repro.cuda.memory` — device arrays with traffic accounting;
+- :mod:`repro.cuda.simt` — a thread-faithful micro SIMT interpreter used
+  to validate the vectorized kernels at small scale;
+- :mod:`repro.cuda.launch` — launch configs and the Table I kernel
+  taxonomy registry;
+- :mod:`repro.cuda.atomics`, :mod:`repro.cuda.warp` — atomic contention
+  and warp divergence estimators;
+- :mod:`repro.cuda.profiler` — nvprof-style reporting.
+"""
+
+from repro.cuda.atomics import (
+    atomic_add_histogram,
+    expected_conflict_degree,
+    simpson_index,
+)
+from repro.cuda.costmodel import CostModel, KernelCost, KernelTiming, combine_costs
+from repro.cuda.device import DEVICES, RTX5000, V100, XEON_8280_2S, DeviceSpec, get_device
+from repro.cuda.launch import KernelInfo, LaunchConfig, kernel_registry, register_kernel
+from repro.cuda.memory import DeviceArray, MemoryPool, TrafficCounter
+from repro.cuda.profiler import ProfiledKernel, Profiler
+from repro.cuda.simt import SimtContext, SimtError, SimtStats, simt_launch
+from repro.cuda.warp import (
+    active_lane_efficiency,
+    branch_divergence_factor,
+    divergence_factor,
+    warps_needed,
+)
+
+__all__ = [
+    "atomic_add_histogram",
+    "expected_conflict_degree",
+    "simpson_index",
+    "CostModel",
+    "KernelCost",
+    "KernelTiming",
+    "combine_costs",
+    "DEVICES",
+    "RTX5000",
+    "V100",
+    "XEON_8280_2S",
+    "DeviceSpec",
+    "get_device",
+    "KernelInfo",
+    "LaunchConfig",
+    "kernel_registry",
+    "register_kernel",
+    "DeviceArray",
+    "MemoryPool",
+    "TrafficCounter",
+    "ProfiledKernel",
+    "Profiler",
+    "SimtContext",
+    "SimtError",
+    "SimtStats",
+    "simt_launch",
+    "active_lane_efficiency",
+    "branch_divergence_factor",
+    "divergence_factor",
+    "warps_needed",
+]

@@ -1,0 +1,215 @@
+"""Analytic roofline-style cost model for simulated kernels.
+
+Every "kernel" in this reproduction runs twice, conceptually:
+
+1. *functionally*, as a vectorized NumPy computation that produces
+   bit-exact outputs, and
+2. *structurally*, by reporting a :class:`KernelCost` — how many bytes it
+   streamed, how many scattered word-granular accesses it made, how many
+   shared-memory atomics with what conflict degree, how long its serial
+   dependency chains are, and how many kernel launches / cooperative-group
+   grid synchronizations it needed.
+
+The :class:`CostModel` converts a :class:`KernelCost` into modeled time on
+a :class:`~repro.cuda.device.DeviceSpec` using a roofline: fixed overheads
+(launches, grid syncs, serial chains) plus the max of the memory, atomic,
+and compute terms.  The handful of calibration constants live on the
+device spec and are documented in EXPERIMENTS.md; all *structural* counts
+come from the actual functional execution, so scaling behaviour (in data
+size, symbol count, reduction factor, core count) is emergent rather than
+curve-fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cuda.device import DeviceSpec
+
+__all__ = ["KernelCost", "KernelTiming", "CostModel", "combine_costs"]
+
+
+@dataclass
+class KernelCost:
+    """Structural work counts reported by one kernel execution."""
+
+    name: str
+    #: bytes of global-memory traffic with streaming/coalesced access
+    bytes_coalesced: float = 0.0
+    #: bytes of global-memory traffic with scattered, word-granular access
+    #: (each useful word rides in a mostly-wasted 32-byte transaction)
+    bytes_random: float = 0.0
+    #: number of shared-memory atomic operations issued
+    shared_atomics: float = 0.0
+    #: average serialization degree of those atomics (1 = conflict-free)
+    atomic_conflict_degree: float = 1.0
+    #: length of the longest *serial* dependent-operation chain executed by
+    #: a single thread, in dependent memory operations
+    serial_ops: float = 0.0
+    #: number of kernel launches
+    launches: int = 1
+    #: number of cooperative-groups grid synchronizations
+    grid_syncs: int = 0
+    #: total ALU cycles summed over all threads
+    compute_cycles: float = 0.0
+    #: multiplier (>= 1) on compute from warp divergence
+    divergence_factor: float = 1.0
+    #: whether memory and compute pipelines overlap (roofline max).  Set
+    #: False for kernels whose arithmetic forms a dependent chain with
+    #: their memory accesses (e.g. per-thread sequential bit appends):
+    #: those pay the *sum* of the terms.
+    mem_compute_overlap: bool = True
+    #: whether this kernel's work grows with the data volume.  False for
+    #: fixed-size epilogues (e.g. folding the replicated histogram
+    #: copies), which :meth:`scaled` must leave untouched.
+    volume_scales: bool = True
+    #: free-form structural metadata (iterations, rounds, breaking %, ...)
+    meta: dict = field(default_factory=dict)
+
+    def scaled(self, factor: float) -> "KernelCost":
+        """Scale the data-size-linear quantities by ``factor``.
+
+        Used when a benchmark runs the functional kernels on a reduced
+        surrogate of a paper dataset: traffic, atomics, and compute scale
+        with data volume, while launches, syncs, and serial chain lengths
+        (which depend on codebook size / chunk structure, not volume) stay
+        fixed.
+        """
+        if not self.volume_scales:
+            return replace(self)
+        return replace(
+            self,
+            bytes_coalesced=self.bytes_coalesced * factor,
+            bytes_random=self.bytes_random * factor,
+            shared_atomics=self.shared_atomics * factor,
+            compute_cycles=self.compute_cycles * factor,
+        )
+
+    def merged_with(self, other: "KernelCost", name: str | None = None) -> "KernelCost":
+        """Combine two kernel costs executed back to back."""
+        return KernelCost(
+            name=name or f"{self.name}+{other.name}",
+            bytes_coalesced=self.bytes_coalesced + other.bytes_coalesced,
+            bytes_random=self.bytes_random + other.bytes_random,
+            shared_atomics=self.shared_atomics + other.shared_atomics,
+            atomic_conflict_degree=_weighted_mean(
+                (self.atomic_conflict_degree, self.shared_atomics),
+                (other.atomic_conflict_degree, other.shared_atomics),
+            ),
+            serial_ops=self.serial_ops + other.serial_ops,
+            launches=self.launches + other.launches,
+            grid_syncs=self.grid_syncs + other.grid_syncs,
+            compute_cycles=self.compute_cycles + other.compute_cycles,
+            divergence_factor=max(self.divergence_factor, other.divergence_factor),
+            meta={**self.meta, **other.meta},
+        )
+
+
+def _weighted_mean(a: tuple[float, float], b: tuple[float, float]) -> float:
+    (va, wa), (vb, wb) = a, b
+    if wa + wb == 0:
+        return 1.0
+    return (va * wa + vb * wb) / (wa + wb)
+
+
+def combine_costs(costs: list[KernelCost], name: str = "pipeline") -> KernelCost:
+    """Fold a list of sequential kernel costs into one aggregate."""
+    if not costs:
+        return KernelCost(name=name, launches=0)
+    out = costs[0]
+    for c in costs[1:]:
+        out = out.merged_with(c)
+    out.name = name
+    return out
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Modeled execution time of one kernel on one device."""
+
+    name: str
+    device: str
+    seconds: float
+    components: dict
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    @property
+    def microseconds(self) -> float:
+        return self.seconds * 1e6
+
+    def throughput_gbps(self, payload_bytes: float) -> float:
+        """Throughput in GB/s with respect to an input payload size."""
+        if self.seconds <= 0:
+            return float("inf")
+        return payload_bytes / self.seconds / 1e9
+
+
+class CostModel:
+    """Convert :class:`KernelCost` records into time on a device."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    # ----------------------------------------------------------- terms --
+    def mem_seconds(self, bytes_coalesced: float, bytes_random: float) -> float:
+        d = self.device
+        bw = d.peak_bandwidth_bytes
+        t = 0.0
+        if bytes_coalesced:
+            t += bytes_coalesced / (bw * d.coalesced_efficiency)
+        if bytes_random:
+            t += bytes_random / (bw * d.random_efficiency)
+        return t
+
+    def atomic_seconds(self, ops: float, conflict_degree: float) -> float:
+        d = self.device
+        rate = d.sm_count * d.shared_atomics_per_clock * d.clock_ghz * 1e9
+        return ops * max(conflict_degree, 1.0) / rate
+
+    def serial_seconds(self, ops: float) -> float:
+        return ops * self.device.single_thread_mem_latency_ns * 1e-9
+
+    def compute_seconds(self, cycles: float, divergence: float) -> float:
+        d = self.device
+        rate = d.sm_count * d.alu_lanes_per_sm * d.clock_ghz * 1e9 * d.alu_efficiency
+        return cycles * max(divergence, 1.0) / rate
+
+    def overhead_seconds(self, launches: int, grid_syncs: int) -> float:
+        d = self.device
+        return launches * d.kernel_launch_us * 1e-6 + grid_syncs * d.grid_sync_us * 1e-6
+
+    # ------------------------------------------------------- estimation --
+    def time(self, cost: KernelCost) -> KernelTiming:
+        """Roofline estimate: overheads + serial chains + max(mem, atomic,
+        compute)."""
+        t_mem = self.mem_seconds(cost.bytes_coalesced, cost.bytes_random)
+        t_atomic = self.atomic_seconds(cost.shared_atomics, cost.atomic_conflict_degree)
+        t_compute = self.compute_seconds(cost.compute_cycles, cost.divergence_factor)
+        t_serial = self.serial_seconds(cost.serial_ops)
+        t_overhead = self.overhead_seconds(cost.launches, cost.grid_syncs)
+        if cost.mem_compute_overlap:
+            body = max(t_mem, t_atomic, t_compute)
+        else:
+            body = t_mem + t_atomic + t_compute
+        total = t_overhead + t_serial + body
+        return KernelTiming(
+            name=cost.name,
+            device=self.device.name,
+            seconds=total,
+            components={
+                "mem": t_mem,
+                "atomic": t_atomic,
+                "compute": t_compute,
+                "serial": t_serial,
+                "overhead": t_overhead,
+            },
+        )
+
+    def time_pipeline(self, costs: list[KernelCost]) -> list[KernelTiming]:
+        return [self.time(c) for c in costs]
+
+    def total_seconds(self, costs: list[KernelCost]) -> float:
+        return sum(t.seconds for t in self.time_pipeline(costs))

@@ -1,0 +1,98 @@
+"""Kernel launch configuration and the Table I kernel taxonomy registry.
+
+The paper's Table I classifies every sub-procedure (kernel) of the Huffman
+pipeline along four axes: parallelism granularity (sequential /
+coarse-grained / fine-grained), data-thread mapping (many-to-one /
+one-to-one), the parallel primitive used (atomic write / reduction /
+prefix sum), and the synchronization boundary (block / grid / device).
+
+Each kernel module in this reproduction registers a :class:`KernelInfo`
+here; the Table I benchmark regenerates the taxonomy straight from the
+registry, so the table stays in sync with the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LaunchConfig", "KernelInfo", "register_kernel", "kernel_registry"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """CUDA-style ``<<<grid, block>>>`` launch shape."""
+
+    grid_dim: int
+    block_dim: int
+
+    def __post_init__(self) -> None:
+        if self.grid_dim < 1 or self.block_dim < 1:
+            raise ValueError("grid and block dims must be positive")
+        if self.block_dim > 1024:
+            raise ValueError("CUDA blocks are limited to 1024 threads")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_dim * self.block_dim
+
+    @property
+    def warps_per_block(self) -> int:
+        return (self.block_dim + 31) // 32
+
+    @classmethod
+    def cover(cls, n: int, block_dim: int = 256) -> "LaunchConfig":
+        """Smallest grid of ``block_dim``-thread blocks covering n items."""
+        return cls(grid_dim=max(1, (n + block_dim - 1) // block_dim),
+                   block_dim=block_dim)
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """One row of the paper's Table I."""
+
+    name: str
+    stage: str  # histogram | build codebook | canonize | Huffman enc.
+    granularity: str  # "sequential" | "coarse" | "fine" | "coarse+fine"
+    mapping: str  # "many-to-one" | "one-to-one" | "-"
+    primitives: tuple[str, ...] = ()  # atomic write / reduction / prefix sum
+    boundary: str = ""  # sync block | sync grid | sync device
+
+    def row(self) -> dict:
+        return {
+            "kernel": self.name,
+            "stage": self.stage,
+            "sequential": "x" if "sequential" in self.granularity else "",
+            "coarse-grained": "x" if "coarse" in self.granularity else "",
+            "fine-grained": "x" if "fine" in self.granularity else "",
+            "many-to-one": "x" if self.mapping == "many-to-one" else "",
+            "one-to-one": "x" if self.mapping == "one-to-one" else "",
+            "atomic write": "x" if "atomic write" in self.primitives else "",
+            "reduction": "x" if "reduction" in self.primitives else "",
+            "prefix sum": "x" if "prefix sum" in self.primitives else "",
+            "boundary": self.boundary,
+        }
+
+
+_REGISTRY: dict[str, KernelInfo] = {}
+
+
+def register_kernel(info: KernelInfo) -> KernelInfo:
+    """Register a kernel's taxonomy entry (idempotent by name)."""
+    _REGISTRY[info.name] = info
+    return info
+
+
+def kernel_registry() -> dict[str, KernelInfo]:
+    """All registered kernels, importing the defining modules on demand."""
+    # Importing the kernel modules has the side effect of registering their
+    # taxonomy entries.
+    import repro.baselines.cusz_encoder  # noqa: F401
+    import repro.baselines.prefix_sum_encoder  # noqa: F401
+    import repro.core.canonical  # noqa: F401
+    import repro.core.codebook_parallel  # noqa: F401
+    import repro.core.encoder  # noqa: F401
+    import repro.core.reduce_merge  # noqa: F401
+    import repro.core.shuffle_merge  # noqa: F401
+    import repro.histogram.gpu_histogram  # noqa: F401
+
+    return dict(_REGISTRY)

@@ -1,0 +1,157 @@
+"""Device memory simulation with traffic accounting.
+
+:class:`DeviceArray` wraps a NumPy array and counts the global-memory
+traffic that flows through it, classified as *coalesced* (streaming,
+contiguous) or *random* (scattered word-granular gathers/scatters).  The
+micro-SIMT executor and several functional kernels route their accesses
+through these wrappers; the accumulated :class:`TrafficCounter` feeds the
+cost model.
+
+This is an accounting layer, not a memory checker: values live in ordinary
+NumPy arrays and the wrapper enforces only capacity bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrafficCounter", "DeviceArray", "MemoryPool"]
+
+
+@dataclass
+class TrafficCounter:
+    """Accumulated global-memory traffic in bytes."""
+
+    coalesced_read: float = 0.0
+    coalesced_write: float = 0.0
+    random_read: float = 0.0
+    random_write: float = 0.0
+
+    @property
+    def coalesced(self) -> float:
+        return self.coalesced_read + self.coalesced_write
+
+    @property
+    def random(self) -> float:
+        return self.random_read + self.random_write
+
+    @property
+    def total(self) -> float:
+        return self.coalesced + self.random
+
+    def reset(self) -> None:
+        self.coalesced_read = self.coalesced_write = 0.0
+        self.random_read = self.random_write = 0.0
+
+    def add(self, other: "TrafficCounter") -> None:
+        self.coalesced_read += other.coalesced_read
+        self.coalesced_write += other.coalesced_write
+        self.random_read += other.random_read
+        self.random_write += other.random_write
+
+
+class DeviceArray:
+    """A global-memory array whose accesses are accounted.
+
+    Use :meth:`read` / :meth:`write` for streaming access and
+    :meth:`gather` / :meth:`scatter` for indexed access; the distinction is
+    what the cost model later prices differently.  ``.data`` exposes the
+    raw ndarray for kernels that account their traffic analytically and
+    only need the storage.
+    """
+
+    def __init__(self, data: np.ndarray, counter: TrafficCounter | None = None,
+                 name: str = ""):
+        self.data = np.asarray(data)
+        self.counter = counter if counter is not None else TrafficCounter()
+        self.name = name
+
+    # --------------------------------------------------------- factory --
+    @classmethod
+    def zeros(cls, shape, dtype, counter: TrafficCounter | None = None,
+              name: str = "") -> "DeviceArray":
+        return cls(np.zeros(shape, dtype=dtype), counter, name)
+
+    @classmethod
+    def empty(cls, shape, dtype, counter: TrafficCounter | None = None,
+              name: str = "") -> "DeviceArray":
+        return cls(np.empty(shape, dtype=dtype), counter, name)
+
+    # ------------------------------------------------------- streaming --
+    def read(self, sl=slice(None)) -> np.ndarray:
+        view = self.data[sl]
+        self.counter.coalesced_read += view.nbytes
+        return view
+
+    def write(self, values: np.ndarray, sl=slice(None)) -> None:
+        values = np.asarray(values, dtype=self.data.dtype)
+        self.data[sl] = values
+        self.counter.coalesced_write += self.data[sl].nbytes
+
+    # --------------------------------------------------------- indexed --
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        out = self.data[indices]
+        self.counter.random_read += out.nbytes
+        return out
+
+    def scatter(self, indices: np.ndarray, values: np.ndarray) -> None:
+        self.data[indices] = values
+        self.counter.random_write += np.asarray(values).nbytes * (
+            1 if np.ndim(indices) else 1
+        )
+
+    # ------------------------------------------------------------ misc --
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeviceArray({self.name or 'anon'}, shape={self.data.shape}, dtype={self.data.dtype})"
+
+
+class MemoryPool:
+    """Tracks live device allocations against a capacity limit.
+
+    Mirrors the 16 GB HBM2/GDDR6 capacity of the paper's GPUs so that
+    examples and tests can assert a workload actually fits on the modeled
+    device.
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = "device"):
+        self.capacity_bytes = int(capacity_bytes)
+        self.name = name
+        self.in_use = 0
+        self.high_water = 0
+        self.counter = TrafficCounter()
+        self._live: dict[int, int] = {}
+
+    def alloc(self, shape, dtype, name: str = "") -> DeviceArray:
+        arr = DeviceArray.zeros(shape, dtype, counter=self.counter, name=name)
+        if self.in_use + arr.nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"{self.name}: allocation of {arr.nbytes} bytes exceeds "
+                f"capacity ({self.in_use}/{self.capacity_bytes} in use)"
+            )
+        self.in_use += arr.nbytes
+        self.high_water = max(self.high_water, self.in_use)
+        self._live[id(arr)] = arr.nbytes
+        return arr
+
+    def free(self, arr: DeviceArray) -> None:
+        size = self._live.pop(id(arr), None)
+        if size is None:
+            raise ValueError("array was not allocated from this pool")
+        self.in_use -= size

@@ -1,0 +1,79 @@
+"""nvprof-like profiler over modeled kernel timings.
+
+Collects the :class:`~repro.cuda.costmodel.KernelCost` records emitted by a
+pipeline run, prices them with a :class:`~repro.cuda.costmodel.CostModel`,
+and renders per-kernel breakdowns in the style of the paper's tables
+(stage time in ms, stage throughput in GB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.costmodel import CostModel, KernelCost, KernelTiming
+from repro.cuda.device import DeviceSpec
+
+__all__ = ["ProfiledKernel", "Profiler"]
+
+
+@dataclass(frozen=True)
+class ProfiledKernel:
+    cost: KernelCost
+    timing: KernelTiming
+    payload_bytes: float
+
+    @property
+    def gbps(self) -> float:
+        return self.timing.throughput_gbps(self.payload_bytes)
+
+
+class Profiler:
+    """Accumulates kernel costs and reports modeled timings."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self.model = CostModel(device)
+        self.records: list[ProfiledKernel] = []
+
+    def record(self, cost: KernelCost, payload_bytes: float = 0.0) -> ProfiledKernel:
+        rec = ProfiledKernel(
+            cost=cost, timing=self.model.time(cost), payload_bytes=payload_bytes
+        )
+        self.records.append(rec)
+        return rec
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------- reporting --
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.timing.seconds for r in self.records)
+
+    def stage_seconds(self, prefix: str) -> float:
+        return sum(
+            r.timing.seconds for r in self.records if r.cost.name.startswith(prefix)
+        )
+
+    def by_kernel(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.cost.name] = out.get(r.cost.name, 0.0) + r.timing.seconds
+        return out
+
+    def report(self) -> str:
+        """Human-readable per-kernel table (times in ms)."""
+        lines = [f"profile on {self.device.name}"]
+        header = f"{'kernel':<28}{'time (ms)':>12}{'GB/s':>10}  dominant"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in self.records:
+            comps = r.timing.components
+            dominant = max(comps, key=comps.get)
+            gbps = f"{r.gbps:10.1f}" if r.payload_bytes else " " * 10
+            lines.append(
+                f"{r.cost.name:<28}{r.timing.milliseconds:12.4f}{gbps}  {dominant}"
+            )
+        lines.append("-" * len(header))
+        lines.append(f"{'total':<28}{self.total_seconds * 1e3:12.4f}")
+        return "\n".join(lines)

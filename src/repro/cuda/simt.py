@@ -1,0 +1,326 @@
+"""Micro SIMT executor: an exact, small-scale CUDA thread-model interpreter.
+
+The vectorized NumPy kernels in this package are *functionally equivalent*
+reformulations of CUDA kernels.  To keep them honest, this module provides
+a thread-faithful interpreter: kernels are written as Python generator
+functions, one instance per CUDA thread, with real ``__syncthreads()`` /
+cooperative-groups ``grid.sync()`` barrier semantics, per-block shared
+memory, and sequentially-consistent atomics.  Tests execute small problem
+sizes through both paths and require identical results.
+
+A kernel looks like::
+
+    def hist_kernel(ctx, data, bins, out):
+        h = ctx.shared_array("h", (bins,), np.uint32)
+        for i in range(ctx.thread_rank, len(data), ctx.num_threads_block):
+            ctx.atomic_add(h, data[i], 1)
+        yield ctx.sync_block
+        for b in range(ctx.thread_rank, bins, ctx.num_threads_block):
+            ctx.atomic_add(out, b, h[b])
+
+Threads yield barrier tokens (``ctx.sync_block`` or ``ctx.sync_grid``);
+the executor advances every thread to its next barrier, checks that all
+participating threads reached the *same* barrier (anything else is the
+CUDA undefined behaviour this interpreter turns into a hard error), and
+continues until all threads finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cuda.launch import LaunchConfig
+
+__all__ = ["SimtContext", "SimtStats", "simt_launch", "SimtError"]
+
+SYNC_BLOCK = "sync_block"
+SYNC_GRID = "sync_grid"
+
+#: warp-collective operations supported by :meth:`SimtContext.warp_op`
+WARP_OPS = ("ballot", "any", "all", "sum", "max", "min", "bcast", "shfl")
+
+
+class SimtError(RuntimeError):
+    """Raised on barrier misuse (deadlock in real CUDA)."""
+
+
+@dataclass
+class SimtStats:
+    """Execution statistics of one simulated launch."""
+
+    block_syncs: int = 0
+    grid_syncs: int = 0
+    atomic_ops: int = 0
+    warp_collectives: int = 0
+    max_thread_steps: int = 0
+    threads: int = 0
+
+
+class _BlockShared:
+    """Shared-memory arena, one per block, created lazily by name."""
+
+    def __init__(self) -> None:
+        self.arrays: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape, dtype) -> np.ndarray:
+        arr = self.arrays.get(name)
+        want = tuple(shape) if isinstance(shape, (tuple, list)) else (int(shape),)
+        if arr is None:
+            arr = np.zeros(want, dtype=dtype)
+            self.arrays[name] = arr
+        elif arr.shape != want:
+            raise SimtError(f"shared array {name!r} re-declared with new shape")
+        return arr
+
+
+class SimtContext:
+    """Per-thread view of the launch, passed as the kernel's first arg."""
+
+    # barrier tokens (exposed as attributes for readable kernels)
+    sync_block = SYNC_BLOCK
+    sync_grid = SYNC_GRID
+
+    def __init__(self, block_idx: int, thread_idx: int, config: LaunchConfig,
+                 shared: _BlockShared, stats: SimtStats):
+        self.block_idx = block_idx
+        self.thread_idx = thread_idx
+        self.config = config
+        self._shared = shared
+        self._stats = stats
+
+    # ------------------------------------------------------- identity --
+    @property
+    def thread_rank(self) -> int:
+        """Rank within the block (threadIdx.x)."""
+        return self.thread_idx
+
+    @property
+    def global_rank(self) -> int:
+        """Rank within the grid (blockIdx.x * blockDim.x + threadIdx.x)."""
+        return self.block_idx * self.config.block_dim + self.thread_idx
+
+    @property
+    def num_threads_block(self) -> int:
+        return self.config.block_dim
+
+    @property
+    def num_threads_grid(self) -> int:
+        return self.config.total_threads
+
+    @property
+    def warp_id(self) -> int:
+        return self.thread_idx // 32
+
+    @property
+    def lane_id(self) -> int:
+        return self.thread_idx % 32
+
+    # ---------------------------------------------------------- memory --
+    def shared_array(self, name: str, shape, dtype) -> np.ndarray:
+        return self._shared.get(name, shape, dtype)
+
+    # ------------------------------------------------- warp collectives --
+    def warp_op(self, op: str, value=0, src_lane: int = 0):
+        """Build a warp-collective token: ``result = yield ctx.warp_op(...)``.
+
+        All live lanes of the warp must reach the same collective (the
+        full-mask ``__sync``-suffixed semantics); the executor gathers the
+        lane values and sends every lane its result:
+
+        - ``ballot``: 32-bit mask of lanes whose value is truthy
+        - ``any`` / ``all``: warp-wide predicate reduction
+        - ``sum`` / ``max`` / ``min``: arithmetic reduction
+        - ``bcast``: every lane receives lane ``src_lane``'s value
+        - ``shfl``: every lane receives the value of its own ``src_lane``
+          argument (per-lane source, like __shfl_sync)
+        """
+        if op not in WARP_OPS:
+            raise SimtError(f"unknown warp op {op!r}")
+        return ("warp", op, value, src_lane)
+
+    # --------------------------------------------------------- atomics --
+    # The interpreter runs threads one at a time between barriers, so these
+    # are trivially atomic; they still count operations for the stats.
+    def atomic_add(self, arr: np.ndarray, idx, value) -> int:
+        self._stats.atomic_ops += 1
+        old = arr[idx]
+        arr[idx] = old + value
+        return int(old)
+
+    def atomic_min(self, arr: np.ndarray, idx, value) -> int:
+        self._stats.atomic_ops += 1
+        old = arr[idx]
+        arr[idx] = min(old, value)
+        return int(old)
+
+    def atomic_max(self, arr: np.ndarray, idx, value) -> int:
+        self._stats.atomic_ops += 1
+        old = arr[idx]
+        arr[idx] = max(old, value)
+        return int(old)
+
+
+def simt_launch(
+    kernel: Callable,
+    config: LaunchConfig,
+    *args,
+    max_rounds: int = 100_000,
+) -> SimtStats:
+    """Execute ``kernel`` with CUDA thread semantics.
+
+    ``kernel(ctx, *args)`` must be a generator function yielding barrier
+    tokens.  Returns the launch's :class:`SimtStats`.
+    """
+    stats = SimtStats(threads=config.total_threads)
+    shared_per_block = [_BlockShared() for _ in range(config.grid_dim)]
+
+    threads: list = []
+    steps: list[int] = []
+    for b in range(config.grid_dim):
+        for t in range(config.block_dim):
+            ctx = SimtContext(b, t, config, shared_per_block[b], stats)
+            gen = kernel(ctx, *args)
+            if not hasattr(gen, "__next__"):
+                raise SimtError("kernel must be a generator function "
+                                "(yield ctx.sync_block at least implicitly "
+                                "via 'if False: yield' for barrier-free kernels)")
+            threads.append(gen)
+            steps.append(0)
+
+    block_of = [i // config.block_dim for i in range(len(threads))]
+    # warp id = (block, threadIdx // 32)
+    warp_of = [
+        (i // config.block_dim, (i % config.block_dim) // 32)
+        for i in range(len(threads))
+    ]
+    alive = [True] * len(threads)
+    # token each live thread is currently parked at; None = running
+    parked: list = [None] * len(threads)
+    # value to send into each generator on its next resume
+    resume: list = [None] * len(threads)
+
+    for _round in range(max_rounds):
+        # advance every unparked live thread to its next barrier or finish
+        for i, gen in enumerate(threads):
+            if not alive[i] or parked[i] is not None:
+                continue
+            try:
+                token = gen.send(resume[i])
+                resume[i] = None
+            except StopIteration:
+                alive[i] = False
+                continue
+            is_warp = isinstance(token, tuple) and len(token) == 4 and token[0] == "warp"
+            if token not in (SYNC_BLOCK, SYNC_GRID) and not is_warp:
+                raise SimtError(f"kernel yielded unknown token {token!r}")
+            parked[i] = token
+            steps[i] += 1
+
+        if not any(alive):
+            break
+
+        # resolve warp collectives first: every live lane of a warp must
+        # be parked at the same op
+        warp_groups: dict = {}
+        for i in range(len(threads)):
+            if alive[i] and isinstance(parked[i], tuple):
+                warp_groups.setdefault(warp_of[i], []).append(i)
+        for wid, members in warp_groups.items():
+            all_lanes = [i for i in range(len(threads))
+                         if warp_of[i] == wid]
+            live_lanes = [i for i in all_lanes if alive[i]]
+            if not all(isinstance(parked[i], tuple) for i in live_lanes):
+                # every live thread is parked after the advance loop, so a
+                # mixed warp means lanes diverged across a full-mask
+                # collective - undefined behaviour in real CUDA
+                raise SimtError(
+                    f"warp {wid} diverged: some lanes at a collective, "
+                    "others at a barrier"
+                )
+            if len(live_lanes) != len(all_lanes):
+                raise SimtError(
+                    f"warp collective in warp {wid} with exited lanes "
+                    "(full-mask sync primitives require every lane)"
+                )
+            ops = {parked[i][1] for i in live_lanes}
+            if len(ops) != 1:
+                raise SimtError(
+                    f"warp {wid} lanes diverged onto different collectives: "
+                    f"{sorted(ops)}"
+                )
+            op = ops.pop()
+            lanes_sorted = sorted(live_lanes)
+            values = [parked[i][2] for i in lanes_sorted]
+            if op == "ballot":
+                mask = 0
+                for lane, v in enumerate(values):
+                    if v:
+                        mask |= 1 << lane
+                results = [mask] * len(values)
+            elif op == "any":
+                results = [any(values)] * len(values)
+            elif op == "all":
+                results = [all(values)] * len(values)
+            elif op == "sum":
+                results = [sum(values)] * len(values)
+            elif op == "max":
+                results = [max(values)] * len(values)
+            elif op == "min":
+                results = [min(values)] * len(values)
+            elif op == "bcast":
+                src = parked[lanes_sorted[0]][3] % len(values)
+                results = [values[src]] * len(values)
+            else:  # shfl: per-lane source
+                results = [
+                    values[parked[i][3] % len(values)] for i in lanes_sorted
+                ]
+            stats.warp_collectives += 1
+            for i, r in zip(lanes_sorted, results):
+                parked[i] = None
+                resume[i] = r
+        if warp_groups:
+            continue
+
+        # resolve barriers: grid barriers need the whole grid, block
+        # barriers need the whole block
+        live_parked = [parked[i] for i in range(len(threads)) if alive[i]]
+        if any(p == SYNC_GRID for p in live_parked):
+            if not all(alive) or not all(p == SYNC_GRID for p in live_parked):
+                raise SimtError(
+                    "grid.sync() reached by only part of the grid "
+                    "(deadlock in real CUDA)"
+                )
+            stats.grid_syncs += 1
+            for i in range(len(threads)):
+                parked[i] = None
+            continue
+
+        # block-level barriers: every thread of the block must be alive
+        # and parked at sync_block (a thread exiting before a barrier its
+        # siblings reach is the classic CUDA deadlock)
+        blocks_syncing = {
+            block_of[i] for i in range(len(threads))
+            if alive[i] and parked[i] == SYNC_BLOCK
+        }
+        for b in blocks_syncing:
+            members = [i for i in range(len(threads)) if block_of[i] == b]
+            if not all(alive[i] and parked[i] == SYNC_BLOCK for i in members):
+                raise SimtError(
+                    f"__syncthreads() reached by only part of block {b} "
+                    "(deadlock in real CUDA)"
+                )
+            stats.block_syncs += 1
+            for i in members:
+                parked[i] = None
+        if not blocks_syncing and any(alive):
+            # all live threads ran to completion without parking
+            if all(parked[i] is None for i in range(len(threads)) if alive[i]):
+                continue
+    else:
+        raise SimtError("launch exceeded max_rounds (livelock?)")
+
+    stats.max_thread_steps = max(steps) if steps else 0
+    return stats

@@ -1,0 +1,67 @@
+"""Host-device transfer and pipeline-overlap modeling.
+
+Table V times kernels only; a deployed encoder also pays PCIe transfers.
+cuSZ hides them by pipelining: while chunk batch i encodes, batch i+1
+copies host-to-device and batch i-1's output copies back, on separate
+CUDA streams.  This module models that schedule: given per-batch H2D,
+kernel, and D2H times, the steady-state makespan is dominated by the
+slowest of the three stages, plus pipeline fill/drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.device import DeviceSpec
+
+__all__ = ["TransferModel", "PipelineEstimate", "pipelined_makespan"]
+
+#: effective PCIe 3.0 x16 bandwidth (GB/s) of the paper's hosts
+_PCIE_GBPS = 12.0
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    seconds: float
+    bottleneck: str  # "h2d" | "kernel" | "d2h"
+    overlap_efficiency: float  # serial time / pipelined time
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+class TransferModel:
+    """PCIe transfer times for a device's host link."""
+
+    def __init__(self, device: DeviceSpec, pcie_gbps: float = _PCIE_GBPS):
+        self.device = device
+        self.pcie_gbps = pcie_gbps
+
+    def h2d_seconds(self, nbytes: float) -> float:
+        return nbytes / (self.pcie_gbps * 1e9)
+
+    d2h_seconds = h2d_seconds
+
+
+def pipelined_makespan(
+    h2d: float, kernel: float, d2h: float, batches: int
+) -> PipelineEstimate:
+    """Makespan of a 3-stage (copy-in / compute / copy-out) pipeline.
+
+    Each stage runs on its own stream; with ``batches`` equal batches the
+    schedule is fill (h2d + kernel of the first batch) + one bottleneck
+    period per batch + drain (d2h of the last batch).
+    """
+    if batches < 1:
+        raise ValueError("batches must be >= 1")
+    stages = {"h2d": h2d, "kernel": kernel, "d2h": d2h}
+    bottleneck = max(stages, key=stages.get)
+    period = stages[bottleneck]
+    total = (h2d + kernel + d2h) + (batches - 1) * period
+    serial = batches * (h2d + kernel + d2h)
+    return PipelineEstimate(
+        seconds=total,
+        bottleneck=bottleneck,
+        overlap_efficiency=serial / total if total else 1.0,
+    )

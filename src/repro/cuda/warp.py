@@ -1,0 +1,79 @@
+"""Warp-level helpers: occupancy math and divergence estimation.
+
+The cost model charges kernels a *divergence factor* — the average number
+of distinct execution paths a warp must serialize.  For data-dependent
+branching (the bane of Huffman coding on GPUs, §III-A of the paper) this
+module estimates that factor from activity masks, which the functional
+kernels can produce cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "warps_needed",
+    "divergence_factor",
+    "branch_divergence_factor",
+    "active_lane_efficiency",
+]
+
+
+def warps_needed(n_threads: int, warp_size: int = 32) -> int:
+    """Number of warps required to host ``n_threads`` threads."""
+    if n_threads < 0:
+        raise ValueError("n_threads must be non-negative")
+    return (n_threads + warp_size - 1) // warp_size
+
+
+def divergence_factor(active_mask: np.ndarray, warp_size: int = 32) -> float:
+    """Divergence of a single-branch kernel from a per-thread activity mask.
+
+    Each warp executes the active path if *any* lane is active; the cost of
+    the warp is therefore 1 regardless of how many lanes do useful work.
+    The factor returned is (warp-serialized work) / (useful work): 1.0 when
+    every lane of every scheduled warp is active, larger when active lanes
+    are scattered thinly across warps.
+    """
+    mask = np.asarray(active_mask, dtype=bool).reshape(-1)
+    if mask.size == 0:
+        return 1.0
+    useful = int(mask.sum())
+    if useful == 0:
+        return 1.0
+    pad = (-mask.size) % warp_size
+    if pad:
+        mask = np.concatenate([mask, np.zeros(pad, dtype=bool)])
+    per_warp = mask.reshape(-1, warp_size)
+    warps_active = int(np.any(per_warp, axis=1).sum())
+    return warps_active * warp_size / useful
+
+
+def branch_divergence_factor(
+    path_ids: np.ndarray, warp_size: int = 32
+) -> float:
+    """Divergence of a multi-way branch: average distinct paths per warp.
+
+    ``path_ids[i]`` identifies which branch thread ``i`` takes.  A warp
+    whose lanes take k distinct paths serializes k times.  The paper notes
+    SHUFFLE-merge "creates warp divergence at a factor of 2" because each
+    warp straddles a left/right group boundary — this function reproduces
+    exactly that estimate given the group assignment of each thread.
+    """
+    ids = np.asarray(path_ids).reshape(-1)
+    if ids.size == 0:
+        return 1.0
+    pad = (-ids.size) % warp_size
+    if pad:
+        ids = np.concatenate([ids, np.full(pad, ids[-1])])
+    per_warp = ids.reshape(-1, warp_size)
+    # distinct values per row
+    sorted_rows = np.sort(per_warp, axis=1)
+    distinct = 1 + (np.diff(sorted_rows, axis=1) != 0).sum(axis=1)
+    return float(distinct.mean())
+
+
+def active_lane_efficiency(active_mask: np.ndarray, warp_size: int = 32) -> float:
+    """Fraction of scheduled lanes doing useful work (inverse of
+    :func:`divergence_factor`)."""
+    return 1.0 / divergence_factor(active_mask, warp_size)

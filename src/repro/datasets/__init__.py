@@ -1,0 +1,57 @@
+"""Dataset surrogates and workload generators.
+
+Six surrogates matched to the paper's evaluation datasets (Table V
+statistics), an SZ-style error-bounded quantization substrate (the
+Nyx-Quant front end), GenBank-like genomics streams with k-mer
+symbolization, and entropy-targeted synthetic distributions.
+"""
+
+from repro.datasets.genomics import (
+    DNA_ALPHABET,
+    generate_dna,
+    generate_genbank_like,
+    kmer_alphabet_size,
+    kmer_histogram,
+    kmer_symbolize,
+)
+from repro.datasets.quantization import (
+    QuantizedField,
+    dequantize,
+    lorenzo_quantize,
+    synthetic_field,
+)
+from repro.datasets.registry import PAPER_DATASETS, PaperDataset, get_dataset
+from repro.datasets.textlike import markov_bytes, markov_text, transition_matrix
+from repro.datasets.synthetic import (
+    huffman_avg_bits,
+    normal_histogram,
+    probs_for_avg_bits,
+    sample_symbols,
+    two_sided_geometric,
+    zipf_probs,
+)
+
+__all__ = [
+    "DNA_ALPHABET",
+    "generate_dna",
+    "generate_genbank_like",
+    "kmer_alphabet_size",
+    "kmer_histogram",
+    "kmer_symbolize",
+    "QuantizedField",
+    "dequantize",
+    "lorenzo_quantize",
+    "synthetic_field",
+    "PAPER_DATASETS",
+    "PaperDataset",
+    "get_dataset",
+    "markov_bytes",
+    "markov_text",
+    "transition_matrix",
+    "huffman_avg_bits",
+    "normal_histogram",
+    "probs_for_avg_bits",
+    "sample_symbols",
+    "two_sided_geometric",
+    "zipf_probs",
+]

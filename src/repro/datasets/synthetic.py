@@ -1,0 +1,263 @@
+"""Entropy-targeted synthetic symbol distributions.
+
+The six evaluation datasets are proprietary-sized real files; what the
+Huffman pipeline actually responds to is their *symbol statistics*:
+alphabet size, frequency skew (average codeword bitwidth β), and data
+volume.  This module builds distributions whose optimal-Huffman β matches
+a target to within a tolerance, by bisecting the shape parameter of a
+two-sided-geometric or Zipf family — the shapes that real quantization
+codes and text/byte data follow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.huffman.cpu_mt import two_queue_lengths
+
+__all__ = [
+    "two_sided_geometric",
+    "zipf_probs",
+    "floored_zipf",
+    "huffman_avg_bits",
+    "breaking_probability",
+    "probs_for_avg_bits",
+    "probs_for_avg_bits_and_breaking",
+    "sample_symbols",
+    "normal_histogram",
+]
+
+_FREQ_SCALE = 10**9
+
+
+def two_sided_geometric(n_symbols: int, theta: float, center: int | None = None) -> np.ndarray:
+    """P(k) ∝ theta^|k - center| — the shape of SZ quantization codes."""
+    if not 0 < theta < 1:
+        raise ValueError("theta must be in (0, 1)")
+    center = n_symbols // 2 if center is None else center
+    k = np.arange(n_symbols, dtype=np.float64)
+    p = theta ** np.abs(k - center)
+    return p / p.sum()
+
+
+def zipf_probs(n_symbols: int, a: float) -> np.ndarray:
+    """P(k) ∝ (k+1)^-a — byte/text-like rank-frequency shape."""
+    if a < 0:
+        raise ValueError("a must be non-negative")
+    ranks = np.arange(1, n_symbols + 1, dtype=np.float64)
+    p = ranks**-a
+    return p / p.sum()
+
+
+def huffman_avg_bits(probs: np.ndarray) -> float:
+    """Optimal-Huffman average codeword length of a distribution."""
+    freqs = np.round(np.asarray(probs, dtype=np.float64) * _FREQ_SCALE).astype(np.int64)
+    freqs = np.maximum(freqs, (np.asarray(probs) > 0).astype(np.int64))
+    lengths = two_queue_lengths(freqs)
+    total = freqs.sum()
+    return float(np.sum(freqs * lengths) / total)
+
+
+def probs_for_avg_bits(
+    n_symbols: int,
+    target_bits: float,
+    family: str = "auto",
+    tol: float = 0.02,
+    max_iter: int = 60,
+) -> np.ndarray:
+    """Find a distribution whose Huffman β matches ``target_bits``.
+
+    ``family``: ``"geometric"`` (skew around a center — quantization
+    codes), ``"zipf"`` (rank-frequency — text/bytes), or ``"auto"``
+    (geometric below 3 bits, zipf above).  β is monotone in the shape
+    parameter within each family, so bisection converges.
+    """
+    if family == "auto":
+        family = "geometric" if target_bits < 3.0 else "zipf"
+    max_bits = np.log2(n_symbols)
+    if not 0 < target_bits <= max_bits + 1e-9:
+        raise ValueError(
+            f"target {target_bits} bits unreachable with {n_symbols} symbols"
+        )
+
+    if family == "geometric":
+        lo, hi = 1e-6, 1 - 1e-9  # beta increases with theta
+        make = lambda t: two_sided_geometric(n_symbols, t)
+    elif family == "zipf":
+        lo, hi = 0.0, 30.0  # beta decreases with a
+        make = lambda a: zipf_probs(n_symbols, a)
+    else:
+        raise ValueError(f"unknown family {family!r}")
+
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        beta = huffman_avg_bits(make(mid))
+        if abs(beta - target_bits) <= tol:
+            return make(mid)
+        need_larger_beta = beta < target_bits
+        if family == "geometric":  # beta grows with theta
+            lo, hi = (mid, hi) if need_larger_beta else (lo, mid)
+        else:  # zipf: beta shrinks as a grows
+            lo, hi = (lo, mid) if need_larger_beta else (mid, hi)
+    return make(0.5 * (lo + hi))
+
+
+def breaking_probability(
+    probs: np.ndarray, r: int, word_bits: int = 32
+) -> float:
+    """Exact P(sum of 2^r iid codeword lengths > word_bits).
+
+    Uses the optimal-Huffman length of each symbol and convolves the
+    length pmf 2^r - 1 times; this is the expected breaking-cell fraction
+    of the reduce-merge phase on iid data.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    freqs = np.maximum(
+        np.round(probs * _FREQ_SCALE).astype(np.int64), (probs > 0).astype(np.int64)
+    )
+    lengths = two_queue_lengths(freqs)
+    maxlen = int(lengths.max()) if lengths.size else 0
+    if maxlen == 0:
+        return 0.0
+    pmf = np.zeros(maxlen + 1)
+    np.add.at(pmf, lengths, probs)
+    pmf /= pmf.sum()
+    group = 1 << r
+    acc = pmf.copy()
+    for _ in range(group - 1):
+        acc = np.convolve(acc, pmf)
+    total_beyond = float(acc[word_bits + 1:].sum()) if acc.size > word_bits + 1 else 0.0
+    return total_beyond
+
+
+def floored_zipf(n_symbols: int, a: float, floor_frac: float) -> np.ndarray:
+    """Zipf head with a flat tail floor: p ∝ max(rank^-a, floor).
+
+    Real byte data (text, images, matrices) has a Zipf-like head but a
+    far thinner code-length *tail* than a pure power law: the rarest
+    bytes still occur at non-negligible rates, so their codewords stay
+    short-ish and reduce-merge groups rarely overflow the 32-bit word.
+    ``floor_frac`` is the floor as a fraction of the (unnormalized) head
+    maximum.
+    """
+    ranks = np.arange(1, n_symbols + 1, dtype=np.float64)
+    p = ranks**-a
+    p = np.maximum(p, floor_frac * p[0])
+    return p / p.sum()
+
+
+def head_tail_distribution(
+    n_symbols: int, g: float, tail_mass: float, head_symbols: int | None = None
+) -> np.ndarray:
+    """Geometric-rank head + uniform rare tail.
+
+    Real byte data concentrates almost all mass on a few dozen frequent
+    symbols (short codewords) while the remaining byte values occur at a
+    low, roughly uniform rate (long-but-bounded codewords).  ``g`` sets
+    the head skew, ``tail_mass`` the total probability of the rare
+    symbols — which is exactly the knob that controls how often a
+    reduce-merge group overflows the representing word.
+    """
+    if not 0 < g < 1:
+        raise ValueError("g must be in (0, 1)")
+    if not 0 <= tail_mass < 1:
+        raise ValueError("tail_mass must be in [0, 1)")
+    h = head_symbols if head_symbols is not None else max(min(n_symbols // 4, 64), 1)
+    h = min(h, n_symbols)
+    head = g ** np.arange(h, dtype=np.float64)
+    head *= (1.0 - tail_mass) / head.sum()
+    n_tail = n_symbols - h
+    if n_tail == 0:
+        return head / head.sum()
+    tail = np.full(n_tail, tail_mass / n_tail)
+    return np.concatenate([head, tail])
+
+
+def probs_for_avg_bits_and_breaking(
+    n_symbols: int,
+    target_bits: float,
+    r: int,
+    breaking_target: float,
+    word_bits: int = 32,
+    tol_bits: float = 0.01,
+) -> np.ndarray:
+    """Match both the average bitwidth and the breaking fraction.
+
+    Nested fit over :func:`head_tail_distribution`: for each candidate
+    tail mass ε (log-spaced grid) the head skew is bisected to pin the
+    average bitwidth, then the candidate whose *exact* breaking
+    probability (length-pmf convolution) is closest to the target in log
+    space wins.  Breaking grows monotonically with ε, so the grid
+    brackets the target whenever it is reachable at the requested β.
+    """
+
+    def fit_g(tail_mass: float, head: int) -> tuple[np.ndarray, float]:
+        lo, hi = 1e-6, 1 - 1e-9  # beta increases with g
+        best_cand, best_beta_err = None, np.inf
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            cand = head_tail_distribution(n_symbols, mid, tail_mass, head)
+            beta = huffman_avg_bits(cand)
+            beta_err = abs(beta - target_bits)
+            if beta_err < best_beta_err:
+                best_cand, best_beta_err = cand, beta_err
+            if beta_err <= tol_bits / 4:
+                break
+            if beta < target_bits:
+                lo = mid
+            else:
+                hi = mid
+        return best_cand, best_beta_err
+
+    best = None
+    best_err = np.inf
+    min_head = max(int(np.ceil(2**target_bits)) // 2, 2)
+    head_grid = sorted({
+        h for h in (min_head, min_head * 2, 16, 24, 32, 48, 64)
+        if min_head <= h <= n_symbols
+    })
+    for head in head_grid:
+        for tail_mass in np.geomspace(1e-7, 0.2, 18):
+            probs, beta_err = fit_g(float(tail_mass), head)
+            if probs is None or beta_err > 5 * tol_bits:
+                continue
+            brk = breaking_probability(probs, r, word_bits)
+            # breaking mismatch in decades + a penalty for missing beta
+            err = abs(np.log10(brk + 1e-12) - np.log10(breaking_target + 1e-12))
+            err += 20.0 * max(0.0, beta_err - tol_bits)
+            if err < best_err:
+                best, best_err = probs, err
+    if best is None:
+        return probs_for_avg_bits(n_symbols, target_bits, family="zipf")
+    return best
+
+
+def sample_symbols(
+    probs: np.ndarray, size: int, rng: np.random.Generator, dtype=None
+) -> np.ndarray:
+    """Draw ``size`` iid symbols; dtype defaults to the narrowest fit."""
+    n = len(probs)
+    if dtype is None:
+        dtype = np.uint8 if n <= 256 else np.uint16 if n <= 65536 else np.uint32
+    return rng.choice(n, size=size, p=np.asarray(probs)).astype(dtype)
+
+
+def normal_histogram(
+    n_symbols: int, total: int = 10**8, sigma_frac: float = 0.12,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Normally-distributed synthetic histogram (paper Table IV, n > 8192).
+
+    Bin counts follow a discretized Gaussian over the symbol range; every
+    symbol keeps at least frequency 1 so the codebook covers the alphabet.
+    """
+    k = np.arange(n_symbols, dtype=np.float64)
+    mu = n_symbols / 2
+    sigma = max(n_symbols * sigma_frac, 1.0)
+    p = np.exp(-0.5 * ((k - mu) / sigma) ** 2)
+    p /= p.sum()
+    freqs = np.maximum(np.round(p * total).astype(np.int64), 1)
+    if rng is not None:
+        jitter = rng.integers(0, 3, n_symbols)
+        freqs = freqs + jitter
+    return freqs

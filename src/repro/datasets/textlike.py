@@ -1,0 +1,89 @@
+"""Order-1 Markov text generator (a structural enwik-like surrogate).
+
+The registry's enwik surrogates match enwik's *order-0* statistics, which
+is all a Huffman encoder responds to.  For examples and tests that want
+byte streams with realistic local structure too (digraph statistics,
+word/markup rhythm), this module generates XML-ish English text from an
+order-1 character Markov chain estimated over an embedded seed corpus
+with add-one smoothing restricted to the seed's alphabet.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["SEED_CORPUS", "transition_matrix", "markov_text", "markov_bytes"]
+
+#: seed corpus: English prose + wiki-style markup, the enwik flavour
+SEED_CORPUS = (
+    "<page><title>Information theory</title><text>In information theory, "
+    "the entropy of a random variable quantifies the average level of "
+    "information inherent in the variable's possible outcomes. The concept "
+    "was introduced by [[Claude Shannon]] in his 1948 paper \"A "
+    "Mathematical Theory of Communication\". Huffman coding is an optimal "
+    "prefix code commonly used for lossless data compression. The output "
+    "from Huffman's algorithm can be viewed as a variable-length code "
+    "table for encoding a source symbol. The algorithm derives this table "
+    "from the estimated probability or frequency of occurrence for each "
+    "possible value of the source symbol, producing shorter codes for "
+    "more common symbols. As in other entropy encoding methods, data that "
+    "never occurs receives no codeword at all, and the most frequent "
+    "symbols use the fewest bits. Compression ratios depend on the "
+    "statistical structure of the input: scientific data produced by "
+    "simulations on supercomputers is often smooth and therefore highly "
+    "predictable, while encyclopedic text mixes natural language with "
+    "markup such as &lt;ref&gt; tags, [[links]] and {{templates}}. "
+    "</text></page>\n"
+)
+
+
+@lru_cache(maxsize=1)
+def _alphabet_and_matrix() -> tuple[np.ndarray, np.ndarray]:
+    corpus = np.frombuffer(SEED_CORPUS.encode(), dtype=np.uint8)
+    alphabet = np.unique(corpus)
+    index = np.full(256, -1, dtype=np.int64)
+    index[alphabet] = np.arange(alphabet.size)
+    k = alphabet.size
+    counts = np.ones((k, k), dtype=np.float64)  # add-one smoothing
+    a = index[corpus[:-1]]
+    b = index[corpus[1:]]
+    np.add.at(counts, (a, b), 1.0)
+    matrix = counts / counts.sum(axis=1, keepdims=True)
+    return alphabet, matrix
+
+
+def transition_matrix() -> tuple[np.ndarray, np.ndarray]:
+    """(alphabet bytes, row-stochastic transition matrix) of the chain."""
+    alphabet, matrix = _alphabet_and_matrix()
+    return alphabet.copy(), matrix.copy()
+
+
+def markov_text(size: int, rng: np.random.Generator) -> str:
+    """Generate ``size`` characters of English/markup-like text."""
+    return markov_bytes(size, rng).tobytes().decode("utf-8", "replace")
+
+
+def markov_bytes(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Generate ``size`` bytes from the order-1 chain (uint8 array).
+
+    Sampling is vectorized per step-batch via the inverse-CDF trick on
+    the cumulative transition matrix, walking many independent chains in
+    parallel and concatenating them — order-1 statistics are preserved
+    within each chain and chains are long (>= 4096 chars).
+    """
+    if size <= 0:
+        return np.empty(0, dtype=np.uint8)
+    alphabet, matrix = _alphabet_and_matrix()
+    cdf = np.cumsum(matrix, axis=1)
+    n_chains = max(size // 4096, 1)
+    steps = (size + n_chains - 1) // n_chains
+    state = rng.integers(0, alphabet.size, n_chains)
+    out = np.empty((steps, n_chains), dtype=np.int64)
+    for t in range(steps):
+        u = rng.random(n_chains)
+        state = (cdf[state] < u[:, None]).sum(axis=1)
+        out[t] = state
+    flat = out.T.reshape(-1)[:size]
+    return alphabet[flat].astype(np.uint8)

@@ -1,0 +1,13 @@
+"""Parallel decoders: chunk-parallel (cuSZ path) and self-synchronizing
+gap-array (CUHD-style) — the reverse process the encoder's chunked
+container was designed to facilitate."""
+
+from repro.decoder.chunk_parallel import ChunkDecodeResult, chunk_parallel_decode
+from repro.decoder.self_sync import SelfSyncResult, self_sync_decode
+
+__all__ = [
+    "ChunkDecodeResult",
+    "chunk_parallel_decode",
+    "SelfSyncResult",
+    "self_sync_decode",
+]

@@ -1,0 +1,25 @@
+"""Serial histogramming reference (single thread, one pass)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.costmodel import KernelCost
+
+__all__ = ["serial_histogram"]
+
+
+def serial_histogram(data: np.ndarray, num_bins: int) -> tuple[np.ndarray, KernelCost]:
+    """One-thread histogram; the cost is a pure serial dependency chain."""
+    data = np.asarray(data).reshape(-1)
+    if data.size and (int(data.max()) >= num_bins or int(data.min()) < 0):
+        raise ValueError("symbol out of histogram range")
+    hist = np.bincount(data, minlength=num_bins).astype(np.int64)
+    cost = KernelCost(
+        name="hist.serial",
+        bytes_coalesced=float(data.nbytes + num_bins * 4),
+        serial_ops=float(data.size),
+        launches=1,
+        meta={"bins": num_bins},
+    )
+    return hist, cost

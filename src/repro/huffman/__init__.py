@@ -1,0 +1,63 @@
+"""Serial and multi-thread CPU Huffman substrate.
+
+The ground-truth algorithms every GPU scheme is validated against:
+serial tree construction, canonical codebooks, reference encoder,
+treeless canonical decoding, and the OpenMP-style multi-thread baseline.
+"""
+
+from repro.huffman.codebook import (
+    MAX_CODE_BITS,
+    CanonicalCodebook,
+    canonical_from_lengths,
+)
+from repro.huffman.cpu_mt import (
+    MtCodebookResult,
+    MtEncodeResult,
+    MtHistogramResult,
+    cpu_mt_codebook,
+    cpu_mt_encode,
+    cpu_mt_histogram,
+    two_queue_lengths,
+)
+from repro.huffman.cpu_mp import MpEncodeResult, cpu_mp_encode
+from repro.huffman.decoder import (
+    DecodeTable,
+    build_decode_table,
+    decode_canonical,
+    decode_with_tree,
+)
+from repro.huffman.length_limited import (
+    length_limited_codebook,
+    length_limited_lengths,
+    min_feasible_limit,
+)
+from repro.huffman.serial import SerialCodebookResult, serial_codebook, serial_encode
+from repro.huffman.tree import HuffmanTree, build_tree, codeword_lengths_serial
+
+__all__ = [
+    "MAX_CODE_BITS",
+    "CanonicalCodebook",
+    "canonical_from_lengths",
+    "MtCodebookResult",
+    "MtEncodeResult",
+    "MtHistogramResult",
+    "cpu_mt_codebook",
+    "cpu_mt_encode",
+    "cpu_mt_histogram",
+    "two_queue_lengths",
+    "MpEncodeResult",
+    "cpu_mp_encode",
+    "length_limited_codebook",
+    "length_limited_lengths",
+    "min_feasible_limit",
+    "DecodeTable",
+    "build_decode_table",
+    "decode_canonical",
+    "decode_with_tree",
+    "SerialCodebookResult",
+    "serial_codebook",
+    "serial_encode",
+    "HuffmanTree",
+    "build_tree",
+    "codeword_lengths_serial",
+]

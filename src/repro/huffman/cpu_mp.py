@@ -1,0 +1,102 @@
+"""Real multi-process CPU encoder (actual host parallelism).
+
+:mod:`repro.huffman.cpu_mt` *models* the paper's OpenMP encoder;
+this module actually runs one: data is chunked across worker processes
+(bypassing the GIL), each worker packs its chunk with the vectorized
+reference packer, and the parent concatenates byte-aligned chunk
+buffers — the same container as the modeled MT encoder, so the two are
+interchangeable and cross-checked in the tests.
+
+This is the encoder to use when the host has cores to spare and the data
+does not fit the simulated-GPU workflow; on real multicore hardware it
+exhibits genuine wall-clock speedup (bounded by memory bandwidth, exactly
+as Table VI predicts for the paper's Xeons).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.huffman.codebook import CanonicalCodebook, canonical_from_lengths
+from repro.utils.bits import pack_codewords
+
+__all__ = ["MpEncodeResult", "cpu_mp_encode", "default_workers"]
+
+
+def default_workers() -> int:
+    return max(os.cpu_count() or 1, 1)
+
+
+def _encode_chunk(args: tuple[np.ndarray, np.ndarray, np.ndarray]) -> tuple[bytes, int, int]:
+    """Worker: encode one chunk of symbols. Must be module-level
+    (picklable)."""
+    chunk, codes, lengths = args
+    c, l = codes[chunk], lengths[chunk]
+    buf, nbits = pack_codewords(c, l.astype(np.int64))
+    return buf.tobytes(), nbits, int(chunk.size)
+
+
+@dataclass
+class MpEncodeResult:
+    chunk_buffers: list[np.ndarray]
+    chunk_bits: np.ndarray
+    chunk_symbols: np.ndarray
+    workers: int
+    input_bytes: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return int(sum(b.nbytes for b in self.chunk_buffers))
+
+    @property
+    def compression_ratio(self) -> float:
+        out = self.payload_bytes
+        return self.input_bytes / out if out else float("inf")
+
+
+def cpu_mp_encode(
+    data: np.ndarray,
+    book: CanonicalCodebook,
+    workers: int | None = None,
+    executor: ProcessPoolExecutor | None = None,
+) -> MpEncodeResult:
+    """Encode with one contiguous chunk per worker process.
+
+    Pass an ``executor`` to amortize process startup across calls; with
+    ``workers=1`` (or one-chunk inputs) everything runs in-process.
+    """
+    data = np.asarray(data)
+    workers = workers if workers is not None else default_workers()
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    _codes, lens = book.lookup(data)
+    if data.size and int(lens.min()) == 0:
+        raise ValueError("input contains a symbol with no codeword")
+
+    bounds = np.linspace(0, data.size, workers + 1).astype(np.int64)
+    tasks = [
+        (data[bounds[i]: bounds[i + 1]], book.codes, book.lengths)
+        for i in range(workers)
+    ]
+    if workers == 1 or data.size < 4096:
+        results = [_encode_chunk(t) for t in tasks]
+    elif executor is not None:
+        results = list(executor.map(_encode_chunk, tasks))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_encode_chunk, tasks))
+
+    buffers = [np.frombuffer(b, dtype=np.uint8).copy() for b, _, _ in results]
+    bits = np.array([nb for _, nb, _ in results], dtype=np.int64)
+    syms = np.array([ns for _, _, ns in results], dtype=np.int64)
+    return MpEncodeResult(
+        chunk_buffers=buffers,
+        chunk_bits=bits,
+        chunk_symbols=syms,
+        workers=workers,
+        input_bytes=int(data.nbytes),
+    )

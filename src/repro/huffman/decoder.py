@@ -1,0 +1,169 @@
+"""Canonical treeless Huffman decoders.
+
+The paper generates ``First``/``Entry`` metadata during ``GenerateCW``
+precisely to enable treeless canonical decoding (§IV-B2).  We implement:
+
+- :func:`decode_canonical` — table-accelerated canonical decoder over a
+  dense MSB-first bitstream (used to validate every encoder round-trip);
+- :func:`decode_with_tree` — independent slow decoder that walks the
+  serial Huffman tree bit by bit, used to cross-check the canonical
+  decoder itself.
+
+Decoding throughput is *not* a goal of the paper (decompression happens
+off the critical path); these exist for validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.huffman.codebook import CanonicalCodebook
+from repro.huffman.tree import HuffmanTree
+from repro.utils.bits import unpack_to_bits
+
+__all__ = ["DecodeTable", "build_decode_table", "decode_canonical", "decode_with_tree"]
+
+#: Width of the acceleration table index in bits.
+_TABLE_BITS = 12
+
+
+class DecodeTable:
+    """2^K-entry lookup: next K bits → (symbol, codeword length).
+
+    Codewords longer than K bits map to ``length == 0`` entries and fall
+    back to the First/Entry scan.
+    """
+
+    def __init__(self, k: int, symbol: np.ndarray, length: np.ndarray):
+        self.k = k
+        self.symbol = symbol
+        self.length = length
+
+
+def build_decode_table(book: CanonicalCodebook, k: int = _TABLE_BITS) -> DecodeTable:
+    k = min(k, max(book.max_length, 1))
+    size = 1 << k
+    symbol = np.zeros(size, dtype=np.int64)
+    length = np.zeros(size, dtype=np.int32)
+    used = np.flatnonzero((book.lengths > 0) & (book.lengths <= k))
+    if used.size:
+        lens = book.lengths[used].astype(np.int64)
+        codes = book.codes[used].astype(np.int64)
+        starts = codes << (k - lens)
+        spans = np.int64(1) << (k - lens)
+        idx = np.repeat(starts, spans) + (
+            np.arange(int(spans.sum())) - np.repeat(np.cumsum(spans) - spans, spans)
+        )
+        symbol[idx] = np.repeat(used, spans)
+        length[idx] = np.repeat(lens, spans).astype(np.int32)
+    return DecodeTable(k, symbol, length)
+
+
+def decode_canonical(
+    buffer: np.ndarray,
+    total_bits: int,
+    book: CanonicalCodebook,
+    n_symbols: int,
+    table: DecodeTable | None = None,
+) -> np.ndarray:
+    """Decode ``n_symbols`` symbols from a dense MSB-first bitstream."""
+    if table is None:
+        table = build_decode_table(book)
+    bits = unpack_to_bits(np.asarray(buffer, dtype=np.uint8), total_bits)
+    k = table.k
+    # Sliding K-bit window values at every bit offset, so the hot loop is a
+    # single indexed lookup per symbol.
+    padded = np.concatenate([bits, np.zeros(k, dtype=np.uint8)]).astype(np.int64)
+    weights = (np.int64(1) << np.arange(k - 1, -1, -1, dtype=np.int64))
+    if total_bits > 0:
+        windows = np.lib.stride_tricks.sliding_window_view(padded, k)[:total_bits]
+        window_vals = windows @ weights
+    else:
+        window_vals = np.empty(0, dtype=np.int64)
+
+    out = np.empty(n_symbols, dtype=np.int64)
+    tbl_sym, tbl_len = table.symbol, table.length
+    first, entry = book.first, book.entry
+    maxlen = book.max_length
+    symbols_by_code = book.symbols_by_code
+    pos = 0
+    for i in range(n_symbols):
+        if pos >= total_bits:
+            raise ValueError("bitstream exhausted before all symbols decoded")
+        w = window_vals[pos]
+        l = tbl_len[w]
+        if l:
+            out[i] = tbl_sym[w]
+            pos += l
+            continue
+        # slow path: codeword longer than the table index
+        v = int(w)  # top k bits already read
+        l = k
+        while True:
+            l += 1
+            if l > maxlen:
+                raise ValueError("corrupt bitstream: no codeword matches")
+            if pos + l > total_bits:
+                raise ValueError("bitstream exhausted mid-codeword")
+            v = (v << 1) | int(bits[pos + l - 1])
+            if l < first.size:
+                offset = v - int(first[l])
+                count_l = int(entry[l + 1] - entry[l]) if l + 1 < entry.size else (
+                    len(symbols_by_code) - int(entry[l])
+                )
+                if 0 <= offset < count_l:
+                    out[i] = symbols_by_code[int(entry[l]) + offset]
+                    pos += l
+                    break
+    return out
+
+
+def decode_with_tree(
+    buffer: np.ndarray, total_bits: int, tree: HuffmanTree,
+    book: CanonicalCodebook, n_symbols: int,
+) -> np.ndarray:
+    """Bit-by-bit decode using an explicit binary code tree.
+
+    Independent of the canonical First/Entry machinery: rebuilds a trie
+    from the codebook's (code, length) pairs and walks it.  Quadratic
+    caution: for validation on small inputs only.
+    """
+    # Build a trie as dict-of-dicts keyed by bit.
+    root: dict = {}
+    for s in range(book.n_symbols):
+        l = int(book.lengths[s])
+        if l == 0:
+            continue
+        node = root
+        code = int(book.codes[s])
+        for b in range(l - 1, -1, -1):
+            bit = (code >> b) & 1
+            if b == 0:
+                if bit in node:
+                    raise ValueError("codebook is not prefix-free")
+                node[bit] = ("leaf", s)
+            else:
+                nxt = node.setdefault(bit, ("node", {}))
+                if nxt[0] == "leaf":
+                    raise ValueError("codebook is not prefix-free")
+                node = nxt[1]
+    bits = unpack_to_bits(np.asarray(buffer, dtype=np.uint8), total_bits)
+    out = np.empty(n_symbols, dtype=np.int64)
+    node = root
+    j = 0
+    for b in bits:
+        kind_payload = node.get(int(b))
+        if kind_payload is None:
+            raise ValueError("corrupt bitstream (dead trie branch)")
+        kind, payload = kind_payload
+        if kind == "leaf":
+            out[j] = payload
+            j += 1
+            node = root
+            if j == n_symbols:
+                break
+        else:
+            node = payload
+    if j != n_symbols:
+        raise ValueError("bitstream exhausted before all symbols decoded")
+    return out

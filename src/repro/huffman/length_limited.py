@@ -1,0 +1,142 @@
+"""Length-limited Huffman codes via package-merge (Larmore & Hirschberg).
+
+An alternative to the paper's breaking-point side channel: if every
+codeword is at most ``L`` bits, then a reduce-merge cell of ``2^r``
+codewords can never exceed ``2^r * L`` bits — choose ``L <= W / 2^r`` and
+breaking is *impossible*, at a (usually tiny) compression-ratio cost.
+This is the classic trade DEFLATE makes (L = 15), implemented here with
+the O(n·L) package-merge algorithm:
+
+- build L levels of "packages": level 1 holds the items (symbols priced
+  by frequency); each next level pairs the two cheapest nodes of the
+  previous level into a package and merges with the items;
+- taking the 2(n-1) cheapest nodes of the last level and counting, for
+  each symbol, how many chosen packages contain it yields the optimal
+  length assignment under the constraint max length <= L.
+
+The result plugs into the same canonical machinery as every other
+construction (`canonical_from_lengths`), so the encoder works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.huffman.codebook import CanonicalCodebook, canonical_from_lengths
+
+__all__ = [
+    "length_limited_lengths",
+    "length_limited_codebook",
+    "min_feasible_limit",
+]
+
+
+def min_feasible_limit(n_used: int) -> int:
+    """Smallest L that can host ``n_used`` codewords (ceil(log2 n))."""
+    if n_used <= 0:
+        return 0
+    if n_used == 1:
+        return 1
+    return int(np.ceil(np.log2(n_used)))
+
+
+def length_limited_lengths(freqs: np.ndarray, max_length: int) -> np.ndarray:
+    """Optimal codeword lengths subject to ``lengths <= max_length``.
+
+    Package-merge over the used symbols; zero-frequency symbols get
+    length 0.  Raises if the limit cannot host the alphabet.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.ndim != 1:
+        raise ValueError("freqs must be one-dimensional")
+    if np.any(freqs < 0):
+        raise ValueError("frequencies must be non-negative")
+    n = freqs.size
+    lengths = np.zeros(n, dtype=np.int32)
+    used = np.flatnonzero(freqs > 0)
+    m = used.size
+    if m == 0:
+        return lengths
+    if m == 1:
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        lengths[used[0]] = 1
+        return lengths
+    if max_length < min_feasible_limit(m):
+        raise ValueError(
+            f"max_length {max_length} cannot host {m} symbols "
+            f"(needs >= {min_feasible_limit(m)})"
+        )
+
+    order = used[np.argsort(freqs[used], kind="stable")]
+    w = freqs[order].astype(np.int64)
+
+    # Each node is (weight, symbol-multiset as a count vector is too big;
+    # track per-symbol membership counts implicitly via lists of symbol
+    # ranks).  For n up to 64 Ki and L up to ~32 this stays comfortably
+    # fast because packages halve per level.
+    # nodes at each level: list of (weight, counts) where counts is a
+    # small dict rank -> multiplicity.
+    items = [(int(wi), {i: 1}) for i, wi in enumerate(w)]
+
+    level = items
+    for _ in range(max_length - 1):
+        packages = []
+        for j in range(0, len(level) - 1, 2):
+            wa, ca = level[j]
+            wb, cb = level[j + 1]
+            merged = dict(ca)
+            for k, v in cb.items():
+                merged[k] = merged.get(k, 0) + v
+            packages.append((wa + wb, merged))
+        # merge items with packages by weight (both sorted)
+        combined = []
+        ia = ip = 0
+        while ia < len(items) or ip < len(packages):
+            take_item = ip >= len(packages) or (
+                ia < len(items) and items[ia][0] <= packages[ip][0]
+            )
+            if take_item:
+                combined.append(items[ia])
+                ia += 1
+            else:
+                combined.append(packages[ip])
+                ip += 1
+        level = combined
+
+    depth_counts = np.zeros(m, dtype=np.int64)
+    for weight, counts in level[: 2 * (m - 1)]:
+        for k, v in counts.items():
+            depth_counts[k] += v
+    lengths[order] = depth_counts.astype(np.int32)
+    return lengths
+
+
+@dataclass
+class LengthLimitedResult:
+    codebook: CanonicalCodebook
+    max_length: int
+    #: extra code bits vs the unconstrained Huffman code, per symbol
+    excess_bits_per_symbol: float
+
+
+def length_limited_codebook(
+    freqs: np.ndarray, max_length: int
+) -> LengthLimitedResult:
+    """Canonical length-limited codebook + the cost of the constraint."""
+    from repro.huffman.cpu_mt import two_queue_lengths
+
+    freqs = np.asarray(freqs, dtype=np.int64)
+    lengths = length_limited_lengths(freqs, max_length)
+    book = canonical_from_lengths(lengths)
+    free = two_queue_lengths(freqs)
+    total = freqs.sum()
+    excess = (
+        float(np.sum(freqs * (lengths - free)) / total) if total else 0.0
+    )
+    return LengthLimitedResult(
+        codebook=book, max_length=max_length,
+        excess_bits_per_symbol=excess,
+    )

@@ -1,0 +1,70 @@
+"""Serial CPU Huffman codebook + encoder (the SZ baseline).
+
+This is the reference implementation the paper compares against in the
+"SERIAL" / "REF. CPU" columns: heap-based tree construction, canonical
+code assignment, and a straightforward walk-the-data encoder.  It is also
+the *functional ground truth* for every parallel scheme in the package:
+identical codebooks, identical dense bitstreams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.costmodel import KernelCost
+from repro.huffman.codebook import CanonicalCodebook, canonical_from_lengths
+from repro.huffman.tree import build_tree
+from repro.utils.bits import pack_codewords
+
+__all__ = ["serial_codebook", "serial_encode", "SerialCodebookResult"]
+
+
+class SerialCodebookResult:
+    """Canonical codebook plus the serial work count that produced it."""
+
+    def __init__(self, codebook: CanonicalCodebook, cost: KernelCost):
+        self.codebook = codebook
+        self.cost = cost
+
+
+def serial_codebook(freqs: np.ndarray) -> SerialCodebookResult:
+    """Build a canonical codebook serially (tree + canonize).
+
+    The reported cost is a pure serial chain: ``serial_ops`` counts the
+    dependent heap and scan operations, which is what makes this path so
+    slow when executed on a single GPU thread (paper §II-C: 144 ms for
+    8192 symbols).
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    tree = build_tree(freqs)
+    lengths = tree.leaf_depths()
+    book = canonical_from_lengths(lengths)
+    n = freqs.size
+    # tree construction ops + O(n) canonize scan + O(n) reverse codebook
+    serial_ops = tree.serial_ops * 4 + 3 * n
+    cost = KernelCost(
+        name="codebook.serial",
+        serial_ops=serial_ops,
+        bytes_coalesced=float(freqs.nbytes + book.nbytes()),
+        launches=1,
+        meta={"n_symbols": n, "max_length": book.max_length},
+    )
+    return SerialCodebookResult(book, cost)
+
+
+def serial_encode(
+    data: np.ndarray, codebook: CanonicalCodebook
+) -> tuple[np.ndarray, int]:
+    """Reference encoder: concatenate each symbol's codeword, MSB-first.
+
+    Returns ``(byte_buffer, total_bits)``.  Every parallel encoder's dense
+    output must match this bit-for-bit (modulo the breaking-point side
+    channel and per-chunk padding, which are part of their container
+    formats, not of the code itself).
+    """
+    data = np.asarray(data)
+    codes, lengths = codebook.lookup(data)
+    if np.any(lengths == 0) and data.size:
+        bad = int(data[np.argmax(lengths == 0)])
+        raise ValueError(f"symbol {bad} has no codeword (zero frequency)")
+    return pack_codewords(codes, lengths)

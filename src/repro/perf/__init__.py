@@ -1,0 +1,65 @@
+"""Performance modeling and paper-table regeneration.
+
+``repro.perf.cpu_model`` and ``repro.perf.report`` are leaf modules;
+``repro.perf.tables`` sits at the top of the dependency graph (it imports
+the whole pipeline), so it is loaded lazily to keep lower layers —
+notably :mod:`repro.huffman.cpu_mt`, which needs only the CPU model —
+import-cycle free.
+"""
+
+from repro.perf.cpu_model import (
+    DEFAULT_CPU_PARAMS,
+    CpuModelParams,
+    mt_codebook_ms,
+    mt_region_overhead_ms,
+    mt_throughput_gbps,
+    parallel_efficiency,
+    serial_codebook_ms,
+)
+from repro.perf.report import format_value, render_table, side_by_side
+
+__all__ = [
+    "DEFAULT_CPU_PARAMS",
+    "CpuModelParams",
+    "mt_codebook_ms",
+    "mt_region_overhead_ms",
+    "mt_throughput_gbps",
+    "parallel_efficiency",
+    "serial_codebook_ms",
+    "format_value",
+    "render_table",
+    "side_by_side",
+    "fig1_reduce_trace",
+    "fig2_shuffle_trace",
+    "fig3_tuning_curve",
+    "table1_taxonomy",
+    "table2_magnitude_sweep",
+    "table3_codebook",
+    "table4_cpu_codebook",
+    "table5_overall",
+    "table6_cpu_scaling",
+    "tables",
+]
+
+_LAZY = {
+    "fig1_reduce_trace",
+    "fig2_shuffle_trace",
+    "fig3_tuning_curve",
+    "table1_taxonomy",
+    "table2_magnitude_sweep",
+    "table3_codebook",
+    "table4_cpu_codebook",
+    "table5_overall",
+    "table6_cpu_scaling",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY or name in ("tables", "paper_reference"):
+        import importlib
+
+        _tables = importlib.import_module(f"repro.perf.{'tables' if name != 'paper_reference' else 'paper_reference'}")
+        if name in ("tables", "paper_reference"):
+            return _tables
+        return getattr(_tables, name)
+    raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")

@@ -1,0 +1,137 @@
+"""The paper's published numbers, transcribed for side-by-side reporting.
+
+Every benchmark prints its reproduction next to these values.  ``None``
+marks entries that are illegible in the source scan.  Units follow the
+paper: throughputs in GB/s (1e9 bytes/s of *input*), codebook times in
+milliseconds, breaking fractions as ratios of merge cells.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2_PAPER",
+    "TABLE3_PAPER",
+    "TABLE4_PAPER",
+    "TABLE5_PAPER",
+    "TABLE6_PAPER",
+    "CLAIMS",
+]
+
+# Table II: encode GB/s on Nyx-Quant, by (device, r, magnitude M)
+TABLE2_PAPER: dict[str, dict[int, dict[int, float]]] = {
+    "V100": {
+        4: {12: 227.60, 11: 274.40, 10: 291.04},
+        3: {12: 191.41, 11: 274.42, 10: 314.63},
+        2: {12: 68.32, 11: 106.87, 10: 172.54},
+    },
+    "RTX5000": {
+        4: {12: 110.94, 11: 124.42, 10: 133.84},
+        3: {12: 94.27, 11: 124.56, 10: 135.86},
+        2: {12: 42.70, 11: 55.53, 10: 79.45},
+    },
+}
+#: breaking fraction by reduction factor (Table II, Nyx-Quant)
+TABLE2_BREAKING_PAPER = {4: 0.00000434, 3: 0.00003277, 2: 0.00007536}
+
+# Table III: codebook construction ms.
+# rows keyed by symbol count; values: (serial_cpu,
+#   cusz_gen_tu, cusz_gen_v, cusz_canon_tu, cusz_canon_v,
+#   cusz_total_tu, cusz_total_v,
+#   ours_gencl_tu, ours_gencl_v, ours_gencw_tu, ours_gencw_v,
+#   ours_total_tu, ours_total_v)
+TABLE3_PAPER: dict[int, tuple] = {
+    1024: (0.045, 3.051, 3.689, 0.095, 0.115, 3.416, 3.804,
+           0.315, 0.383, 0.134, 0.161, 0.449, 0.544),
+    2048: (0.208, 8.381, 9.760, 0.242, 0.284, 8.623, 10.044,
+           0.494, None, None, None, None, None),
+    4096: (0.695, 20.148, 24.684, 0.519, 0.663, 20.667, 25.347,
+           None, None, None, None, None, None),
+    8192: (1.806, 61.748, 59.092, 1.453, 1.449, 63.201, 60.541,
+           None, None, None, None, None, 1.331),
+}
+#: the paper's headline Table III claim: up to 45.5x over cuSZ at 8192
+TABLE3_MAX_SPEEDUP = 45.5
+
+# Table IV: multi-thread codebook construction ms, rows = symbols,
+# columns = (serial, 1, 2, 4, 6, 8 cores)
+TABLE4_PAPER: dict[int, tuple] = {
+    1024: (0.045, 0.219, 0.469, 0.622, 0.700, 0.840),
+    2048: (0.208, 0.361, 0.691, 1.101, 1.122, 1.303),
+    4096: (0.695, 0.626, 1.006, 1.309, 1.456, 1.707),
+    8192: (1.806, 1.167, 1.513, 1.657, 1.836, 2.158),
+    16384: (3.671, 1.683, 1.796, 1.705, 2.055, 2.222),
+    32768: (5.783, 2.974, 2.858, 2.626, 2.873, 3.139),
+    65536: (7.641, 5.221, 4.850, 4.411, 4.952, 5.713),
+}
+
+# Table V: per-dataset pipeline breakdown.
+# values: {scheme: {stage: (TU, V)}}; codebook in ms, others GB/s.
+TABLE5_PAPER: dict[str, dict[str, dict[str, tuple]]] = {
+    "enwik8": {
+        "cusz": {"hist": (102.5, 252.4), "codebook_ms": (1.375, 1.635),
+                 "encode": (10.1, 12.2), "overall": (8.2, 9.8)},
+        "ours": {"hist": (102.8, 252.0), "codebook_ms": (0.594, 0.707),
+                 "encode": (42.2, 94.0), "overall": (25.4, 46.1)},
+    },
+    "enwik9": {
+        "cusz": {"hist": (108.2, 259.6), "codebook_ms": (1.382, 1.640),
+                 "encode": (7.2, 11.3), "overall": (6.8, 10.8)},
+        "ours": {"hist": (108.1, 276.1), "codebook_ms": (0.626, 0.666),
+                 "encode": (49.7, 94.6), "overall": (34.0, 70.6)},
+    },
+    "mr": {
+        "cusz": {"hist": (36.2, 86.5), "codebook_ms": (1.565, 1.831),
+                 "encode": (9.6, 15.2), "overall": (3.5, 3.8)},
+        "ours": {"hist": (36.2, 99.0), "codebook_ms": (0.300, 0.312),
+                 "encode": (42.0, 76.8), "overall": (12.3, 18.4)},
+    },
+    "nci": {
+        "cusz": {"hist": (66.1, 150.6), "codebook_ms": (0.706, 1.027),
+                 "encode": (8.6, 14.9), "overall": (6.6, 9.6)},
+        "ours": {"hist": (56.4, 169.1), "codebook_ms": (0.507, 0.514),
+                 "encode": (63.7, 154.8), "overall": (20.6, 36.1)},
+    },
+    "flan_1565": {
+        "cusz": {"hist": (104.2, 256.6), "codebook_ms": (0.758, 0.950),
+                 "encode": (8.5, 10.7), "overall": (7.8, 10.2)},
+        "ours": {"hist": (103.5, 274.7), "codebook_ms": (0.314, 0.327),
+                 "encode": (50.0, 94.9), "overall": (33.5, 69.5)},
+    },
+    "nyx_quant": {
+        "cusz": {"hist": (74.8, 197.7), "codebook_ms": (3.416, 3.804),
+                 "encode": (17.7, 29.7), "overall": (12.1, 18.9)},
+        "ours": {"hist": (74.8, 197.6), "codebook_ms": (0.449, 0.544),
+                 "encode": (145.2, 314.6), "overall": (45.4, 96.0)},
+    },
+}
+
+# Table VI: multi-thread encoder on Nyx-Quant; per metric, by core count.
+TABLE6_PAPER: dict[str, dict[int, float]] = {
+    "hist_gbps": {1: 2.21, 2: 4.42, 4: 8.83, 8: 17.61, 16: 34.97,
+                  32: 63.59, 56: 61.47, 64: 63.14},
+    "enc_gbps": {1: 1.22, 2: 2.43, 4: 4.83, 8: 9.64, 16: 19.16,
+                 32: 37.85, 56: 55.71, 64: 29.33},
+    "enc_efficiency": {1: 1.00, 2: 0.99, 4: 0.99, 8: 0.99, 16: 0.98,
+                       32: 0.97, 56: 0.81, 64: 0.37},
+    "overall_gbps": {1: 0.79, 2: 1.57, 4: 3.12, 8: 6.23, 16: 12.38,
+                     32: 23.73, 56: 29.22, 64: 20.03},
+}
+TABLE6_GPU_REFERENCE = {"RTX5000": {"hist": 74.80, "enc": 145.20, "overall": 45.35},
+                        "V100": {"hist": 197.60, "enc": 314.60, "overall": 96.01}}
+
+#: prose claims from the paper used as assertions in the benchmarks
+CLAIMS = {
+    # §II-C: naive-tree codebook for 8192 symbols on V100
+    "naive_tree_8192_ms": 144.0,
+    # §III-B: cuSZ coarse-grained encoder throughput on V100
+    "cusz_coarse_v100_gbps": 30.0,
+    # §III-B: prefix-sum encoder on V100 at avg 1.027 bits
+    "prefix_sum_v100_gbps": 37.0,
+    # abstract: encoder speedup over cuSZ
+    "speedup_v100_max": 6.8,
+    "speedup_rtx_max": 5.0,
+    # abstract: overall speedup over the 28x2-core CPU encoder
+    "speedup_cpu_overall": 3.3,
+    # §IV-B2: canonize 1024 codewords on V100
+    "canonize_1024_us": 200.0,
+}

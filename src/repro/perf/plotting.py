@@ -1,0 +1,78 @@
+"""Terminal plotting: ASCII bar charts and sparklines for bench output.
+
+No plotting library in the offline environment, and none needed: the
+paper's series (Table VI's scaling curve, Table II's (M, r) surface) read
+fine as unicode bars next to their numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["bar_chart", "sparkline", "surface"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """One-line unicode sparkline of a series."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and len(vals) > width:
+        # simple decimation
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo or 1.0
+    return "".join(
+        _BLOCKS[1 + int((v - lo) / span * (len(_BLOCKS) - 2))] for v in vals
+    )
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart with right-aligned values."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    vals = [float(v) for v in values]
+    hi = max(vals) if vals else 1.0
+    hi = hi or 1.0
+    lw = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, v in zip(labels, vals):
+        n = int(round(v / hi * width))
+        lines.append(f"{label:>{lw}}  {'█' * n}{'▏' if n == 0 else ''} "
+                     f"{v:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def surface(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    grid: Sequence[Sequence[float]],
+    title: str = "",
+) -> str:
+    """Shaded 2-D surface (darker = higher) with the numbers inline."""
+    flat = [float(v) for row in grid for v in row]
+    if not flat:
+        return title
+    lo, hi = min(flat), max(flat)
+    span = hi - lo or 1.0
+    shades = " ░▒▓█"
+    lw = max(len(l) for l in row_labels)
+    cw = max(max(len(c) for c in col_labels), 8)
+    lines = [title] if title else []
+    lines.append(" " * (lw + 2) + "".join(f"{c:>{cw}}" for c in col_labels))
+    for label, row in zip(row_labels, grid):
+        cells = []
+        for v in row:
+            shade = shades[1 + int((float(v) - lo) / span * (len(shades) - 2))]
+            cells.append(f"{shade}{float(v):>{cw - 1},.1f}")
+        lines.append(f"{label:>{lw}}  " + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,350 @@
+"""Experiment harness: one function per paper table / figure.
+
+Each function runs the functional pipeline on dataset surrogates, prices
+the structural costs on the modeled devices, and returns structured rows
+carrying both the reproduction and the paper's published value (from
+:mod:`repro.perf.paper_reference`).  The benchmark suite prints these and
+EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.serial_gpu_codebook import naive_gpu_tree_ms, serial_gpu_codebook
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.pipeline import run_pipeline
+from repro.core.reduce_merge import reduce_merge_trace
+from repro.core.shuffle_merge import shuffle_merge_trace
+from repro.core.tuning import choose_reduction_factor, proper_reduction_factor
+from repro.cuda.costmodel import CostModel
+from repro.cuda.device import RTX5000, V100, DeviceSpec
+from repro.cuda.launch import kernel_registry
+from repro.datasets.genomics import kmer_histogram
+from repro.datasets.registry import PAPER_DATASETS, get_dataset
+from repro.datasets.synthetic import normal_histogram
+from repro.huffman.cpu_mt import cpu_mt_codebook, cpu_mt_encode, cpu_mt_histogram
+from repro.huffman.serial import serial_codebook
+from repro.perf import paper_reference as ref
+from repro.perf.cpu_model import (
+    DEFAULT_CPU_PARAMS,
+    mt_codebook_ms,
+    serial_codebook_ms,
+)
+
+__all__ = [
+    "table1_taxonomy",
+    "table2_magnitude_sweep",
+    "table3_codebook",
+    "table4_cpu_codebook",
+    "table5_overall",
+    "table6_cpu_scaling",
+    "fig1_reduce_trace",
+    "fig2_shuffle_trace",
+    "fig3_tuning_curve",
+]
+
+_DEFAULT_SURROGATE_BYTES = 4_000_000
+
+
+# ---------------------------------------------------------------- Table I --
+def table1_taxonomy() -> list[dict]:
+    """Kernel parallelism taxonomy, regenerated from the kernel registry."""
+    rows = [info.row() for info in kernel_registry().values()]
+    rows.sort(key=lambda r: (r["stage"], r["kernel"]))
+    return rows
+
+
+# --------------------------------------------------------------- Table II --
+@dataclass
+class Table2Row:
+    device: str
+    reduction_factor: int
+    magnitude: int
+    gbps: float
+    paper_gbps: float | None
+    breaking_fraction: float
+    paper_breaking: float | None
+
+
+def table2_magnitude_sweep(
+    surrogate_bytes: int = _DEFAULT_SURROGATE_BYTES,
+    seed: int = 42,
+    magnitudes: tuple[int, ...] = (12, 11, 10),
+    reduction_factors: tuple[int, ...] = (4, 3, 2),
+    devices: tuple[DeviceSpec, ...] = (V100, RTX5000),
+) -> list[Table2Row]:
+    """Encode throughput vs (M, r) on the Nyx-Quant surrogate."""
+    rng = np.random.default_rng(seed)
+    ds = get_dataset("nyx_quant")
+    data, scale = ds.generate(surrogate_bytes, rng)
+    rows: list[Table2Row] = []
+    for device in devices:
+        for r in reduction_factors:
+            for m in magnitudes:
+                res = run_pipeline(
+                    data, ds.n_symbols, device=device, magnitude=m,
+                    reduction_factor=r, scale=scale,
+                )
+                gbps = res.stage_gbps()["encode"]
+                paper = ref.TABLE2_PAPER.get(device.name, {}).get(r, {}).get(m)
+                rows.append(Table2Row(
+                    device=device.name, reduction_factor=r, magnitude=m,
+                    gbps=gbps, paper_gbps=paper,
+                    breaking_fraction=res.breaking_fraction,
+                    paper_breaking=ref.TABLE2_BREAKING_PAPER.get(r),
+                ))
+    return rows
+
+
+# -------------------------------------------------------------- Table III --
+@dataclass
+class Table3Row:
+    workload: str
+    n_symbols: int
+    serial_cpu_ms: float
+    cusz_gen_ms: dict  # device name -> ms
+    cusz_canonize_ms: dict
+    cusz_total_ms: dict
+    ours_gencl_ms: dict
+    ours_gencw_ms: dict
+    ours_total_ms: dict
+    speedup_v100: float
+    paper: tuple | None
+
+
+def _codebook_histograms(seed: int) -> list[tuple[str, int, np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    ds = get_dataset("nyx_quant")
+    nyx_data, _ = ds.generate(2_000_000, rng)
+    nyx_hist = np.bincount(nyx_data, minlength=ds.n_symbols).astype(np.int64)
+    out = [("Nyx-Quant", 1024, nyx_hist)]
+    for k, n in ((3, 2048), (4, 4096), (5, 8192)):
+        out.append((f"{k}-MER", n, kmer_histogram(1_500_000, k, rng, n_symbols=n)))
+    return out
+
+
+def table3_codebook(seed: int = 42) -> list[Table3Row]:
+    """Codebook-construction breakdown: cuSZ serial-on-GPU vs ours."""
+    rows: list[Table3Row] = []
+    for name, n, hist in _codebook_histograms(seed):
+        serial_ms_cpu = serial_codebook_ms(n)
+        cusz = serial_gpu_codebook(hist)
+        ours = parallel_codebook(hist)
+        cusz_gen, cusz_canon, cusz_total = {}, {}, {}
+        gencl, gencw, total = {}, {}, {}
+        for device in (RTX5000, V100):
+            g, c = cusz.stage_ms(device)
+            cusz_gen[device.name] = g
+            cusz_canon[device.name] = c
+            cusz_total[device.name] = g + c
+            model = CostModel(device)
+            t_sort = model.time(ours.costs[0]).milliseconds
+            t_cl = model.time(ours.costs[1]).milliseconds
+            t_cw = model.time(ours.costs[2]).milliseconds
+            gencl[device.name] = t_sort + t_cl
+            gencw[device.name] = t_cw
+            total[device.name] = t_sort + t_cl + t_cw
+        rows.append(Table3Row(
+            workload=name, n_symbols=n, serial_cpu_ms=serial_ms_cpu,
+            cusz_gen_ms=cusz_gen, cusz_canonize_ms=cusz_canon,
+            cusz_total_ms=cusz_total, ours_gencl_ms=gencl,
+            ours_gencw_ms=gencw, ours_total_ms=total,
+            speedup_v100=cusz_total["V100"] / total["V100"],
+            paper=ref.TABLE3_PAPER.get(n),
+        ))
+    return rows
+
+
+def naive_tree_motivation_ms(n_symbols: int = 8192) -> float:
+    """§II-C datum: naive pointer-tree codebook on the V100."""
+    return naive_gpu_tree_ms(n_symbols, V100)
+
+
+# --------------------------------------------------------------- Table IV --
+@dataclass
+class Table4Row:
+    n_symbols: int
+    serial_ms: float
+    mt_ms: dict  # cores -> ms
+    paper: tuple | None
+
+
+def table4_cpu_codebook(
+    symbol_counts: tuple[int, ...] = (1024, 2048, 4096, 8192, 16384, 32768, 65536),
+    cores: tuple[int, ...] = (1, 2, 4, 6, 8),
+    seed: int = 42,
+) -> list[Table4Row]:
+    """Multi-thread CPU codebook construction vs SZ serial."""
+    rng = np.random.default_rng(seed)
+    rows: list[Table4Row] = []
+    for n in symbol_counts:
+        hist = normal_histogram(n, rng=rng)
+        # run the functional construction once per core count (result is
+        # identical; the model prices the thread count)
+        mt_ms = {}
+        for c in cores:
+            res = cpu_mt_codebook(hist, threads=c)
+            mt_ms[c] = res.modeled_ms
+        rows.append(Table4Row(
+            n_symbols=n,
+            serial_ms=serial_codebook_ms(n),
+            mt_ms=mt_ms,
+            paper=ref.TABLE4_PAPER.get(n),
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------- Table V --
+@dataclass
+class Table5Row:
+    dataset: str
+    scheme: str  # "cusz" | "ours"
+    avg_bits: float
+    reduce_factor: int | None
+    breaking_fraction: float | None
+    hist_gbps: dict  # device -> GB/s
+    codebook_ms: dict
+    encode_gbps: dict
+    overall_gbps: dict
+    compression_ratio: float
+    paper: dict | None
+
+
+def table5_overall(
+    surrogate_bytes: int = _DEFAULT_SURROGATE_BYTES,
+    seed: int = 42,
+    devices: tuple[DeviceSpec, ...] = (RTX5000, V100),
+    datasets: tuple[str, ...] | None = None,
+) -> list[Table5Row]:
+    """Full pipeline breakdown per dataset: cuSZ baseline vs ours."""
+    rng = np.random.default_rng(seed)
+    names = datasets if datasets is not None else tuple(PAPER_DATASETS)
+    rows: list[Table5Row] = []
+    for name in names:
+        ds = get_dataset(name)
+        data, scale = ds.generate(surrogate_bytes, rng)
+        for scheme in ("cusz", "ours"):
+            hist_g, cb_ms, enc_g, all_g = {}, {}, {}, {}
+            avg_bits = cr = 0.0
+            rfac = None
+            brk = None
+            for device in devices:
+                res = run_pipeline(
+                    data, ds.n_symbols, device=device, scale=scale,
+                    codebook_scheme="serial_gpu" if scheme == "cusz" else "parallel",
+                    encoder_scheme="cusz_coarse" if scheme == "cusz" else "reduce_shuffle",
+                )
+                g = res.stage_gbps()
+                hist_g[device.name] = g["hist"]
+                cb_ms[device.name] = g["codebook_ms"]
+                enc_g[device.name] = g["encode"]
+                all_g[device.name] = g["overall"]
+                avg_bits = res.avg_bits
+                cr = res.compression_ratio
+                if scheme == "ours":
+                    rfac = res.encode.tuning.reduction_factor
+                    brk = res.breaking_fraction
+            rows.append(Table5Row(
+                dataset=name, scheme=scheme, avg_bits=avg_bits,
+                reduce_factor=rfac, breaking_fraction=brk,
+                hist_gbps=hist_g, codebook_ms=cb_ms, encode_gbps=enc_g,
+                overall_gbps=all_g, compression_ratio=cr,
+                paper=ref.TABLE5_PAPER.get(name, {}).get(scheme),
+            ))
+    return rows
+
+
+# --------------------------------------------------------------- Table VI --
+@dataclass
+class Table6Row:
+    cores: int
+    hist_gbps: float
+    codebook_ms: float
+    enc_gbps: float
+    enc_efficiency: float
+    overall_gbps: float
+    paper_enc_gbps: float | None
+    paper_overall_gbps: float | None
+
+
+def table6_cpu_scaling(
+    surrogate_bytes: int = _DEFAULT_SURROGATE_BYTES,
+    seed: int = 42,
+    cores: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 56, 64),
+) -> list[Table6Row]:
+    """Multi-thread CPU encoder scaling on the Nyx-Quant surrogate."""
+    rng = np.random.default_rng(seed)
+    ds = get_dataset("nyx_quant")
+    data, scale = ds.generate(surrogate_bytes, rng)
+    full_bytes = data.nbytes * scale
+    hist = np.bincount(data, minlength=ds.n_symbols).astype(np.int64)
+    rows: list[Table6Row] = []
+    base_enc = None
+    for c in cores:
+        h = cpu_mt_histogram(data, ds.n_symbols, threads=c)
+        cb = cpu_mt_codebook(hist, threads=c)
+        enc = cpu_mt_encode(data, cb.codebook, threads=c)
+        if base_enc is None:
+            base_enc = enc.modeled_gbps
+        t_hist = full_bytes / (h.modeled_gbps * 1e9)
+        # a sane CPU pipeline builds a 1024-symbol codebook serially when
+        # that is faster than paying the OpenMP fork/join (it always is at
+        # this alphabet size; SZ's implementation does exactly that)
+        cb_ms = min(cb.modeled_ms, cb.serial_reference_ms)
+        t_cb = cb_ms / 1e3
+        t_enc = full_bytes / (enc.modeled_gbps * 1e9)
+        overall = full_bytes / (t_hist + t_cb + t_enc) / 1e9
+        rows.append(Table6Row(
+            cores=c,
+            hist_gbps=h.modeled_gbps,
+            codebook_ms=cb_ms,
+            enc_gbps=enc.modeled_gbps,
+            enc_efficiency=enc.modeled_gbps / (base_enc * c),
+            overall_gbps=overall,
+            paper_enc_gbps=ref.TABLE6_PAPER["enc_gbps"].get(c),
+            paper_overall_gbps=ref.TABLE6_PAPER["overall_gbps"].get(c),
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------- Figures --
+def fig1_reduce_trace(seed: int = 7) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Fig. 1's 8-to-1 REDUCE-merge on a concrete 8-codeword chunk."""
+    rng = np.random.default_rng(seed)
+    lens = rng.integers(1, 5, 8)
+    codes = np.array([rng.integers(0, 1 << l) for l in lens], dtype=np.uint64)
+    return reduce_merge_trace(codes, lens, r=3)
+
+
+def fig2_shuffle_trace(seed: int = 7) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Fig. 2's grouped batch moves on an 8-cell chunk."""
+    rng = np.random.default_rng(seed)
+    lens = rng.integers(3, 33, 8).astype(np.int64)
+    vals = np.array(
+        [rng.integers(0, 1 << min(int(l), 62)) for l in lens], dtype=np.uint64
+    )
+    vals &= (np.uint64(1) << lens.astype(np.uint64)) - np.uint64(1)
+    return shuffle_merge_trace(vals, lens, cells_per_chunk=8)
+
+
+def fig3_tuning_curve(
+    word_bits: int = 32,
+    betas: np.ndarray | None = None,
+) -> list[dict]:
+    """Fig. 3: average bitwidth → reduction factor decision."""
+    betas = betas if betas is not None else np.geomspace(0.75, 16.0, 40)
+    rows = []
+    for b in betas:
+        r_rule = proper_reduction_factor(float(b), word_bits)
+        r_used = choose_reduction_factor(float(b), word_bits)
+        rows.append({
+            "avg_bits": float(b),
+            "r_rule": r_rule,
+            "r_used": r_used,
+            "merged_bits_rule": float(b) * (1 << r_rule),
+            "merged_bits_used": float(b) * (1 << r_used),
+        })
+    return rows

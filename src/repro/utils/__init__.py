@@ -1,0 +1,25 @@
+"""Shared low-level utilities: bit manipulation and sparse conversion."""
+
+from repro.utils.bits import (
+    BitReader,
+    BitWriter,
+    bit_reverse,
+    codeword_bits,
+    grouped_arange,
+    pack_codewords,
+    unpack_to_bits,
+)
+from repro.utils.sparse import SparseVector, dense_to_sparse, sparse_to_dense
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "bit_reverse",
+    "codeword_bits",
+    "grouped_arange",
+    "pack_codewords",
+    "unpack_to_bits",
+    "SparseVector",
+    "dense_to_sparse",
+    "sparse_to_dense",
+]

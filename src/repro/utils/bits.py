@@ -1,0 +1,228 @@
+"""Vectorized bit-manipulation primitives.
+
+Huffman coding is, at its heart, bit-granular data movement: codewords have
+variable bit lengths and must be concatenated into a dense stream.  The GPU
+kernels in the paper move these bits in 32-bit words; our NumPy "kernels"
+need the same primitives, expressed as vectorized array operations so that
+the functional simulation stays fast on multi-megabyte inputs.
+
+All codewords here are represented *right-aligned*: a codeword of length
+``l`` stored in an unsigned integer ``v`` occupies the ``l`` least
+significant bits of ``v``, with the first (most significant) bit of the
+codeword at bit position ``l - 1``.  Packed bitstreams are MSB-first within
+each byte, matching the convention of ``numpy.packbits``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "grouped_arange",
+    "bit_reverse",
+    "pack_codewords",
+    "unpack_to_bits",
+    "codeword_bits",
+    "BitWriter",
+    "BitReader",
+]
+
+#: Packing is processed in slices of at most this many *bits* at a time so
+#: that the intermediate one-byte-per-bit expansion stays memory-bounded.
+_PACK_BLOCK_BITS = 1 << 24
+
+
+def grouped_arange(lengths: np.ndarray) -> np.ndarray:
+    """Return ``[0..l0) ++ [0..l1) ++ ...`` for a vector of group lengths.
+
+    This is the standard "ragged arange" construction: a single output
+    array holding, for every group ``i``, the integers ``0 .. lengths[i]-1``
+    in order.  It is the work-horse for scattering variable-length codewords
+    into a flat bit array without a Python-level loop.
+
+    >>> grouped_arange(np.array([3, 1, 2]))
+    array([0, 1, 2, 0, 0, 1])
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.ndim != 1:
+        raise ValueError("lengths must be one-dimensional")
+    if lengths.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any(lengths < 0):
+        raise ValueError("lengths must be non-negative")
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # offsets[i] = start of group i in the flat output
+    offsets = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(offsets, lengths)
+    return out
+
+
+def bit_reverse(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Reverse the low ``lengths[i]`` bits of each ``values[i]``.
+
+    Used by ``GenerateCW``: the paper emits per-level codewords in
+    *decreasing* numeric order and then inverts the bits of every codeword
+    (Algorithm 1, line 47) so that the resulting codebook is canonical.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.uint64)
+    out = np.zeros_like(values)
+    work = values.copy()
+    maxlen = int(lengths.max()) if lengths.size else 0
+    for _ in range(maxlen):
+        out = (out << np.uint64(1)) | (work & np.uint64(1))
+        work >>= np.uint64(1)
+    # Codewords shorter than maxlen were shifted too far; shift back.
+    out >>= np.uint64(maxlen) - lengths
+    out[lengths == 0] = 0
+    return out
+
+
+def codeword_bits(codes: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Expand right-aligned codewords into a flat MSB-first bit array.
+
+    Returns a ``uint8`` array of 0/1 of size ``lengths.sum()``.  Memory use
+    is one byte per output bit, so callers with large inputs should go
+    through :func:`pack_codewords`, which processes in bounded blocks.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have the same shape")
+    inner = grouped_arange(lengths)
+    if inner.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    rep_codes = np.repeat(codes, lengths)
+    rep_lens = np.repeat(lengths, lengths)
+    shifts = (rep_lens - 1 - inner).astype(np.uint64)
+    return ((rep_codes >> shifts) & np.uint64(1)).astype(np.uint8)
+
+
+def pack_codewords(
+    codes: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Concatenate variable-length codewords into a dense byte stream.
+
+    This is the *reference* bit packer: the functional ground truth that
+    every encoding scheme (reduce/shuffle-merge, prefix-sum, coarse-grained)
+    must reproduce bit-for-bit on its dense path.  Packing is MSB-first; the
+    final byte is zero-padded on the right.
+
+    Returns ``(buffer, total_bits)`` where ``buffer`` is a ``uint8`` array.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have the same shape")
+    total_bits = int(lengths.sum())
+    if total_bits == 0:
+        return np.empty(0, dtype=np.uint8), 0
+
+    # Split the symbol range into blocks whose bit totals stay bounded and
+    # byte-aligned (except possibly the last), then pack each block
+    # independently and concatenate the byte buffers.
+    bit_offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=bit_offsets[1:])
+
+    pieces: list[np.ndarray] = []
+    start = 0
+    n = codes.size
+    carry_bits = np.empty(0, dtype=np.uint8)
+    while start < n:
+        # Find the largest end such that the block stays under the budget.
+        budget = bit_offsets[start] + _PACK_BLOCK_BITS
+        end = int(np.searchsorted(bit_offsets, budget, side="right")) - 1
+        end = max(end, start + 1)
+        end = min(end, n)
+        block = codeword_bits(codes[start:end], lengths[start:end])
+        if carry_bits.size:
+            block = np.concatenate([carry_bits, block])
+        usable = (block.size // 8) * 8
+        if end == n:
+            usable = block.size
+        pieces.append(np.packbits(block[:usable]))
+        carry_bits = block[usable:]
+        start = end
+    buf = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+    return buf, total_bits
+
+
+def unpack_to_bits(buffer: np.ndarray, total_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_codewords`'s byte packing: bytes → 0/1 bits."""
+    buffer = np.asarray(buffer, dtype=np.uint8)
+    bits = np.unpackbits(buffer)
+    if total_bits > bits.size:
+        raise ValueError(
+            f"buffer holds {bits.size} bits, {total_bits} requested"
+        )
+    return bits[:total_bits]
+
+
+class BitWriter:
+    """Scalar MSB-first bit accumulator for slow paths.
+
+    The breaking-point side channel and the chunk decoder deal with a tiny
+    fraction of the data (<0.2 % in the paper's Table V), so a Python-level
+    writer is acceptable there and keeps the logic obvious.
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._nbits = 0
+
+    def write(self, code: int, length: int) -> None:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if code < 0 or (length < code.bit_length()):
+            raise ValueError("code does not fit in length bits")
+        self._value = (self._value << length) | code
+        self._nbits += length
+
+    @property
+    def bit_length(self) -> int:
+        return self._nbits
+
+    def to_bytes(self) -> bytes:
+        nbytes = (self._nbits + 7) // 8
+        pad = nbytes * 8 - self._nbits
+        return (self._value << pad).to_bytes(nbytes, "big") if nbytes else b""
+
+    def to_array(self) -> np.ndarray:
+        return np.frombuffer(self.to_bytes(), dtype=np.uint8).copy()
+
+
+class BitReader:
+    """Scalar MSB-first bit reader over a byte buffer."""
+
+    def __init__(self, buffer: np.ndarray | bytes, total_bits: int) -> None:
+        self._bits = unpack_to_bits(
+            np.frombuffer(bytes(buffer), dtype=np.uint8)
+            if isinstance(buffer, (bytes, bytearray))
+            else buffer,
+            total_bits,
+        )
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return self._bits.size - self._pos
+
+    def read(self, length: int) -> int:
+        if length > self.remaining:
+            raise EOFError("bitstream exhausted")
+        value = 0
+        for b in self._bits[self._pos : self._pos + length]:
+            value = (value << 1) | int(b)
+        self._pos += length
+        return value
+
+    def read_bit(self) -> int:
+        if self._pos >= self._bits.size:
+            raise EOFError("bitstream exhausted")
+        b = int(self._bits[self._pos])
+        self._pos += 1
+        return b

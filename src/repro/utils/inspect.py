@@ -1,0 +1,134 @@
+"""Codebook and stream inspection tooling.
+
+Debugging variable-length codes by staring at hex dumps is miserable;
+these helpers render what a developer actually asks for: the codebook as
+a table (symbol, frequency, length, code bits), the code tree as ASCII
+art, per-length occupancy against the Kraft budget, and a chunk-level
+summary of an encoded stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitstream import EncodedStream
+from repro.huffman.codebook import CanonicalCodebook
+
+__all__ = [
+    "codebook_table",
+    "codebook_tree_ascii",
+    "length_histogram",
+    "stream_summary",
+]
+
+
+def _code_str(code: int, length: int) -> str:
+    return format(code, f"0{length}b") if length else ""
+
+
+def codebook_table(
+    book: CanonicalCodebook,
+    freqs: np.ndarray | None = None,
+    max_rows: int = 40,
+) -> str:
+    """Render the forward codebook, most frequent / shortest first."""
+    used = np.flatnonzero(book.lengths > 0)
+    if used.size == 0:
+        return "(empty codebook)"
+    order = used[np.lexsort((used, book.lengths[used]))]
+    lines = [f"{'symbol':>8} {'freq':>12} {'len':>4}  code"]
+    shown = order[:max_rows]
+    for s in shown:
+        f = f"{int(freqs[s]):,}" if freqs is not None else "-"
+        lines.append(
+            f"{int(s):>8} {f:>12} {int(book.lengths[s]):>4}  "
+            f"{_code_str(int(book.codes[s]), int(book.lengths[s]))}"
+        )
+    if order.size > shown.size:
+        lines.append(f"... ({order.size - shown.size} more)")
+    return "\n".join(lines)
+
+
+def codebook_tree_ascii(book: CanonicalCodebook, max_depth: int = 8) -> str:
+    """ASCII rendering of the (canonical) code trie.
+
+    Left edge = 0, right edge = 1; leaves print their symbol.  Depth is
+    clipped for readability (an elided subtree prints its leaf count).
+    """
+    used = [(int(book.lengths[s]), int(book.codes[s]), int(s))
+            for s in np.flatnonzero(book.lengths > 0)]
+    if not used:
+        return "(empty)"
+
+    def count_below(prefix: int, depth: int) -> int:
+        return sum(1 for l, c, _ in used
+                   if l >= depth and (c >> (l - depth)) == prefix)
+
+    def leaf_at(prefix: int, depth: int):
+        for l, c, s in used:
+            if l == depth and c == prefix:
+                return s
+        return None
+
+    lines: list[str] = []
+
+    def walk(prefix: int, depth: int, indent: str, edge: str) -> None:
+        label = f"{edge}" if depth else "root"
+        s = leaf_at(prefix, depth)
+        if s is not None:
+            lines.append(f"{indent}{label} -> symbol {s} "
+                         f"[{_code_str(prefix, depth)}]")
+            return
+        n = count_below(prefix, depth)
+        if n == 0:
+            return
+        if depth >= max_depth:
+            lines.append(f"{indent}{label} -> ({n} leaves below)")
+            return
+        lines.append(f"{indent}{label}")
+        walk(prefix << 1, depth + 1, indent + "  ", "0:")
+        walk((prefix << 1) | 1, depth + 1, indent + "  ", "1:")
+
+    walk(0, 0, "", "")
+    return "\n".join(lines)
+
+
+def length_histogram(book: CanonicalCodebook) -> str:
+    """Per-length code counts with the Kraft budget they consume."""
+    used = book.lengths[book.lengths > 0]
+    if used.size == 0:
+        return "(empty)"
+    counts = np.bincount(used, minlength=book.max_length + 1)
+    lines = [f"{'len':>4} {'codes':>6} {'kraft':>8}  "]
+    for l in range(1, book.max_length + 1):
+        if counts[l] == 0:
+            continue
+        kraft = counts[l] * 2.0**-l
+        bar = "#" * int(round(kraft * 40))
+        lines.append(f"{l:>4} {int(counts[l]):>6} {kraft:>8.4f}  {bar}")
+    lines.append(f"total kraft: {book.kraft_sum():.6f}")
+    return "\n".join(lines)
+
+
+def stream_summary(stream: EncodedStream) -> str:
+    """Chunk-level summary of an encoded stream."""
+    t = stream.tuning
+    lines = [
+        f"symbols {stream.n_symbols:,}; chunks {stream.n_chunks} x "
+        f"2^{t.magnitude}; r = {t.reduction_factor}; W = {t.word_bits}",
+        f"payload {stream.payload_bytes:,} B; metadata "
+        f"{stream.metadata_bytes:,} B; code bits {stream.encoded_bits:,}",
+        f"breaking {stream.breaking.nnz} cells "
+        f"({stream.breaking.breaking_fraction:.3e})",
+    ]
+    if stream.n_chunks:
+        bits = stream.chunk_bits
+        lines.append(
+            f"chunk bits: min {int(bits.min())}, median "
+            f"{int(np.median(bits))}, max {int(bits.max())} "
+            f"(capacity {t.chunk_symbols * 64})"
+        )
+    if stream.tail_symbols:
+        lines.append(f"tail: {stream.tail_symbols} symbols, "
+                     f"{stream.tail_bits} bits")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Dense-to-sparse conversion, standing in for the cuSPARSE API.
+
+The paper stores "breaking" merge cells — the tiny fraction of reduce-merge
+results whose concatenated bit length overflows the 32-bit representing
+word — through a dense-to-sparse conversion (cuSPARSE ``dense2csr``) so the
+dense bitstream stays uniform.  This module provides the equivalent COO
+converter plus the round-trip back to dense, with the same semantics: the
+dense input is a (mostly zero / mostly invalid) vector, the sparse output is
+(indices, values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SparseVector", "dense_to_sparse", "sparse_to_dense"]
+
+
+@dataclass(frozen=True)
+class SparseVector:
+    """COO representation of a sparse vector of fixed logical length."""
+
+    length: int
+    indices: np.ndarray  # int64, strictly increasing
+    values: np.ndarray  # same length as indices
+
+    def __post_init__(self) -> None:
+        if self.indices.shape != self.values.shape[: self.indices.ndim]:
+            raise ValueError("indices and values disagree in length")
+        if self.indices.size and (
+            int(self.indices.min()) < 0 or int(self.indices.max()) >= self.length
+        ):
+            raise ValueError("index out of range")
+        if self.indices.size > 1 and np.any(np.diff(self.indices) <= 0):
+            raise ValueError("indices must be strictly increasing")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def density(self) -> float:
+        return self.nnz / self.length if self.length else 0.0
+
+    def nbytes(self) -> int:
+        return int(self.indices.nbytes + self.values.nbytes)
+
+
+def dense_to_sparse(
+    dense: np.ndarray, mask: np.ndarray | None = None
+) -> SparseVector:
+    """Convert a dense vector to COO form.
+
+    ``mask`` selects the entries considered "present"; if omitted, nonzero
+    entries are used (cuSPARSE semantics).  Values may be multi-column
+    (e.g. a (value, bit-length) pair per breaking cell).
+    """
+    dense = np.asarray(dense)
+    if mask is None:
+        flat = dense.reshape(dense.shape[0], -1)
+        mask = np.any(flat != 0, axis=1)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != dense.shape[0]:
+            raise ValueError("mask length must match dense length")
+    idx = np.flatnonzero(mask).astype(np.int64)
+    return SparseVector(length=int(dense.shape[0]), indices=idx, values=dense[idx].copy())
+
+
+def sparse_to_dense(sv: SparseVector, fill=0, dtype=None) -> np.ndarray:
+    """Materialize a :class:`SparseVector` back into its dense form."""
+    value_shape = sv.values.shape[1:]
+    dtype = dtype if dtype is not None else sv.values.dtype
+    out = np.full((sv.length, *value_shape), fill, dtype=dtype)
+    out[sv.indices] = sv.values
+    return out

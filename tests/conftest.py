@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.codebook_parallel import parallel_codebook
+from repro.huffman.codebook import CanonicalCodebook
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def skewed_data(rng) -> np.ndarray:
+    """Symbols over a 64-letter alphabet with a heavy-tailed distribution."""
+    probs = rng.dirichlet(np.ones(64) * 0.1)
+    return rng.choice(64, size=20_000, p=probs).astype(np.uint16)
+
+
+@pytest.fixture
+def skewed_book(skewed_data) -> CanonicalCodebook:
+    freqs = np.bincount(skewed_data, minlength=64)
+    return parallel_codebook(freqs).codebook
+
+
+@pytest.fixture
+def text_like(rng) -> np.ndarray:
+    """Byte data with enwik-like entropy (avg codeword ~5 bits)."""
+    from repro.datasets.synthetic import probs_for_avg_bits, sample_symbols
+
+    probs = probs_for_avg_bits(256, 5.16)
+    return sample_symbols(probs, 30_000, rng)
+
+
+def make_book(freqs: np.ndarray) -> CanonicalCodebook:
+    return parallel_codebook(np.asarray(freqs, dtype=np.int64)).codebook

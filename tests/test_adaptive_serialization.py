@@ -1,0 +1,78 @@
+"""Tests for the adaptive-stream container format."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import adaptive_decode, adaptive_encode
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.serialization import (
+    deserialize_adaptive,
+    serialize_adaptive,
+)
+from repro.datasets.synthetic import probs_for_avg_bits, sample_symbols
+
+
+@pytest.fixture
+def mixed(rng):
+    low = sample_symbols(probs_for_avg_bits(64, 1.5), 8192, rng,
+                         dtype=np.uint16)
+    high = sample_symbols(probs_for_avg_bits(64, 5.5), 8192 + 91, rng,
+                          dtype=np.uint16)
+    data = np.concatenate([low, high])
+    book = parallel_codebook(np.bincount(data, minlength=64)).codebook
+    return data, book
+
+
+class TestAdaptiveContainer:
+    def test_roundtrip(self, mixed):
+        data, book = mixed
+        res = adaptive_encode(data, book)
+        blob = serialize_adaptive(res, book)
+        back, book2 = deserialize_adaptive(blob)
+        assert np.array_equal(adaptive_decode(back, book2), data)
+
+    def test_structure_preserved(self, mixed):
+        data, book = mixed
+        res = adaptive_encode(data, book)
+        back, _ = deserialize_adaptive(serialize_adaptive(res, book))
+        assert back.magnitude == res.magnitude
+        assert np.array_equal(back.chunk_r, res.chunk_r)
+        assert set(back.group_streams) == set(res.group_streams)
+        for r in res.group_streams:
+            assert np.array_equal(back.group_chunks[r],
+                                  res.group_chunks[r])
+        assert back.tail_symbols == res.tail_symbols
+
+    def test_wrong_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            deserialize_adaptive(b"RPRH" + b"\0" * 64)
+
+    def test_type_check(self, mixed):
+        data, book = mixed
+        with pytest.raises(TypeError):
+            serialize_adaptive("not a result", book)
+
+    def test_truncation_detected(self, mixed):
+        data, book = mixed
+        blob = serialize_adaptive(adaptive_encode(data, book), book)
+        with pytest.raises(ValueError):
+            deserialize_adaptive(blob[: len(blob) // 3])
+
+    def test_corrupt_chunk_table_detected(self, mixed):
+        data, book = mixed
+        res = adaptive_encode(data, book)
+        blob = bytearray(serialize_adaptive(res, book))
+        # flip one chunk_r byte -> group sizes disagree
+        off = 4 + 3 + 32 + 4 + book.n_symbols
+        blob[off] = 7
+        with pytest.raises(ValueError):
+            deserialize_adaptive(bytes(blob))
+
+    def test_homogeneous_single_group(self, rng):
+        data = sample_symbols(probs_for_avg_bits(64, 3.0), 4096, rng,
+                              dtype=np.uint16)
+        book = parallel_codebook(np.bincount(data, minlength=64)).codebook
+        res = adaptive_encode(data, book)
+        back, book2 = deserialize_adaptive(serialize_adaptive(res, book))
+        assert len(back.group_streams) == 1
+        assert np.array_equal(adaptive_decode(back, book2), data)

@@ -1,0 +1,105 @@
+"""Tests for the baseline encoders and serial-GPU codebook."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cusz_encoder import cusz_coarse_encode
+from repro.baselines.prefix_sum_encoder import prefix_sum_encode
+from repro.baselines.serial_gpu_codebook import (
+    naive_gpu_tree_ms,
+    serial_gpu_codebook,
+)
+from repro.cuda.costmodel import CostModel
+from repro.cuda.device import RTX5000, V100
+from repro.huffman.decoder import decode_canonical
+from repro.huffman.serial import serial_encode
+
+
+class TestCuszCoarse:
+    def test_chunks_decode(self, skewed_data, skewed_book):
+        res = cusz_coarse_encode(skewed_data, skewed_book, chunk_symbols=1000)
+        pieces = []
+        off = 0
+        for buf, bits in zip(res.chunk_buffers, res.chunk_bits):
+            n = min(1000, skewed_data.size - off)
+            pieces.append(decode_canonical(buf, int(bits), skewed_book, n))
+            off += n
+        assert np.array_equal(np.concatenate(pieces), skewed_data)
+
+    def test_total_bits_match_reference(self, skewed_data, skewed_book):
+        res = cusz_coarse_encode(skewed_data, skewed_book)
+        _, ref_bits = serial_encode(skewed_data, skewed_book)
+        assert int(res.chunk_bits.sum()) == ref_bits
+
+    def test_uncovered_symbol(self):
+        from repro.core.codebook_parallel import parallel_codebook
+
+        book = parallel_codebook(np.array([1, 1, 0])).codebook
+        with pytest.raises(ValueError):
+            cusz_coarse_encode(np.array([2]), book)
+
+    def test_cost_is_random_traffic(self, skewed_data, skewed_book):
+        res = cusz_coarse_encode(skewed_data, skewed_book)
+        assert res.cost.bytes_random > 0
+        assert res.cost.bytes_coalesced == 0
+        assert not res.cost.mem_compute_overlap
+
+    def test_compression_ratio(self, skewed_data, skewed_book):
+        assert cusz_coarse_encode(skewed_data, skewed_book).compression_ratio() > 1
+
+
+class TestPrefixSum:
+    def test_output_is_reference_stream(self, skewed_data, skewed_book):
+        res = prefix_sum_encode(skewed_data, skewed_book)
+        ref_buf, ref_bits = serial_encode(skewed_data, skewed_book)
+        assert res.total_bits == ref_bits
+        assert np.array_equal(res.buffer, ref_buf)
+
+    def test_offsets_are_exclusive_prefix(self, skewed_data, skewed_book):
+        res = prefix_sum_encode(skewed_data, skewed_book)
+        _, lens = skewed_book.lookup(skewed_data)
+        expect = np.zeros(skewed_data.size, dtype=np.int64)
+        np.cumsum(lens[:-1].astype(np.int64), out=expect[1:])
+        assert np.array_equal(res.offsets, expect)
+
+    def test_decodes(self, skewed_data, skewed_book):
+        res = prefix_sum_encode(skewed_data, skewed_book)
+        out = decode_canonical(res.buffer, res.total_bits, skewed_book,
+                               skewed_data.size)
+        assert np.array_equal(out, skewed_data)
+
+    def test_empty(self, skewed_book):
+        res = prefix_sum_encode(np.array([], dtype=np.int64), skewed_book)
+        assert res.total_bits == 0
+
+
+class TestSerialGpuCodebook:
+    def test_produces_reference_canonical(self, rng):
+        freqs = rng.integers(1, 1000, 128)
+        res = serial_gpu_codebook(freqs)
+        from repro.huffman.codebook import canonical_from_lengths
+        from repro.huffman.tree import codeword_lengths_serial
+
+        ref = canonical_from_lengths(codeword_lengths_serial(freqs))
+        assert np.array_equal(res.codebook.codes, ref.codes)
+
+    def test_stage_breakdown(self, rng):
+        res = serial_gpu_codebook(rng.integers(1, 1000, 1024))
+        gen, canon = res.stage_ms(V100)
+        assert gen > canon  # serial generation dominates (Table III)
+
+    def test_table3_magnitudes(self, rng):
+        """Modeled cuSZ codebook times must sit in Table III's bands."""
+        t1024 = serial_gpu_codebook(rng.integers(1, 1000, 1024)).modeled_ms(V100)
+        t8192 = serial_gpu_codebook(rng.integers(1, 1000, 8192)).modeled_ms(V100)
+        assert 2.0 <= t1024 <= 8.0  # paper: 3.8 ms
+        assert 40.0 <= t8192 <= 90.0  # paper: 60.5 ms
+
+    def test_naive_tree_motivation(self):
+        """§II-C: ~144 ms for 8192 symbols on the V100."""
+        ms = naive_gpu_tree_ms(8192)
+        assert 100 <= ms <= 190
+
+    def test_naive_worse_than_array_serial(self, rng):
+        res = serial_gpu_codebook(rng.integers(1, 1000, 8192))
+        assert naive_gpu_tree_ms(8192) > res.modeled_ms(V100)

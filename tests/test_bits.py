@@ -1,0 +1,199 @@
+"""Unit + property tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    BitReader,
+    BitWriter,
+    bit_reverse,
+    codeword_bits,
+    grouped_arange,
+    pack_codewords,
+    unpack_to_bits,
+)
+
+
+class TestGroupedArange:
+    def test_basic(self):
+        assert grouped_arange(np.array([3, 1, 2])).tolist() == [0, 1, 2, 0, 0, 1]
+
+    def test_empty(self):
+        assert grouped_arange(np.array([], dtype=np.int64)).size == 0
+
+    def test_zero_lengths_interleaved(self):
+        assert grouped_arange(np.array([0, 2, 0, 1])).tolist() == [0, 1, 0]
+
+    def test_all_zero(self):
+        assert grouped_arange(np.array([0, 0])).size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            grouped_arange(np.array([1, -1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            grouped_arange(np.ones((2, 2), dtype=np.int64))
+
+    @given(st.lists(st.integers(0, 50), max_size=100))
+    def test_matches_python_loop(self, lengths):
+        lengths = np.asarray(lengths, dtype=np.int64)
+        expected = [j for l in lengths for j in range(l)]
+        assert grouped_arange(lengths).tolist() == expected
+
+
+class TestBitReverse:
+    def test_single(self):
+        # 0b110 reversed in 3 bits -> 0b011
+        out = bit_reverse(np.array([0b110], dtype=np.uint64), np.array([3]))
+        assert out[0] == 0b011
+
+    def test_palindrome(self):
+        out = bit_reverse(np.array([0b101], dtype=np.uint64), np.array([3]))
+        assert out[0] == 0b101
+
+    def test_mixed_lengths(self):
+        vals = np.array([0b1, 0b10, 0b1100], dtype=np.uint64)
+        lens = np.array([1, 2, 4])
+        out = bit_reverse(vals, lens)
+        assert out.tolist() == [0b1, 0b01, 0b0011]
+
+    def test_zero_length_stays_zero(self):
+        out = bit_reverse(np.array([5], dtype=np.uint64), np.array([0]))
+        assert out[0] == 0
+
+    @given(st.integers(1, 62), st.data())
+    def test_involution(self, nbits, data):
+        v = data.draw(st.integers(0, (1 << nbits) - 1))
+        vals = np.array([v], dtype=np.uint64)
+        lens = np.array([nbits], dtype=np.int64)
+        assert bit_reverse(bit_reverse(vals, lens), lens)[0] == v
+
+
+class TestCodewordBits:
+    def test_msb_first(self):
+        bits = codeword_bits(np.array([0b101], dtype=np.uint64), np.array([3]))
+        assert bits.tolist() == [1, 0, 1]
+
+    def test_concatenation(self):
+        bits = codeword_bits(
+            np.array([0b1, 0b01], dtype=np.uint64), np.array([1, 2])
+        )
+        assert bits.tolist() == [1, 0, 1]
+
+    def test_empty(self):
+        assert codeword_bits(np.array([], dtype=np.uint64),
+                             np.array([], dtype=np.int64)).size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            codeword_bits(np.array([1], dtype=np.uint64), np.array([1, 2]))
+
+
+class TestPackCodewords:
+    def test_simple_byte(self):
+        # 8 single-bit codes 1,0,1,0,1,0,1,0 -> 0xAA
+        codes = np.array([1, 0] * 4, dtype=np.uint64)
+        lens = np.ones(8, dtype=np.int64)
+        buf, nbits = pack_codewords(codes, lens)
+        assert nbits == 8
+        assert buf.tolist() == [0xAA]
+
+    def test_pad_final_byte(self):
+        buf, nbits = pack_codewords(np.array([0b11], dtype=np.uint64),
+                                    np.array([2]))
+        assert nbits == 2
+        assert buf.tolist() == [0b11000000]
+
+    def test_empty(self):
+        buf, nbits = pack_codewords(np.array([], dtype=np.uint64),
+                                    np.array([], dtype=np.int64))
+        assert nbits == 0 and buf.size == 0
+
+    def test_matches_bitwriter(self, rng):
+        lens = rng.integers(1, 24, 500)
+        codes = np.array([rng.integers(0, 1 << l) for l in lens],
+                         dtype=np.uint64)
+        buf, nbits = pack_codewords(codes, lens)
+        w = BitWriter()
+        for c, l in zip(codes, lens):
+            w.write(int(c), int(l))
+        assert w.bit_length == nbits
+        assert np.array_equal(w.to_array(), buf)
+
+    def test_block_boundary_consistency(self, rng, monkeypatch):
+        """Packing must be independent of the internal block size."""
+        import repro.utils.bits as bits_mod
+
+        lens = rng.integers(1, 16, 300)
+        codes = np.array([rng.integers(0, 1 << l) for l in lens],
+                         dtype=np.uint64)
+        ref = pack_codewords(codes, lens)
+        monkeypatch.setattr(bits_mod, "_PACK_BLOCK_BITS", 64)
+        small = bits_mod.pack_codewords(codes, lens)
+        assert ref[1] == small[1]
+        assert np.array_equal(ref[0], small[0])
+
+    @given(st.lists(st.tuples(st.integers(1, 32), st.integers(0, 2**32 - 1)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_roundtrip_via_unpack(self, pairs):
+        lens = np.array([l for l, _ in pairs], dtype=np.int64)
+        codes = np.array([v & ((1 << l) - 1) for l, v in pairs],
+                         dtype=np.uint64)
+        buf, nbits = pack_codewords(codes, lens)
+        bits = unpack_to_bits(buf, nbits)
+        r = BitReader(buf, nbits)
+        for c, l in zip(codes, lens):
+            assert r.read(int(l)) == int(c)
+        assert bits.size == nbits
+
+
+class TestUnpackToBits:
+    def test_roundtrip(self):
+        buf = np.array([0b10110000], dtype=np.uint8)
+        assert unpack_to_bits(buf, 4).tolist() == [1, 0, 1, 1]
+
+    def test_too_many_requested(self):
+        with pytest.raises(ValueError):
+            unpack_to_bits(np.array([0], dtype=np.uint8), 9)
+
+
+class TestBitWriterReader:
+    def test_write_read(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b1, 1)
+        assert w.bit_length == 4
+        r = BitReader(w.to_array(), 4)
+        assert r.read(3) == 0b101
+        assert r.read_bit() == 1
+
+    def test_write_rejects_overwide_code(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(0b100, 2)
+
+    def test_write_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(0, -1)
+
+    def test_reader_eof(self):
+        r = BitReader(np.array([0xFF], dtype=np.uint8), 3)
+        r.read(3)
+        with pytest.raises(EOFError):
+            r.read_bit()
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    def test_empty_writer(self):
+        w = BitWriter()
+        assert w.to_bytes() == b""
+        assert w.to_array().size == 0
+
+    def test_reader_accepts_bytes(self):
+        r = BitReader(b"\xA0", 4)
+        assert r.read(4) == 0b1010
+        assert r.remaining == 0

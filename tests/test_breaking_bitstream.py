@@ -1,0 +1,108 @@
+"""Tests for breaking-point handling and the encoded-stream container."""
+
+import numpy as np
+import pytest
+
+from repro.core.breaking import BreakingStore, breaking_costs, extract_breaking
+from repro.core.reduce_merge import reduce_merge
+from repro.utils.bits import BitReader, pack_codewords
+
+
+def make_broken_input():
+    """8 codewords, r=2: cell 0 breaks (34 bits), cell 1 stays (8 bits)."""
+    lens = np.array([16, 10, 4, 4, 2, 2, 2, 2], dtype=np.int64)
+    codes = np.array([0xABCD, 0x3FF, 0xF, 0x5, 1, 0, 1, 0], dtype=np.uint64)
+    return codes, lens
+
+
+class TestExtractBreaking:
+    def test_backtrace_payload_bits(self):
+        codes, lens = make_broken_input()
+        res = reduce_merge(codes, lens, 2)
+        assert res.broken.tolist() == [True, False]
+        store = extract_breaking(codes, lens, res.broken, 4)
+        assert store.nnz == 1
+        assert store.cell_indices.tolist() == [0]
+        assert store.bit_lengths[0] == 34
+        # payload equals the reference concatenation of the group
+        ref_buf, ref_bits = pack_codewords(codes[:4], lens[:4])
+        buf, nbits = store.cell_payload(0)
+        assert nbits == ref_bits
+        assert np.array_equal(buf, ref_buf)
+
+    def test_no_breaking(self):
+        codes = np.ones(8, dtype=np.uint64)
+        lens = np.full(8, 2, dtype=np.int64)
+        res = reduce_merge(codes, lens, 2)
+        store = extract_breaking(codes, lens, res.broken, 4)
+        assert store.nnz == 0
+        assert store.breaking_fraction == 0.0
+        assert store.nbytes() >= 0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            extract_breaking(np.zeros(8, dtype=np.uint64), np.zeros(8),
+                             np.zeros(3, dtype=bool), 4)
+
+    def test_sparse_vector_view(self):
+        codes, lens = make_broken_input()
+        res = reduce_merge(codes, lens, 2)
+        store = extract_breaking(codes, lens, res.broken, 4)
+        sv = store.to_sparse_vector()
+        assert sv.nnz == store.nnz
+        assert sv.length == store.n_cells
+
+    def test_costs(self):
+        codes, lens = make_broken_input()
+        res = reduce_merge(codes, lens, 2)
+        store = extract_breaking(codes, lens, res.broken, 4)
+        costs = breaking_costs(store)
+        assert [c.name for c in costs] == ["enc.breaking_backtrace",
+                                           "enc.dense2sparse"]
+        assert costs[0].meta["nnz"] == 1
+
+    def test_multiple_broken_cells_payload_offsets(self, rng):
+        n = 32
+        lens = rng.integers(8, 12, n).astype(np.int64)  # all cells break
+        codes = np.array([rng.integers(0, 1 << l) for l in lens],
+                         dtype=np.uint64)
+        res = reduce_merge(codes, lens, 3)  # 8 codewords/cell, 64-96 bits
+        assert res.broken.all()
+        store = extract_breaking(codes, lens, res.broken, 8)
+        assert store.nnz == 4
+        for k in range(4):
+            buf, nbits = store.cell_payload(k)
+            ref_buf, ref_bits = pack_codewords(
+                codes[k * 8: (k + 1) * 8], lens[k * 8: (k + 1) * 8]
+            )
+            assert nbits == ref_bits
+            assert np.array_equal(buf, ref_buf)
+
+
+class TestEncodedStreamContainer:
+    def test_sizes_and_ratio(self, skewed_data, skewed_book):
+        from repro.core.encoder import gpu_encode
+
+        res = gpu_encode(skewed_data, skewed_book)
+        s = res.stream
+        assert s.payload_bytes > 0
+        assert s.metadata_bytes > 0
+        assert s.compressed_bytes == s.payload_bytes + s.metadata_bytes
+        assert s.compression_ratio(skewed_data.nbytes) > 1.0
+
+    def test_encoded_bits_accounts_side_channel(self, skewed_data, skewed_book):
+        from repro.core.encoder import gpu_encode
+        from repro.huffman.serial import serial_encode
+
+        res = gpu_encode(skewed_data, skewed_book)
+        _, ref_bits = serial_encode(skewed_data, skewed_book)
+        assert res.stream.encoded_bits == ref_bits
+
+    def test_chunk_payload_bounds(self, skewed_data, skewed_book):
+        from repro.core.encoder import gpu_encode
+
+        res = gpu_encode(skewed_data, skewed_book)
+        s = res.stream
+        for c in range(s.n_chunks):
+            buf, bits = s.chunk_payload(c)
+            assert buf.size == (bits + 7) // 8

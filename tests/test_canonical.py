@@ -1,0 +1,68 @@
+"""Tests for the baseline canonize kernel and base-codebook extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.canonical import base_codebook_from_tree, canonize
+from repro.cuda.costmodel import CostModel
+from repro.cuda.device import V100
+from repro.huffman.codebook import canonical_from_lengths
+from repro.huffman.tree import build_tree
+
+
+class TestBaseCodebook:
+    def test_path_codes_are_prefix_free(self, rng):
+        freqs = rng.integers(1, 100, 64)
+        tree = build_tree(freqs)
+        base = base_codebook_from_tree(tree)
+        # base codes with their lengths form a prefix-free set
+        pairs = {(int(l), int(c)) for c, l in zip(base.codes, base.lengths)
+                 if l > 0}
+        assert len(pairs) == 64
+        for l, c in pairs:
+            for cut in range(1, l):
+                assert (cut, c >> (l - cut)) not in pairs
+
+    def test_lengths_match_tree_depths(self, rng):
+        freqs = rng.integers(1, 100, 32)
+        tree = build_tree(freqs)
+        base = base_codebook_from_tree(tree)
+        assert np.array_equal(base.lengths, tree.leaf_depths())
+
+    def test_empty_tree(self):
+        tree = build_tree(np.zeros(4, dtype=np.int64))
+        base = base_codebook_from_tree(tree)
+        assert np.all(base.lengths == 0)
+
+    def test_single_leaf(self):
+        tree = build_tree(np.array([0, 5]))
+        base = base_codebook_from_tree(tree)
+        assert base.lengths.tolist() == [0, 1]
+
+
+class TestCanonize:
+    def test_preserves_lengths(self, rng):
+        freqs = rng.integers(1, 1000, 128)
+        tree = build_tree(freqs)
+        base = base_codebook_from_tree(tree)
+        res = canonize(base)
+        assert np.array_equal(res.codebook.lengths, base.lengths)
+
+    def test_equals_reference(self, rng):
+        freqs = rng.integers(1, 1000, 128)
+        base = base_codebook_from_tree(build_tree(freqs))
+        res = canonize(base)
+        ref = canonical_from_lengths(base.lengths)
+        assert np.array_equal(res.codebook.codes, ref.codes)
+        assert np.array_equal(res.codebook.first, ref.first)
+
+    def test_cost_has_serial_section(self, rng):
+        base = base_codebook_from_tree(build_tree(rng.integers(1, 10, 1024)))
+        res = canonize(base)
+        assert res.cost.serial_ops > 0  # the RAW radix-sort section
+
+    def test_canonize_1024_is_fast_on_v100(self, rng):
+        """§IV-B2: ~200 us (and Table III: ~0.1 ms) for 1024 codewords."""
+        base = base_codebook_from_tree(build_tree(rng.integers(1, 10**6, 1024)))
+        t_us = CostModel(V100).time(canonize(base).cost).microseconds
+        assert 30 <= t_us <= 400

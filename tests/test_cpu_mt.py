@@ -1,0 +1,174 @@
+"""Tests for the multi-thread CPU baseline (codebook, encoder, histogram)
+and its performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.huffman.codebook import canonical_from_lengths
+from repro.huffman.cpu_mt import (
+    cpu_mt_codebook,
+    cpu_mt_encode,
+    cpu_mt_histogram,
+    two_queue_lengths,
+)
+from repro.huffman.decoder import decode_canonical
+from repro.huffman.tree import codeword_lengths_serial
+from repro.perf.cpu_model import (
+    DEFAULT_CPU_PARAMS,
+    mt_codebook_ms,
+    mt_region_overhead_ms,
+    mt_throughput_gbps,
+    parallel_efficiency,
+    serial_codebook_ms,
+)
+
+
+class TestTwoQueue:
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=200))
+    @settings(max_examples=150)
+    def test_optimal(self, freqs):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        lens_tq = two_queue_lengths(freqs)
+        lens_heap = codeword_lengths_serial(freqs)
+        assert int(np.sum(freqs * lens_tq)) == int(np.sum(freqs * lens_heap))
+
+    def test_empty_and_single(self):
+        assert two_queue_lengths(np.zeros(3, dtype=np.int64)).tolist() == [0, 0, 0]
+        assert two_queue_lengths(np.array([0, 9])).tolist() == [0, 1]
+
+    def test_zero_symbols_excluded(self):
+        lens = two_queue_lengths(np.array([4, 0, 4]))
+        assert lens[1] == 0
+
+
+class TestMtCodebook:
+    def test_functional_result_valid(self, rng):
+        freqs = rng.integers(1, 1000, 512)
+        res = cpu_mt_codebook(freqs, threads=4)
+        assert res.codebook.is_prefix_free()
+        assert res.codebook.kraft_sum() == pytest.approx(1.0)
+
+    def test_same_codebook_any_thread_count(self, rng):
+        freqs = rng.integers(1, 1000, 256)
+        b1 = cpu_mt_codebook(freqs, threads=1).codebook
+        b8 = cpu_mt_codebook(freqs, threads=8).codebook
+        assert np.array_equal(b1.codes, b8.codes)
+        assert np.array_equal(b1.lengths, b8.lengths)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            cpu_mt_codebook(np.array([1, 1]), threads=0)
+
+    def test_modeled_time_grows_with_threads_small_n(self):
+        """Table IV: OpenMP overhead makes MT *slower* for small alphabets."""
+        t1 = cpu_mt_codebook(np.arange(1, 1025), threads=1).modeled_ms
+        t8 = cpu_mt_codebook(np.arange(1, 1025), threads=8).modeled_ms
+        assert t8 > t1
+
+    def test_mt_beats_serial_at_large_n(self):
+        n = 65536
+        assert mt_codebook_ms(n, 4) < serial_codebook_ms(n)
+
+    def test_serial_beats_mt_at_small_n(self):
+        n = 1024
+        assert serial_codebook_ms(n) < mt_codebook_ms(n, 1)
+
+
+class TestMtEncode:
+    def test_chunks_cover_data(self, skewed_data, skewed_book):
+        res = cpu_mt_encode(skewed_data, skewed_book, threads=7)
+        assert int(res.chunk_symbols.sum()) == skewed_data.size
+        assert len(res.chunk_buffers) == 7
+
+    def test_chunks_decode_back(self, skewed_data, skewed_book):
+        res = cpu_mt_encode(skewed_data, skewed_book, threads=5)
+        pieces = []
+        for buf, bits, nsym in zip(res.chunk_buffers, res.chunk_bits,
+                                   res.chunk_symbols):
+            if nsym:
+                pieces.append(decode_canonical(buf, int(bits), skewed_book,
+                                               int(nsym)))
+        out = np.concatenate(pieces)
+        assert np.array_equal(out, skewed_data)
+
+    def test_single_thread_matches_reference(self, skewed_data, skewed_book):
+        from repro.huffman.serial import serial_encode
+
+        res = cpu_mt_encode(skewed_data, skewed_book, threads=1)
+        ref_buf, ref_bits = serial_encode(skewed_data, skewed_book)
+        assert int(res.chunk_bits[0]) == ref_bits
+        assert np.array_equal(res.chunk_buffers[0], ref_buf)
+
+    def test_compression_ratio_sane(self, skewed_data, skewed_book):
+        res = cpu_mt_encode(skewed_data, skewed_book, threads=4)
+        assert res.compression_ratio > 1.0
+
+    def test_modeled_seconds(self, skewed_data, skewed_book):
+        res = cpu_mt_encode(skewed_data, skewed_book, threads=4)
+        assert res.modeled_seconds > 0
+
+
+class TestMtHistogram:
+    def test_matches_bincount(self, rng):
+        data = rng.integers(0, 100, 5000)
+        for threads in (1, 3, 8):
+            res = cpu_mt_histogram(data, 100, threads=threads)
+            assert np.array_equal(res.histogram,
+                                  np.bincount(data, minlength=100))
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            cpu_mt_histogram(np.array([0]), 1, threads=0)
+
+
+class TestCpuModel:
+    def test_efficiency_one_within_cores(self):
+        assert parallel_efficiency(1) == 1.0
+        assert parallel_efficiency(56) == 1.0
+
+    def test_oversubscription_collapses(self):
+        assert parallel_efficiency(64) < 0.6
+
+    def test_throughput_scales_then_saturates(self):
+        p = DEFAULT_CPU_PARAMS
+        g2 = mt_throughput_gbps(2, p.encode_core_gbps, p.encode_cap_gbps)
+        g32 = mt_throughput_gbps(32, p.encode_core_gbps, p.encode_cap_gbps)
+        g56 = mt_throughput_gbps(56, p.encode_core_gbps, p.encode_cap_gbps)
+        assert g2 == pytest.approx(2 * p.encode_core_gbps, rel=0.1)
+        assert g32 > g2 * 10
+        assert g56 <= p.encode_cap_gbps * 1.01
+
+    def test_encode_collapses_at_64_threads(self):
+        """Table VI: 64 threads on 56 cores loses to 56 threads."""
+        p = DEFAULT_CPU_PARAMS
+        g56 = mt_throughput_gbps(56, p.encode_core_gbps, p.encode_cap_gbps)
+        g64 = mt_throughput_gbps(64, p.encode_core_gbps, p.encode_cap_gbps)
+        assert g64 < 0.7 * g56
+
+    def test_hist_does_not_collapse_at_64(self):
+        p = DEFAULT_CPU_PARAMS
+        g56 = mt_throughput_gbps(56, p.hist_core_gbps, p.hist_cap_gbps,
+                                 oversub_sensitive=False)
+        g64 = mt_throughput_gbps(64, p.hist_core_gbps, p.hist_cap_gbps,
+                                 oversub_sensitive=False)
+        assert g64 == pytest.approx(g56, rel=0.1)
+
+    def test_region_overhead_grows(self):
+        assert mt_region_overhead_ms(8) > mt_region_overhead_ms(1)
+
+    def test_serial_codebook_monotone(self):
+        times = [serial_codebook_ms(n) for n in (1024, 4096, 16384, 65536)]
+        assert times == sorted(times)
+
+    def test_mt_codebook_crossover_band(self):
+        """The paper finds MT needs >= 32768 symbols to beat serial."""
+        # serial wins comfortably at 4096
+        assert serial_codebook_ms(4096) < mt_codebook_ms(4096, 8)
+        # MT wins at 65536
+        assert mt_codebook_ms(65536, 8) < serial_codebook_ms(65536)
+
+    def test_efficiency_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency(0)

@@ -1,0 +1,310 @@
+"""Tests for the simulated CUDA substrate: devices, cost model, memory,
+atomics, warps, launch configs, profiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cuda import (
+    DEVICES,
+    RTX5000,
+    V100,
+    XEON_8280_2S,
+    CostModel,
+    DeviceArray,
+    KernelCost,
+    LaunchConfig,
+    MemoryPool,
+    Profiler,
+    TrafficCounter,
+    atomic_add_histogram,
+    branch_divergence_factor,
+    combine_costs,
+    divergence_factor,
+    expected_conflict_degree,
+    get_device,
+    kernel_registry,
+    simpson_index,
+    warps_needed,
+)
+
+
+class TestDeviceCatalog:
+    def test_lookup_by_name_and_alias(self):
+        assert get_device("V100") is V100
+        assert get_device("V") is V100
+        assert get_device("TU") is RTX5000
+        assert get_device("CPU") is XEON_8280_2S
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("H100")
+
+    def test_v100_spec(self):
+        assert V100.peak_bandwidth_gbps == 900.0
+        assert V100.sm_count == 80
+        assert V100.peak_bandwidth_bytes == 9e11
+
+    def test_rtx_slower_than_v100(self):
+        assert RTX5000.peak_bandwidth_gbps < V100.peak_bandwidth_gbps
+        assert RTX5000.sm_count < V100.sm_count
+
+    def test_cpu_is_cpu(self):
+        assert XEON_8280_2S.kind == "cpu"
+        assert XEON_8280_2S.sm_count == 56  # 2 x 28 cores
+
+    def test_resident_threads(self):
+        assert V100.max_resident_threads == 80 * 2048
+
+
+class TestCostModel:
+    def test_more_bandwidth_is_faster(self):
+        cost = KernelCost(name="k", bytes_coalesced=1e9)
+        t_v = CostModel(V100).time(cost).seconds
+        t_tu = CostModel(RTX5000).time(cost).seconds
+        assert t_v < t_tu
+
+    def test_random_slower_than_coalesced(self):
+        m = CostModel(V100)
+        coal = m.time(KernelCost(name="a", bytes_coalesced=1e8)).seconds
+        rand = m.time(KernelCost(name="b", bytes_random=1e8)).seconds
+        assert rand > coal * 5
+
+    def test_launch_overhead_floor(self):
+        t = CostModel(V100).time(KernelCost(name="noop")).seconds
+        assert t >= V100.kernel_launch_us * 1e-6
+
+    def test_components_sum_or_max(self):
+        m = CostModel(V100)
+        c = KernelCost(name="k", bytes_coalesced=1e8, compute_cycles=1e9)
+        t = m.time(c)
+        comp = t.components
+        assert t.seconds == pytest.approx(
+            comp["overhead"] + comp["serial"] + max(comp["mem"], comp["atomic"], comp["compute"])
+        )
+
+    def test_no_overlap_sums(self):
+        m = CostModel(V100)
+        c1 = KernelCost(name="k", bytes_coalesced=1e9, compute_cycles=1e12)
+        c2 = KernelCost(name="k", bytes_coalesced=1e9, compute_cycles=1e12,
+                        mem_compute_overlap=False)
+        assert m.time(c2).seconds > m.time(c1).seconds
+
+    def test_serial_chain_latency(self):
+        t = CostModel(V100).time(KernelCost(name="k", serial_ops=1e6, launches=0))
+        assert t.seconds == pytest.approx(1e6 * V100.single_thread_mem_latency_ns * 1e-9)
+
+    def test_throughput_gbps(self):
+        t = CostModel(V100).time(KernelCost(name="k", bytes_coalesced=1e9, launches=0))
+        gbps = t.throughput_gbps(1e9)
+        assert gbps == pytest.approx(900 * V100.coalesced_efficiency, rel=1e-6)
+
+    def test_scaled_preserves_fixed_overheads(self):
+        c = KernelCost(name="k", bytes_coalesced=100.0, launches=3,
+                       grid_syncs=7, serial_ops=11.0)
+        s = c.scaled(10.0)
+        assert s.bytes_coalesced == 1000.0
+        assert s.launches == 3 and s.grid_syncs == 7 and s.serial_ops == 11.0
+
+    def test_combine_costs_adds_traffic(self):
+        a = KernelCost(name="a", bytes_coalesced=1.0, launches=1)
+        b = KernelCost(name="b", bytes_coalesced=2.0, launches=2, grid_syncs=3)
+        c = combine_costs([a, b], name="ab")
+        assert c.bytes_coalesced == 3.0
+        assert c.launches == 3
+        assert c.grid_syncs == 3
+        assert c.name == "ab"
+
+    def test_combine_empty(self):
+        c = combine_costs([], name="none")
+        assert c.launches == 0
+
+    @given(st.floats(1e3, 1e12))
+    def test_mem_time_monotone_in_bytes(self, nbytes):
+        m = CostModel(V100)
+        assert m.mem_seconds(nbytes, 0) <= m.mem_seconds(nbytes * 2, 0)
+
+
+class TestMemory:
+    def test_traffic_accounting_streaming(self):
+        arr = DeviceArray.zeros(100, np.uint32)
+        arr.read()
+        arr.write(np.arange(100, dtype=np.uint32))
+        assert arr.counter.coalesced_read == 400
+        assert arr.counter.coalesced_write == 400
+        assert arr.counter.random == 0
+
+    def test_traffic_accounting_indexed(self):
+        arr = DeviceArray.zeros(100, np.uint32)
+        arr.gather(np.array([1, 5, 7]))
+        arr.scatter(np.array([0, 2]), np.array([9, 9], dtype=np.uint32))
+        assert arr.counter.random_read == 12
+        assert arr.counter.random_write == 8
+        assert arr.data[0] == 9
+
+    def test_counter_reset_and_add(self):
+        c = TrafficCounter(coalesced_read=5)
+        c2 = TrafficCounter(random_write=2)
+        c.add(c2)
+        assert c.total == 7
+        c.reset()
+        assert c.total == 0
+
+    def test_pool_capacity(self):
+        pool = MemoryPool(1024, "tiny")
+        a = pool.alloc(64, np.uint8)
+        assert pool.in_use == 64
+        with pytest.raises(MemoryError):
+            pool.alloc(2048, np.uint8)
+        pool.free(a)
+        assert pool.in_use == 0
+
+    def test_pool_double_free(self):
+        pool = MemoryPool(1024)
+        a = pool.alloc(8, np.uint8)
+        pool.free(a)
+        with pytest.raises(ValueError):
+            pool.free(a)
+
+    def test_pool_high_water(self):
+        pool = MemoryPool(1 << 20)
+        a = pool.alloc(1000, np.uint8)
+        pool.free(a)
+        pool.alloc(10, np.uint8)
+        assert pool.high_water == 1000
+
+
+class TestAtomics:
+    def test_histogram_equivalence(self, rng):
+        data = rng.integers(0, 16, 1000)
+        h = atomic_add_histogram(data, 16)
+        assert np.array_equal(h, np.bincount(data, minlength=16))
+
+    def test_simpson_uniform(self):
+        assert simpson_index(np.ones(100)) == pytest.approx(0.01)
+
+    def test_simpson_degenerate(self):
+        f = np.zeros(10)
+        f[3] = 100
+        assert simpson_index(f) == pytest.approx(1.0)
+
+    def test_simpson_empty(self):
+        assert simpson_index(np.zeros(4)) == 0.0
+
+    def test_conflict_degree_bounds(self):
+        uniform = np.ones(1024)
+        skewed = np.zeros(1024)
+        skewed[0] = 1e9
+        low = expected_conflict_degree(uniform, 32, 1)
+        high = expected_conflict_degree(skewed, 32, 1, aggregation=1.0)
+        assert 1.0 <= low < 1.1
+        assert high == pytest.approx(32.0, rel=0.01)
+
+    def test_aggregation_discounts_conflicts(self):
+        skewed = np.zeros(16)
+        skewed[0] = 1e6
+        full = expected_conflict_degree(skewed, 32, 1, aggregation=1.0)
+        merged = expected_conflict_degree(skewed, 32, 1, aggregation=0.5)
+        assert merged < full
+
+    def test_replication_reduces_conflict(self):
+        skewed = np.zeros(16)
+        skewed[0] = 1e6
+        c1 = expected_conflict_degree(skewed, 32, 1)
+        c8 = expected_conflict_degree(skewed, 32, 8)
+        assert c8 < c1
+
+
+class TestWarp:
+    def test_warps_needed(self):
+        assert warps_needed(0) == 0
+        assert warps_needed(1) == 1
+        assert warps_needed(32) == 1
+        assert warps_needed(33) == 2
+
+    def test_warps_needed_negative(self):
+        with pytest.raises(ValueError):
+            warps_needed(-1)
+
+    def test_divergence_dense(self):
+        assert divergence_factor(np.ones(64, dtype=bool)) == 1.0
+
+    def test_divergence_sparse(self):
+        mask = np.zeros(64, dtype=bool)
+        mask[0] = mask[32] = True  # one active lane per warp
+        assert divergence_factor(mask) == pytest.approx(32.0)
+
+    def test_divergence_empty_or_idle(self):
+        assert divergence_factor(np.zeros(0, dtype=bool)) == 1.0
+        assert divergence_factor(np.zeros(64, dtype=bool)) == 1.0
+
+    def test_branch_divergence_two_groups(self):
+        # each warp straddles two 16-thread groups -> factor 2
+        ids = np.repeat(np.arange(4), 16)
+        assert branch_divergence_factor(ids) == pytest.approx(2.0)
+
+    def test_branch_divergence_aligned(self):
+        ids = np.repeat(np.arange(2), 32)
+        assert branch_divergence_factor(ids) == pytest.approx(1.0)
+
+
+class TestLaunchConfig:
+    def test_cover(self):
+        cfg = LaunchConfig.cover(1000, 256)
+        assert cfg.grid_dim == 4
+        assert cfg.total_threads == 1024
+
+    def test_block_limit(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(1, 2048)
+
+    def test_positive_dims(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(0, 32)
+
+    def test_warps_per_block(self):
+        assert LaunchConfig(1, 96).warps_per_block == 3
+        assert LaunchConfig(1, 97).warps_per_block == 4
+
+
+class TestKernelRegistry:
+    def test_registry_contains_paper_kernels(self):
+        reg = kernel_registry()
+        for name in (
+            "hist.blockwise", "codebook.generate_cl", "codebook.generate_cw",
+            "canonize.get_numl", "canonize.canonization_raw", "enc.reduce_merge",
+            "enc.shuffle_merge", "enc.blockwise_len", "enc.coalesce_copy",
+            "enc.cusz_coarse", "enc.prefix_sum",
+        ):
+            assert name in reg, name
+
+    def test_rows_have_table1_columns(self):
+        row = next(iter(kernel_registry().values())).row()
+        for col in ("kernel", "sequential", "coarse-grained", "fine-grained",
+                    "atomic write", "reduction", "prefix sum", "boundary"):
+            assert col in row
+
+
+class TestProfiler:
+    def test_records_and_totals(self):
+        p = Profiler(V100)
+        p.record(KernelCost(name="a.x", bytes_coalesced=1e6), payload_bytes=1e6)
+        p.record(KernelCost(name="a.y", bytes_coalesced=1e6))
+        p.record(KernelCost(name="b.z", bytes_coalesced=1e6))
+        assert p.total_seconds > 0
+        assert p.stage_seconds("a.") < p.total_seconds
+        assert set(p.by_kernel()) == {"a.x", "a.y", "b.z"}
+
+    def test_report_renders(self):
+        p = Profiler(RTX5000)
+        p.record(KernelCost(name="k", bytes_coalesced=1e6), payload_bytes=1e6)
+        text = p.report()
+        assert "RTX5000" in text
+        assert "k" in text
+
+    def test_reset(self):
+        p = Profiler(V100)
+        p.record(KernelCost(name="k"))
+        p.reset()
+        assert p.total_seconds == 0

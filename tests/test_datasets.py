@@ -1,0 +1,204 @@
+"""Tests for dataset surrogates: synthetic distributions, quantization
+substrate, genomics, registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.genomics import (
+    DNA_ALPHABET,
+    generate_dna,
+    generate_genbank_like,
+    kmer_alphabet_size,
+    kmer_histogram,
+    kmer_symbolize,
+)
+from repro.datasets.quantization import (
+    dequantize,
+    lorenzo_quantize,
+    synthetic_field,
+)
+from repro.datasets.registry import PAPER_DATASETS, get_dataset
+from repro.datasets.synthetic import (
+    huffman_avg_bits,
+    normal_histogram,
+    probs_for_avg_bits,
+    sample_symbols,
+    two_sided_geometric,
+    zipf_probs,
+)
+
+
+class TestSyntheticDistributions:
+    def test_geometric_is_distribution(self):
+        p = two_sided_geometric(101, 0.5)
+        assert p.sum() == pytest.approx(1.0)
+        assert p.argmax() == 50
+
+    def test_geometric_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            two_sided_geometric(10, 1.5)
+
+    def test_zipf_is_distribution(self):
+        p = zipf_probs(256, 1.2)
+        assert p.sum() == pytest.approx(1.0)
+        assert p[0] > p[-1]
+
+    def test_avg_bits_targets(self):
+        for n, t in [(256, 5.16), (256, 2.73), (1024, 1.03), (256, 7.0)]:
+            p = probs_for_avg_bits(n, t, tol=0.01)
+            assert huffman_avg_bits(p) == pytest.approx(t, abs=0.05)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            probs_for_avg_bits(16, 10.0)  # >: log2(16)=4 bits max
+
+    def test_sample_dtype_inference(self, rng):
+        p = np.ones(300) / 300
+        assert sample_symbols(p, 10, rng).dtype == np.uint16
+        p = np.ones(10) / 10
+        assert sample_symbols(p, 10, rng).dtype == np.uint8
+
+    def test_sampled_data_matches_avg_bits(self, rng):
+        """Sampling from the fitted distribution yields data whose actual
+        Huffman average bitwidth is near the target."""
+        p = probs_for_avg_bits(256, 5.1639, tol=0.01)
+        data = sample_symbols(p, 200_000, rng)
+        freqs = np.bincount(data, minlength=256)
+        assert huffman_avg_bits(freqs / freqs.sum()) == pytest.approx(
+            5.1639, abs=0.25
+        )
+
+    def test_normal_histogram(self, rng):
+        h = normal_histogram(4096, rng=rng)
+        assert h.size == 4096
+        assert np.all(h >= 1)
+        assert h[2048] > h[0]
+
+
+class TestQuantization:
+    def test_error_bound_contract(self, rng):
+        field = synthetic_field((32, 32, 32), rng)
+        for eb in (1e-2, 1e-3, 1e-4):
+            qf = lorenzo_quantize(field, eb, 1024)
+            err = np.abs(dequantize(qf) - field)
+            assert float(err.max()) <= eb * (1 + 1e-9)
+
+    def test_smooth_field_concentrates_codes(self, rng):
+        # error bound comparable to the per-step field increment: the
+        # predictor absorbs almost everything, codes pile at the centre
+        field = synthetic_field((32, 32, 32), rng, roughness=0.0)
+        step = float(np.abs(np.diff(field.reshape(-1))).mean())
+        qf = lorenzo_quantize(field, step, 1024)
+        center = 512
+        frac_center = np.mean(np.abs(qf.codes.astype(int) - center) <= 1)
+        assert frac_center > 0.9
+
+    def test_outlier_path(self, rng):
+        field = synthetic_field((16, 16, 16), rng, roughness=0.2)
+        qf = lorenzo_quantize(field, 1e-6, 16)
+        assert qf.outliers_idx.size > 0
+        err = np.abs(dequantize(qf) - field)
+        assert float(err.max()) <= 1e-6 * (1 + 1e-9)
+
+    def test_codes_in_range(self, rng):
+        field = synthetic_field((16, 16), rng, roughness=0.1)
+        qf = lorenzo_quantize(field, 1e-4, 64)
+        assert qf.codes.min() >= 0 and qf.codes.max() < 64
+
+    def test_empty_field(self):
+        qf = lorenzo_quantize(np.empty((0,)), 1e-3)
+        assert qf.codes.size == 0
+        assert dequantize(qf).size == 0
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            lorenzo_quantize(np.ones(4), 0.0)
+        with pytest.raises(ValueError):
+            lorenzo_quantize(np.ones(4), 1e-3, n_bins=2)
+
+    def test_roundtrip_through_huffman(self, rng):
+        """The full cuSZ-like path: quantize, Huffman-encode the codes,
+        decode, dequantize."""
+        import repro
+
+        field = synthetic_field((24, 24, 24), rng)
+        qf = lorenzo_quantize(field, 1e-3, 1024)
+        enc = repro.encode(qf.codes.astype(np.uint16), num_symbols=1024)
+        codes_back = repro.decode(enc)
+        assert np.array_equal(codes_back, qf.codes.astype(np.uint16))
+
+
+class TestGenomics:
+    def test_dna_alphabet(self, rng):
+        seq = generate_dna(50_000, rng)
+        assert seq.max() < len(DNA_ALPHABET)
+        # mostly bases, few ambiguity codes
+        assert np.mean(seq < 4) > 0.99
+
+    def test_gc_content_controlled(self, rng):
+        seq = generate_dna(200_000, rng, gc_content=0.7)
+        gc = np.mean((seq == 1) | (seq == 2))
+        assert 0.6 < gc < 0.8
+
+    def test_kmer_packing(self):
+        seq = np.array([0, 1, 2, 3, 0, 1], dtype=np.uint8)
+        syms = kmer_symbolize(seq, 3)
+        base = len(DNA_ALPHABET)
+        assert syms.tolist() == [0 * base**2 + 1 * base + 2,
+                                 3 * base**2 + 0 * base + 1]
+
+    def test_kmer_drops_remainder(self):
+        assert kmer_symbolize(np.zeros(7, dtype=np.uint8), 3).size == 2
+
+    def test_kmer_alphabet_size(self):
+        assert kmer_alphabet_size(2, 4) == 16
+
+    def test_genbank_like_structure(self, rng):
+        buf = generate_genbank_like(100_000, rng)
+        assert buf.size == 100_000
+        text = buf.tobytes().decode()
+        assert "acgt"[0] in text or "a" in text
+        assert "\n" in text
+
+    def test_kmer_histogram_fold_and_pad(self, rng):
+        h = kmer_histogram(300_000, 3, rng, n_symbols=512)
+        assert h.size == 512
+        assert h.sum() > 0
+        h2 = kmer_histogram(50_000, 5, rng, n_symbols=8192)
+        assert h2.size == 8192
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            kmer_symbolize(np.zeros(4, dtype=np.uint8), 0)
+
+
+class TestRegistry:
+    def test_all_six_datasets(self):
+        assert set(PAPER_DATASETS) == {
+            "enwik8", "enwik9", "mr", "nci", "flan_1565", "nyx_quant",
+        }
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_dataset("enwik10")
+
+    @pytest.mark.parametrize("name", sorted(PAPER_DATASETS))
+    def test_surrogate_matches_avg_bits(self, name, rng):
+        ds = get_dataset(name)
+        data, scale = ds.generate(400_000, rng)
+        assert data.dtype == ds.dtype()
+        freqs = np.bincount(data, minlength=ds.n_symbols)
+        beta = huffman_avg_bits(freqs / freqs.sum())
+        assert beta == pytest.approx(ds.avg_bits_paper, rel=0.08)
+        assert scale == pytest.approx(ds.paper_bytes / data.nbytes)
+
+    def test_reduce_factor_rule_matches_paper(self, rng):
+        """The tuning rule applied to each surrogate must reproduce the
+        paper's #REDUCE column."""
+        from repro.core.tuning import choose_reduction_factor
+
+        for name, ds in PAPER_DATASETS.items():
+            r = choose_reduction_factor(ds.avg_bits_paper)
+            assert r == ds.reduce_factor_paper, name

@@ -1,0 +1,107 @@
+"""Tests for the parallel decoders (chunk-parallel and self-sync)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.prefix_sum_encoder import prefix_sum_encode
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.cuda.device import V100
+from repro.decoder import chunk_parallel_decode, self_sync_decode
+from repro.huffman.serial import serial_encode
+
+
+def make(rng, n_sym=64, size=20000, alpha=0.1):
+    probs = rng.dirichlet(np.ones(n_sym) * alpha)
+    data = rng.choice(n_sym, size=size, p=probs).astype(np.uint16)
+    book = parallel_codebook(np.bincount(data, minlength=n_sym)).codebook
+    return data, book
+
+
+class TestChunkParallelDecode:
+    def test_roundtrip(self, rng):
+        data, book = make(rng)
+        enc = gpu_encode(data, book)
+        res = chunk_parallel_decode(enc.stream, book)
+        assert np.array_equal(res.symbols, data)
+
+    def test_cost_structure(self, rng):
+        data, book = make(rng)
+        enc = gpu_encode(data, book)
+        res = chunk_parallel_decode(enc.stream, book)
+        assert res.cost.name == "dec.chunk_parallel"
+        assert res.cost.meta["chunks"] == enc.stream.n_chunks
+        assert res.modeled_gbps(V100, data.nbytes, scale=100) > 0
+
+    def test_decoder_slower_than_encoder(self, rng):
+        """Decoding is the paper's non-goal: the coarse decoder should
+        model slower than the fine-grained encoder."""
+        data, book = make(rng, size=60000)
+        enc = gpu_encode(data, book)
+        dec = chunk_parallel_decode(enc.stream, book)
+        assert dec.modeled_gbps(V100, data.nbytes, 200) < enc.modeled_gbps(
+            V100, 200
+        )
+
+
+class TestSelfSyncDecode:
+    def test_roundtrip_dense_stream(self, rng):
+        data, book = make(rng)
+        buf, nbits = serial_encode(data, book)
+        res = self_sync_decode(buf, nbits, book, data.size)
+        assert np.array_equal(res.symbols, data)
+
+    def test_decodes_prefix_sum_output(self, rng):
+        data, book = make(rng, n_sym=32)
+        enc = prefix_sum_encode(data, book)
+        res = self_sync_decode(enc.buffer, enc.total_bits, book, data.size)
+        assert np.array_equal(res.symbols, data)
+
+    def test_synchronizes_quickly(self, rng):
+        """Prefix codes self-synchronize: rounds must stay near-constant,
+        far below the sequential worst case (one round per subsequence)."""
+        data, book = make(rng, size=40000)
+        buf, nbits = serial_encode(data, book)
+        res = self_sync_decode(buf, nbits, book, data.size)
+        assert res.n_subsequences > 100
+        assert res.sync_rounds <= 12
+
+    def test_subsequence_size_validation(self, rng):
+        data, book = make(rng, alpha=0.01)
+        buf, nbits = serial_encode(data, book)
+        with pytest.raises(ValueError):
+            self_sync_decode(buf, nbits, book, data.size,
+                             subsequence_bits=2)
+
+    def test_various_subsequence_sizes(self, rng):
+        data, book = make(rng, size=8000)
+        buf, nbits = serial_encode(data, book)
+        for s_bits in (64, 128, 512, 4096):
+            res = self_sync_decode(buf, nbits, book, data.size,
+                                   subsequence_bits=s_bits)
+            assert np.array_equal(res.symbols, data), s_bits
+
+    def test_empty_stream(self, rng):
+        _, book = make(rng)
+        res = self_sync_decode(np.empty(0, dtype=np.uint8), 0, book, 0)
+        assert res.symbols.size == 0
+
+    def test_truncated_raises(self, rng):
+        data, book = make(rng)
+        buf, nbits = serial_encode(data, book)
+        with pytest.raises(ValueError):
+            self_sync_decode(buf[: buf.size // 2],
+                             nbits // 2, book, data.size)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n_sym = int(rng.integers(2, 100))
+        data, book = make(rng, n_sym=n_sym, size=int(rng.integers(1, 4000)),
+                          alpha=float(rng.uniform(0.02, 2.0)))
+        buf, nbits = serial_encode(data, book)
+        res = self_sync_decode(buf, nbits, book, data.size)
+        assert np.array_equal(res.symbols, data)

@@ -1,0 +1,73 @@
+"""Golden-format regression tests: the bit-level container format is a
+compatibility contract, so fixed-seed encodes must stay byte-identical
+across refactors.  If one of these digests changes on purpose, bump the
+container FORMAT_VERSION and regenerate the constants (instructions in
+the assert messages)."""
+
+import hashlib
+
+import numpy as np
+
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.serialization import FORMAT_VERSION, serialize_stream
+from repro.huffman.codebook import canonical_from_lengths
+from repro.huffman.serial import serial_encode
+
+# Golden digests for FORMAT_VERSION == 1 (regenerate with
+# `python -m pytest tests/test_golden_format.py -q --tb=short` after
+# printing the new values below).
+GOLDEN = {
+    "codebook_codes": "82919fe51987c2e8ff880ef439eec0cbeeb87d818dea921850eadee4db8deb1e",
+    "serial_bits": "7908329d2013a87ae1bff329f90115288bda245058f9f504c5731a4ced036f30",
+    "container": "8c9943752de5441c8e22f20e267d9e44006a42e13398034692de30d01802d0f4",
+}
+
+
+def _digest(buf) -> str:
+    return hashlib.sha256(bytes(buf)).hexdigest()
+
+
+def _workload():
+    rng = np.random.default_rng(20210521)  # the paper's IPDPS date
+    probs = rng.dirichlet(np.ones(128) * 0.08)
+    data = rng.choice(128, size=40_000, p=probs).astype(np.uint16)
+    freqs = np.bincount(data, minlength=128)
+    book = parallel_codebook(freqs).codebook
+    return data, book
+
+
+def test_format_version_pinned():
+    assert FORMAT_VERSION == 1
+
+
+def test_codebook_assignment_stable():
+    _, book = _workload()
+    blob = book.codes.tobytes() + book.lengths.tobytes()
+    got = _digest(blob)
+    assert got == GOLDEN["codebook_codes"], (
+        f"canonical code assignment changed: {got}"
+    )
+
+
+def test_reference_bitstream_stable():
+    data, book = _workload()
+    buf, nbits = serial_encode(data, book)
+    got = _digest(buf.tobytes() + nbits.to_bytes(8, "little"))
+    assert got == GOLDEN["serial_bits"], f"bitstream changed: {got}"
+
+
+def test_container_stable():
+    data, book = _workload()
+    enc = gpu_encode(data, book, magnitude=10, reduction_factor=2)
+    got = _digest(serialize_stream(enc.stream, book))
+    assert got == GOLDEN["container"], f"container bytes changed: {got}"
+
+
+def test_canonical_reference_examples():
+    """Classic canonical-code vectors (fixed forever by the definition)."""
+    book = canonical_from_lengths(np.array([2, 1, 3, 3]))
+    assert book.codes.tolist() == [0b10, 0b0, 0b110, 0b111]
+    book = canonical_from_lengths(np.array([3, 3, 3, 3, 3, 2, 4, 4]))
+    assert book.codes.tolist() == [0b010, 0b011, 0b100, 0b101, 0b110,
+                                   0b00, 0b1110, 0b1111]

@@ -1,0 +1,121 @@
+"""Tests for serial Huffman tree construction and length extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.huffman.tree import build_tree, codeword_lengths_serial
+
+histograms = st.lists(st.integers(0, 10**6), min_size=1, max_size=200)
+
+
+def optimal_cost_reference(freqs):
+    """Independent heap-based optimal cost (no tree bookkeeping)."""
+    import heapq
+
+    q = sorted(int(f) for f in freqs if f > 0)
+    if not q:
+        return 0
+    if len(q) == 1:
+        return q[0]  # single symbol, 1-bit code
+    heapq.heapify(q)
+    cost = 0
+    while len(q) > 1:
+        a = heapq.heappop(q)
+        b = heapq.heappop(q)
+        cost += a + b
+        heapq.heappush(q, a + b)
+    return cost
+
+
+class TestBuildTree:
+    def test_two_symbols(self):
+        tree = build_tree(np.array([3, 5]))
+        assert tree.leaf_depths().tolist() == [1, 1]
+
+    def test_single_symbol_gets_one_bit(self):
+        tree = build_tree(np.array([0, 7, 0]))
+        assert tree.leaf_depths().tolist() == [0, 1, 0]
+
+    def test_empty_histogram(self):
+        tree = build_tree(np.zeros(4, dtype=np.int64))
+        assert tree.root == -1
+        assert tree.leaf_depths().tolist() == [0, 0, 0, 0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            build_tree(np.array([1, -2]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            build_tree(np.ones((2, 2)))
+
+    def test_skewed_depths(self):
+        # 1,1,2,4: classic skewed tree with depths 3,3,2,1
+        depths = codeword_lengths_serial(np.array([1, 1, 2, 4]))
+        assert sorted(depths.tolist()) == [1, 2, 3, 3]
+
+    def test_uniform_is_balanced(self):
+        depths = codeword_lengths_serial(np.full(8, 10))
+        assert depths.tolist() == [3] * 8
+
+    def test_zero_freq_symbols_get_no_code(self):
+        freqs = np.array([5, 0, 3, 0, 2])
+        depths = codeword_lengths_serial(freqs)
+        assert depths[1] == 0 and depths[3] == 0
+        assert all(depths[[0, 2, 4]] > 0)
+
+    def test_parent_pointers_consistent(self):
+        freqs = np.array([1, 2, 3, 4, 5])
+        tree = build_tree(freqs)
+        # every internal node's children point back at it
+        for node in range(tree.n_symbols, tree.n_nodes):
+            assert tree.parent[tree.left[node]] == node
+            assert tree.parent[tree.right[node]] == node
+        # frequencies sum correctly
+        for node in range(tree.n_symbols, tree.n_nodes):
+            assert tree.freq[node] == (
+                tree.freq[tree.left[node]] + tree.freq[tree.right[node]]
+            )
+
+    def test_serial_ops_counted(self):
+        tree = build_tree(np.arange(1, 65))
+        assert tree.serial_ops > 64
+
+
+class TestOptimality:
+    @given(histograms)
+    @settings(max_examples=150)
+    def test_matches_reference_cost(self, freqs):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        depths = codeword_lengths_serial(freqs)
+        assert int(np.sum(freqs * depths)) == optimal_cost_reference(freqs)
+
+    @given(histograms)
+    @settings(max_examples=60)
+    def test_kraft_equality(self, freqs):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        depths = codeword_lengths_serial(freqs)
+        used = depths[depths > 0]
+        if used.size == 0:
+            return
+        if used.size == 1:
+            assert used[0] == 1
+            return
+        # complete prefix code: Kraft sum exactly 1
+        assert np.isclose(np.sum(2.0 ** (-used.astype(float))), 1.0)
+
+    @given(histograms)
+    @settings(max_examples=60)
+    def test_entropy_bound(self, freqs):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        total = freqs.sum()
+        if total == 0 or np.count_nonzero(freqs) < 2:
+            return
+        depths = codeword_lengths_serial(freqs)
+        p = freqs[freqs > 0] / total
+        entropy = -np.sum(p * np.log2(p))
+        avg = np.sum(freqs * depths) / total
+        assert avg >= entropy - 1e-9
+        assert avg < entropy + 1  # Huffman is within 1 bit of entropy

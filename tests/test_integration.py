@@ -1,0 +1,137 @@
+"""Cross-module integration tests: full pipelines on every paper-dataset
+surrogate, consistency across encoders, and container robustness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cusz_encoder import cusz_coarse_encode
+from repro.baselines.prefix_sum_encoder import prefix_sum_encode
+from repro.core.bitstream import decode_stream
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.serialization import deserialize_stream, serialize_stream
+from repro.datasets.registry import PAPER_DATASETS, get_dataset
+from repro.huffman.cpu_mt import cpu_mt_codebook
+from repro.huffman.serial import serial_codebook, serial_encode
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_DATASETS))
+class TestEveryDatasetSurrogate:
+    @pytest.fixture
+    def workload(self, name, rng):
+        ds = get_dataset(name)
+        data, _ = ds.generate(150_000, rng)
+        freqs = np.bincount(data, minlength=ds.n_symbols)
+        return ds, data, freqs
+
+    def test_full_roundtrip_through_container(self, workload):
+        ds, data, freqs = workload
+        book = parallel_codebook(freqs).codebook
+        enc = gpu_encode(data, book)
+        blob = serialize_stream(enc.stream, book)
+        stream, book2 = deserialize_stream(blob)
+        assert np.array_equal(decode_stream(stream, book2), data)
+
+    def test_all_codebook_constructions_agree_on_cost(self, workload):
+        """Serial tree, two-queue MT, and two-phase parallel constructions
+        must all produce optimal codes (equal weighted total length)."""
+        ds, data, freqs = workload
+        serial = serial_codebook(freqs).codebook
+        mt = cpu_mt_codebook(freqs, threads=4).codebook
+        par = parallel_codebook(freqs).codebook
+        costs = {
+            int(np.sum(freqs * b.lengths)) for b in (serial, mt, par)
+        }
+        assert len(costs) == 1
+
+    def test_all_encoders_same_code_bits(self, workload):
+        """Every encoding scheme emits the same number of code bits (the
+        code is the same; only the container differs)."""
+        ds, data, freqs = workload
+        book = parallel_codebook(freqs).codebook
+        _, ref_bits = serial_encode(data, book)
+        ours = gpu_encode(data, book)
+        coarse = cusz_coarse_encode(data, book)
+        psum = prefix_sum_encode(data, book)
+        assert ours.stream.encoded_bits == ref_bits
+        assert int(coarse.chunk_bits.sum()) == ref_bits
+        assert psum.total_bits == ref_bits
+
+    def test_reduction_factor_matches_paper_column(self, workload):
+        ds, data, freqs = workload
+        book = parallel_codebook(freqs).codebook
+        enc = gpu_encode(data, book)
+        assert enc.tuning.reduction_factor == ds.reduce_factor_paper
+
+
+class TestDecoderRobustness:
+    """Corrupt or hostile inputs must raise, never return garbage
+    silently or crash the process."""
+
+    def _encoded(self, rng):
+        data = rng.integers(0, 32, 5000).astype(np.uint8)
+        book = parallel_codebook(np.bincount(data, minlength=32)).codebook
+        enc = gpu_encode(data, book)
+        return data, book, enc
+
+    def test_truncated_payload(self, rng):
+        data, book, enc = self._encoded(rng)
+        stream = enc.stream
+        stream.payload = stream.payload[:-5].copy()
+        with pytest.raises(Exception):
+            decode_stream(stream, book)
+
+    def test_wrong_codebook(self, rng):
+        data, book, enc = self._encoded(rng)
+        other = parallel_codebook(
+            np.arange(1, 33, dtype=np.int64)[::-1].copy()
+        ).codebook
+        out = None
+        try:
+            out = decode_stream(enc.stream, other)
+        except Exception:
+            return  # raising is fine
+        assert not np.array_equal(out, data)  # silently-equal is the bug
+
+    def test_container_flip_every_section(self, rng):
+        """Bit flips anywhere in the container either raise or decode to
+        something different — never crash the interpreter."""
+        data, book, enc = self._encoded(rng)
+        blob = serialize_stream(enc.stream, book)
+        positions = np.linspace(4, len(blob) - 1, 25).astype(int)
+        for pos in positions:
+            damaged = bytearray(blob)
+            damaged[pos] ^= 0x5A
+            try:
+                stream, book2 = deserialize_stream(bytes(damaged))
+                out = decode_stream(stream, book2)
+            except (ValueError, EOFError, KeyError, OverflowError):
+                continue
+            # decoded without error: must at least be the right length
+            assert out.size == data.size
+
+
+class TestSmallAlphabets:
+    @pytest.mark.parametrize("n_sym", [2, 3, 4, 5])
+    def test_tiny_alphabets(self, rng, n_sym):
+        data = rng.integers(0, n_sym, 4000).astype(np.uint8)
+        book = parallel_codebook(np.bincount(data, minlength=n_sym)).codebook
+        enc = gpu_encode(data, book, magnitude=8)
+        assert np.array_equal(decode_stream(enc.stream, book), data)
+
+    def test_single_symbol_stream(self, rng):
+        data = np.zeros(3000, dtype=np.uint8)
+        book = parallel_codebook(np.array([3000], dtype=np.int64)).codebook
+        enc = gpu_encode(data, book, magnitude=8)
+        assert np.array_equal(decode_stream(enc.stream, book), data)
+        # 1-bit codes: 3000 bits total
+        assert enc.stream.encoded_bits == 3000
+
+    def test_alternating_extremes(self, rng):
+        """One dominant symbol + one rare symbol: max skew without ties."""
+        data = np.zeros(8192, dtype=np.uint8)
+        data[rng.choice(8192, 5, replace=False)] = 1
+        freqs = np.bincount(data, minlength=2)
+        book = parallel_codebook(freqs).codebook
+        enc = gpu_encode(data, book)
+        assert np.array_equal(decode_stream(enc.stream, book), data)

@@ -1,0 +1,141 @@
+"""Tests for length-limited Huffman codes (package-merge)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstream import decode_stream
+from repro.core.encoder import gpu_encode
+from repro.huffman.codebook import canonical_from_lengths
+from repro.huffman.cpu_mt import two_queue_lengths
+from repro.huffman.length_limited import (
+    length_limited_codebook,
+    length_limited_lengths,
+    min_feasible_limit,
+)
+
+histograms = st.lists(st.integers(0, 10**6), min_size=1, max_size=60)
+
+
+def brute_force_best(freqs, max_length):
+    """Exhaustive optimal constrained cost for tiny alphabets."""
+    import itertools
+
+    used = [f for f in freqs if f > 0]
+    m = len(used)
+    best = None
+    for lens in itertools.product(range(1, max_length + 1), repeat=m):
+        # Kraft feasibility
+        if sum(2.0**-l for l in lens) <= 1.0 + 1e-12:
+            cost = sum(f * l for f, l in zip(used, lens))
+            best = cost if best is None else min(best, cost)
+    return best
+
+
+class TestMinFeasible:
+    def test_values(self):
+        assert min_feasible_limit(0) == 0
+        assert min_feasible_limit(1) == 1
+        assert min_feasible_limit(2) == 1
+        assert min_feasible_limit(3) == 2
+        assert min_feasible_limit(9) == 4
+
+
+class TestLengthLimited:
+    def test_kraft_feasible(self, rng):
+        freqs = rng.integers(0, 1000, 100)
+        lengths = length_limited_lengths(freqs, 9)
+        used = lengths[lengths > 0]
+        assert np.sum(2.0 ** -used.astype(float)) <= 1.0 + 1e-12
+        assert int(used.max()) <= 9
+
+    def test_unconstrained_when_limit_loose(self, rng):
+        freqs = rng.integers(1, 100, 40)
+        free = two_queue_lengths(freqs)
+        ll = length_limited_lengths(freqs, 40)
+        assert int(np.sum(freqs * ll)) == int(np.sum(freqs * free))
+
+    def test_limit_binds_on_skewed_data(self):
+        freqs = np.array([2**k for k in range(20)], dtype=np.int64)
+        free = two_queue_lengths(freqs)
+        assert free.max() > 8
+        ll = length_limited_lengths(freqs, 8)
+        assert ll.max() == 8
+        # constrained cost is necessarily higher
+        assert np.sum(freqs * ll) > np.sum(freqs * free)
+
+    def test_infeasible_limit_rejected(self):
+        with pytest.raises(ValueError):
+            length_limited_lengths(np.ones(9, dtype=np.int64), 3)
+
+    def test_single_symbol(self):
+        lengths = length_limited_lengths(np.array([0, 7]), 5)
+        assert lengths.tolist() == [0, 1]
+
+    @given(histograms, st.integers(4, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_always_canonicalizable(self, freqs, limit):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        m = int(np.count_nonzero(freqs))
+        if m == 0 or limit < min_feasible_limit(m):
+            return
+        lengths = length_limited_lengths(freqs, limit)
+        book = canonical_from_lengths(lengths)  # Kraft-checks internally
+        assert book.is_prefix_free()
+        assert book.max_length <= limit
+
+    @given(st.lists(st.integers(1, 50), min_size=2, max_size=6),
+           st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, freqs, limit):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        if limit < min_feasible_limit(freqs.size):
+            return
+        ll = length_limited_lengths(freqs, limit)
+        cost = int(np.sum(freqs * ll))
+        assert cost == brute_force_best(freqs.tolist(), limit)
+
+    @given(histograms)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_monotone_in_limit(self, freqs):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        m = int(np.count_nonzero(freqs))
+        if m < 2:
+            return
+        lo = max(min_feasible_limit(m), 2)
+        costs = [
+            int(np.sum(freqs * length_limited_lengths(freqs, L)))
+            for L in (lo, lo + 2, lo + 6)
+        ]
+        assert costs[0] >= costs[1] >= costs[2]
+
+
+class TestBreakingElimination:
+    def test_zero_breaking_with_matched_limit(self, rng):
+        """L <= W / 2^r makes reduce-merge breaking impossible."""
+        probs = rng.dirichlet(np.ones(256) * 0.02)  # heavy tail
+        data = rng.choice(256, size=30_000, p=probs).astype(np.uint8)
+        freqs = np.bincount(data, minlength=256)
+
+        from repro.core.codebook_parallel import parallel_codebook
+
+        free_book = parallel_codebook(freqs).codebook
+        free_enc = gpu_encode(data, free_book, reduction_factor=2)
+
+        ll = length_limited_codebook(freqs, max_length=8)  # 4 * 8 = 32 = W
+        ll_enc = gpu_encode(data, ll.codebook, reduction_factor=2)
+        assert ll_enc.breaking_fraction == 0.0
+        assert np.array_equal(decode_stream(ll_enc.stream, ll.codebook),
+                              data)
+        # the constraint may cost a little ratio but removes the side
+        # channel entirely
+        if free_enc.breaking_fraction > 0.01:
+            assert ll_enc.stream.metadata_bytes < free_enc.stream.metadata_bytes
+
+    def test_excess_bits_reported(self, rng):
+        freqs = np.array([2**k for k in range(16)], dtype=np.int64)
+        res = length_limited_codebook(freqs, 7)
+        assert res.excess_bits_per_symbol > 0
+        loose = length_limited_codebook(freqs, 30)
+        assert loose.excess_bits_per_symbol == pytest.approx(0.0)

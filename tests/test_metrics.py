@@ -1,0 +1,78 @@
+"""Tests for the compression-metrics breakdown."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.metrics import analyze_stream, metrics_report
+
+
+def encode(rng, n_sym=64, size=20000, alpha=0.1):
+    probs = rng.dirichlet(np.ones(n_sym) * alpha)
+    data = rng.choice(n_sym, size=size, p=probs).astype(np.uint16)
+    book = parallel_codebook(np.bincount(data, minlength=n_sym)).codebook
+    enc = gpu_encode(data, book)
+    return data, book, enc
+
+
+class TestMetrics:
+    def test_shannon_bound(self, rng):
+        data, book, enc = encode(rng)
+        m = analyze_stream(data, book, enc.stream)
+        assert m.avg_code_bits >= m.entropy_bits_per_symbol - 1e-9
+        assert 0 < m.coding_efficiency <= 1.0
+
+    def test_huffman_within_one_bit(self, rng):
+        data, book, enc = encode(rng)
+        m = analyze_stream(data, book, enc.stream)
+        assert m.redundancy_bits_per_symbol < 1.0
+
+    def test_code_bits_consistent(self, rng):
+        data, book, enc = encode(rng)
+        m = analyze_stream(data, book, enc.stream)
+        _, lens = book.lookup(data)
+        assert m.code_bits == int(lens.astype(np.int64).sum())
+
+    def test_ratios_ordered(self, rng):
+        data, book, enc = encode(rng)
+        m = analyze_stream(data, book, enc.stream)
+        # end-to-end can never beat code-only
+        assert m.ratio_end_to_end <= m.ratio_code_only
+
+    def test_codebook_cost_amortizes(self, rng):
+        """The fixed codebook bytes amortize with stream length (the
+        chunk table and breaking store are per-chunk and do not)."""
+        rng2 = np.random.default_rng(7)
+        d1, b1, e1 = encode(rng2, size=2000)
+        rng2 = np.random.default_rng(7)
+        d2, b2, e2 = encode(rng2, size=200_000)
+        m1 = analyze_stream(d1, b1, e1.stream)
+        m2 = analyze_stream(d2, b2, e2.stream)
+        assert (m2.codebook_bytes / m2.n_symbols
+                < m1.codebook_bytes / m1.n_symbols)
+
+    def test_report_renders(self, rng):
+        data, book, enc = encode(rng)
+        text = metrics_report(analyze_stream(data, book, enc.stream))
+        assert "entropy" in text and "ratio" in text
+
+    def test_degenerate_single_symbol(self):
+        data = np.zeros(5000, dtype=np.uint8)
+        book = parallel_codebook(np.array([5000], dtype=np.int64)).codebook
+        enc = gpu_encode(data, book)
+        m = analyze_stream(data, book, enc.stream)
+        assert m.entropy_bits_per_symbol == 0.0
+        assert m.avg_code_bits == 1.0  # the 1-bit-minimum code
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_shannon_bound_property(self, seed):
+        rng = np.random.default_rng(seed)
+        data, book, enc = encode(rng, n_sym=int(rng.integers(2, 100)),
+                                 size=int(rng.integers(100, 5000)),
+                                 alpha=float(rng.uniform(0.02, 2)))
+        m = analyze_stream(data, book, enc.stream)
+        assert m.avg_code_bits >= m.entropy_bits_per_symbol - 1e-9

@@ -1,0 +1,123 @@
+"""Tests for the occupancy calculator and large-alphabet histogramming."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import RTX5000, V100
+from repro.cuda.occupancy import block_scheduling_penalty, occupancy
+from repro.histogram.large_alphabet import (
+    global_atomics_histogram,
+    histogram_any,
+    multipass_histogram,
+)
+
+
+class TestOccupancy:
+    def test_small_blocks_full_occupancy(self):
+        info = occupancy(256, device=V100)
+        assert info.occupancy == 1.0
+        assert info.blocks_per_sm == 8
+        assert info.limiter == "threads"
+
+    def test_huge_blocks_few_slots(self):
+        info = occupancy(1024, device=V100)
+        assert info.blocks_per_sm == 2
+
+    def test_tiny_blocks_hit_block_slots(self):
+        info = occupancy(32, device=V100)
+        assert info.blocks_per_sm == 32
+        assert info.limiter == "blocks"
+        assert info.occupancy == pytest.approx(0.5)
+
+    def test_shared_memory_limits(self):
+        # 40 KB per block on a 96 KB SM -> 2 blocks
+        info = occupancy(128, shared_bytes_per_block=40 * 1024, device=V100)
+        assert info.limiter == "shared"
+        assert info.blocks_per_sm == 2
+
+    def test_register_limits(self):
+        info = occupancy(256, regs_per_thread=128, device=V100)
+        assert info.limiter == "registers"
+        assert info.blocks_per_sm == 2
+
+    def test_oversized_shared_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(64, shared_bytes_per_block=1 << 20, device=V100)
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            occupancy(0)
+        with pytest.raises(ValueError):
+            occupancy(2048)
+
+    def test_rtx_smaller_shared(self):
+        v = occupancy(128, shared_bytes_per_block=30 * 1024, device=V100)
+        t = occupancy(128, shared_bytes_per_block=30 * 1024, device=RTX5000)
+        assert t.blocks_per_sm <= v.blocks_per_sm
+
+    def test_scheduling_penalty_steps(self):
+        assert block_scheduling_penalty(256) == pytest.approx(1.0)
+        assert block_scheduling_penalty(512) == pytest.approx(1.5)
+        assert block_scheduling_penalty(1024) == pytest.approx(2.0)
+
+    def test_penalty_drives_encoder(self):
+        from repro.core.encoder import _occupancy_penalty
+
+        assert _occupancy_penalty(8) == pytest.approx(1.0)
+        assert _occupancy_penalty(9) == pytest.approx(1.5)
+        assert _occupancy_penalty(10) == pytest.approx(2.0)
+        assert _occupancy_penalty(11) > 2.0
+
+
+class TestLargeHistogram:
+    @pytest.fixture
+    def data64k(self, rng):
+        return rng.integers(0, 65536, 100_000).astype(np.uint16)
+
+    def test_global_matches_bincount(self, data64k):
+        res = global_atomics_histogram(data64k, 65536)
+        assert np.array_equal(res.histogram,
+                              np.bincount(data64k, minlength=65536))
+
+    def test_multipass_matches_bincount(self, data64k):
+        res = multipass_histogram(data64k, 65536)
+        assert res.passes == 8
+        assert np.array_equal(res.histogram,
+                              np.bincount(data64k, minlength=65536))
+
+    def test_any_small_uses_shared(self, rng):
+        data = rng.integers(0, 256, 1000).astype(np.uint8)
+        assert histogram_any(data, 256).strategy == "shared"
+
+    def test_any_large_picks_a_strategy(self, data64k):
+        res = histogram_any(data64k, 65536)
+        assert res.strategy in ("global", "multipass")
+        assert np.array_equal(res.histogram,
+                              np.bincount(data64k, minlength=65536))
+
+    def test_multipass_reads_input_per_pass(self, data64k):
+        res = multipass_histogram(data64k, 65536)
+        total_read = sum(c.bytes_coalesced for c in res.costs
+                         if c.name.startswith("hist.multipass"))
+        assert total_read >= 8 * data64k.nbytes
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            global_atomics_histogram(np.array([70000]), 65536)
+        with pytest.raises(ValueError):
+            multipass_histogram(np.array([-1]), 65536)
+
+    def test_full_pipeline_with_65536_symbols(self, rng):
+        """End-to-end: SZ's default 64 Ki-bin quantization alphabet."""
+        from repro.core.bitstream import decode_stream
+        from repro.core.codebook_parallel import parallel_codebook
+        from repro.core.encoder import gpu_encode
+
+        # concentrated codes, as SZ quantization produces
+        data = np.clip(
+            (rng.standard_normal(60_000) * 40 + 32768), 0, 65535
+        ).astype(np.uint16)
+        hist = histogram_any(data, 65536)
+        book = parallel_codebook(hist.histogram).codebook
+        enc = gpu_encode(data, book)
+        assert np.array_equal(decode_stream(enc.stream, book), data)

@@ -1,0 +1,184 @@
+"""Tests for the experiment harness (perf.tables) and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.perf.report import format_value, render_table, side_by_side
+from repro.perf.tables import (
+    fig1_reduce_trace,
+    fig2_shuffle_trace,
+    fig3_tuning_curve,
+    table1_taxonomy,
+    table2_magnitude_sweep,
+    table3_codebook,
+    table4_cpu_codebook,
+    table6_cpu_scaling,
+)
+
+SMALL = 400_000
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(0.0) == "0"
+        assert format_value(12345.0) == "12,345"
+        assert format_value(3.14159) == "3.142"
+        assert format_value(1e-5) == "1.00e-05"
+        assert format_value("abc") == "abc"
+
+    def test_render_table(self):
+        text = render_table(["a", "b"], [[1, 2.5], [3, None]], title="T")
+        assert "T" in text and "2.5" in text and "-" in text
+        lines = text.splitlines()
+        assert len(lines) == 5
+
+    def test_side_by_side(self):
+        s = side_by_side(10.0, 20.0, " GB/s")
+        assert "x0.50" in s
+        assert side_by_side(10.0, float("nan")) == "10.0"
+
+
+class TestTable1:
+    def test_covers_all_stages(self):
+        rows = table1_taxonomy()
+        stages = {r["stage"] for r in rows}
+        assert {"histogram", "build codebook", "canonize",
+                "Huffman enc."} <= stages
+
+    def test_every_row_has_granularity(self):
+        for r in table1_taxonomy():
+            assert r["sequential"] or r["coarse-grained"] or r["fine-grained"]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2_magnitude_sweep(surrogate_bytes=SMALL,
+                                      magnitudes=(12, 11, 10),
+                                      reduction_factors=(4, 3, 2))
+
+    def test_full_grid(self, rows):
+        assert len(rows) == 2 * 3 * 3
+
+    def test_optimum_is_m10_r3_on_v100(self, rows):
+        """The paper's conclusion: (M=10, r=3) wins."""
+        v = {(r.reduction_factor, r.magnitude): r.gbps
+             for r in rows if r.device == "V100"}
+        best = max(v, key=v.get)
+        assert best == (3, 10)
+
+    def test_throughput_grows_as_m_shrinks(self, rows):
+        for dev in ("V100", "RTX5000"):
+            for r in (3, 2):
+                g = {row.magnitude: row.gbps for row in rows
+                     if row.device == dev and row.reduction_factor == r}
+                assert g[10] > g[11] > g[12], (dev, r)
+
+    def test_r2_worst_at_every_magnitude(self, rows):
+        v = {(r.reduction_factor, r.magnitude): r.gbps
+             for r in rows if r.device == "V100"}
+        for m in (12, 11, 10):
+            assert v[(2, m)] < v[(3, m)]
+
+    def test_within_3x_of_paper(self, rows):
+        for row in rows:
+            if row.paper_gbps:
+                assert 1 / 3 < row.gbps / row.paper_gbps < 3, (
+                    row.device, row.reduction_factor, row.magnitude,
+                    row.gbps, row.paper_gbps,
+                )
+
+    def test_breaking_shrinks_with_r(self, rows):
+        b = {r.reduction_factor: r.breaking_fraction for r in rows
+             if r.device == "V100" and r.magnitude == 10}
+        assert b[4] <= b[3] * 5  # small either way on Nyx-like data
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table3_codebook(seed=3)
+
+    def test_four_workloads(self, rows):
+        assert [r.n_symbols for r in rows] == [1024, 2048, 4096, 8192]
+
+    def test_speedup_grows_with_symbols(self, rows):
+        speedups = [r.speedup_v100 for r in rows]
+        assert speedups[-1] > speedups[0] * 3
+
+    def test_8192_speedup_band(self, rows):
+        """Paper: up to 45.5x at 8192 symbols (we accept a wide band)."""
+        assert 15 <= rows[-1].speedup_v100 <= 120
+
+    def test_ours_totals_in_band(self, rows):
+        r0 = rows[0]
+        assert 0.1 <= r0.ours_total_ms["V100"] <= 2.0  # paper: 0.544
+
+    def test_cusz_totals_in_band(self, rows):
+        r0, r3 = rows[0], rows[-1]
+        assert 2.0 <= r0.cusz_total_ms["V100"] <= 8.0  # paper: 3.804
+        assert 40.0 <= r3.cusz_total_ms["V100"] <= 90.0  # paper: 60.541
+
+
+class TestTable4:
+    def test_crossover(self):
+        rows = table4_cpu_codebook(symbol_counts=(1024, 65536), cores=(1, 4))
+        small, big = rows
+        # serial wins small alphabets, MT wins big ones (paper's finding)
+        assert small.serial_ms < min(small.mt_ms.values())
+        assert big.mt_ms[4] < big.serial_ms
+
+    def test_overhead_grows_with_cores_small_n(self):
+        rows = table4_cpu_codebook(symbol_counts=(1024,),
+                                   cores=(1, 2, 4, 6, 8))
+        ms = rows[0].mt_ms
+        assert ms[8] > ms[4] > ms[1]
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table6_cpu_scaling(surrogate_bytes=SMALL)
+
+    def test_near_linear_until_32(self, rows):
+        by_cores = {r.cores: r for r in rows}
+        assert by_cores[32].enc_gbps > 0.85 * 32 * by_cores[1].enc_gbps
+
+    def test_collapse_at_64(self, rows):
+        by_cores = {r.cores: r for r in rows}
+        assert by_cores[64].enc_gbps < by_cores[56].enc_gbps
+        assert by_cores[64].enc_efficiency < 0.6
+
+    def test_peak_band(self, rows):
+        peak = max(r.enc_gbps for r in rows)
+        assert 40 <= peak <= 70  # paper: 55.71 GB/s
+
+    def test_overall_includes_all_stages(self, rows):
+        for r in rows:
+            assert r.overall_gbps < r.enc_gbps
+            assert r.overall_gbps < r.hist_gbps
+
+
+class TestFigures:
+    def test_fig1_shapes(self):
+        snaps = fig1_reduce_trace()
+        assert [v.size for v, _ in snaps] == [8, 4, 2, 1]
+        totals = {int(l.sum()) for _, l in snaps}
+        assert len(totals) == 1
+
+    def test_fig2_shapes(self):
+        snaps = fig2_shuffle_trace()
+        assert [g.size for _, g in snaps] == [8, 4, 2, 1]
+
+    def test_fig3_monotone(self):
+        rows = fig3_tuning_curve()
+        rs = [r["r_rule"] for r in rows]
+        assert all(a >= b for a, b in zip(rs, rs[1:]))
+        for r in rows:
+            assert r["r_used"] <= min(r["r_rule"], 3) or r["r_used"] == r["r_rule"]
+
+    def test_fig3_merged_bits_band(self):
+        for r in fig3_tuning_curve():
+            assert 16 <= r["merged_bits_rule"] < 40

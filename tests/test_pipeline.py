@@ -1,0 +1,75 @@
+"""Tests for the end-to-end pipeline composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitstream import decode_stream
+from repro.core.pipeline import run_pipeline
+from repro.cuda.device import RTX5000, V100
+
+
+@pytest.fixture
+def data(rng):
+    probs = rng.dirichlet(np.ones(256) * 0.05)
+    return rng.choice(256, size=30_000, p=probs).astype(np.uint8)
+
+
+class TestRunPipeline:
+    def test_ours_roundtrip(self, data):
+        res = run_pipeline(data, 256)
+        assert np.array_equal(
+            decode_stream(res.encode.stream, res.codebook.codebook), data
+        )
+
+    def test_invalid_schemes(self, data):
+        with pytest.raises(ValueError):
+            run_pipeline(data, 256, codebook_scheme="magic")
+        with pytest.raises(ValueError):
+            run_pipeline(data, 256, encoder_scheme="magic")
+
+    def test_stage_seconds_structure(self, data):
+        res = run_pipeline(data, 256, scale=10.0)
+        secs = res.stage_seconds()
+        assert set(secs) == {"hist", "codebook", "encode", "overall"}
+        assert secs["overall"] == pytest.approx(
+            secs["hist"] + secs["codebook"] + secs["encode"]
+        )
+
+    def test_scale_monotone(self, data):
+        r1 = run_pipeline(data, 256, scale=1.0).stage_seconds()
+        r100 = run_pipeline(data, 256, scale=100.0).stage_seconds()
+        assert r100["overall"] > r1["overall"]
+        # codebook stage does not scale with data volume
+        assert r100["codebook"] == pytest.approx(r1["codebook"])
+
+    def test_all_scheme_combinations_run(self, data):
+        for cb in ("parallel", "serial_gpu"):
+            for enc in ("reduce_shuffle", "cusz_coarse", "prefix_sum"):
+                res = run_pipeline(data, 256, codebook_scheme=cb,
+                                   encoder_scheme=enc)
+                g = res.stage_gbps()
+                assert g["overall"] > 0
+                assert res.compression_ratio > 1
+                assert res.avg_bits > 0
+
+    def test_ours_beats_cusz_encode(self, data):
+        """The headline result: reduce-shuffle-merge >> coarse-grained."""
+        # scale to ~100 MB effective so fixed launch overheads do not
+        # dominate (the paper's datasets are 10 MB - 1.4 GB)
+        ours = run_pipeline(data, 256, scale=3000.0)
+        cusz = run_pipeline(data, 256, scale=3000.0,
+                            codebook_scheme="serial_gpu",
+                            encoder_scheme="cusz_coarse")
+        g_ours = ours.stage_gbps()["encode"]
+        g_cusz = cusz.stage_gbps()["encode"]
+        assert g_ours > 3 * g_cusz
+
+    def test_breaking_fraction_zero_for_baselines(self, data):
+        res = run_pipeline(data, 256, encoder_scheme="prefix_sum")
+        assert res.breaking_fraction == 0.0
+
+    def test_device_threading(self, data):
+        res = run_pipeline(data, 256, device=RTX5000, scale=40.0)
+        secs_tu = res.stage_seconds()
+        secs_v = res.stage_seconds(V100)
+        assert secs_v["encode"] < secs_tu["encode"]

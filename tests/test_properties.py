@@ -1,0 +1,158 @@
+"""Deep cross-module property tests (hypothesis).
+
+These hammer the invariants that tie the whole system together:
+optimality, prefix-freedom, bit conservation through both merge phases,
+container round trips, and cost-model sanity — on adversarial inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstream import decode_stream
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.reduce_merge import reduce_merge
+from repro.core.serialization import deserialize_stream, serialize_stream
+from repro.core.shuffle_merge import shuffle_merge
+from repro.cuda.costmodel import CostModel, KernelCost
+from repro.cuda.device import RTX5000, V100, XEON_8280_2S
+from repro.huffman.codebook import canonical_from_lengths
+from repro.huffman.serial import serial_encode
+from repro.huffman.tree import codeword_lengths_serial
+
+# histograms with brutal skew: spans many orders of magnitude, zeros,
+# ties, fibonacci-ish runs
+brutal_hist = st.one_of(
+    st.lists(st.integers(0, 10**9), min_size=1, max_size=120),
+    st.lists(st.sampled_from([0, 1, 1, 2, 3, 5, 8, 10**6]), min_size=1,
+             max_size=120),
+    st.integers(1, 100).map(lambda n: [1] * n),
+    st.integers(2, 40).map(lambda k: [2**i for i in range(k)]),
+)
+
+
+class TestCodebookInvariants:
+    @given(brutal_hist)
+    @settings(max_examples=120, deadline=None)
+    def test_parallel_equals_serial_cost_and_prefix_free(self, freqs):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        if not np.any(freqs > 0):
+            return
+        book = parallel_codebook(freqs).codebook
+        opt = codeword_lengths_serial(freqs)
+        assert int(np.sum(freqs * book.lengths)) == int(np.sum(freqs * opt))
+        assert book.is_prefix_free()
+        ref = canonical_from_lengths(book.lengths)
+        assert np.array_equal(book.codes, ref.codes)
+
+    @given(brutal_hist)
+    @settings(max_examples=60, deadline=None)
+    def test_decode_metadata_consistent(self, freqs):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        if not np.any(freqs > 0):
+            return
+        book = parallel_codebook(freqs).codebook
+        # entry is the cumulative count of shorter codes
+        counts = np.bincount(book.lengths[book.lengths > 0],
+                             minlength=book.max_length + 1)
+        for l in range(1, book.max_length + 1):
+            assert book.entry[l] == counts[:l].sum()
+
+
+class TestMergeConservation:
+    @given(st.integers(0, 4), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_reduce_conserves_bits(self, r, seed):
+        rng = np.random.default_rng(seed)
+        n = 16 << r
+        lens = rng.integers(1, 14, n).astype(np.int64)
+        codes = np.array([rng.integers(0, 1 << l) for l in lens],
+                         dtype=np.uint64)
+        res = reduce_merge(codes, lens, r)
+        assert int(res.lengths.sum()) == int(lens.sum())
+
+    @given(st.integers(1, 5), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_shuffle_conserves_bits(self, log_cells, seed):
+        rng = np.random.default_rng(seed)
+        cells = 1 << log_cells
+        lens = rng.integers(0, 33, cells * 3).astype(np.int64)
+        vals = np.array(
+            [rng.integers(0, 1 << int(l)) if l else 0 for l in lens],
+            dtype=np.uint64,
+        )
+        res = shuffle_merge(vals, lens, cells)
+        assert int(res.bits.sum()) == int(lens.sum())
+
+
+class TestEndToEndProperty:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_encode_serialize_decode(self, data):
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        rng = np.random.default_rng(seed)
+        n_sym = data.draw(st.integers(2, 64))
+        size = data.draw(st.integers(0, 4000))
+        magnitude = data.draw(st.sampled_from([7, 8, 10]))
+        alpha = data.draw(st.sampled_from([0.02, 0.2, 2.0]))
+        probs = rng.dirichlet(np.ones(n_sym) * alpha)
+        syms = rng.choice(n_sym, size=size, p=probs).astype(np.uint16)
+        freqs = np.bincount(syms, minlength=n_sym)
+        if not np.any(freqs > 0):
+            freqs[0] = 1
+        book = parallel_codebook(freqs).codebook
+        enc = gpu_encode(syms, book, magnitude=magnitude)
+        blob = serialize_stream(enc.stream, book)
+        stream, book2 = deserialize_stream(blob)
+        assert np.array_equal(decode_stream(stream, book2), syms)
+        # encoded bits equal the reference total
+        _, ref_bits = serial_encode(syms, book)
+        assert stream.encoded_bits == ref_bits
+
+
+class TestCostModelProperties:
+    @given(st.floats(1.0, 1e12), st.floats(0.0, 1e10),
+           st.floats(0.0, 1e12), st.integers(0, 5), st.integers(0, 200))
+    @settings(max_examples=100)
+    def test_time_positive_and_monotone(self, coal, rand, cycles, launches,
+                                        syncs):
+        cost = KernelCost(
+            name="k", bytes_coalesced=coal, bytes_random=rand,
+            compute_cycles=cycles, launches=launches, grid_syncs=syncs,
+        )
+        for device in (V100, RTX5000, XEON_8280_2S):
+            t = CostModel(device).time(cost)
+            assert t.seconds >= 0
+            bigger = CostModel(device).time(cost.scaled(2.0))
+            assert bigger.seconds >= t.seconds * 0.999
+
+    @given(st.floats(1e3, 1e12))
+    @settings(max_examples=50)
+    def test_scaling_linear_in_volume(self, nbytes):
+        cost = KernelCost(name="k", bytes_coalesced=nbytes, launches=0)
+        m = CostModel(V100)
+        t1 = m.time(cost).seconds
+        t10 = m.time(cost.scaled(10)).seconds
+        assert t10 == pytest.approx(10 * t1, rel=1e-9)
+
+
+class TestEncodedSizeInvariants:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_compressed_never_loses_information(self, seed):
+        """Shannon sanity: code bits >= entropy bits (cannot beat the
+        source coding theorem)."""
+        rng = np.random.default_rng(seed)
+        n_sym = int(rng.integers(2, 128))
+        syms = rng.choice(n_sym, size=3000,
+                          p=rng.dirichlet(np.ones(n_sym) * 0.3))
+        freqs = np.bincount(syms, minlength=n_sym)
+        book = parallel_codebook(freqs).codebook
+        enc = gpu_encode(syms.astype(np.uint16), book, magnitude=8)
+        from repro.core.tuning import entropy_bits
+
+        h = entropy_bits(freqs)
+        assert enc.stream.encoded_bits >= h * syms.size - 1e-6

@@ -1,0 +1,119 @@
+"""Tests for the REDUCE-merge phase."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reduce_merge import reduce_merge, reduce_merge_trace
+from repro.utils.bits import pack_codewords
+
+
+def random_codewords(rng, n, max_len=12):
+    lens = rng.integers(1, max_len + 1, n).astype(np.int64)
+    codes = np.array([rng.integers(0, 1 << l) for l in lens], dtype=np.uint64)
+    return codes, lens
+
+
+class TestReduceMerge:
+    def test_r0_is_identity(self, rng):
+        codes, lens = random_codewords(rng, 16)
+        res = reduce_merge(codes, lens, 0)
+        assert np.array_equal(res.values, codes)
+        assert np.array_equal(res.lengths, lens)
+        assert not res.broken.any()
+
+    def test_single_merge_concatenates(self):
+        codes = np.array([0b101, 0b11], dtype=np.uint64)
+        lens = np.array([3, 2])
+        res = reduce_merge(codes, lens, 1)
+        assert res.values[0] == 0b10111
+        assert res.lengths[0] == 5
+
+    def test_merge_not_commutative(self):
+        a = reduce_merge(np.array([0b1, 0b00], dtype=np.uint64),
+                         np.array([1, 2]), 1)
+        b = reduce_merge(np.array([0b00, 0b1], dtype=np.uint64),
+                         np.array([2, 1]), 1)
+        assert a.values[0] != b.values[0]
+
+    def test_cell_count_shrinks_by_2_to_r(self, rng):
+        codes, lens = random_codewords(rng, 64, max_len=3)
+        for r in (1, 2, 3):
+            res = reduce_merge(codes, lens, r)
+            assert res.n_cells == 64 >> r
+
+    def test_breaking_detection(self):
+        codes = np.array([1, 1, 1, 1], dtype=np.uint64)
+        lens = np.array([20, 20, 1, 1])
+        res = reduce_merge(codes, lens, 2)  # 42 bits total > 32
+        assert res.broken.tolist() == [True]
+        assert res.lengths[0] == 42
+
+    def test_breaking_fraction(self):
+        codes = np.zeros(8, dtype=np.uint64)
+        lens = np.array([30, 30, 1, 1, 1, 1, 1, 1])
+        res = reduce_merge(codes, lens, 1)
+        assert res.breaking_fraction == pytest.approx(0.25)
+
+    def test_lengths_exact_even_when_broken(self):
+        lens = np.array([33, 33, 33, 33])
+        res = reduce_merge(np.zeros(4, dtype=np.uint64), lens, 2)
+        assert res.lengths[0] == 132  # true total survives overflow
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            reduce_merge(np.zeros(6, dtype=np.uint64), np.ones(6), 2)
+
+    def test_rejects_negative_r(self):
+        with pytest.raises(ValueError):
+            reduce_merge(np.zeros(4, dtype=np.uint64), np.ones(4), -1)
+
+    def test_rejects_wide_word(self):
+        with pytest.raises(ValueError):
+            reduce_merge(np.zeros(4, dtype=np.uint64), np.ones(4), 1,
+                         word_bits=64)
+
+    def test_word16_breaking(self):
+        lens = np.array([9, 9])
+        res = reduce_merge(np.zeros(2, dtype=np.uint64), lens, 1, word_bits=16)
+        assert res.broken.tolist() == [True]
+
+    @given(st.integers(0, 3), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_non_broken_cells_match_reference_pack(self, r, data):
+        """Each unbroken cell's bits must equal the concatenation of its
+        group's codewords."""
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32)))
+        n = 8 << r
+        lens = rng.integers(1, 10, n).astype(np.int64)
+        codes = np.array([rng.integers(0, 1 << l) for l in lens],
+                         dtype=np.uint64)
+        res = reduce_merge(codes, lens, r)
+        group = 1 << r
+        for cell in range(res.n_cells):
+            if res.broken[cell]:
+                continue
+            gc = codes[cell * group: (cell + 1) * group]
+            gl = lens[cell * group: (cell + 1) * group]
+            buf, nbits = pack_codewords(gc, gl)
+            cbuf, cbits = pack_codewords(
+                res.values[cell: cell + 1], res.lengths[cell: cell + 1]
+            )
+            assert cbits == nbits
+            assert np.array_equal(cbuf, buf)
+
+
+class TestReduceTrace:
+    def test_trace_levels(self, rng):
+        codes, lens = random_codewords(rng, 8, max_len=3)
+        snaps = reduce_merge_trace(codes, lens, 3)
+        assert len(snaps) == 4
+        sizes = [v.size for v, _ in snaps]
+        assert sizes == [8, 4, 2, 1]
+
+    def test_trace_preserves_total_bits(self, rng):
+        codes, lens = random_codewords(rng, 8, max_len=3)
+        snaps = reduce_merge_trace(codes, lens, 3)
+        totals = [int(l.sum()) for _, l in snaps]
+        assert len(set(totals)) == 1

@@ -1,0 +1,130 @@
+"""Tests for the SHUFFLE-merge phase: dense bitstream assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shuffle_merge import shuffle_merge, shuffle_merge_trace
+from repro.utils.bits import pack_codewords, unpack_to_bits
+
+
+def random_cells(rng, n, max_bits=32):
+    lens = rng.integers(0, max_bits + 1, n).astype(np.int64)
+    vals = np.array(
+        [rng.integers(0, 1 << int(l)) if l else 0 for l in lens],
+        dtype=np.uint64,
+    )
+    return vals, lens
+
+
+def reference_bits(vals, lens):
+    used = lens > 0
+    return pack_codewords(vals[used], lens[used])
+
+
+class TestShuffleMerge:
+    def test_single_chunk_matches_reference(self, rng):
+        vals, lens = random_cells(rng, 16)
+        res = shuffle_merge(vals, lens, 16)
+        ref_buf, ref_bits = reference_bits(vals, lens)
+        assert int(res.bits[0]) == ref_bits
+        got = res.chunk_bytes(0)
+        assert np.array_equal(got, ref_buf)
+
+    def test_multi_chunk(self, rng):
+        vals, lens = random_cells(rng, 64)
+        res = shuffle_merge(vals, lens, 8)
+        assert res.n_chunks == 8
+        for c in range(8):
+            ref_buf, ref_bits = reference_bits(
+                vals[c * 8: (c + 1) * 8], lens[c * 8: (c + 1) * 8]
+            )
+            assert int(res.bits[c]) == ref_bits
+            assert np.array_equal(res.chunk_bytes(c), ref_buf)
+
+    def test_zero_length_cells_skipped(self):
+        vals = np.array([0b1, 0, 0b11, 0], dtype=np.uint64)
+        lens = np.array([1, 0, 2, 0])
+        res = shuffle_merge(vals, lens, 4)
+        assert int(res.bits[0]) == 3
+        bits = unpack_to_bits(res.chunk_bytes(0), 3)
+        assert bits.tolist() == [1, 1, 1]
+
+    def test_all_full_words(self):
+        vals = np.full(8, 0xDEADBEEF, dtype=np.uint64)
+        lens = np.full(8, 32, dtype=np.int64)
+        res = shuffle_merge(vals, lens, 8)
+        assert int(res.bits[0]) == 256
+        ref_buf, _ = reference_bits(vals, lens)
+        assert np.array_equal(res.chunk_bytes(0), ref_buf)
+
+    def test_all_empty_chunk(self):
+        res = shuffle_merge(np.zeros(8, dtype=np.uint64),
+                            np.zeros(8, dtype=np.int64), 8)
+        assert int(res.bits[0]) == 0
+        assert res.chunk_bytes(0).size == 0
+
+    def test_moved_words_counted(self, rng):
+        vals, lens = random_cells(rng, 32)
+        res = shuffle_merge(vals, lens, 32)
+        assert res.iterations == 5
+        assert res.moved_words > 0
+
+    def test_payload_offsets(self, rng):
+        vals, lens = random_cells(rng, 32)
+        res = shuffle_merge(vals, lens, 8)
+        buf, offsets = res.payload()
+        assert offsets[0] == 0
+        assert offsets[-1] == buf.size
+        for c in range(4):
+            assert np.array_equal(
+                buf[offsets[c]: offsets[c + 1]], res.chunk_bytes(c)
+            )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            shuffle_merge(np.zeros(6, dtype=np.uint64), np.zeros(6), 6)
+
+    def test_rejects_partial_chunks(self):
+        with pytest.raises(ValueError):
+            shuffle_merge(np.zeros(6, dtype=np.uint64), np.zeros(6), 4)
+
+    def test_rejects_overlong_cells(self):
+        with pytest.raises(ValueError):
+            shuffle_merge(np.array([0], dtype=np.uint64), np.array([40]), 1)
+
+    def test_empty_input(self):
+        res = shuffle_merge(np.empty(0, dtype=np.uint64),
+                            np.empty(0, dtype=np.int64), 8)
+        assert res.n_chunks == 0
+
+    @given(st.integers(1, 5), st.integers(0, 2**32 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_property_matches_reference(self, log_cells, seed):
+        rng = np.random.default_rng(seed)
+        cells = 1 << log_cells
+        n_chunks = int(rng.integers(1, 5))
+        vals, lens = random_cells(rng, cells * n_chunks)
+        res = shuffle_merge(vals, lens, cells)
+        for c in range(n_chunks):
+            ref_buf, ref_bits = reference_bits(
+                vals[c * cells: (c + 1) * cells],
+                lens[c * cells: (c + 1) * cells],
+            )
+            assert int(res.bits[c]) == ref_bits
+            assert np.array_equal(res.chunk_bytes(c), ref_buf)
+
+
+class TestShuffleTrace:
+    def test_group_bits_conserved(self, rng):
+        vals, lens = random_cells(rng, 8)
+        snaps = shuffle_merge_trace(vals, lens, 8)
+        assert len(snaps) == 4
+        for _, glen in snaps:
+            assert int(np.sum(glen)) == int(lens.sum())
+
+    def test_group_count_halves(self, rng):
+        vals, lens = random_cells(rng, 8)
+        snaps = shuffle_merge_trace(vals, lens, 8)
+        assert [g.size for _, g in snaps] == [8, 4, 2, 1]

@@ -1,0 +1,151 @@
+"""Tests for the micro SIMT executor: barrier semantics, shared memory,
+atomics, and cross-validation of real kernels."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.launch import LaunchConfig
+from repro.cuda.simt import SimtError, simt_launch
+from repro.histogram.gpu_histogram import hist_simt_kernel
+
+
+def test_threads_see_identity():
+    seen = []
+
+    def kernel(ctx):
+        seen.append((ctx.block_idx, ctx.thread_idx, ctx.global_rank,
+                     ctx.warp_id, ctx.lane_id))
+        if False:
+            yield ctx.sync_block
+
+    stats = simt_launch(kernel, LaunchConfig(2, 64))
+    assert stats.threads == 128
+    assert len(seen) == 128
+    assert (1, 63, 127, 1, 31) in seen
+
+
+def test_block_barrier_orders_phases():
+    """Writers fill shared memory before any reader runs past the barrier."""
+    result = np.zeros(64, dtype=np.int64)
+
+    def kernel(ctx, out):
+        sh = ctx.shared_array("buf", 64, np.int64)
+        sh[ctx.thread_rank] = ctx.thread_rank * 2
+        yield ctx.sync_block
+        # read a *different* thread's slot: only correct if the barrier held
+        out[ctx.thread_rank] = sh[(ctx.thread_rank + 1) % 64]
+
+    simt_launch(kernel, LaunchConfig(1, 64), result)
+    expected = [((i + 1) % 64) * 2 for i in range(64)]
+    assert result.tolist() == expected
+
+
+def test_grid_barrier_spans_blocks():
+    total = np.zeros(1, dtype=np.int64)
+    out = np.zeros(4, dtype=np.int64)
+
+    def kernel(ctx, total, out):
+        ctx.atomic_add(total, 0, 1)
+        yield ctx.sync_grid
+        out[ctx.block_idx] = total[0]
+
+    stats = simt_launch(kernel, LaunchConfig(4, 1), total, out)
+    assert stats.grid_syncs == 1
+    assert out.tolist() == [4, 4, 4, 4]
+
+
+def test_partial_block_barrier_is_error():
+    def kernel(ctx):
+        if ctx.thread_rank == 0:
+            yield ctx.sync_block
+
+    with pytest.raises(SimtError):
+        simt_launch(kernel, LaunchConfig(1, 2))
+
+
+def test_partial_grid_barrier_is_error():
+    def kernel(ctx):
+        if ctx.block_idx == 0:
+            yield ctx.sync_grid
+        else:
+            yield ctx.sync_block
+
+    with pytest.raises(SimtError):
+        simt_launch(kernel, LaunchConfig(2, 1))
+
+
+def test_non_generator_kernel_rejected():
+    def kernel(ctx):
+        return 42
+
+    with pytest.raises(SimtError):
+        simt_launch(kernel, LaunchConfig(1, 1))
+
+
+def test_unknown_token_rejected():
+    def kernel(ctx):
+        yield "nonsense"
+
+    with pytest.raises(SimtError):
+        simt_launch(kernel, LaunchConfig(1, 1))
+
+
+def test_shared_memory_is_per_block():
+    out = np.zeros(2, dtype=np.int64)
+
+    def kernel(ctx, out):
+        sh = ctx.shared_array("x", 1, np.int64)
+        ctx.atomic_add(sh, 0, 1)
+        yield ctx.sync_block
+        if ctx.thread_rank == 0:
+            out[ctx.block_idx] = sh[0]
+
+    simt_launch(kernel, LaunchConfig(2, 8), out)
+    assert out.tolist() == [8, 8]  # not 16: blocks do not share
+
+
+def test_shared_redeclaration_shape_mismatch():
+    def kernel(ctx):
+        ctx.shared_array("x", 4, np.int64)
+        ctx.shared_array("x", 8, np.int64)
+        if False:
+            yield ctx.sync_block
+
+    with pytest.raises(SimtError):
+        simt_launch(kernel, LaunchConfig(1, 1))
+
+
+def test_atomic_min_max_return_old():
+    log = []
+
+    def kernel(ctx, arr):
+        old = ctx.atomic_max(arr, 0, ctx.thread_rank)
+        log.append(old)
+        if False:
+            yield ctx.sync_block
+
+    arr = np.zeros(1, dtype=np.int64)
+    simt_launch(kernel, LaunchConfig(1, 4), arr)
+    assert arr[0] == 3
+    assert log[0] == 0  # first thread saw the initial value
+
+
+def test_multiple_barriers_count():
+    def kernel(ctx):
+        yield ctx.sync_block
+        yield ctx.sync_block
+        yield ctx.sync_grid
+
+    stats = simt_launch(kernel, LaunchConfig(2, 4))
+    assert stats.block_syncs == 4  # 2 barriers x 2 blocks
+    assert stats.grid_syncs == 1
+
+
+def test_histogram_kernel_matches_bincount(rng):
+    data = rng.integers(0, 16, 500)
+    out = np.zeros(16, dtype=np.int64)
+    stats = simt_launch(
+        hist_simt_kernel, LaunchConfig(4, 32), data, 16, 2, out
+    )
+    assert np.array_equal(out, np.bincount(data, minlength=16))
+    assert stats.atomic_ops > 0

@@ -1,0 +1,74 @@
+"""Cross-validation of the SIMT GenerateCW against the vectorized one."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.simt_codebook import generate_cw_simt
+
+
+def expected_from_book(book):
+    """(cl ascending, code values in position order) from a codebook."""
+    order = book.symbols_by_code
+    cl = book.lengths[order].astype(np.int64)
+    cw = book.codes[order].astype(np.int64)
+    return cl, cw
+
+
+class TestGenerateCwSimt:
+    def test_small_example(self):
+        cl = np.array([1, 2, 3, 3])
+        cw, first, entry, stats = generate_cw_simt(cl)
+        assert cw.tolist() == [0b0, 0b10, 0b110, 0b111]
+        assert first[1] == 0 and first[2] == 0b10 and first[3] == 0b110
+        assert entry.tolist() == [0, 0, 1, 2]
+        assert stats.grid_syncs > 3
+
+    def test_matches_vectorized_construction(self, rng):
+        freqs = rng.integers(0, 5000, 300)
+        book = parallel_codebook(freqs).codebook
+        cl, expected_cw = expected_from_book(book)
+        cw, first, entry, _ = generate_cw_simt(cl)
+        assert np.array_equal(cw, expected_cw)
+        assert np.array_equal(first, book.first)
+        assert np.array_equal(entry, book.entry)
+
+    def test_multi_block_grid(self, rng):
+        """More codewords than one block: the cooperative grid sync is
+        what makes the level loop correct (the paper's reason for using
+        cooperative groups over block syncs)."""
+        freqs = rng.integers(1, 10**6, 1000)
+        book = parallel_codebook(freqs).codebook
+        cl, expected_cw = expected_from_book(book)
+        cw, first, entry, stats = generate_cw_simt(cl, block_dim=128)
+        assert np.array_equal(cw, expected_cw)
+        assert stats.threads >= 1000
+
+    def test_single_code(self):
+        cw, first, entry, _ = generate_cw_simt(np.array([1]))
+        assert cw.tolist() == [0]
+
+    def test_empty(self):
+        cw, first, entry, _ = generate_cw_simt(np.array([], dtype=np.int64))
+        assert cw.size == 0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            generate_cw_simt(np.array([3, 1]))
+
+    def test_uniform_lengths_single_level(self):
+        cw, first, entry, stats = generate_cw_simt(np.full(8, 3))
+        assert cw.tolist() == list(range(8))
+        assert first[3] == 0
+
+    @given(st.lists(st.integers(1, 10**6), min_size=2, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_vectorized(self, freqs):
+        book = parallel_codebook(np.asarray(freqs, dtype=np.int64)).codebook
+        cl, expected_cw = expected_from_book(book)
+        cw, first, entry, _ = generate_cw_simt(cl)
+        assert np.array_equal(cw, expected_cw)
+        assert np.array_equal(first, book.first)
+        assert np.array_equal(entry, book.entry)

@@ -1,0 +1,121 @@
+"""Cross-validation: vectorized encoder kernels vs thread-faithful SIMT
+kernels on identical inputs."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduce_merge import reduce_merge
+from repro.core.shuffle_merge import shuffle_merge
+from repro.core.simt_kernels import (
+    reduce_merge_simt_kernel,
+    shuffle_merge_simt_kernel,
+)
+from repro.cuda.launch import LaunchConfig
+from repro.cuda.simt import simt_launch
+
+
+def random_codewords(rng, n, max_len=12):
+    lens = rng.integers(1, max_len + 1, n).astype(np.int64)
+    codes = np.array([rng.integers(0, 1 << l) for l in lens], dtype=np.uint64)
+    return codes, lens
+
+
+class TestReduceMergeSimt:
+    @pytest.mark.parametrize("r,chunks", [(1, 1), (2, 2), (3, 3)])
+    def test_matches_vectorized(self, rng, r, chunks):
+        n = 16  # symbols per chunk
+        codes, lens = random_codewords(rng, n * chunks, max_len=11)
+        ref = reduce_merge(codes, lens, r)
+
+        out_cells = (n >> r) * chunks
+        out_vals = np.zeros(out_cells, dtype=np.uint64)
+        out_lens = np.zeros(out_cells, dtype=np.int64)
+        out_broken = np.zeros(out_cells, dtype=bool)
+        simt_launch(
+            reduce_merge_simt_kernel, LaunchConfig(chunks, n // 2),
+            codes, lens, r, 32, out_vals, out_lens, out_broken,
+        )
+        assert np.array_equal(out_lens, ref.lengths)
+        assert np.array_equal(out_broken, ref.broken)
+        ok = ~ref.broken
+        assert np.array_equal(out_vals[ok], ref.values[ok])
+
+    def test_breaking_flagged_identically(self, rng):
+        # long codewords force breaking at r = 2
+        lens = rng.integers(9, 13, 32).astype(np.int64)
+        codes = np.array([rng.integers(0, 1 << l) for l in lens],
+                         dtype=np.uint64)
+        ref = reduce_merge(codes, lens, 2)
+        assert ref.broken.any()
+        out_vals = np.zeros(8, dtype=np.uint64)
+        out_lens = np.zeros(8, dtype=np.int64)
+        out_broken = np.zeros(8, dtype=bool)
+        simt_launch(
+            reduce_merge_simt_kernel, LaunchConfig(2, 8),
+            codes, lens, 2, 32, out_vals, out_lens, out_broken,
+        )
+        assert np.array_equal(out_broken, ref.broken)
+
+
+class TestShuffleMergeSimt:
+    @pytest.mark.parametrize("cells,chunks", [(2, 1), (4, 2), (8, 2), (16, 1)])
+    def test_matches_vectorized(self, rng, cells, chunks):
+        lens = rng.integers(0, 33, cells * chunks).astype(np.int64)
+        vals = np.array(
+            [rng.integers(0, 1 << int(l)) if l else 0 for l in lens],
+            dtype=np.uint64,
+        )
+        ref = shuffle_merge(vals, lens, cells)
+
+        out_words = np.zeros(cells * chunks, dtype=np.uint64)
+        out_bits = np.zeros(chunks, dtype=np.int64)
+        simt_launch(
+            shuffle_merge_simt_kernel, LaunchConfig(chunks, cells),
+            vals, lens, out_words, out_bits,
+        )
+        assert np.array_equal(out_bits, ref.bits)
+        assert np.array_equal(
+            out_words.reshape(chunks, cells).astype(np.uint32), ref.words
+        )
+
+    def test_full_words(self, rng):
+        vals = np.full(8, 0xDEADBEEF, dtype=np.uint64)
+        lens = np.full(8, 32, dtype=np.int64)
+        ref = shuffle_merge(vals, lens, 8)
+        out_words = np.zeros(8, dtype=np.uint64)
+        out_bits = np.zeros(1, dtype=np.int64)
+        simt_launch(shuffle_merge_simt_kernel, LaunchConfig(1, 8),
+                    vals, lens, out_words, out_bits)
+        assert out_bits[0] == 256
+        assert np.array_equal(out_words.astype(np.uint32), ref.words[0])
+
+    def test_with_broken_gaps(self, rng):
+        """Zero-length (broken) cells interleaved, as the encoder emits."""
+        lens = np.array([5, 0, 17, 0, 32, 1, 0, 9], dtype=np.int64)
+        vals = np.array(
+            [rng.integers(0, 1 << int(l)) if l else 0 for l in lens],
+            dtype=np.uint64,
+        )
+        ref = shuffle_merge(vals, lens, 8)
+        out_words = np.zeros(8, dtype=np.uint64)
+        out_bits = np.zeros(1, dtype=np.int64)
+        simt_launch(shuffle_merge_simt_kernel, LaunchConfig(1, 8),
+                    vals, lens, out_words, out_bits)
+        assert out_bits[0] == ref.bits[0]
+        assert np.array_equal(out_words.astype(np.uint32), ref.words[0])
+
+    def test_randomized_sweep(self, rng):
+        for _ in range(20):
+            cells = int(2 ** rng.integers(1, 5))
+            lens = rng.integers(0, 33, cells).astype(np.int64)
+            vals = np.array(
+                [rng.integers(0, 1 << int(l)) if l else 0 for l in lens],
+                dtype=np.uint64,
+            )
+            ref = shuffle_merge(vals, lens, cells)
+            out_words = np.zeros(cells, dtype=np.uint64)
+            out_bits = np.zeros(1, dtype=np.int64)
+            simt_launch(shuffle_merge_simt_kernel, LaunchConfig(1, cells),
+                        vals, lens, out_words, out_bits)
+            assert out_bits[0] == ref.bits[0]
+            assert np.array_equal(out_words.astype(np.uint32), ref.words[0])

@@ -1,0 +1,70 @@
+"""Tests for the dense-to-sparse (cuSPARSE stand-in) utility."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.sparse import SparseVector, dense_to_sparse, sparse_to_dense
+
+
+class TestDenseToSparse:
+    def test_nonzero_default_mask(self):
+        sv = dense_to_sparse(np.array([0, 3, 0, 5]))
+        assert sv.indices.tolist() == [1, 3]
+        assert sv.values.tolist() == [3, 5]
+        assert sv.length == 4
+
+    def test_explicit_mask(self):
+        sv = dense_to_sparse(np.array([7, 8, 9]),
+                             mask=np.array([True, False, True]))
+        assert sv.indices.tolist() == [0, 2]
+        assert sv.values.tolist() == [7, 9]
+
+    def test_multicolumn_values(self):
+        dense = np.array([[0, 0], [4, 2], [0, 0]])
+        sv = dense_to_sparse(dense)
+        assert sv.indices.tolist() == [1]
+        assert sv.values.tolist() == [[4, 2]]
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dense_to_sparse(np.zeros(3), mask=np.array([True]))
+
+    def test_all_zero(self):
+        sv = dense_to_sparse(np.zeros(10))
+        assert sv.nnz == 0
+        assert sv.density == 0.0
+
+
+class TestSparseVector:
+    def test_validates_index_range(self):
+        with pytest.raises(ValueError):
+            SparseVector(length=2, indices=np.array([5]), values=np.array([1]))
+
+    def test_validates_ascending(self):
+        with pytest.raises(ValueError):
+            SparseVector(length=5, indices=np.array([3, 1]),
+                         values=np.array([1, 2]))
+
+    def test_nbytes_positive(self):
+        sv = dense_to_sparse(np.array([1, 0, 2]))
+        assert sv.nbytes() > 0
+
+    def test_density(self):
+        sv = dense_to_sparse(np.array([1, 0, 2, 0]))
+        assert sv.density == pytest.approx(0.5)
+
+
+class TestRoundtrip:
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=80))
+    def test_dense_sparse_dense(self, values):
+        dense = np.asarray(values)
+        sv = dense_to_sparse(dense)
+        back = sparse_to_dense(sv, dtype=dense.dtype)
+        assert np.array_equal(back, dense)
+
+    def test_custom_fill(self):
+        sv = dense_to_sparse(np.array([0, 9]))
+        back = sparse_to_dense(sv, fill=-1)
+        assert back.tolist() == [-1, 9]

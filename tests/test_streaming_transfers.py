@@ -1,0 +1,132 @@
+"""Tests for the streaming two-pass encoder and the transfer/pipeline
+model."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingDecoder, StreamingEncoder
+from repro.cuda.device import V100
+from repro.cuda.transfers import TransferModel, pipelined_makespan
+
+
+class TestStreamingEncoder:
+    @pytest.fixture
+    def blocks(self, rng):
+        probs = rng.dirichlet(np.ones(128) * 0.1)
+        return [
+            rng.choice(128, size=int(rng.integers(1000, 9000)),
+                       p=probs).astype(np.uint16)
+            for _ in range(6)
+        ]
+
+    def test_two_pass_roundtrip(self, blocks):
+        enc = StreamingEncoder(num_symbols=128)
+        for b in blocks:
+            enc.observe(b)
+        enc.finalize()
+        segments = [enc.encode_block(b) for b in blocks]
+        dec = StreamingDecoder()
+        out = dec.decode_all(segments)
+        assert np.array_equal(out, np.concatenate(blocks))
+        assert dec.symbols_decoded == sum(b.size for b in blocks)
+
+    def test_shared_codebook_across_segments(self, blocks):
+        enc = StreamingEncoder(num_symbols=128)
+        for b in blocks:
+            enc.observe(b)
+        book = enc.finalize()
+        seg0 = enc.encode_block(blocks[0])
+        seg1 = enc.encode_block(blocks[1])
+        from repro.core.serialization import deserialize_stream
+
+        _, b0 = deserialize_stream(seg0)
+        _, b1 = deserialize_stream(seg1)
+        assert np.array_equal(b0.codes, book.codes)
+        assert np.array_equal(b1.codes, book.codes)
+
+    def test_observe_after_finalize_rejected(self, blocks):
+        enc = StreamingEncoder(num_symbols=128)
+        enc.observe(blocks[0])
+        enc.finalize()
+        with pytest.raises(RuntimeError):
+            enc.observe(blocks[1])
+
+    def test_encode_before_finalize_rejected(self, blocks):
+        enc = StreamingEncoder(num_symbols=128)
+        enc.observe(blocks[0])
+        with pytest.raises(RuntimeError):
+            enc.encode_block(blocks[0])
+
+    def test_finalize_without_data_rejected(self):
+        with pytest.raises(RuntimeError):
+            StreamingEncoder(num_symbols=4).finalize()
+
+    def test_stats_accumulate(self, blocks):
+        enc = StreamingEncoder(num_symbols=128)
+        for b in blocks:
+            enc.observe(b)
+        enc.finalize()
+        for b in blocks:
+            enc.encode_block(b)
+        total_in = sum(b.nbytes for b in blocks)
+        assert len(enc.segments) == len(blocks)
+        assert enc.compression_ratio(total_in) > 1.0
+
+    def test_large_alphabet_blocks(self, rng):
+        """Streaming over a 64 Ki alphabet exercises the multi-strategy
+        histogram."""
+        blocks = [
+            np.clip(rng.standard_normal(5000) * 30 + 32768, 0, 65535)
+            .astype(np.uint16)
+            for _ in range(3)
+        ]
+        enc = StreamingEncoder(num_symbols=65536)
+        for b in blocks:
+            enc.observe(b)
+        enc.finalize()
+        segs = [enc.encode_block(b) for b in blocks]
+        out = StreamingDecoder().decode_all(segs)
+        assert np.array_equal(out, np.concatenate(blocks))
+
+
+class TestTransferPipeline:
+    def test_transfer_times(self):
+        tm = TransferModel(V100, pcie_gbps=12.0)
+        assert tm.h2d_seconds(12e9) == pytest.approx(1.0)
+
+    def test_kernel_bound_pipeline(self):
+        est = pipelined_makespan(h2d=1.0, kernel=3.0, d2h=0.5, batches=10)
+        assert est.bottleneck == "kernel"
+        # fill+drain (4.5) + 9 * 3.0
+        assert est.seconds == pytest.approx(4.5 + 27.0)
+        assert est.overlap_efficiency > 1.0
+
+    def test_transfer_bound_pipeline(self):
+        est = pipelined_makespan(h2d=2.0, kernel=0.5, d2h=0.3, batches=5)
+        assert est.bottleneck == "h2d"
+
+    def test_single_batch_no_overlap(self):
+        est = pipelined_makespan(1.0, 1.0, 1.0, batches=1)
+        assert est.seconds == pytest.approx(3.0)
+        assert est.overlap_efficiency == pytest.approx(1.0)
+
+    def test_invalid_batches(self):
+        with pytest.raises(ValueError):
+            pipelined_makespan(1, 1, 1, 0)
+
+    def test_encoder_is_pcie_bound_at_full_speed(self, rng):
+        """A ~300 GB/s encoder behind a 12 GB/s PCIe link: the transfer
+        dominates, which is exactly why compression lives on the GPU in
+        the first place (compress before you move)."""
+        from repro.core.pipeline import run_pipeline
+        from repro.datasets.registry import get_dataset
+
+        ds = get_dataset("nyx_quant")
+        data, scale = ds.generate(1_000_000, rng)
+        res = run_pipeline(data, ds.n_symbols, scale=scale)
+        kernel_s = res.stage_seconds()["encode"]
+        tm = TransferModel(V100)
+        h2d = tm.h2d_seconds(data.nbytes * scale)
+        est = pipelined_makespan(h2d / 8, kernel_s / 8,
+                                 h2d / 80, batches=8)
+        assert est.bottleneck == "h2d"

@@ -1,0 +1,73 @@
+"""Tests for the order-1 Markov text generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import huffman_avg_bits
+from repro.datasets.textlike import (
+    SEED_CORPUS,
+    markov_bytes,
+    markov_text,
+    transition_matrix,
+)
+
+
+class TestTransitionMatrix:
+    def test_row_stochastic(self):
+        _, m = transition_matrix()
+        assert np.allclose(m.sum(axis=1), 1.0)
+        assert np.all(m > 0)  # add-one smoothing
+
+    def test_alphabet_subset_of_corpus(self):
+        alphabet, _ = transition_matrix()
+        corpus = set(SEED_CORPUS.encode())
+        assert set(alphabet.tolist()) == corpus
+
+    def test_common_digraphs_likely(self):
+        """'th' and 'he' should be high-probability transitions."""
+        alphabet, m = transition_matrix()
+        idx = {b: i for i, b in enumerate(alphabet.tolist())}
+        t, h, e = idx[ord("t")], idx[ord("h")], idx[ord("e")]
+        assert m[t, h] > 0.1
+        assert m[h, e] > 0.2
+
+
+class TestGeneration:
+    def test_size_and_alphabet(self, rng):
+        buf = markov_bytes(50_000, rng)
+        assert buf.size == 50_000
+        alphabet, _ = transition_matrix()
+        assert set(np.unique(buf).tolist()) <= set(alphabet.tolist())
+
+    def test_empty(self, rng):
+        assert markov_bytes(0, rng).size == 0
+
+    def test_text_decodes(self, rng):
+        text = markov_text(2000, rng)
+        assert len(text) == 2000
+        assert " " in text
+
+    def test_entropy_in_text_band(self, rng):
+        """Optimal-Huffman width of order-0 stats should sit in the
+        text band (enwik is ~5.2 bits)."""
+        buf = markov_bytes(200_000, rng)
+        freqs = np.bincount(buf, minlength=256)
+        beta = huffman_avg_bits(freqs / freqs.sum())
+        assert 3.5 < beta < 6.0
+
+    def test_digraph_structure_present(self, rng):
+        """Order-1 structure: P(h | t) in generated text far exceeds the
+        unconditional P(h)."""
+        buf = markov_bytes(300_000, rng)
+        t_mask = buf[:-1] == ord("t")
+        p_h_given_t = np.mean(buf[1:][t_mask] == ord("h"))
+        p_h = np.mean(buf == ord("h"))
+        assert p_h_given_t > 3 * p_h
+
+    def test_roundtrip_through_encoder(self, rng):
+        import repro
+
+        buf = markov_bytes(60_000, rng)
+        enc = repro.encode(buf, num_symbols=256)
+        assert np.array_equal(repro.decode(enc), buf)
+        assert enc.compression_ratio > 1.3

@@ -1,0 +1,123 @@
+"""Tests for the multiprocessing encoder, inspection tools, and the
+programmatic reproduction verdict."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import gpu_encode
+from repro.huffman.cpu_mp import cpu_mp_encode, default_workers
+from repro.huffman.cpu_mt import cpu_mt_encode
+from repro.huffman.decoder import decode_canonical
+from repro.utils.inspect import (
+    codebook_table,
+    codebook_tree_ascii,
+    length_histogram,
+    stream_summary,
+)
+
+
+class TestCpuMpEncode:
+    def test_single_worker_matches_reference(self, skewed_data, skewed_book):
+        from repro.huffman.serial import serial_encode
+
+        res = cpu_mp_encode(skewed_data, skewed_book, workers=1)
+        buf, bits = serial_encode(skewed_data, skewed_book)
+        assert int(res.chunk_bits[0]) == bits
+        assert np.array_equal(res.chunk_buffers[0], buf)
+
+    def test_parallel_matches_modeled_mt_container(self, skewed_data,
+                                                   skewed_book):
+        mp = cpu_mp_encode(skewed_data, skewed_book, workers=3)
+        mt = cpu_mt_encode(skewed_data, skewed_book, threads=3)
+        assert np.array_equal(mp.chunk_bits, mt.chunk_bits)
+        for a, b in zip(mp.chunk_buffers, mt.chunk_buffers):
+            assert np.array_equal(a, b)
+
+    def test_parallel_roundtrip(self, skewed_data, skewed_book):
+        res = cpu_mp_encode(skewed_data, skewed_book, workers=2)
+        pieces = []
+        for buf, bits, nsym in zip(res.chunk_buffers, res.chunk_bits,
+                                   res.chunk_symbols):
+            if nsym:
+                pieces.append(
+                    decode_canonical(buf, int(bits), skewed_book, int(nsym))
+                )
+        assert np.array_equal(np.concatenate(pieces), skewed_data)
+
+    def test_small_input_stays_in_process(self, rng, skewed_data,
+                                          skewed_book):
+        data = skewed_data[:100]  # symbols guaranteed covered by the book
+        res = cpu_mp_encode(data, skewed_book, workers=8)
+        assert len(res.chunk_buffers) == 8
+        assert int(res.chunk_symbols.sum()) == 100
+
+    def test_invalid_workers(self, skewed_data, skewed_book):
+        with pytest.raises(ValueError):
+            cpu_mp_encode(skewed_data, skewed_book, workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_uncovered_symbol(self, skewed_book):
+        from repro.core.codebook_parallel import parallel_codebook
+
+        book = parallel_codebook(np.array([1, 1, 0])).codebook
+        with pytest.raises(ValueError):
+            cpu_mp_encode(np.array([2]), book, workers=1)
+
+
+class TestInspectTools:
+    def test_codebook_table(self, skewed_book, skewed_data):
+        freqs = np.bincount(skewed_data, minlength=64)
+        text = codebook_table(skewed_book, freqs, max_rows=10)
+        assert "symbol" in text and "code" in text
+        assert "more)" in text  # clipped
+
+    def test_codebook_table_empty(self):
+        from repro.huffman.codebook import canonical_from_lengths
+
+        book = canonical_from_lengths(np.zeros(4, dtype=np.int32))
+        assert "empty" in codebook_table(book)
+
+    def test_tree_ascii_small(self):
+        from repro.huffman.codebook import canonical_from_lengths
+
+        book = canonical_from_lengths(np.array([1, 2, 2]))
+        art = codebook_tree_ascii(book)
+        assert "symbol 0" in art
+        assert "0:" in art and "1:" in art
+
+    def test_tree_ascii_clips_depth(self, skewed_book):
+        art = codebook_tree_ascii(skewed_book, max_depth=3)
+        assert "leaves below" in art
+
+    def test_length_histogram(self, skewed_book):
+        text = length_histogram(skewed_book)
+        assert "total kraft: 1.000000" in text
+
+    def test_stream_summary(self, skewed_data, skewed_book):
+        enc = gpu_encode(skewed_data, skewed_book)
+        text = stream_summary(enc.stream)
+        assert "chunks" in text and "breaking" in text
+
+
+class TestVerdict:
+    @pytest.fixture(scope="class")
+    def claims(self):
+        from repro.perf.verdict import evaluate_claims
+
+        return evaluate_claims(surrogate_bytes=1_000_000)
+
+    def test_every_claim_reproduced(self, claims):
+        failing = [c.name for c in claims if not c.reproduced]
+        assert not failing, f"claims out of band: {failing}"
+
+    def test_table_renders(self, claims):
+        from repro.perf.verdict import verdict_table
+
+        text = verdict_table(claims)
+        assert "Reproduction verdict" in text
+        assert "OUT OF BAND" not in text
+
+    def test_claim_count(self, claims):
+        assert len(claims) >= 9

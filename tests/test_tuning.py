@@ -1,0 +1,91 @@
+"""Tests for reduction-factor selection (Fig. 3 logic)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import (
+    DEFAULT_MAGNITUDE,
+    EMPIRICAL_MAX_REDUCTION,
+    EncoderTuning,
+    average_bitwidth,
+    choose_reduction_factor,
+    entropy_bits,
+    expected_merged_bits,
+    proper_reduction_factor,
+)
+
+
+class TestEntropyAndAvgBits:
+    def test_uniform_entropy(self):
+        assert entropy_bits(np.ones(256)) == pytest.approx(8.0)
+
+    def test_degenerate_entropy(self):
+        f = np.zeros(8)
+        f[0] = 100
+        assert entropy_bits(f) == 0.0
+
+    def test_empty(self):
+        assert entropy_bits(np.zeros(4)) == 0.0
+        assert average_bitwidth(np.zeros(4), np.zeros(4)) == 0.0
+
+    def test_average_bitwidth(self):
+        assert average_bitwidth(np.array([3, 1]), np.array([1, 2])) == pytest.approx(1.25)
+
+
+class TestProperRule:
+    def test_paper_examples(self):
+        """The paper's rule reproduces Table V's #REDUCE choices."""
+        # enwik (beta ~5.2): floor(log2 5.2)=2 -> r = 5-1-2 = 2
+        assert proper_reduction_factor(5.2124) == 2
+        # mr (4.0165): floor=2 -> 2
+        assert proper_reduction_factor(4.0165) == 2
+        # nci (2.7307): floor=1 -> 3
+        assert proper_reduction_factor(2.7307) == 3
+        # Nyx (1.0272): floor=0 -> 4 by the rule...
+        assert proper_reduction_factor(1.0272) == 4
+
+    def test_nyx_empirically_capped_to_3(self):
+        """...but the empirical cap (Table II) brings Nyx to r = 3."""
+        assert choose_reduction_factor(1.0272) == 3
+
+    def test_merged_width_lands_in_half_word(self):
+        for beta in (1.1, 2.3, 3.9, 5.2, 7.9):
+            r = proper_reduction_factor(beta, 32)
+            assert 16 <= expected_merged_bits(beta, r) < 40
+
+    def test_word16(self):
+        assert proper_reduction_factor(1.5, 16) == 3
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            proper_reduction_factor(0.0)
+        with pytest.raises(ValueError):
+            proper_reduction_factor(2.0, word_bits=24)
+
+    def test_monotone_in_beta(self):
+        betas = np.geomspace(0.8, 16, 30)
+        rs = [proper_reduction_factor(float(b)) for b in betas]
+        assert all(a >= b for a, b in zip(rs, rs[1:]))
+
+    def test_wide_codes_get_r0(self):
+        assert proper_reduction_factor(20.0) == 0
+
+    def test_structural_bound_r_below_m(self):
+        assert choose_reduction_factor(0.9, magnitude=3,
+                                       empirical_cap=None) <= 2
+
+
+class TestEncoderTuning:
+    def test_derived_quantities(self):
+        t = EncoderTuning(magnitude=10, reduction_factor=3)
+        assert t.chunk_symbols == 1024
+        assert t.shuffle_factor == 7
+        assert t.cells_per_chunk == 128
+        assert t.group_symbols == 8
+
+    def test_for_histogram(self):
+        freqs = np.array([1000, 1, 1, 1])
+        lengths = np.array([1, 2, 3, 3])
+        t = EncoderTuning.for_histogram(freqs, lengths)
+        assert t.magnitude == DEFAULT_MAGNITUDE
+        assert 0 <= t.reduction_factor <= EMPIRICAL_MAX_REDUCTION

@@ -1,0 +1,175 @@
+"""Tests for warp-level collectives in the micro-SIMT interpreter, and a
+warp-aggregated histogram kernel built on them."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.launch import LaunchConfig
+from repro.cuda.simt import SimtError, simt_launch
+
+
+class TestWarpPrimitives:
+    def _run(self, kernel, block=32, grid=1, *args):
+        return simt_launch(kernel, LaunchConfig(grid, block), *args)
+
+    def test_ballot(self):
+        out = np.zeros(32, dtype=np.int64)
+
+        def kernel(ctx, out):
+            mask = yield ctx.warp_op("ballot", ctx.lane_id % 2 == 0)
+            out[ctx.lane_id] = mask
+
+        self._run(kernel, 32, 1, out)
+        expected = sum(1 << i for i in range(0, 32, 2))
+        assert np.all(out == expected)
+
+    def test_sum_reduction(self):
+        out = np.zeros(32, dtype=np.int64)
+
+        def kernel(ctx, out):
+            total = yield ctx.warp_op("sum", ctx.lane_id)
+            out[ctx.lane_id] = total
+
+        self._run(kernel, 32, 1, out)
+        assert np.all(out == sum(range(32)))
+
+    def test_max_min(self):
+        out = np.zeros((2, 32), dtype=np.int64)
+
+        def kernel(ctx, out):
+            hi = yield ctx.warp_op("max", (ctx.lane_id * 7) % 13)
+            lo = yield ctx.warp_op("min", (ctx.lane_id * 7) % 13)
+            out[0, ctx.lane_id] = hi
+            out[1, ctx.lane_id] = lo
+
+        self._run(kernel, 32, 1, out)
+        vals = [(l * 7) % 13 for l in range(32)]
+        assert np.all(out[0] == max(vals))
+        assert np.all(out[1] == min(vals))
+
+    def test_any_all(self):
+        out = np.zeros(2, dtype=np.int64)
+
+        def kernel(ctx, out):
+            a = yield ctx.warp_op("any", ctx.lane_id == 5)
+            b = yield ctx.warp_op("all", ctx.lane_id == 5)
+            if ctx.lane_id == 0:
+                out[0] = int(a)
+                out[1] = int(b)
+
+        self._run(kernel, 32, 1, out)
+        assert out.tolist() == [1, 0]
+
+    def test_broadcast(self):
+        out = np.zeros(32, dtype=np.int64)
+
+        def kernel(ctx, out):
+            v = yield ctx.warp_op("bcast", ctx.lane_id * 100, src_lane=3)
+            out[ctx.lane_id] = v
+
+        self._run(kernel, 32, 1, out)
+        assert np.all(out == 300)
+
+    def test_shfl_rotate(self):
+        out = np.zeros(32, dtype=np.int64)
+
+        def kernel(ctx, out):
+            v = yield ctx.warp_op("shfl", ctx.lane_id * 10,
+                                  src_lane=(ctx.lane_id + 1) % 32)
+            out[ctx.lane_id] = v
+
+        self._run(kernel, 32, 1, out)
+        assert np.array_equal(out, [((l + 1) % 32) * 10 for l in range(32)])
+
+    def test_multiple_warps_independent(self):
+        out = np.zeros(64, dtype=np.int64)
+
+        def kernel(ctx, out):
+            total = yield ctx.warp_op("sum", 1 if ctx.warp_id == 0 else 2)
+            out[ctx.thread_rank] = total
+
+        self._run(kernel, 64, 1, out)
+        assert np.all(out[:32] == 32)
+        assert np.all(out[32:] == 64)
+
+    def test_partial_warp(self):
+        """A 16-thread block is one half-populated warp; collectives span
+        the live lanes."""
+        out = np.zeros(16, dtype=np.int64)
+
+        def kernel(ctx, out):
+            total = yield ctx.warp_op("sum", 1)
+            out[ctx.thread_rank] = total
+
+        self._run(kernel, 16, 1, out)
+        assert np.all(out == 16)
+
+    def test_divergent_collectives_rejected(self):
+        def kernel(ctx):
+            if ctx.lane_id < 16:
+                yield ctx.warp_op("sum", 1)
+            else:
+                yield ctx.warp_op("max", 1)
+
+        with pytest.raises(SimtError, match="diverged"):
+            self._run(kernel, 32, 1)
+
+    def test_collective_with_exited_lane_rejected(self):
+        def kernel(ctx):
+            if ctx.lane_id == 0:
+                return
+            yield ctx.warp_op("sum", 1)
+
+        with pytest.raises(SimtError, match="exited lanes"):
+            self._run(kernel, 32, 1)
+
+    def test_mixed_collective_and_barrier_rejected(self):
+        def kernel(ctx):
+            if ctx.lane_id < 16:
+                yield ctx.warp_op("sum", 1)
+            else:
+                yield ctx.sync_block
+
+        with pytest.raises(SimtError):
+            self._run(kernel, 32, 1)
+
+    def test_unknown_op_rejected(self):
+        def kernel(ctx):
+            yield ctx.warp_op("xor", 1)
+
+        with pytest.raises(SimtError):
+            self._run(kernel, 32, 1)
+
+    def test_stats_count_collectives(self):
+        def kernel(ctx):
+            yield ctx.warp_op("sum", 1)
+            yield ctx.warp_op("sum", 2)
+
+        stats = self._run(kernel, 64, 1)
+        assert stats.warp_collectives == 4  # 2 ops x 2 warps
+
+
+class TestWarpAggregatedHistogram:
+    """The library's warp-aggregated histogram kernel (ballot + leader
+    election), exercised at thread level."""
+
+    from repro.histogram.warp_aggregated import warp_aggregated_simt_kernel
+
+    kernel = staticmethod(warp_aggregated_simt_kernel)
+
+    def test_matches_bincount(self, rng):
+        data = rng.integers(0, 8, 256)
+        out = np.zeros(8, dtype=np.int64)
+        issued = np.zeros(1, dtype=np.int64)
+        simt_launch(self.kernel, LaunchConfig(2, 32), data, 8, out, issued)
+        assert np.array_equal(out, np.bincount(data, minlength=8))
+
+    def test_aggregation_reduces_atomics(self, rng):
+        """On skewed data, far fewer shared atomics than symbols."""
+        data = np.zeros(256, dtype=np.int64)  # all one bin
+        out = np.zeros(8, dtype=np.int64)
+        issued = np.zeros(1, dtype=np.int64)
+        simt_launch(self.kernel, LaunchConfig(2, 32), data, 8, out, issued)
+        assert out[0] == 256
+        # one aggregated atomic per warp pass instead of 32
+        assert issued[0] == 256 // 32

@@ -1,0 +1,76 @@
+"""Word-width ablation: the encoder with uint8/uint16/uint32 cells."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitstream import decode_stream
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.shuffle_merge import shuffle_merge
+from repro.core.tuning import proper_reduction_factor
+from repro.utils.bits import pack_codewords
+
+
+def book_for(data, n):
+    return parallel_codebook(np.bincount(data, minlength=n)).codebook
+
+
+class TestShuffleWordWidths:
+    @pytest.mark.parametrize("w", [8, 16, 32])
+    def test_matches_reference(self, rng, w):
+        lens = rng.integers(0, w + 1, 32).astype(np.int64)
+        vals = np.array(
+            [rng.integers(0, 1 << int(l)) if l else 0 for l in lens],
+            dtype=np.uint64,
+        )
+        res = shuffle_merge(vals, lens, 8, word_bits=w)
+        for c in range(4):
+            seg = slice(c * 8, (c + 1) * 8)
+            used = lens[seg] > 0
+            ref_buf, ref_bits = pack_codewords(vals[seg][used],
+                                               lens[seg][used])
+            assert int(res.bits[c]) == ref_bits
+            assert np.array_equal(res.chunk_bytes(c), ref_buf)
+
+    def test_rejects_unknown_width(self):
+        with pytest.raises(ValueError):
+            shuffle_merge(np.zeros(4, dtype=np.uint64), np.zeros(4), 4,
+                          word_bits=24)
+
+
+class TestEncoderWordWidths:
+    @pytest.mark.parametrize("w", [16, 32])
+    def test_roundtrip(self, rng, w):
+        data = rng.integers(0, 16, 5000).astype(np.uint8)
+        book = book_for(data, 16)
+        res = gpu_encode(data, book, word_bits=w, reduction_factor=1,
+                         magnitude=8)
+        assert res.tuning.word_bits == w
+        assert np.array_equal(decode_stream(res.stream, book), data)
+
+    def test_narrow_words_break_more(self, rng):
+        """The word width bounds what a merged cell can hold: uint16 cells
+        overflow far more often than uint32 at the same r."""
+        data = rng.integers(0, 64, 8192).astype(np.uint8)
+        book = book_for(data, 64)
+        r16 = gpu_encode(data, book, word_bits=16, reduction_factor=2,
+                         magnitude=9)
+        r32 = gpu_encode(data, book, word_bits=32, reduction_factor=2,
+                         magnitude=9)
+        assert r16.breaking_fraction > r32.breaking_fraction
+        assert np.array_equal(decode_stream(r16.stream, book), data)
+
+    def test_rule_adapts_to_width(self):
+        # W = 16 halves the proper reduction factor vs W = 32
+        assert proper_reduction_factor(1.03, 16) == proper_reduction_factor(1.03, 32) - 1
+
+    def test_serialization_preserves_width(self, rng):
+        from repro.core.serialization import deserialize_stream, serialize_stream
+
+        data = rng.integers(0, 16, 3000).astype(np.uint8)
+        book = book_for(data, 16)
+        res = gpu_encode(data, book, word_bits=16, reduction_factor=1,
+                         magnitude=8)
+        stream, book2 = deserialize_stream(serialize_stream(res.stream, book))
+        assert stream.tuning.word_bits == 16
+        assert np.array_equal(decode_stream(stream, book2), data)

@@ -1,0 +1,19 @@
+# Convenience targets; every recipe is runnable without installation
+# via PYTHONPATH=src.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench-smoke bench
+
+# tier-1 verification (ROADMAP.md)
+test:
+	$(PY) -m pytest -x -q
+
+# wall-clock smoke: regenerates benchmarks/results/BENCH_wallclock.json
+# and asserts the >=20x batch-vs-scalar decode bar on the enwik surrogate
+bench-smoke:
+	$(PY) -m pytest benchmarks/test_wallclock.py -q
+
+# full modeled-benchmark suite (regenerates the paper tables)
+bench:
+	$(PY) -m pytest benchmarks -q

@@ -1,0 +1,46 @@
+"""Wall-clock acceptance benchmark: batch decoder vs scalar reference.
+
+Unlike the other benches (which price *modeled* GPU kernels), this one
+times the code that really runs and records the before/after numbers in
+``benchmarks/results/BENCH_wallclock.json``: the scalar treeless decoder
+("before") against the table-driven batch lane decoder ("after") on
+1 MiB surrogates of an enwik-like byte stream and a Nyx-like
+quantization-code stream.
+
+The PR-level bar is a >=20x decode speedup on the enwik-like surrogate.
+The assertion below keeps a small margin for machine noise; the
+checked-in JSON carries the actual measured ratio.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.perf.report import write_wallclock_json
+from repro.perf.wallclock import run_wallclock, wallclock_table
+
+BENCH_SIZE = 1 << 20  # the acceptance surrogate size: 1 MiB
+BENCH_JSON = "BENCH_wallclock.json"
+
+
+def test_wallclock(results_dir, bench_rng):
+    results = [
+        run_wallclock("enwik8", BENCH_SIZE, repeats=5),
+        run_wallclock("nyx_quant", BENCH_SIZE, repeats=5),
+    ]
+    doc = write_wallclock_json(
+        results_dir / BENCH_JSON, results, extra={"surrogate_bytes": BENCH_SIZE}
+    )
+    emit(results_dir, "wallclock", wallclock_table(results))
+
+    by_name = {r.dataset: r for r in results}
+    enwik = by_name["enwik8"]
+    # round-trip correctness is asserted inside run_wallclock; here we
+    # hold the wall-clock bar (with margin for a noisy host)
+    assert enwik.decode_speedup >= 20.0, (
+        f"batch decoder only {enwik.decode_speedup:.1f}x vs scalar "
+        f"(needs >= 20x on the enwik-like surrogate)"
+    )
+    assert doc["datasets"]["enwik8"]["decode_speedup"] >= 20.0
+    for r in results:
+        assert r.decode_batch_s < r.decode_scalar_s
+        assert np.isfinite(r.encode_mb_s)

@@ -35,6 +35,7 @@ from repro.cuda.costmodel import CostModel
 from repro.cuda.device import DeviceSpec, V100
 from repro.datasets.quantization import QuantizedField, dequantize, lorenzo_quantize
 from repro.histogram.gpu_histogram import MAX_HISTOGRAM_BINS, gpu_histogram
+from repro.huffman.cache import cached_codebook
 
 __all__ = [
     "CompressionReport",
@@ -69,7 +70,13 @@ def _encode_to_bytes(
     data: np.ndarray, num_symbols: int, magnitude: int, device: DeviceSpec
 ) -> tuple[bytes, CompressionReport]:
     hist = gpu_histogram(data, num_symbols, device=device)
-    book = parallel_codebook(hist.histogram, device=device).codebook
+    # The codebook is a pure function of the histogram: repeated compress
+    # calls over same-distribution data (timestep streams) skip the whole
+    # two-phase construction via the digest-keyed cache.
+    book = cached_codebook(
+        hist.histogram,
+        lambda: parallel_codebook(hist.histogram, device=device).codebook,
+    )
     enc = gpu_encode(data, book, magnitude=magnitude, device=device)
     payload = serialize_stream(enc.stream, book)
     report = CompressionReport(
@@ -103,7 +110,10 @@ def compress_symbols(
     itemsize = data.dtype.itemsize
     if adaptive:
         hist = gpu_histogram(data, num_symbols, device=device)
-        book = parallel_codebook(hist.histogram, device=device).codebook
+        book = cached_codebook(
+            hist.histogram,
+            lambda: parallel_codebook(hist.histogram, device=device).codebook,
+        )
         enc = adaptive_encode(data, book, magnitude=magnitude, device=device)
         payload = serialize_adaptive(enc, book)
         report = CompressionReport(

@@ -6,7 +6,7 @@ from repro.core.adaptive import (
     adaptive_decode,
     adaptive_encode,
 )
-from repro.core.bitstream import EncodedStream, decode_stream
+from repro.core.bitstream import EncodedStream, decode_stream, decode_stream_scalar
 from repro.core.breaking import BreakingStore, extract_breaking
 from repro.core.canonical import (
     BaseCodebook,
@@ -53,6 +53,7 @@ __all__ = [
     "serialize_stream",
     "EncodedStream",
     "decode_stream",
+    "decode_stream_scalar",
     "BreakingStore",
     "extract_breaking",
     "BaseCodebook",

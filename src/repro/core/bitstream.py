@@ -10,6 +10,13 @@ global cell index; trailing symbols that do not fill a chunk are encoded
 with the reference packer into a tail section.
 
 :func:`decode_stream` is the full inverse used by tests and examples.
+By default it runs the vectorized lane decoder
+(:func:`repro.huffman.decoder.decode_lanes`): every chunk, every broken
+cell, and the tail become independent *lanes* over one shared byte
+buffer, decoded in lock-step.  ``strategy="scalar"`` (or
+:func:`decode_stream_scalar`) keeps the original per-chunk scalar
+reference path, which the fast path is cross-checked against
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -20,10 +27,22 @@ import numpy as np
 
 from repro.core.breaking import BreakingStore
 from repro.core.tuning import EncoderTuning
+from repro.huffman.cache import cached_decode_table
 from repro.huffman.codebook import CanonicalCodebook
-from repro.huffman.decoder import DecodeTable, build_decode_table, decode_canonical
+from repro.huffman.decoder import (
+    DecodeTable,
+    build_decode_table,
+    decode_canonical,
+    decode_lanes,
+)
 
-__all__ = ["EncodedStream", "decode_stream"]
+__all__ = [
+    "EncodedStream",
+    "decode_stream",
+    "decode_stream_scalar",
+    "stream_lanes",
+    "assemble_stream_symbols",
+]
 
 #: per-chunk metadata: dense bit length (uint32)
 _CHUNK_META_BYTES = 4
@@ -81,12 +100,156 @@ class EncodedStream:
         return self.payload[lo:hi], int(self.chunk_bits[chunk])
 
 
+def stream_lanes(
+    stream: EncodedStream,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a container into decode lanes over one shared buffer.
+
+    Lane order: the ``n_chunks`` dense chunk streams, then the broken
+    cells' side-channel streams, then the tail.  Every lane is
+    byte-aligned in its section, so the shared buffer is just the
+    concatenation of the three payload sections — a zero-copy view when
+    only the chunk payload exists.
+
+    Returns ``(buffer, start_bits, end_bits, n_symbols)``.
+    """
+    t = stream.tuning
+    cpc = t.cells_per_chunk
+    group = t.group_symbols
+    n_chunks = stream.n_chunks
+    brk = stream.breaking
+
+    # Section-bound validation: every lane must stay inside its own
+    # payload section.  Without this a truncated chunk payload would
+    # shift the later sections left and lanes would silently read the
+    # neighbouring section's bits.
+    if n_chunks and int(stream.chunk_offsets[-1]) > stream.payload.nbytes:
+        raise ValueError("chunk payload truncated")
+    if brk.nnz and int(brk.payload_offsets[-1]) > brk.payload.nbytes:
+        raise ValueError("breaking payload truncated")
+    if stream.tail_bits > stream.tail_payload.nbytes * 8:
+        raise ValueError("tail payload truncated")
+
+    sections = [stream.payload]
+    if brk.payload.size or stream.tail_payload.size:
+        sections += [brk.payload, stream.tail_payload]
+        buffer = np.concatenate(sections)
+    else:
+        buffer = stream.payload
+
+    # dense chunk lanes: byte-aligned at chunk_offsets, per-chunk symbol
+    # count shrinks by `group` for every broken cell in the chunk
+    chunk_starts = stream.chunk_offsets[:-1].astype(np.int64) * 8
+    chunk_ends = chunk_starts + stream.chunk_bits.astype(np.int64)
+    bidx = brk.cell_indices.astype(np.int64)
+    broken_per_chunk = np.diff(
+        np.searchsorted(bidx, np.arange(n_chunks + 1, dtype=np.int64) * cpc)
+    )
+    chunk_syms = (cpc - broken_per_chunk) * group
+
+    # broken-cell lanes: byte-aligned inside the breaking payload section
+    brk_base = stream.payload.nbytes * 8
+    brk_starts = brk_base + brk.payload_offsets[:-1].astype(np.int64) * 8
+    brk_ends = brk_starts + brk.bit_lengths.astype(np.int64)
+    brk_syms = np.full(brk.nnz, group, dtype=np.int64)
+
+    starts = [chunk_starts, brk_starts]
+    ends = [chunk_ends, brk_ends]
+    nsyms = [chunk_syms.astype(np.int64), brk_syms]
+    if stream.tail_symbols:
+        tail_base = (stream.payload.nbytes + brk.payload.nbytes) * 8
+        starts.append(np.array([tail_base], dtype=np.int64))
+        ends.append(np.array([tail_base + stream.tail_bits], dtype=np.int64))
+        nsyms.append(np.array([stream.tail_symbols], dtype=np.int64))
+
+    return (
+        buffer,
+        np.concatenate(starts),
+        np.concatenate(ends),
+        np.concatenate(nsyms),
+    )
+
+
+def assemble_stream_symbols(
+    stream: EncodedStream, decoded: np.ndarray
+) -> np.ndarray:
+    """Scatter lane-major decoded symbols back into stream order.
+
+    ``decoded`` is the flat output of :func:`decode_lanes` over the lanes
+    of :func:`stream_lanes`.  Dense chunk lanes fill the non-broken cell
+    rows in global cell order; broken-cell lanes fill their own rows; the
+    tail lands after the last full chunk.  Fully vectorized.
+    """
+    t = stream.tuning
+    cpc = t.cells_per_chunk
+    group = t.group_symbols
+    n_chunks = stream.n_chunks
+    nnz = stream.breaking.nnz
+    total_cells = n_chunks * cpc
+    if nnz == 0:
+        # With no broken cells the lane order (chunks in order, then the
+        # tail) *is* the stream order: the flat lane output is already
+        # the answer — zero-copy instead of an 8n-byte round trip.
+        return np.ascontiguousarray(decoded, dtype=np.int64)
+
+    out = np.empty(stream.n_symbols, dtype=np.int64)
+    main = out[: n_chunks * t.chunk_symbols].reshape(total_cells, group)
+    dense_total = (total_cells - nnz) * group
+    dense = decoded[:dense_total]
+    bidx = stream.breaking.cell_indices.astype(np.int64)
+    broken_syms = decoded[dense_total : dense_total + nnz * group]
+    if nnz <= total_cells // 64:
+        # sparse breaking (the common case): the broken cells split the
+        # dense stream into nnz+1 contiguous runs — copy each with a
+        # plain slice (memcpy) instead of an n-row boolean scatter
+        dense_rows = dense.reshape(-1, group)
+        run_lo = np.concatenate(([0], bidx + 1))
+        run_hi = np.concatenate((bidx, [total_cells]))
+        src = 0
+        for lo, hi in zip(run_lo.tolist(), run_hi.tolist()):
+            n_run = hi - lo
+            if n_run > 0:
+                main[lo:hi] = dense_rows[src : src + n_run]
+                src += n_run
+    else:
+        keep = np.ones(total_cells, dtype=bool)
+        keep[bidx] = False
+        main[keep] = dense.reshape(-1, group)
+    main[bidx] = broken_syms.reshape(-1, group)
+    if stream.tail_symbols:
+        out[n_chunks * t.chunk_symbols :] = decoded[dense_total + nnz * group :]
+    return out
+
+
 def decode_stream(
     stream: EncodedStream,
     book: CanonicalCodebook,
     table: DecodeTable | None = None,
+    strategy: str = "batch",
 ) -> np.ndarray:
-    """Decode an :class:`EncodedStream` back to its symbol array."""
+    """Decode an :class:`EncodedStream` back to its symbol array.
+
+    ``strategy="batch"`` (default) runs the vectorized lane decoder;
+    ``strategy="scalar"`` runs the original per-chunk scalar reference.
+    Both produce identical symbols on every valid container.
+    """
+    if strategy == "scalar":
+        return decode_stream_scalar(stream, book, table)
+    if strategy != "batch":
+        raise ValueError(f"unknown decode strategy: {strategy!r}")
+    if table is None:
+        table = cached_decode_table(book)
+    buffer, starts, ends, nsyms = stream_lanes(stream)
+    decoded = decode_lanes(buffer, starts, ends, nsyms, book, table)
+    return assemble_stream_symbols(stream, decoded)
+
+
+def decode_stream_scalar(
+    stream: EncodedStream,
+    book: CanonicalCodebook,
+    table: DecodeTable | None = None,
+) -> np.ndarray:
+    """Scalar per-chunk reference decode (the original slow path)."""
     if table is None:
         table = build_decode_table(book)
     t = stream.tuning

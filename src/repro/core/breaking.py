@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cuda.costmodel import KernelCost
-from repro.utils.bits import BitWriter, pack_codewords
+from repro.utils.bits import pack_codeword_groups
 from repro.utils.sparse import SparseVector, dense_to_sparse
 
 __all__ = ["BreakingStore", "extract_breaking", "breaking_costs"]
@@ -107,22 +107,19 @@ def extract_breaking(
     # a cell's bit length is bounded by group_symbols * MAX_CODE_BITS;
     # uint16 covers every practical (M, r), with a guard for exotic ones
     len_dtype = np.uint16 if group_symbols * 64 <= 0xFFFF else np.int64
-    bit_lengths = np.empty(idx.size, dtype=len_dtype)
-    chunks: list[np.ndarray] = []
-    offsets = np.zeros(idx.size + 1, dtype=np.int64)
     grouped_codes = codes.reshape(n_cells, group_symbols)
     grouped_lens = lengths.reshape(n_cells, group_symbols)
-    for k, cell in enumerate(idx):
-        buf, nbits = pack_codewords(grouped_codes[cell], grouped_lens[cell])
-        chunks.append(buf)
-        bit_lengths[k] = nbits
-        offsets[k + 1] = offsets[k] + buf.size
+    # pack all broken cells at once: one grouped_arange scatter into a
+    # byte-aligned flat bit array (bit-identical to per-cell packing)
+    payload, bit_lengths, offsets = pack_codeword_groups(
+        grouped_codes[idx], grouped_lens[idx]
+    )
     return BreakingStore(
         n_cells=n_cells,
         group_symbols=group_symbols,
         cell_indices=idx.astype(np.uint32),
-        bit_lengths=bit_lengths,
-        payload=np.concatenate(chunks),
+        bit_lengths=bit_lengths.astype(len_dtype),
+        payload=payload,
         payload_offsets=offsets,
     )
 

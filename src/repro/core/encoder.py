@@ -168,10 +168,16 @@ def gpu_encode(
     breaking = extract_breaking(main_codes, main_lens, red.broken, group)
 
     # -- SHUFFLE-merge ------------------------------------------------------
-    vals = red.values.copy()
-    cell_lens = red.lengths.copy()
-    vals[red.broken] = 0
-    cell_lens[red.broken] = 0
+    if red.broken.any():
+        vals = red.values.copy()
+        cell_lens = red.lengths.copy()
+        vals[red.broken] = 0
+        cell_lens[red.broken] = 0
+    else:
+        # common case (<0.01 % breaking in the paper): no broken cells to
+        # zero out, so feed the reduce output straight through without
+        # materializing two more full-size arrays
+        vals, cell_lens = red.values, red.lengths
     shuf = shuffle_merge(vals, cell_lens, tuning.cells_per_chunk,
                          tuning.word_bits)
     payload, offsets = shuf.payload()

@@ -60,24 +60,31 @@ class ShuffleMergeResult:
         return np.frombuffer(raw[:nbytes], dtype=np.uint8).copy()
 
     def payload(self) -> tuple[np.ndarray, np.ndarray]:
-        """Byte-aligned concatenation of all chunks.
+        """Byte-aligned concatenation of all chunks (the coalescing copy).
+
+        Vectorized ``grouped_arange`` gather: every chunk's first
+        ``nbytes[c]`` bytes are pulled out of the rectangular word storage
+        with one flat fancy-index — no Python-level chunk loop.
 
         Returns ``(buffer, byte_offsets)`` with ``byte_offsets`` of length
         ``n_chunks + 1``.
         """
+        from repro.utils.bits import grouped_arange
+
         nbytes = (self.bits + 7) // 8
         offsets = np.zeros(self.n_chunks + 1, dtype=np.int64)
         np.cumsum(nbytes, out=offsets[1:])
-        if self.n_chunks == 0:
+        if self.n_chunks == 0 or int(offsets[-1]) == 0:
             return np.empty(0, dtype=np.uint8), offsets
         big = self.words.astype(
             _WORD_DTYPES[self.word_bits]
         ).reshape(self.n_chunks, -1)
         raw = big.view(np.uint8).reshape(self.n_chunks, -1)
-        buf = np.empty(int(offsets[-1]), dtype=np.uint8)
-        for c in range(self.n_chunks):
-            buf[offsets[c]: offsets[c + 1]] = raw[c, : int(nbytes[c])]
-        return buf, offsets
+        row_bytes = raw.shape[1]
+        src = np.repeat(
+            np.arange(self.n_chunks, dtype=np.int64) * row_bytes, nbytes
+        ) + grouped_arange(nbytes)
+        return raw.reshape(-1)[src], offsets
 
 
 def _merge_iteration(

@@ -33,6 +33,7 @@ from repro.core.serialization import (
 from repro.core.tuning import DEFAULT_MAGNITUDE
 from repro.cuda.device import DeviceSpec, V100
 from repro.histogram.large_alphabet import histogram_any
+from repro.huffman.cache import cached_decode_table
 from repro.huffman.codebook import CanonicalCodebook
 
 __all__ = ["StreamingEncoder", "StreamingDecoder", "SegmentInfo"]
@@ -121,14 +122,22 @@ class StreamingEncoder:
 
 
 class StreamingDecoder:
-    """Decode the segments a :class:`StreamingEncoder` produced."""
+    """Decode the segments a :class:`StreamingEncoder` produced.
+
+    Every segment carries the same shared codebook; the decode-table
+    cache (:mod:`repro.huffman.cache`) is keyed by the codebook's
+    *content* digest, so the k-bit LUT is built once for the first
+    segment and every later segment — and every later timestep with the
+    same distribution — reuses it, even though ``deserialize_stream``
+    returns a fresh codebook object each time.
+    """
 
     def __init__(self) -> None:
         self.symbols_decoded = 0
 
     def decode_segment(self, segment: bytes) -> np.ndarray:
         stream, book = deserialize_stream(segment)
-        out = decode_stream(stream, book)
+        out = decode_stream(stream, book, table=cached_decode_table(book))
         self.symbols_decoded += out.size
         return out
 

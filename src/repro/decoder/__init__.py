@@ -2,12 +2,17 @@
 gap-array (CUHD-style) — the reverse process the encoder's chunked
 container was designed to facilitate."""
 
-from repro.decoder.chunk_parallel import ChunkDecodeResult, chunk_parallel_decode
+from repro.decoder.chunk_parallel import (
+    ChunkDecodeResult,
+    chunk_parallel_decode,
+    parallel_decode_stream,
+)
 from repro.decoder.self_sync import SelfSyncResult, self_sync_decode
 
 __all__ = [
     "ChunkDecodeResult",
     "chunk_parallel_decode",
+    "parallel_decode_stream",
     "SelfSyncResult",
     "self_sync_decode",
 ]

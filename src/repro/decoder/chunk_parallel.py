@@ -6,28 +6,99 @@ is independently decodable, so decoding parallelizes trivially at chunk
 granularity (one thread/block per chunk), with the treeless canonical
 First/Entry scheme inside each chunk.
 
-Functionally this wraps :func:`repro.core.bitstream.decode_stream`; the
-added value is the structural cost record — per-chunk serial decode work,
-reverse-codebook caching in shared memory — so decoder throughput can be
-modeled alongside the encoder's.
+On the host this is now real, not just modeled: the lanes of the
+container (chunks, broken cells, tail) are decoded by the vectorized
+batch decoder (:func:`repro.huffman.decoder.decode_lanes`), optionally
+sharded across a ``concurrent.futures`` thread pool so large containers
+decode chunk-parallel on the CPU as well.  The structural cost record —
+per-chunk serial decode work, reverse-codebook caching in shared memory
+— still models the GPU-side throughput.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bitstream import EncodedStream, decode_stream
+from repro.core.bitstream import (
+    EncodedStream,
+    assemble_stream_symbols,
+    stream_lanes,
+)
 from repro.cuda.costmodel import KernelCost
 from repro.cuda.device import DeviceSpec, V100
+from repro.huffman.cache import cached_decode_table
 from repro.huffman.codebook import CanonicalCodebook
-from repro.huffman.decoder import DecodeTable, build_decode_table
+from repro.huffman.decoder import DecodeTable, decode_lanes
 
-__all__ = ["ChunkDecodeResult", "chunk_parallel_decode"]
+__all__ = ["ChunkDecodeResult", "chunk_parallel_decode", "parallel_decode_stream"]
 
 #: per-symbol cycles of the treeless canonical decode loop on one thread
 _DECODE_CYCLES = 30.0
+
+#: below this many symbols the pool overhead dominates; stay single-shot
+_MIN_SYMBOLS_PER_WORKER = 1 << 18
+
+
+def _auto_workers(total_symbols: int, n_lanes: int) -> int:
+    cpus = os.cpu_count() or 1
+    by_volume = int(total_symbols // _MIN_SYMBOLS_PER_WORKER)
+    return max(1, min(4, cpus, by_volume, n_lanes))
+
+
+def _shard_bounds(nsyms: np.ndarray, workers: int) -> list[tuple[int, int]]:
+    """Split lanes into contiguous shards with balanced symbol volume."""
+    cum = np.cumsum(nsyms)
+    total = int(cum[-1]) if cum.size else 0
+    bounds, lo = [], 0
+    for w in range(1, workers + 1):
+        hi = int(np.searchsorted(cum, total * w // workers, side="left")) + 1
+        hi = min(max(hi, lo), nsyms.size)
+        if w == workers:
+            hi = nsyms.size
+        if hi > lo:
+            bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def parallel_decode_stream(
+    stream: EncodedStream,
+    book: CanonicalCodebook,
+    table: DecodeTable | None = None,
+    workers: int | None = None,
+) -> np.ndarray:
+    """Decode a container with lane shards batched across a thread pool.
+
+    ``workers=None`` sizes the pool automatically (1 for small inputs —
+    the single-shot vectorized call already saturates one core).  Shards
+    are contiguous lane ranges balanced by symbol volume; every shard
+    runs the same lock-step batch decoder over the shared read-only
+    buffer, so results are bit-identical regardless of ``workers``.
+    """
+    if table is None:
+        table = cached_decode_table(book)
+    buffer, starts, ends, nsyms = stream_lanes(stream)
+    w = workers if workers is not None else _auto_workers(int(nsyms.sum()), nsyms.size)
+    if w <= 1 or nsyms.size < 2:
+        decoded = decode_lanes(buffer, starts, ends, nsyms, book, table)
+    else:
+        bounds = _shard_bounds(nsyms, w)
+        with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+            parts = list(
+                pool.map(
+                    lambda be: decode_lanes(
+                        buffer, starts[be[0]:be[1]], ends[be[0]:be[1]],
+                        nsyms[be[0]:be[1]], book, table,
+                    ),
+                    bounds,
+                )
+            )
+        decoded = np.concatenate(parts) if parts else np.empty(0, np.int64)
+    return assemble_stream_symbols(stream, decoded)
 
 
 @dataclass
@@ -48,11 +119,12 @@ def chunk_parallel_decode(
     book: CanonicalCodebook,
     table: DecodeTable | None = None,
     device: DeviceSpec = V100,
+    workers: int | None = None,
 ) -> ChunkDecodeResult:
     """Decode an encoded stream chunk-parallel, with cost accounting."""
     if table is None:
-        table = build_decode_table(book)
-    symbols = decode_stream(stream, book, table)
+        table = cached_decode_table(book)
+    symbols = parallel_decode_stream(stream, book, table, workers=workers)
 
     # structural cost: coalesced read of the payload + reverse codebook,
     # then per-chunk serial symbol emission (coarse: whole warps idle

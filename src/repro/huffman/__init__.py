@@ -20,10 +20,20 @@ from repro.huffman.cpu_mt import (
     two_queue_lengths,
 )
 from repro.huffman.cpu_mp import MpEncodeResult, cpu_mp_encode
+from repro.huffman.cache import (
+    cached_codebook,
+    cached_decode_table,
+    codebook_cache,
+    codebook_digest,
+    decode_table_cache,
+    histogram_digest,
+)
 from repro.huffman.decoder import (
     DecodeTable,
     build_decode_table,
+    decode_batch,
     decode_canonical,
+    decode_lanes,
     decode_with_tree,
 )
 from repro.huffman.length_limited import (
@@ -50,9 +60,17 @@ __all__ = [
     "length_limited_codebook",
     "length_limited_lengths",
     "min_feasible_limit",
+    "cached_codebook",
+    "cached_decode_table",
+    "codebook_cache",
+    "codebook_digest",
+    "decode_table_cache",
+    "histogram_digest",
     "DecodeTable",
     "build_decode_table",
+    "decode_batch",
     "decode_canonical",
+    "decode_lanes",
     "decode_with_tree",
     "SerialCodebookResult",
     "serial_codebook",

@@ -1,0 +1,169 @@
+"""Digest-keyed caches for codebooks and decode tables.
+
+Repeated compress/decompress calls over same-distribution data — the
+cuSZ timestep use case served by :mod:`repro.core.streaming` — rebuild
+two artifacts that are pure functions of their inputs:
+
+- the canonical codebook (a function of the histogram), and
+- the decoder's k-bit acceleration table (a function of the codebook).
+
+Both are memoized here behind content digests (BLAKE2b over the defining
+arrays), so a cache hit is independent of object identity: a codebook
+deserialized from a segment container hits the same table entry as the
+one the encoder built.  Caches are LRU-bounded, thread-safe, and expose
+hit/miss counters so tests can assert that the cache actually works.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.huffman.codebook import CanonicalCodebook
+from repro.huffman.decoder import _HOST_TABLE_BITS, DecodeTable, build_decode_table
+
+__all__ = [
+    "CacheInfo",
+    "codebook_digest",
+    "histogram_digest",
+    "DecodeTableCache",
+    "cached_decode_table",
+    "decode_table_cache",
+    "CodebookCache",
+    "cached_codebook",
+    "codebook_cache",
+]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+def codebook_digest(book: CanonicalCodebook) -> str:
+    """Content digest of a codebook's defining arrays.
+
+    A canonical code is fully determined by its length vector, but the
+    codes are hashed too so that a (buggy or foreign) non-canonical
+    assignment can never alias a canonical one.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(book.n_symbols).tobytes())
+    h.update(np.ascontiguousarray(book.lengths, dtype=np.int32).tobytes())
+    h.update(np.ascontiguousarray(book.codes, dtype=np.uint64).tobytes())
+    return h.hexdigest()
+
+
+def histogram_digest(hist: np.ndarray) -> str:
+    """Content digest of a symbol histogram."""
+    hist = np.ascontiguousarray(hist, dtype=np.int64)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(hist.size).tobytes())
+    h.update(hist.tobytes())
+    return h.hexdigest()
+
+
+class _LruCache:
+    """Minimal thread-safe LRU with hit/miss counters."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key, build: Callable):
+        with self._lock:
+            if key in self._data:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+        value = build()  # build outside the lock: may be expensive
+        with self._lock:
+            if key not in self._data:
+                self.misses += 1
+                self._data[key] = value
+                while len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+            else:
+                # another thread raced us; keep the cached instance
+                self.hits += 1
+            self._data.move_to_end(key)
+            return self._data[key]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(self.hits, self.misses, len(self._data), self.maxsize)
+
+
+class DecodeTableCache(_LruCache):
+    """LRU of :class:`DecodeTable` keyed by ``(codebook digest, k)``."""
+
+    def __init__(self, maxsize: int = 64) -> None:
+        super().__init__(maxsize)
+
+    def get(self, book: CanonicalCodebook, k: int = _HOST_TABLE_BITS) -> DecodeTable:
+        key = (codebook_digest(book), int(k))
+        return self.get_or_build(key, lambda: build_decode_table(book, k))
+
+
+class CodebookCache(_LruCache):
+    """LRU of :class:`CanonicalCodebook` keyed by the histogram digest.
+
+    The builder is injected by the caller (the parallel construction
+    lives above this layer), so this module stays at the bottom of the
+    import DAG.  The codebook is a deterministic function of the
+    histogram alone, which is exactly what the digest captures.
+    """
+
+    def __init__(self, maxsize: int = 16) -> None:
+        super().__init__(maxsize)
+
+    def get(
+        self, hist: np.ndarray, build: Callable[[], CanonicalCodebook]
+    ) -> CanonicalCodebook:
+        return self.get_or_build(histogram_digest(hist), build)
+
+
+#: process-wide default caches
+_TABLE_CACHE = DecodeTableCache()
+_CODEBOOK_CACHE = CodebookCache()
+
+
+def decode_table_cache() -> DecodeTableCache:
+    """The process-wide decode-table cache (for introspection/clearing)."""
+    return _TABLE_CACHE
+
+
+def codebook_cache() -> CodebookCache:
+    """The process-wide codebook cache (for introspection/clearing)."""
+    return _CODEBOOK_CACHE
+
+
+def cached_decode_table(book: CanonicalCodebook, k: int = _HOST_TABLE_BITS) -> DecodeTable:
+    """Memoized :func:`repro.huffman.decoder.build_decode_table`."""
+    return _TABLE_CACHE.get(book, k)
+
+
+def cached_codebook(
+    hist: np.ndarray, build: Callable[[], CanonicalCodebook]
+) -> CanonicalCodebook:
+    """Memoized codebook construction keyed by the histogram digest."""
+    return _CODEBOOK_CACHE.get(hist, build)

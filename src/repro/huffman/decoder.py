@@ -3,14 +3,21 @@
 The paper generates ``First``/``Entry`` metadata during ``GenerateCW``
 precisely to enable treeless canonical decoding (§IV-B2).  We implement:
 
-- :func:`decode_canonical` — table-accelerated canonical decoder over a
-  dense MSB-first bitstream (used to validate every encoder round-trip);
+- :func:`decode_canonical` — table-accelerated *scalar* canonical decoder
+  over a dense MSB-first bitstream.  This is the reference path: every
+  faster decoder must match it bit for bit;
+- :func:`decode_lanes` / :func:`decode_batch` — the wall-clock fast
+  path: many independent bitstream *lanes* (chunks, breaking cells, the
+  tail) decoded in lock-step with NumPy gather/shift arithmetic, one
+  table lookup per (lane, symbol) instead of a Python loop per bit.
+  This is the host-side analogue of the paper's one-thread-per-chunk
+  coarse decoder: the vectorization axis is the chunk lane;
 - :func:`decode_with_tree` — independent slow decoder that walks the
   serial Huffman tree bit by bit, used to cross-check the canonical
   decoder itself.
 
-Decoding throughput is *not* a goal of the paper (decompression happens
-off the critical path); these exist for validation.
+The scalar decoders exist for validation; :func:`decode_lanes` exists to
+make the container's "facilitates decoding" promise real on the host.
 """
 
 from __future__ import annotations
@@ -21,10 +28,32 @@ from repro.huffman.codebook import CanonicalCodebook
 from repro.huffman.tree import HuffmanTree
 from repro.utils.bits import unpack_to_bits
 
-__all__ = ["DecodeTable", "build_decode_table", "decode_canonical", "decode_with_tree"]
+__all__ = [
+    "DecodeTable",
+    "build_decode_table",
+    "decode_canonical",
+    "decode_lanes",
+    "decode_batch",
+    "decode_with_tree",
+]
 
-#: Width of the acceleration table index in bits.
+#: Width of the acceleration table index in bits (see EXPERIMENTS.md,
+#: "Wall-clock fast paths": 2^12 entries cover every codeword the paper's
+#: datasets produce while the (symbol, length) pair table stays ~48 KB —
+#: the same budget as the shared-memory reverse codebook on the GPU).
 _TABLE_BITS = 12
+
+#: The batch decoder gathers a 32-bit big-endian window per lookup, so
+#: the table index plus the 7-bit intra-byte offset must fit in 32 bits.
+_MAX_BATCH_TABLE_BITS = 25
+
+#: Wider index used by the host-side wall-clock paths (decode_stream and
+#: the chunk-parallel pool).  On the host the table is ordinary heap
+#: memory, not a 48 KB shared-memory budget, so a 2^16-entry table is
+#: cheap — and once ``max_length <= k`` the batch decoder's per-iteration
+#: fallback check vanishes entirely (every window resolves in one
+#: gather).  ``build_decode_table`` still clamps k to ``max_length``.
+_HOST_TABLE_BITS = 16
 
 
 class DecodeTable:
@@ -43,7 +72,7 @@ class DecodeTable:
 def build_decode_table(book: CanonicalCodebook, k: int = _TABLE_BITS) -> DecodeTable:
     k = min(k, max(book.max_length, 1))
     size = 1 << k
-    symbol = np.zeros(size, dtype=np.int64)
+    symbol = np.zeros(size, dtype=np.int32)
     length = np.zeros(size, dtype=np.int32)
     used = np.flatnonzero((book.lengths > 0) & (book.lengths <= k))
     if used.size:
@@ -116,6 +145,213 @@ def decode_canonical(
                     pos += l
                     break
     return out
+
+
+def _window_words(buffer: np.ndarray, dtype=np.int64) -> np.ndarray:
+    """32-bit big-endian sliding byte windows: ``W[i] = bytes[i:i+4]``.
+
+    Padded with zero bytes so the last bit positions of the buffer are
+    addressable.  ``dtype=np.int32`` halves the gather bandwidth; the
+    sign bit may then be set (top byte >= 0x80), but every extraction
+    masks the low ``k <= 25`` bits after a shift of at least ``32-k-7``,
+    so the arithmetic-shift sign fill can never reach the masked bits.
+    """
+    pad = np.concatenate([buffer, np.zeros(8, dtype=np.uint8)])
+    # stride-1 big-endian u32 view: every byte offset becomes one window
+    # word with a single cast instead of four shift/or passes
+    raw = np.ndarray((pad.size - 3,), dtype=">u4", buffer=pad.data, strides=(1,))
+    if dtype == np.int32:
+        return raw.astype(np.uint32).view(np.int32)
+    return raw.astype(np.int64)
+
+
+def _slow_lane_symbol(
+    pad_bytes: np.ndarray,
+    window: int,
+    pos: int,
+    end: int,
+    k: int,
+    book: CanonicalCodebook,
+) -> tuple[int, int]:
+    """First/Entry fallback for a codeword longer than the table index.
+
+    ``window`` holds the top ``k`` bits already gathered; extra bits are
+    read one at a time from ``pad_bytes`` (MSB-first).  Returns
+    ``(symbol, length)``.  Mirrors the slow path of
+    :func:`decode_canonical` exactly.
+    """
+    first, entry = book.first, book.entry
+    symbols_by_code = book.symbols_by_code
+    maxlen = book.max_length
+    v = int(window)
+    l = k
+    while True:
+        l += 1
+        if l > maxlen:
+            raise ValueError("corrupt bitstream: no codeword matches")
+        if pos + l > end:
+            raise ValueError("bitstream exhausted mid-codeword")
+        q = pos + l - 1
+        v = (v << 1) | ((int(pad_bytes[q >> 3]) >> (7 - (q & 7))) & 1)
+        if l < first.size:
+            offset = v - int(first[l])
+            count_l = int(entry[l + 1] - entry[l]) if l + 1 < entry.size else (
+                len(symbols_by_code) - int(entry[l])
+            )
+            if 0 <= offset < count_l:
+                return int(symbols_by_code[int(entry[l]) + offset]), l
+
+
+def decode_lanes(
+    buffer: np.ndarray,
+    start_bits: np.ndarray,
+    end_bits: np.ndarray,
+    n_symbols: np.ndarray,
+    book: CanonicalCodebook,
+    table: DecodeTable | None = None,
+) -> np.ndarray:
+    """Decode many independent bitstream lanes in vectorized lock-step.
+
+    ``buffer`` is one shared MSB-first byte buffer; lane ``i`` occupies
+    bit positions ``[start_bits[i], end_bits[i])`` and holds exactly
+    ``n_symbols[i]`` symbols.  Every iteration of the (short) Python loop
+    decodes **one symbol from every still-active lane** with pure NumPy
+    gathers: a 32-bit window fetch, a shift, and two table lookups.  The
+    loop therefore runs ``max(n_symbols)`` times instead of
+    ``sum(n_symbols)`` — on a chunked container that is a factor of
+    ``n_chunks`` fewer Python-level iterations than the scalar decoder.
+
+    Codewords longer than ``table.k`` bits (table length 0) fall back to
+    the scalar First/Entry scan per affected lane; the paper's length
+    distributions make this vanishingly rare.
+
+    Returns the decoded symbols as one flat ``int64`` array, lane-major
+    (lane 0's symbols, then lane 1's, ...).  Bit-identical to running
+    :func:`decode_canonical` on each lane separately.
+    """
+    if table is None:
+        table = build_decode_table(book, _HOST_TABLE_BITS)
+    k = table.k
+    if k > _MAX_BATCH_TABLE_BITS:
+        raise ValueError(f"table index must be <= {_MAX_BATCH_TABLE_BITS} bits")
+    buffer = np.ascontiguousarray(buffer, dtype=np.uint8)
+    starts = np.asarray(start_bits, dtype=np.int64)
+    ends = np.asarray(end_bits, dtype=np.int64)
+    nsyms = np.asarray(n_symbols, dtype=np.int64)
+    if not (starts.shape == ends.shape == nsyms.shape) or starts.ndim != 1:
+        raise ValueError("lane arrays must be equal-shape 1-D")
+    if np.any(nsyms < 0) or np.any(starts < 0) or np.any(ends < starts):
+        raise ValueError("invalid lane bounds")
+    if ends.size and int(ends.max()) > buffer.size * 8:
+        raise ValueError("lane extends past the shared buffer")
+
+    total_out = int(nsyms.sum())
+    if total_out == 0:
+        return np.empty(0, dtype=np.int64)
+    # int32 staging: the hot-loop scatter then casts nothing, and one
+    # bulk astype at the end restores the external int64 contract
+    out = np.empty(total_out, dtype=np.int32)
+    out_offsets = np.zeros(nsyms.size, dtype=np.int64)
+    np.cumsum(nsyms[:-1], out=out_offsets[1:])
+
+    max_syms = int(nsyms.max())
+    n_lanes = nsyms.size
+
+    # 32-bit positions/windows halve the gather bandwidth whenever every
+    # bit position (including a bounded overrun on corrupt input, which
+    # the clipped gather tolerates until the final check) fits in int32.
+    small = buffer.size * 8 + max_syms * 64 < (1 << 31)
+    dt = np.int32 if small else np.int64
+    W = _window_words(buffer, dt)
+    kmask = dt((1 << k) - 1)
+    shift_base = dt(32 - k)
+    sym_t = table.symbol if table.symbol.dtype == np.int32 else table.symbol.astype(np.int32)
+    len_t = table.length if table.length.dtype == np.int32 else table.length.astype(np.int32)
+
+    any_long = book.max_length > k
+    # a complete table (every window maps to a codeword) needs no
+    # per-iteration validity check at all
+    check = any_long or not len_t.all()
+    pad_bytes = (
+        np.concatenate([buffer, np.zeros(8, dtype=np.uint8)]) if check else None
+    )
+
+    # Lanes sorted by symbol count (descending): the active set is always
+    # a prefix, so no per-iteration masking is needed — the prefix just
+    # shrinks at precomputed thresholds.
+    order = np.argsort(-nsyms, kind="stable")
+    pos = starts[order].astype(dt)
+    lane_end = ends[order]
+    asc = np.sort(nsyms)
+    active = (
+        n_lanes - np.searchsorted(asc, np.arange(max_syms), side="right")
+    ).tolist()
+
+    # per-lane output cursor, advanced by one every decoded symbol
+    dst = out_offsets[order].copy()
+
+    # preallocated scratch (views of the first m entries are used)
+    idx = np.empty(n_lanes, dtype=dt)
+    win = np.empty(n_lanes, dtype=dt)
+    ent = np.empty(n_lanes, dtype=np.int32)
+    lng = np.empty(n_lanes, dtype=np.int32)
+
+    cur_m = -1
+    for t in range(max_syms):
+        m = active[t]
+        if m != cur_m:
+            p, i, v = pos[:m], idx[:m], win[:m]
+            e, l, d = ent[:m], lng[:m], dst[:m]
+            cur_m = m
+        np.right_shift(p, 3, out=i)
+        W.take(i, mode="clip", out=v)
+        np.bitwise_and(p, 7, out=i)
+        np.subtract(shift_base, i, out=i)
+        np.right_shift(v, i, out=v)
+        np.bitwise_and(v, kmask, out=v)
+        sym_t.take(v, out=e)
+        len_t.take(v, out=l)
+        if check and not l.all():
+            if not any_long:
+                # no codeword of any length matches this window
+                raise ValueError("corrupt bitstream: no codeword matches")
+            for j in np.flatnonzero(l == 0):
+                s_j, l_j = _slow_lane_symbol(
+                    pad_bytes, int(v[j]), int(p[j]), int(lane_end[j]), k, book
+                )
+                e[j] = s_j
+                l[j] = l_j
+        out[d] = e
+        d += 1
+        p += l
+
+    if np.any(pos > lane_end):
+        raise ValueError("bitstream exhausted before all symbols decoded")
+    return out.astype(np.int64)
+
+
+def decode_batch(
+    buffer: np.ndarray,
+    total_bits: int,
+    book: CanonicalCodebook,
+    n_symbols: int,
+    table: DecodeTable | None = None,
+) -> np.ndarray:
+    """Table-driven batch decode of a single dense bitstream.
+
+    Drop-in counterpart of :func:`decode_canonical` built on
+    :func:`decode_lanes` (one lane).  Exists mainly so property tests can
+    pit the LUT machinery against the scalar reference on arbitrary
+    streams; the real speedup comes from multi-lane calls.
+    """
+    return decode_lanes(
+        np.asarray(buffer, dtype=np.uint8),
+        np.array([0], dtype=np.int64),
+        np.array([total_bits], dtype=np.int64),
+        np.array([n_symbols], dtype=np.int64),
+        book,
+        table,
+    )
 
 
 def decode_with_tree(

@@ -1,0 +1,181 @@
+"""Real wall-clock throughput of the host fast paths.
+
+Everything else under :mod:`repro.perf` prices *modeled* GPU kernels; this
+module times the code that actually runs: the vectorized encoder
+(reduce-shuffle-merge with scatter packing) and the two decoders — the
+scalar treeless reference and the table-driven batch lane decoder — on
+paper-dataset surrogates.  The measured batch/scalar ratio is the
+PR-level acceptance number recorded in ``BENCH_wallclock.json``.
+
+Run it as a script (``repro-bench`` console entry point)::
+
+    repro-bench --size 1048576 --repeats 5 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.bitstream import decode_stream, decode_stream_scalar
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.datasets.registry import get_dataset
+from repro.histogram.gpu_histogram import gpu_histogram
+from repro.huffman.cache import cached_decode_table
+from repro.perf.report import render_table
+
+__all__ = ["WallclockResult", "run_wallclock", "wallclock_table", "main"]
+
+#: datasets the harness times by default: a text-like byte alphabet and a
+#: quantization-code alphabet (the paper's two workload families)
+DEFAULT_DATASETS = ("enwik8", "nyx_quant")
+DEFAULT_SIZE = 1 << 20
+DEFAULT_REPEATS = 5
+
+
+@dataclass(frozen=True)
+class WallclockResult:
+    """Best-of-N wall-clock numbers for one dataset surrogate."""
+
+    dataset: str
+    input_bytes: int
+    n_symbols: int
+    compressed_bytes: int
+    encode_s: float
+    decode_scalar_s: float
+    decode_batch_s: float
+
+    @property
+    def encode_mb_s(self) -> float:
+        return self.input_bytes / self.encode_s / 1e6
+
+    @property
+    def decode_scalar_mb_s(self) -> float:
+        return self.input_bytes / self.decode_scalar_s / 1e6
+
+    @property
+    def decode_batch_mb_s(self) -> float:
+        return self.input_bytes / self.decode_batch_s / 1e6
+
+    @property
+    def decode_speedup(self) -> float:
+        return self.decode_scalar_s / self.decode_batch_s
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d.update(
+            encode_mb_s=round(self.encode_mb_s, 2),
+            decode_scalar_mb_s=round(self.decode_scalar_mb_s, 3),
+            decode_batch_mb_s=round(self.decode_batch_mb_s, 2),
+            decode_speedup=round(self.decode_speedup, 1),
+        )
+        return d
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_wallclock(
+    dataset: str,
+    size_bytes: int = DEFAULT_SIZE,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 2021,
+) -> WallclockResult:
+    """Time encode + both decode paths on one dataset surrogate."""
+    ds = get_dataset(dataset)
+    rng = np.random.default_rng(seed)
+    data, _scale = ds.generate(size_bytes, rng)
+    data = np.asarray(data)
+
+    hist = gpu_histogram(data, ds.n_symbols)
+    book = parallel_codebook(hist.histogram).codebook
+    table = cached_decode_table(book)  # warm, as in any steady-state use
+
+    enc = gpu_encode(data, book)
+    ref = decode_stream_scalar(enc.stream, book)
+    fast = decode_stream(enc.stream, book, table=table)
+    if not np.array_equal(ref, fast) or not np.array_equal(fast, data):
+        raise AssertionError(f"decoder mismatch on {dataset}")
+
+    encode_s = _best_of(lambda: gpu_encode(data, book), repeats)
+    batch_s = _best_of(
+        lambda: decode_stream(enc.stream, book, table=table), repeats
+    )
+    # the scalar reference is ~25x slower; cap its repeats to keep the
+    # harness quick while still taking a best-of
+    scalar_s = _best_of(
+        lambda: decode_stream_scalar(enc.stream, book), max(2, repeats // 2)
+    )
+    return WallclockResult(
+        dataset=dataset,
+        input_bytes=int(data.nbytes),
+        n_symbols=int(ds.n_symbols),
+        compressed_bytes=int(
+            enc.stream.payload_bytes + enc.stream.metadata_bytes
+        ),
+        encode_s=encode_s,
+        decode_scalar_s=scalar_s,
+        decode_batch_s=batch_s,
+    )
+
+
+def wallclock_table(results: Sequence[WallclockResult]) -> str:
+    rows = [
+        [
+            r.dataset,
+            r.input_bytes // 1024,
+            r.encode_mb_s,
+            r.decode_scalar_mb_s,
+            r.decode_batch_mb_s,
+            r.decode_speedup,
+        ]
+        for r in results
+    ]
+    return render_table(
+        ["dataset", "KiB", "enc MB/s", "dec scalar MB/s", "dec batch MB/s",
+         "speedup"],
+        rows,
+        title="Wall-clock fast paths (measured, this host)",
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="measure real encode/decode wall-clock throughput",
+    )
+    ap.add_argument("--datasets", nargs="+", default=list(DEFAULT_DATASETS))
+    ap.add_argument("--size", type=int, default=DEFAULT_SIZE,
+                    help="surrogate size in bytes (default 1 MiB)")
+    ap.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    ap.add_argument("--json", type=str, default=None,
+                    help="also write results as JSON to this path")
+    args = ap.parse_args(argv)
+
+    results = [
+        run_wallclock(name, args.size, args.repeats) for name in args.datasets
+    ]
+    print(wallclock_table(results))
+    if args.json:
+        from repro.perf.report import write_wallclock_json
+
+        write_wallclock_json(args.json, results)
+        print(f"[written to {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

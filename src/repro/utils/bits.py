@@ -21,6 +21,7 @@ __all__ = [
     "grouped_arange",
     "bit_reverse",
     "pack_codewords",
+    "pack_codeword_groups",
     "unpack_to_bits",
     "codeword_bits",
     "BitWriter",
@@ -121,6 +122,10 @@ def pack_codewords(
     total_bits = int(lengths.sum())
     if total_bits == 0:
         return np.empty(0, dtype=np.uint8), 0
+    if total_bits <= _PACK_BLOCK_BITS:
+        # single-shot fast path: one bit expansion + one packbits, no
+        # Python-level block loop or carry bookkeeping
+        return np.packbits(codeword_bits(codes, lengths)), total_bits
 
     # Split the symbol range into blocks whose bit totals stay bounded and
     # byte-aligned (except possibly the last), then pack each block
@@ -149,6 +154,41 @@ def pack_codewords(
         start = end
     buf = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
     return buf, total_bits
+
+
+def pack_codeword_groups(
+    codes: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack every *row* of codewords into its own byte-aligned stream.
+
+    Vectorized across rows with a single ``grouped_arange`` scatter: each
+    row's bits land at ``row_byte_offset * 8 + bit_index`` inside one flat
+    bit array, the inter-row gaps stay zero (the byte padding), and one
+    ``np.packbits`` finishes the job.  Bit-identical to calling
+    :func:`pack_codewords` once per row and concatenating the buffers —
+    which is exactly the Python loop this replaces in the breaking-cell
+    dense-to-sparse save.
+
+    Returns ``(payload, bit_lengths, byte_offsets)`` with ``byte_offsets``
+    of length ``rows + 1``.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape or codes.ndim != 2:
+        raise ValueError("codes and lengths must be equal-shape 2-D arrays")
+    rows = codes.shape[0]
+    bit_lengths = lengths.sum(axis=1)
+    nbytes = (bit_lengths + 7) // 8
+    byte_offsets = np.zeros(rows + 1, dtype=np.int64)
+    np.cumsum(nbytes, out=byte_offsets[1:])
+    total_bytes = int(byte_offsets[-1])
+    if total_bytes == 0:
+        return np.empty(0, dtype=np.uint8), bit_lengths, byte_offsets
+    flat_bits = codeword_bits(codes.ravel(), lengths.ravel())
+    dst = np.repeat(byte_offsets[:-1] * 8, bit_lengths) + grouped_arange(bit_lengths)
+    bit_arr = np.zeros(total_bytes * 8, dtype=np.uint8)
+    bit_arr[dst] = flat_bits
+    return np.packbits(bit_arr), bit_lengths, byte_offsets
 
 
 def unpack_to_bits(buffer: np.ndarray, total_bits: int) -> np.ndarray:
@@ -214,9 +254,16 @@ class BitReader:
     def read(self, length: int) -> int:
         if length > self.remaining:
             raise EOFError("bitstream exhausted")
-        value = 0
-        for b in self._bits[self._pos : self._pos + length]:
-            value = (value << 1) | int(b)
+        if length <= 0:
+            if length < 0:
+                raise ValueError("length must be non-negative")
+            return 0
+        # Vectorized accumulate: pack the bit slice MSB-first into bytes
+        # (np.packbits zero-pads on the right) and shift the pad back out.
+        # Arbitrary-precision via int.from_bytes, so length > 64 is fine.
+        chunk = self._bits[self._pos : self._pos + length]
+        packed = np.packbits(chunk)
+        value = int.from_bytes(packed.tobytes(), "big") >> ((-length) % 8)
         self._pos += length
         return value
 

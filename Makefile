@@ -2,12 +2,23 @@
 # via PYTHONPATH=src.
 
 PY := PYTHONPATH=src python
+TRACE_DIR := /tmp/repro-trace-smoke
 
-.PHONY: test bench-smoke bench
+.PHONY: test unit trace-smoke bench-smoke bench
 
-# tier-1 verification (ROADMAP.md)
-test:
+# tier-1 verification (ROADMAP.md): unit suite + telemetry smoke
+test: unit trace-smoke
+
+unit:
 	$(PY) -m pytest -x -q
+
+# end-to-end telemetry smoke: run a traced compress/decompress round
+# trip (examples/trace_pipeline.py), then schema-validate the emitted
+# Chrome-trace and JSONL files with the repro-trace CLI
+trace-smoke:
+	$(PY) examples/trace_pipeline.py --out-dir $(TRACE_DIR) --quiet
+	$(PY) -m repro.obs.cli $(TRACE_DIR)/trace.json --validate
+	$(PY) -m repro.obs.cli $(TRACE_DIR)/trace.jsonl --validate
 
 # wall-clock smoke: regenerates benchmarks/results/BENCH_wallclock.json
 # and asserts the >=20x batch-vs-scalar decode bar on the enwik surrogate

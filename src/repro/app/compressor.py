@@ -36,6 +36,8 @@ from repro.cuda.device import DeviceSpec, V100
 from repro.datasets.quantization import QuantizedField, dequantize, lorenzo_quantize
 from repro.histogram.gpu_histogram import MAX_HISTOGRAM_BINS, gpu_histogram
 from repro.huffman.cache import cached_codebook
+from repro.obs import metrics as _metrics
+from repro.obs import span as _span
 
 __all__ = [
     "CompressionReport",
@@ -64,6 +66,17 @@ class CompressionReport:
     @property
     def ratio(self) -> float:
         return self.input_bytes / self.compressed_bytes if self.compressed_bytes else float("inf")
+
+
+def _record_app_metrics(op: str, report: CompressionReport) -> None:
+    """Bytes in/out and ratio of one facade call, labelled by operation."""
+    reg = _metrics()
+    reg.counter("repro_app_bytes_in_total", op=op).inc(report.input_bytes)
+    reg.counter("repro_app_bytes_out_total", op=op).inc(
+        report.compressed_bytes
+    )
+    if report.compressed_bytes:
+        reg.gauge("repro_app_compression_ratio", op=op).set(report.ratio)
 
 
 def _encode_to_bytes(
@@ -108,26 +121,30 @@ def compress_symbols(
     if num_symbols is None:
         num_symbols = int(data.max()) + 1 if data.size else 1
     itemsize = data.dtype.itemsize
-    if adaptive:
-        hist = gpu_histogram(data, num_symbols, device=device)
-        book = cached_codebook(
-            hist.histogram,
-            lambda: parallel_codebook(hist.histogram, device=device).codebook,
-        )
-        enc = adaptive_encode(data, book, magnitude=magnitude, device=device)
-        payload = serialize_adaptive(enc, book)
-        report = CompressionReport(
-            input_bytes=int(data.nbytes),
-            compressed_bytes=len(payload),
-            avg_bits=enc.avg_bits,
-            breaking_fraction=enc.breaking_fraction,
-            modeled_encode_gbps=enc.modeled_gbps(device, data.nbytes),
-            device=device.name,
-        )
-    else:
-        payload, report = _encode_to_bytes(data, num_symbols, magnitude,
-                                           device)
-    header = _SYM_MAGIC + struct.pack("<BQ", itemsize, data.size)
+    with _span("app.compress_symbols", bytes_in=int(data.nbytes),
+               adaptive=adaptive):
+        if adaptive:
+            hist = gpu_histogram(data, num_symbols, device=device)
+            book = cached_codebook(
+                hist.histogram,
+                lambda: parallel_codebook(hist.histogram, device=device).codebook,
+            )
+            enc = adaptive_encode(data, book, magnitude=magnitude,
+                                  device=device)
+            payload = serialize_adaptive(enc, book)
+            report = CompressionReport(
+                input_bytes=int(data.nbytes),
+                compressed_bytes=len(payload),
+                avg_bits=enc.avg_bits,
+                breaking_fraction=enc.breaking_fraction,
+                modeled_encode_gbps=enc.modeled_gbps(device, data.nbytes),
+                device=device.name,
+            )
+        else:
+            payload, report = _encode_to_bytes(data, num_symbols, magnitude,
+                                               device)
+        header = _SYM_MAGIC + struct.pack("<BQ", itemsize, data.size)
+    _record_app_metrics("compress_symbols", report)
     return header + payload, report
 
 
@@ -135,20 +152,25 @@ def decompress_symbols(buf: bytes) -> np.ndarray:
     buf = bytes(buf)
     if buf[:4] != _SYM_MAGIC:
         raise ValueError("not a symbol container")
-    itemsize, n = struct.unpack("<BQ", buf[4:13])
-    body = buf[13:]
-    if body[:4] == b"RPRA":
-        result, book = deserialize_adaptive(body)
-        if result.n_symbols != n:
-            raise ValueError("symbol count mismatch in container")
-        out = adaptive_decode(result, book)
-    else:
-        stream, book = deserialize_stream(body)
-        if stream.n_symbols != n:
-            raise ValueError("symbol count mismatch in container")
-        out = decode_stream(stream, book)
-    dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}[itemsize]
-    return out.astype(dtype)
+    with _span("app.decompress_symbols", bytes_in=len(buf)) as sp:
+        itemsize, n = struct.unpack("<BQ", buf[4:13])
+        body = buf[13:]
+        if body[:4] == b"RPRA":
+            result, book = deserialize_adaptive(body)
+            if result.n_symbols != n:
+                raise ValueError("symbol count mismatch in container")
+            out = adaptive_decode(result, book)
+        else:
+            stream, book = deserialize_stream(body)
+            if stream.n_symbols != n:
+                raise ValueError("symbol count mismatch in container")
+            out = decode_stream(stream, book)
+        dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}[itemsize]
+        out = out.astype(dtype)
+        sp.set_attr(bytes_out=int(out.nbytes))
+    _metrics().counter("repro_app_bytes_out_total",
+                       op="decompress_symbols").inc(int(out.nbytes))
+    return out
 
 
 def compress_field(
@@ -166,27 +188,38 @@ def compress_field(
     field = np.asarray(field, dtype=np.float64)
     if n_bins > MAX_HISTOGRAM_BINS:
         raise ValueError(f"n_bins must be <= {MAX_HISTOGRAM_BINS}")
-    qf = lorenzo_quantize(field, error_bound, n_bins)
-    codes = qf.codes.astype(np.uint16 if n_bins <= 65536 else np.uint32)
+    span_cm = _span("app.compress_field", bytes_in=int(field.nbytes),
+                    error_bound=error_bound, n_bins=n_bins)
+    with span_cm:
+        with _span("app.quantize", bytes_in=int(field.nbytes)):
+            qf = lorenzo_quantize(field, error_bound, n_bins)
+            codes = qf.codes.astype(
+                np.uint16 if n_bins <= 65536 else np.uint32
+            )
 
-    payload, enc_report = _encode_to_bytes(codes, n_bins, magnitude, device)
-    header = _FIELD_MAGIC + struct.pack(
-        "<dIIQ", error_bound, n_bins, len(qf.shape), qf.outliers_idx.size
-    )
-    header += struct.pack(f"<{len(qf.shape)}Q", *qf.shape)
-    header += struct.pack("<d", qf.first_value)
-    header += qf.outliers_idx.astype(np.int64).tobytes()
-    header += qf.outliers_val.astype(np.float64).tobytes()
-    blob = header + payload
-    report = CompressionReport(
-        input_bytes=int(field.nbytes),
-        compressed_bytes=len(blob),
-        avg_bits=enc_report.avg_bits,
-        breaking_fraction=enc_report.breaking_fraction,
-        modeled_encode_gbps=enc_report.modeled_encode_gbps,
-        device=enc_report.device,
-        outliers=int(qf.outliers_idx.size),
-    )
+        payload, enc_report = _encode_to_bytes(codes, n_bins, magnitude,
+                                               device)
+        header = _FIELD_MAGIC + struct.pack(
+            "<dIIQ", error_bound, n_bins, len(qf.shape), qf.outliers_idx.size
+        )
+        header += struct.pack(f"<{len(qf.shape)}Q", *qf.shape)
+        header += struct.pack("<d", qf.first_value)
+        header += qf.outliers_idx.astype(np.int64).tobytes()
+        header += qf.outliers_val.astype(np.float64).tobytes()
+        blob = header + payload
+        report = CompressionReport(
+            input_bytes=int(field.nbytes),
+            compressed_bytes=len(blob),
+            avg_bits=enc_report.avg_bits,
+            breaking_fraction=enc_report.breaking_fraction,
+            modeled_encode_gbps=enc_report.modeled_encode_gbps,
+            device=enc_report.device,
+            outliers=int(qf.outliers_idx.size),
+        )
+        span_cm.set_attr(bytes_out=len(blob),
+                         ratio=round(report.ratio, 4),
+                         outliers=report.outliers)
+    _record_app_metrics("compress_field", report)
     return blob, report
 
 
@@ -194,6 +227,15 @@ def decompress_field(buf: bytes) -> np.ndarray:
     buf = bytes(buf)
     if buf[:4] != _FIELD_MAGIC:
         raise ValueError("not a field container")
+    with _span("app.decompress_field", bytes_in=len(buf)) as sp:
+        out = _decompress_field_body(buf)
+        sp.set_attr(bytes_out=int(out.nbytes))
+    _metrics().counter("repro_app_bytes_out_total",
+                       op="decompress_field").inc(int(out.nbytes))
+    return out
+
+
+def _decompress_field_body(buf: bytes) -> np.ndarray:
     pos = 4
     eb, n_bins, ndim, n_out = struct.unpack("<dIIQ", buf[pos: pos + 24])
     pos += 24
@@ -213,4 +255,5 @@ def decompress_field(buf: bytes) -> np.ndarray:
         shape=tuple(int(s) for s in shape),
         outliers_idx=out_idx, outliers_val=out_val,
     )
-    return dequantize(qf)
+    with _span("app.dequantize", n_symbols=int(codes.size)):
+        return dequantize(qf)

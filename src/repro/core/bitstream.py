@@ -35,6 +35,7 @@ from repro.huffman.decoder import (
     decode_canonical,
     decode_lanes,
 )
+from repro.obs import span as _span
 
 __all__ = [
     "EncodedStream",
@@ -237,11 +238,20 @@ def decode_stream(
         return decode_stream_scalar(stream, book, table)
     if strategy != "batch":
         raise ValueError(f"unknown decode strategy: {strategy!r}")
-    if table is None:
-        table = cached_decode_table(book)
-    buffer, starts, ends, nsyms = stream_lanes(stream)
-    decoded = decode_lanes(buffer, starts, ends, nsyms, book, table)
-    return assemble_stream_symbols(stream, decoded)
+    with _span("decode.stream", strategy="batch",
+               bytes_in=int(stream.payload_bytes),
+               n_symbols=int(stream.n_symbols),
+               chunks=stream.n_chunks) as sp:
+        if table is None:
+            table = cached_decode_table(book)
+        with _span("decode.lanes") as lanes_span:
+            buffer, starts, ends, nsyms = stream_lanes(stream)
+            lanes_span.set_attr(lanes=int(nsyms.size))
+            decoded = decode_lanes(buffer, starts, ends, nsyms, book, table)
+        with _span("decode.assemble", broken=stream.breaking.nnz):
+            out = assemble_stream_symbols(stream, decoded)
+        sp.set_attr(bytes_out=int(out.nbytes))
+    return out
 
 
 def decode_stream_scalar(
@@ -250,6 +260,18 @@ def decode_stream_scalar(
     table: DecodeTable | None = None,
 ) -> np.ndarray:
     """Scalar per-chunk reference decode (the original slow path)."""
+    with _span("decode.stream", strategy="scalar",
+               bytes_in=int(stream.payload_bytes),
+               n_symbols=int(stream.n_symbols),
+               chunks=stream.n_chunks):
+        return _decode_stream_scalar_body(stream, book, table)
+
+
+def _decode_stream_scalar_body(
+    stream: EncodedStream,
+    book: CanonicalCodebook,
+    table: DecodeTable | None = None,
+) -> np.ndarray:
     if table is None:
         table = build_decode_table(book)
     t = stream.tuning

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cuda.costmodel import KernelCost
+from repro.obs import metrics as _metrics
 from repro.utils.bits import pack_codeword_groups
 from repro.utils.sparse import SparseVector, dense_to_sparse
 
@@ -101,6 +102,11 @@ def extract_breaking(
     idx = dense_to_sparse(
         np.ones(n_cells, dtype=np.uint8), mask=broken
     ).indices
+    reg = _metrics()
+    reg.counter("repro_encode_cells_total").inc(n_cells)
+    reg.counter("repro_encode_broken_cells_total").inc(int(idx.size))
+    if n_cells:
+        reg.gauge("repro_encode_breaking_fraction").set(idx.size / n_cells)
     if idx.size == 0:
         return BreakingStore.empty(n_cells, group_symbols)
 

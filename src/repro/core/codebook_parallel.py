@@ -25,6 +25,8 @@ from repro.cuda.costmodel import KernelCost
 from repro.cuda.device import DeviceSpec, V100
 from repro.cuda.launch import KernelInfo, register_kernel
 from repro.huffman.codebook import CanonicalCodebook
+from repro.obs import add_attrs as _add_attrs
+from repro.obs import span as _span
 
 __all__ = ["ParallelCodebookResult", "parallel_codebook"]
 
@@ -82,24 +84,38 @@ def parallel_codebook(
     if freqs.ndim != 1:
         raise ValueError("freqs must be one-dimensional")
     n = int(freqs.size)
-    used = np.flatnonzero(freqs > 0)
-    # Thrust-style ascending sort; stable so frequency ties break by
-    # symbol id, keeping the construction deterministic.
-    order = used[np.argsort(freqs[used], kind="stable")]
-    f_sorted = freqs[order]
+    with _span("encode.codebook", n_symbols=n, device=device.name):
+        used = np.flatnonzero(freqs > 0)
+        # Thrust-style ascending sort; stable so frequency ties break by
+        # symbol id, keeping the construction deterministic.
+        with _span("encode.codebook.sort", n_used=int(used.size)):
+            order = used[np.argsort(freqs[used], kind="stable")]
+            f_sorted = freqs[order]
 
-    sort_cost = KernelCost(
-        name="codebook.sort_histogram",
-        bytes_coalesced=float(f_sorted.nbytes * 8),  # multi-pass radix sort
-        launches=1,
-        compute_cycles=float(max(used.size, 1)) * 8.0,
-        meta={"n": n, "n_used": int(used.size)},
-    )
+        sort_cost = KernelCost(
+            name="codebook.sort_histogram",
+            bytes_coalesced=float(f_sorted.nbytes * 8),  # multi-pass radix
+            launches=1,
+            compute_cycles=float(max(used.size, 1)) * 8.0,
+            meta={"n": n, "n_used": int(used.size)},
+        )
 
-    cl = generate_cl(f_sorted, device=device)
-    cw = generate_cw(cl.lengths_sorted, order, n, device=device)
+        with _span("encode.codebook.generate_cl"):
+            cl = generate_cl(f_sorted, device=device)
+        with _span("encode.codebook.generate_cw"):
+            cw = generate_cw(cl.lengths_sorted, order, n, device=device)
+        # The separate canonize kernel of the cuSZ baseline is unnecessary
+        # here: GenerateCW emits canonical codes directly (the paper's key
+        # structural improvement).  The stage span is still emitted — with
+        # zero-ish width and ``fused=True`` — so traces always carry one
+        # span per paper pipeline stage.
+        with _span("encode.canonize", fused=True,
+                   fused_into="encode.codebook.generate_cw"):
+            book = cw.codebook
+        _add_attrs(rounds=cl.rounds, levels=cw.levels,
+                   max_length=int(book.max_length))
     return ParallelCodebookResult(
-        codebook=cw.codebook,
+        codebook=book,
         costs=[sort_cost, cl.cost, cw.cost],
         rounds=cl.rounds,
         levels=cw.levels,

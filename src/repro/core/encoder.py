@@ -39,6 +39,8 @@ from repro.cuda.costmodel import KernelCost
 from repro.cuda.device import DeviceSpec, V100
 from repro.cuda.launch import KernelInfo, register_kernel
 from repro.huffman.codebook import CanonicalCodebook
+from repro.obs import metrics as _metrics
+from repro.obs import span as _span
 from repro.utils.bits import pack_codewords
 
 __all__ = ["GpuEncodeResult", "gpu_encode"]
@@ -135,14 +137,53 @@ def gpu_encode(
     when given).  Every symbol must have a codeword in ``book``.
     """
     data = np.asarray(data)
-    codes, lens = book.lookup(data)
-    if data.size and int(lens.min()) == 0:
-        bad = int(data[np.argmin(lens)])
-        raise ValueError(f"symbol {bad} has no codeword (zero frequency)")
-    lens = lens.astype(np.int64)
-    total_bits = int(lens.sum())
-    avg_bits = total_bits / data.size if data.size else 0.0
+    enc_span = _span("encode.reduce_shuffle_merge",
+                     bytes_in=int(data.nbytes), device=device.name)
+    with enc_span:
+        with _span("encode.lookup", n_symbols=int(data.size)):
+            codes, lens = book.lookup(data)
+        if data.size and int(lens.min()) == 0:
+            bad = int(data[np.argmin(lens)])
+            raise ValueError(f"symbol {bad} has no codeword (zero frequency)")
+        lens = lens.astype(np.int64)
+        total_bits = int(lens.sum())
+        avg_bits = total_bits / data.size if data.size else 0.0
+        result = _gpu_encode_body(
+            data, book, tuning, magnitude, reduction_factor, word_bits,
+            device, codes, lens, avg_bits,
+        )
+    enc_span.set_attr(
+        bytes_out=int(result.stream.payload_bytes),
+        avg_bits=round(avg_bits, 4),
+        breaking_fraction=result.breaking_fraction,
+        chunks=result.stream.n_chunks,
+    )
+    reg = _metrics()
+    reg.counter("repro_encode_symbols_total").inc(int(data.size))
+    reg.counter("repro_encode_bytes_in_total").inc(int(data.nbytes))
+    reg.counter("repro_encode_bytes_out_total").inc(
+        int(result.stream.payload_bytes)
+    )
+    if data.size:
+        reg.histogram(
+            "repro_encode_avg_bits",
+            buckets=(2, 4, 6, 8, 12, 16, 24, 32),
+        ).observe(avg_bits)
+    return result
 
+
+def _gpu_encode_body(
+    data: np.ndarray,
+    book: CanonicalCodebook,
+    tuning: EncoderTuning | None,
+    magnitude: int,
+    reduction_factor: int | None,
+    word_bits: int,
+    device: DeviceSpec,
+    codes: np.ndarray,
+    lens: np.ndarray,
+    avg_bits: float,
+) -> "GpuEncodeResult":
     if tuning is None:
         if reduction_factor is None:
             from repro.core.tuning import choose_reduction_factor
@@ -162,29 +203,36 @@ def gpu_encode(
     main_codes, main_lens = codes[:n_main], lens[:n_main]
 
     # -- REDUCE-merge (+ fused lookup) ------------------------------------
-    red = reduce_merge(main_codes, main_lens, r, tuning.word_bits)
+    with _span("encode.reduce_merge", r=r, chunks=n_full):
+        red = reduce_merge(main_codes, main_lens, r, tuning.word_bits)
 
     # -- breaking backtrace + sparse save ----------------------------------
-    breaking = extract_breaking(main_codes, main_lens, red.broken, group)
+    with _span("encode.breaking") as brk_span:
+        breaking = extract_breaking(main_codes, main_lens, red.broken, group)
+    brk_span.set_attr(nnz=breaking.nnz, fraction=red.breaking_fraction)
 
     # -- SHUFFLE-merge ------------------------------------------------------
-    if red.broken.any():
-        vals = red.values.copy()
-        cell_lens = red.lengths.copy()
-        vals[red.broken] = 0
-        cell_lens[red.broken] = 0
-    else:
-        # common case (<0.01 % breaking in the paper): no broken cells to
-        # zero out, so feed the reduce output straight through without
-        # materializing two more full-size arrays
-        vals, cell_lens = red.values, red.lengths
-    shuf = shuffle_merge(vals, cell_lens, tuning.cells_per_chunk,
-                         tuning.word_bits)
-    payload, offsets = shuf.payload()
+    with _span("encode.shuffle_merge", s=s, chunks=n_full) as shuf_span:
+        if red.broken.any():
+            vals = red.values.copy()
+            cell_lens = red.lengths.copy()
+            vals[red.broken] = 0
+            cell_lens[red.broken] = 0
+        else:
+            # common case (<0.01 % breaking in the paper): no broken cells
+            # to zero out, so feed the reduce output straight through
+            # without materializing two more full-size arrays
+            vals, cell_lens = red.values, red.lengths
+        shuf = shuffle_merge(vals, cell_lens, tuning.cells_per_chunk,
+                             tuning.word_bits)
+        payload, offsets = shuf.payload()
+        shuf_span.set_attr(moved_words=shuf.moved_words,
+                           bytes_out=int(payload.nbytes))
 
     # -- tail ---------------------------------------------------------------
-    tail_codes, tail_lens = codes[n_main:], lens[n_main:]
-    tail_buf, tail_bits = pack_codewords(tail_codes, tail_lens)
+    with _span("encode.pack_tail", n_symbols=int(data.size - n_main)):
+        tail_codes, tail_lens = codes[n_main:], lens[n_main:]
+        tail_buf, tail_bits = pack_codewords(tail_codes, tail_lens)
 
     stream = EncodedStream(
         tuning=tuning,

@@ -35,6 +35,7 @@ from repro.cuda.device import DeviceSpec, V100
 from repro.histogram.large_alphabet import histogram_any
 from repro.huffman.cache import cached_decode_table
 from repro.huffman.codebook import CanonicalCodebook
+from repro.obs import span as _span
 
 __all__ = ["StreamingEncoder", "StreamingDecoder", "SegmentInfo"]
 
@@ -78,9 +79,10 @@ class StreamingEncoder:
         if self._book is not None:
             raise RuntimeError("codebook already finalized")
         block = np.asarray(block)
-        res = histogram_any(block, self.num_symbols, self.device)
-        self._hist += res.histogram
-        self._observed += block.size
+        with _span("streaming.observe", bytes_in=int(block.nbytes)):
+            res = histogram_any(block, self.num_symbols, self.device)
+            self._hist += res.histogram
+            self._observed += block.size
 
     def finalize(self) -> CanonicalCodebook:
         """Build the shared canonical codebook from the running histogram."""
@@ -88,7 +90,10 @@ class StreamingEncoder:
             return self._book
         if self._observed == 0:
             raise RuntimeError("no data observed before finalize()")
-        self._book = parallel_codebook(self._hist, device=self.device).codebook
+        with _span("streaming.finalize", observed=self._observed):
+            self._book = parallel_codebook(
+                self._hist, device=self.device
+            ).codebook
         return self._book
 
     # ------------------------------------------------------------ pass 2
@@ -101,9 +106,11 @@ class StreamingEncoder:
     def encode_block(self, block: np.ndarray) -> bytes:
         """Encode one block into a self-contained segment (pass 2)."""
         block = np.asarray(block)
-        enc = gpu_encode(block, self.codebook, magnitude=self.magnitude,
-                         device=self.device)
-        seg = serialize_stream(enc.stream, self.codebook)
+        with _span("streaming.encode_block", bytes_in=int(block.nbytes)) as sp:
+            enc = gpu_encode(block, self.codebook, magnitude=self.magnitude,
+                             device=self.device)
+            seg = serialize_stream(enc.stream, self.codebook)
+            sp.set_attr(bytes_out=len(seg))
         self.segments.append(SegmentInfo(
             n_symbols=int(block.size),
             compressed_bytes=len(seg),
@@ -136,8 +143,10 @@ class StreamingDecoder:
         self.symbols_decoded = 0
 
     def decode_segment(self, segment: bytes) -> np.ndarray:
-        stream, book = deserialize_stream(segment)
-        out = decode_stream(stream, book, table=cached_decode_table(book))
+        with _span("streaming.decode_segment", bytes_in=len(segment)) as sp:
+            stream, book = deserialize_stream(segment)
+            out = decode_stream(stream, book, table=cached_decode_table(book))
+            sp.set_attr(bytes_out=int(out.nbytes))
         self.symbols_decoded += out.size
         return out
 

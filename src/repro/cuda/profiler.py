@@ -4,6 +4,14 @@ Collects the :class:`~repro.cuda.costmodel.KernelCost` records emitted by a
 pipeline run, prices them with a :class:`~repro.cuda.costmodel.CostModel`,
 and renders per-kernel breakdowns in the style of the paper's tables
 (stage time in ms, stage throughput in GB/s).
+
+The modeled breakdown is no longer a parallel reporting path: via
+:meth:`Profiler.to_spans` / :meth:`Profiler.merge_into` the priced
+:class:`~repro.cuda.costmodel.KernelTiming` records become synthetic
+spans on a ``modeled:<device>`` side track of a
+:class:`~repro.obs.trace.Tracer`, so modeled kernel timelines and
+measured wall-clock spans land in the *same* exported Chrome-trace /
+JSONL file (see :mod:`repro.obs.export`).
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.cuda.costmodel import CostModel, KernelCost, KernelTiming
 from repro.cuda.device import DeviceSpec
+from repro.obs.trace import Span, synthetic_span
 
 __all__ = ["ProfiledKernel", "Profiler"]
 
@@ -60,6 +69,51 @@ class Profiler:
         for r in self.records:
             out[r.cost.name] = out.get(r.cost.name, 0.0) + r.timing.seconds
         return out
+
+    def to_spans(self, track: str | None = None) -> list[Span]:
+        """Modeled kernel records as synthetic trace spans.
+
+        Records are laid end-to-end (kernels are serialized by their
+        sync boundaries in the paper's pipeline) on a named side track,
+        default ``modeled:<device>``.  Each span carries the modeled
+        payload bytes, throughput, and the dominant roofline component
+        as attributes, so a Chrome-trace viewer shows the modeled
+        breakdown next to the measured one.
+        """
+        track = track or f"modeled:{self.device.name}"
+        spans: list[Span] = []
+        cursor_us = 0.0
+        for r in self.records:
+            dur_us = r.timing.seconds * 1e6
+            comps = r.timing.components
+            attrs = {
+                "modeled": True,
+                "device": self.device.name,
+                "payload_bytes": float(r.payload_bytes),
+                "dominant": max(comps, key=comps.get) if comps else "",
+            }
+            if r.payload_bytes:
+                attrs["gbps"] = round(r.gbps, 3)
+            spans.append(synthetic_span(
+                f"modeled.{r.cost.name}", cursor_us, dur_us, track, **attrs
+            ))
+            cursor_us += dur_us
+        return spans
+
+    def merge_into(self, tracer, track: str | None = None) -> int:
+        """Adopt the modeled timeline into ``tracer``; returns the count.
+
+        ``tracer`` is a :class:`repro.obs.trace.Tracer` (or the no-op
+        :class:`~repro.obs.trace.NullTracer`, in which case nothing is
+        recorded).
+        """
+        return tracer.adopt_spans(self.to_spans(track))
+
+    def export_chrome(self, path, registry=None) -> dict:
+        """Write this profiler's modeled timeline as a Chrome trace."""
+        from repro.obs.export import write_chrome_trace
+
+        return write_chrome_trace(path, self.to_spans(), registry=registry)
 
     def report(self) -> str:
         """Human-readable per-kernel table (times in ms)."""

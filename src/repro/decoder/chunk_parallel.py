@@ -33,6 +33,8 @@ from repro.cuda.device import DeviceSpec, V100
 from repro.huffman.cache import cached_decode_table
 from repro.huffman.codebook import CanonicalCodebook
 from repro.huffman.decoder import DecodeTable, decode_lanes
+from repro.obs import metrics as _metrics
+from repro.obs import span as _span
 
 __all__ = ["ChunkDecodeResult", "chunk_parallel_decode", "parallel_decode_stream"]
 
@@ -81,24 +83,40 @@ def parallel_decode_stream(
     """
     if table is None:
         table = cached_decode_table(book)
-    buffer, starts, ends, nsyms = stream_lanes(stream)
-    w = workers if workers is not None else _auto_workers(int(nsyms.sum()), nsyms.size)
-    if w <= 1 or nsyms.size < 2:
-        decoded = decode_lanes(buffer, starts, ends, nsyms, book, table)
-    else:
-        bounds = _shard_bounds(nsyms, w)
-        with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
-            parts = list(
-                pool.map(
-                    lambda be: decode_lanes(
+    with _span("decode.chunk_parallel",
+               bytes_in=int(stream.payload_bytes),
+               n_symbols=int(stream.n_symbols),
+               chunks=stream.n_chunks) as sp:
+        buffer, starts, ends, nsyms = stream_lanes(stream)
+        w = workers if workers is not None else _auto_workers(
+            int(nsyms.sum()), nsyms.size
+        )
+        reg = _metrics()
+        reg.gauge("repro_decode_pool_workers").set(w)
+        if w <= 1 or nsyms.size < 2:
+            sp.set_attr(workers=1, shards=1, lanes=int(nsyms.size))
+            reg.counter("repro_decode_shards_total").inc()
+            decoded = decode_lanes(buffer, starts, ends, nsyms, book, table)
+        else:
+            bounds = _shard_bounds(nsyms, w)
+            sp.set_attr(workers=w, shards=len(bounds), lanes=int(nsyms.size))
+            reg.counter("repro_decode_shards_total").inc(len(bounds))
+
+            def _shard(be):
+                with _span("decode.shard", lanes=be[1] - be[0]):
+                    return decode_lanes(
                         buffer, starts[be[0]:be[1]], ends[be[0]:be[1]],
                         nsyms[be[0]:be[1]], book, table,
-                    ),
-                    bounds,
-                )
-            )
-        decoded = np.concatenate(parts) if parts else np.empty(0, np.int64)
-    return assemble_stream_symbols(stream, decoded)
+                    )
+
+            with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+                parts = list(pool.map(_shard, bounds))
+            decoded = (np.concatenate(parts) if parts
+                       else np.empty(0, np.int64))
+        with _span("decode.assemble", broken=stream.breaking.nnz):
+            out = assemble_stream_symbols(stream, decoded)
+        sp.set_attr(bytes_out=int(out.nbytes))
+    return out
 
 
 @dataclass

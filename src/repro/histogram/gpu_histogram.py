@@ -29,6 +29,7 @@ from repro.cuda.atomics import expected_conflict_degree
 from repro.cuda.costmodel import KernelCost
 from repro.cuda.device import DeviceSpec, V100
 from repro.cuda.launch import KernelInfo, LaunchConfig, register_kernel
+from repro.obs import span as _span
 
 __all__ = [
     "GpuHistogramResult",
@@ -107,10 +108,11 @@ def gpu_histogram(
         raise ValueError("symbol out of histogram range")
     blocks = blocks if blocks is not None else device.sm_count * 2
 
-    hist = np.bincount(flat, minlength=num_bins).astype(np.int64)
-
-    repl = replication_factor(num_bins, device)
-    conflict = expected_conflict_degree(hist, device.warp_size, repl)
+    with _span("encode.histogram", bytes_in=int(flat.nbytes),
+               bins=int(num_bins), device=device.name):
+        hist = np.bincount(flat, minlength=num_bins).astype(np.int64)
+        repl = replication_factor(num_bins, device)
+        conflict = expected_conflict_degree(hist, device.warp_size, repl)
     block_cost = KernelCost(
         name="hist.blockwise",
         bytes_coalesced=float(flat.nbytes),

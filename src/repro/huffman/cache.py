@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.huffman.codebook import CanonicalCodebook
 from repro.huffman.decoder import _HOST_TABLE_BITS, DecodeTable, build_decode_table
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "CacheInfo",
@@ -72,35 +73,56 @@ def histogram_digest(hist: np.ndarray) -> str:
 
 
 class _LruCache:
-    """Minimal thread-safe LRU with hit/miss counters."""
+    """Minimal thread-safe LRU with hit/miss counters.
 
-    def __init__(self, maxsize: int) -> None:
+    Every hit/miss is mirrored into the process-global metrics registry
+    (``repro_cache_hits_total`` / ``repro_cache_misses_total``, labelled
+    by cache ``name``), so a traced run's metrics dump shows the cache
+    effectiveness next to the stage spans.
+    """
+
+    def __init__(self, maxsize: int, name: str = "lru") -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = int(maxsize)
+        self.name = name
         self._data: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    def _count(self, hit: bool) -> None:
+        kind = "repro_cache_hits_total" if hit else "repro_cache_misses_total"
+        _metrics().counter(kind, cache=self.name).inc()
 
     def get_or_build(self, key, build: Callable):
         with self._lock:
             if key in self._data:
                 self.hits += 1
                 self._data.move_to_end(key)
-                return self._data[key]
+                value = self._data[key]
+                hit = True
+            else:
+                hit = False
+        if hit:
+            self._count(True)
+            return value
         value = build()  # build outside the lock: may be expensive
         with self._lock:
             if key not in self._data:
                 self.misses += 1
+                hit = False
                 self._data[key] = value
                 while len(self._data) > self.maxsize:
                     self._data.popitem(last=False)
             else:
                 # another thread raced us; keep the cached instance
                 self.hits += 1
+                hit = True
             self._data.move_to_end(key)
-            return self._data[key]
+            value = self._data[key]
+        self._count(hit)
+        return value
 
     def clear(self) -> None:
         with self._lock:
@@ -117,7 +139,7 @@ class DecodeTableCache(_LruCache):
     """LRU of :class:`DecodeTable` keyed by ``(codebook digest, k)``."""
 
     def __init__(self, maxsize: int = 64) -> None:
-        super().__init__(maxsize)
+        super().__init__(maxsize, name="decode_table")
 
     def get(self, book: CanonicalCodebook, k: int = _HOST_TABLE_BITS) -> DecodeTable:
         key = (codebook_digest(book), int(k))
@@ -134,7 +156,7 @@ class CodebookCache(_LruCache):
     """
 
     def __init__(self, maxsize: int = 16) -> None:
-        super().__init__(maxsize)
+        super().__init__(maxsize, name="codebook")
 
     def get(
         self, hist: np.ndarray, build: Callable[[], CanonicalCodebook]

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.huffman.codebook import CanonicalCodebook
 from repro.huffman.tree import HuffmanTree
+from repro.obs import metrics as _metrics
 from repro.utils.bits import unpack_to_bits
 
 __all__ = [
@@ -116,6 +117,7 @@ def decode_canonical(
     maxlen = book.max_length
     symbols_by_code = book.symbols_by_code
     pos = 0
+    n_fallback = 0
     for i in range(n_symbols):
         if pos >= total_bits:
             raise ValueError("bitstream exhausted before all symbols decoded")
@@ -126,6 +128,7 @@ def decode_canonical(
             pos += l
             continue
         # slow path: codeword longer than the table index
+        n_fallback += 1
         v = int(w)  # top k bits already read
         l = k
         while True:
@@ -144,6 +147,11 @@ def decode_canonical(
                     out[i] = symbols_by_code[int(entry[l]) + offset]
                     pos += l
                     break
+    reg = _metrics()
+    reg.counter("repro_decode_symbols_total", path="scalar").inc(n_symbols)
+    reg.counter("repro_decode_lut_fallback_total", path="scalar").inc(
+        n_fallback
+    )
     return out
 
 
@@ -297,6 +305,7 @@ def decode_lanes(
     lng = np.empty(n_lanes, dtype=np.int32)
 
     cur_m = -1
+    n_fallback = 0
     for t in range(max_syms):
         m = active[t]
         if m != cur_m:
@@ -315,7 +324,9 @@ def decode_lanes(
             if not any_long:
                 # no codeword of any length matches this window
                 raise ValueError("corrupt bitstream: no codeword matches")
-            for j in np.flatnonzero(l == 0):
+            slow = np.flatnonzero(l == 0)
+            n_fallback += slow.size
+            for j in slow:
                 s_j, l_j = _slow_lane_symbol(
                     pad_bytes, int(v[j]), int(p[j]), int(lane_end[j]), k, book
                 )
@@ -327,6 +338,12 @@ def decode_lanes(
 
     if np.any(pos > lane_end):
         raise ValueError("bitstream exhausted before all symbols decoded")
+    reg = _metrics()
+    reg.counter("repro_decode_symbols_total", path="batch").inc(total_out)
+    reg.counter("repro_decode_lanes_total").inc(n_lanes)
+    reg.counter("repro_decode_lut_fallback_total", path="batch").inc(
+        int(n_fallback)
+    )
     return out.astype(np.int64)
 
 

@@ -1,0 +1,88 @@
+"""Observability layer: stage-scoped tracing, metrics, exporters.
+
+This package is the unified telemetry substrate for the whole pipeline
+(see docs/ARCHITECTURE.md, "Observability"):
+
+- :mod:`repro.obs.trace` — nestable, thread-safe stage spans and the
+  process-global tracer (a no-op :class:`NullTracer` by default, so the
+  instrumented hot paths cost nothing when tracing is off);
+- :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges, and histograms (``repro_<area>_<name>`` naming, bounded label
+  cardinality) fed by the cache, decoder, breaking, and app layers;
+- :mod:`repro.obs.export` — Chrome trace-event / Perfetto files, JSONL
+  span logs, and the paper-style plain-text stage summary;
+- :mod:`repro.obs.cli` — the ``repro-trace`` command.
+
+It sits at the very bottom of the import DAG: it imports nothing from
+the rest of :mod:`repro`, so any module — including
+:mod:`repro.huffman.cache` and :mod:`repro.cuda.profiler` — may use it.
+
+Typical use::
+
+    from repro.obs import tracing, metrics, write_chrome_trace
+
+    with tracing() as tracer:
+        blob, report = compress_field(field, 1e-3)
+    write_chrome_trace("trace.json", tracer, registry=metrics())
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    load_spans,
+    stage_summary,
+    validate_chrome_trace,
+    validate_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    set_registry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    PIPELINE_STAGES,
+    NullTracer,
+    Span,
+    Tracer,
+    add_attrs,
+    get_tracer,
+    set_tracer,
+    span,
+    synthetic_span,
+    tracing,
+)
+
+__all__ = [
+    # trace
+    "PIPELINE_STAGES",
+    "Span",
+    "synthetic_span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "span",
+    "add_attrs",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "set_registry",
+    # export
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "load_spans",
+    "validate_chrome_trace",
+    "validate_jsonl",
+    "stage_summary",
+]

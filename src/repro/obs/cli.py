@@ -1,0 +1,105 @@
+"""``repro-trace`` — summarize / validate a pipeline trace file.
+
+Works on both export formats (auto-detected): the Chrome trace-event
+JSON and the JSONL span log written by :mod:`repro.obs.export`::
+
+    repro-trace out.json                # per-stage summary table
+    repro-trace out.json --validate     # schema check (exit 1 on drift)
+    repro-trace out.json --stages       # paper pipeline stages only
+    repro-trace out.json --metrics      # embedded metrics dump, if any
+
+The ``--validate`` mode is what ``make trace-smoke`` runs in CI: it
+fails loudly on schema drift of either format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.obs.export import (
+    detect_format,
+    load_spans,
+    stage_summary,
+    validate_chrome_trace,
+    validate_jsonl,
+)
+from repro.obs.trace import PIPELINE_STAGES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="summarize or validate a repro pipeline trace file",
+    )
+    p.add_argument("trace", type=pathlib.Path,
+                   help="Chrome-trace JSON or JSONL span log")
+    p.add_argument("--validate", action="store_true",
+                   help="schema-check the file; exit 1 on drift")
+    p.add_argument("--stages", action="store_true",
+                   help="restrict the summary to the paper pipeline stages")
+    p.add_argument("--metrics", action="store_true",
+                   help="also print the embedded metrics dump, if present")
+    return p
+
+
+def _embedded_metrics(path: pathlib.Path) -> dict | None:
+    with open(path) as f:
+        if detect_format(path) == "chrome":
+            doc = json.load(f)
+            return doc.get("otherData", {}).get("metrics")
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("type") == "metrics":
+                return rec.get("metrics")
+    return None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    path = args.trace
+    if not path.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+
+    chrome = detect_format(path) == "chrome"
+    fmt = "chrome-trace" if chrome else "jsonl"
+
+    if args.validate:
+        problems = (validate_chrome_trace(path) if chrome
+                    else validate_jsonl(path))
+        if problems:
+            print(f"{path}: INVALID {fmt} ({len(problems)} problems)",
+                  file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        print(f"{path}: valid {fmt}")
+        return 0
+
+    spans = load_spans(path)
+    if args.stages:
+        prefixes = tuple(PIPELINE_STAGES)
+        spans = [s for s in spans if s["name"].startswith(prefixes)]
+    print(stage_summary(spans, title=f"{path.name} [{fmt}]"))
+
+    if args.metrics:
+        m = _embedded_metrics(path)
+        if m is None:
+            print("\n(no embedded metrics in this file)")
+        else:
+            print("\nmetrics:")
+            print(json.dumps(m, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,352 @@
+"""Trace exporters: Chrome trace-event JSON, JSON-lines, stage summary.
+
+Three views of the same span list:
+
+- :func:`write_chrome_trace` — a ``chrome://tracing`` / Perfetto-loadable
+  trace-event file (``ph: "X"`` complete events, one timeline track per
+  thread plus named side tracks for adopted/modeled spans);
+- :func:`write_jsonl` — one JSON object per line (a ``trace_meta``
+  header, then ``span`` records, then an optional ``metrics`` record),
+  the grep/jq-friendly archival format;
+- :func:`stage_summary` — a plain-text per-stage table in the layout of
+  the paper's Table 5 (time, payload, effective GB/s, share of wall).
+
+:func:`validate_chrome_trace` / :func:`validate_jsonl` check the schema
+the ``make trace-smoke`` target (and tests) hold stable; they return a
+list of human-readable problems, empty when the file is well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Iterable, Sequence
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "spans_of",
+    "detect_format",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "load_spans",
+    "validate_chrome_trace",
+    "validate_jsonl",
+    "stage_summary",
+    "JSONL_SPAN_KEYS",
+    "CHROME_EVENT_KEYS",
+]
+
+#: required keys of a ``type: span`` JSONL record
+JSONL_SPAN_KEYS = ("name", "span_id", "parent_id", "tid", "ts_us",
+                   "dur_us", "attrs")
+#: required keys of a Chrome complete ("X") event
+CHROME_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+_PID = 1
+#: synthetic tid base for named side tracks (modeled timelines)
+_TRACK_TID_BASE = 1 << 20
+
+
+def spans_of(source) -> list[Span]:
+    """Normalize a Tracer | iterable of spans into a span list."""
+    if isinstance(source, Tracer):
+        return source.spans
+    return list(source)
+
+
+def _track_tids(spans: Sequence[Span]) -> dict[str, int]:
+    tracks = sorted({s.track for s in spans if s.track is not None})
+    return {t: _TRACK_TID_BASE + i for i, t in enumerate(tracks)}
+
+
+def _tid_of(sp: Span, track_tids: dict[str, int]) -> int:
+    return track_tids[sp.track] if sp.track is not None else sp.tid
+
+
+# --------------------------------------------------------------- chrome --
+def chrome_trace_events(source, thread_names: dict | None = None) -> list[dict]:
+    """Spans → Chrome trace-event dicts (metadata + complete events)."""
+    spans = spans_of(source)
+    if thread_names is None and isinstance(source, Tracer):
+        thread_names = source.thread_names()
+    thread_names = thread_names or {}
+    track_tids = _track_tids(spans)
+
+    events: list[dict] = [{
+        "ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+        "args": {"name": "repro pipeline"},
+    }]
+    for tid, tname in sorted(thread_names.items()):
+        events.append({
+            "ph": "M", "pid": _PID, "tid": tid, "name": "thread_name",
+            "args": {"name": tname},
+        })
+    for track, tid in track_tids.items():
+        events.append({
+            "ph": "M", "pid": _PID, "tid": tid, "name": "thread_name",
+            "args": {"name": f"[{track}]"},
+        })
+    for sp in spans:
+        events.append({
+            "name": sp.name,
+            "ph": "X",
+            "ts": round(sp.start_us, 3),
+            "dur": round(sp.dur_us, 3),
+            "pid": _PID,
+            "tid": _tid_of(sp, track_tids),
+            "args": _jsonable(sp.attrs) | {"span_id": sp.span_id,
+                                           "parent_id": sp.parent_id},
+        })
+    return events
+
+
+def write_chrome_trace(path, source, registry=None) -> dict:
+    """Write a Perfetto/``chrome://tracing``-loadable trace file.
+
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) is
+    embedded under ``otherData.metrics`` so one file carries the whole
+    telemetry picture.  Returns the document written.
+    """
+    doc = {
+        "traceEvents": chrome_trace_events(source),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                           time.gmtime()),
+        },
+    }
+    if registry is not None:
+        doc["otherData"]["metrics"] = registry.snapshot()
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    return doc
+
+
+# ---------------------------------------------------------------- jsonl --
+def write_jsonl(path, source, registry=None) -> int:
+    """Write the span log as JSON lines; returns the line count."""
+    spans = spans_of(source)
+    name = source.name if isinstance(source, Tracer) else "repro"
+    lines = [{
+        "type": "trace_meta",
+        "tracer": name,
+        "n_spans": len(spans),
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }]
+    for sp in spans:
+        rec = sp.to_dict()
+        rec["attrs"] = _jsonable(rec["attrs"])
+        lines.append({"type": "span", **rec})
+    if registry is not None:
+        lines.append({"type": "metrics", "metrics": registry.snapshot()})
+    with open(path, "w") as f:
+        for line in lines:
+            f.write(json.dumps(line) + "\n")
+    return len(lines)
+
+
+def _jsonable(attrs: dict) -> dict:
+    out = {}
+    for k, v in attrs.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        elif hasattr(v, "item"):  # numpy scalar
+            out[k] = v.item()
+        else:
+            out[k] = repr(v)
+    return out
+
+
+# ------------------------------------------------------------- loading --
+def detect_format(path) -> str:
+    """``"chrome"`` (one JSON document) or ``"jsonl"`` (a doc per line)."""
+    with open(path) as f:
+        first = f.readline().strip()
+    try:
+        rec = json.loads(first)
+    except json.JSONDecodeError:
+        # a pretty-printed JSON document's first line is not valid JSON
+        return "chrome"
+    return "chrome" if isinstance(rec, dict) and "traceEvents" in rec else "jsonl"
+
+
+def load_spans(path) -> list[dict]:
+    """Load span records from a Chrome-trace or JSONL file (auto-detect).
+
+    Returns uniform dicts with at least ``name``/``ts_us``/``dur_us``/
+    ``tid``/``attrs`` keys.
+    """
+    fmt = detect_format(path)
+    with open(path) as f:
+        if fmt == "chrome":
+            doc = json.load(f)
+            out = []
+            for ev in doc.get("traceEvents", []):
+                if ev.get("ph") != "X":
+                    continue
+                args = dict(ev.get("args", {}))
+                out.append({
+                    "name": ev["name"], "ts_us": ev["ts"],
+                    "dur_us": ev["dur"], "tid": ev["tid"],
+                    "span_id": args.pop("span_id", 0),
+                    "parent_id": args.pop("parent_id", 0),
+                    "attrs": args,
+                })
+            return out
+        out = []
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("type") == "span":
+                out.append(rec)
+        return out
+
+
+# ---------------------------------------------------------- validation --
+def validate_chrome_trace(path_or_doc) -> list[str]:
+    """Schema check of a Chrome trace file; returns problems (empty=ok)."""
+    problems: list[str] = []
+    if isinstance(path_or_doc, dict):
+        doc = path_or_doc
+    else:
+        try:
+            with open(path_or_doc) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            return [f"unreadable chrome trace: {e}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    n_complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            problems.append(f"event {i}: unexpected ph {ph!r}")
+            continue
+        n_complete += 1
+        for key in CHROME_EVENT_KEYS:
+            if key not in ev:
+                problems.append(f"event {i} ({ev.get('name')}): missing {key!r}")
+        ts, dur = ev.get("ts", -1), ev.get("dur", -1)
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problems.append(f"event {i}: bad dur {dur!r}")
+        if not isinstance(ev.get("args", {}), dict):
+            problems.append(f"event {i}: args not an object")
+    if n_complete == 0:
+        problems.append("no complete ('X') events in trace")
+    return problems
+
+
+def validate_jsonl(path) -> list[str]:
+    """Schema check of a JSONL span log; returns problems (empty=ok)."""
+    problems: list[str] = []
+    try:
+        with open(path) as f:
+            lines = [l for l in (ln.strip() for ln in f) if l]
+    except OSError as e:
+        return [f"unreadable jsonl: {e}"]
+    if not lines:
+        return ["empty jsonl file"]
+    n_spans = 0
+    for i, line in enumerate(lines):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            problems.append(f"line {i + 1}: invalid json ({e})")
+            continue
+        kind = rec.get("type")
+        if i == 0 and kind != "trace_meta":
+            problems.append("line 1: expected a trace_meta header")
+        if kind == "span":
+            n_spans += 1
+            for key in JSONL_SPAN_KEYS:
+                if key not in rec:
+                    problems.append(
+                        f"line {i + 1} (span {rec.get('name')}): missing {key!r}"
+                    )
+            if not isinstance(rec.get("attrs", None), dict):
+                problems.append(f"line {i + 1}: attrs not an object")
+        elif kind not in ("trace_meta", "metrics"):
+            problems.append(f"line {i + 1}: unknown record type {kind!r}")
+    if n_spans == 0:
+        problems.append("no span records in jsonl")
+    return problems
+
+
+# -------------------------------------------------------- stage summary --
+_BYTES_KEYS = ("bytes_in", "payload_bytes", "bytes_out")
+
+
+def stage_summary(source, title: str = "stage summary") -> str:
+    """Per-stage aggregate table (Table-5 layout: time, GB/s, share).
+
+    Accepts a Tracer, an iterable of :class:`Span`, or the dicts of
+    :func:`load_spans`.  Stages are grouped by span name; the payload
+    column prefers ``bytes_in`` then ``payload_bytes`` then
+    ``bytes_out`` attributes; share is of summed span time (nested spans
+    count toward their own row only).
+    """
+    if isinstance(source, Tracer):
+        records = [s.to_dict() for s in source.spans]
+    else:
+        records = [s.to_dict() if isinstance(s, Span) else s for s in source]
+
+    order: list[str] = []
+    agg: dict[str, dict] = {}
+    for rec in records:
+        name = rec["name"]
+        if name not in agg:
+            agg[name] = {"count": 0, "dur_us": 0.0, "bytes": 0.0}
+            order.append(name)
+        a = agg[name]
+        a["count"] += 1
+        a["dur_us"] += float(rec.get("dur_us", 0.0))
+        attrs = rec.get("attrs") or {}
+        for key in _BYTES_KEYS:
+            v = attrs.get(key)
+            if isinstance(v, (int, float)) and v > 0:
+                a["bytes"] += float(v)
+                break
+    total_us = sum(a["dur_us"] for a in agg.values()) or 1.0
+
+    headers = ["stage", "calls", "time (ms)", "MB", "GB/s", "share"]
+    rows = []
+    for name in order:
+        a = agg[name]
+        secs = a["dur_us"] / 1e6
+        gbps = (a["bytes"] / secs / 1e9) if secs > 0 and a["bytes"] else None
+        rows.append([
+            name,
+            str(a["count"]),
+            f"{a['dur_us'] / 1e3:.3f}",
+            f"{a['bytes'] / 1e6:.2f}" if a["bytes"] else "-",
+            f"{gbps:.3f}" if gbps is not None else "-",
+            f"{100.0 * a['dur_us'] / total_us:.1f}%",
+        ])
+
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    def fmt(cells, pad=" "):
+        left = cells[0].ljust(widths[0])
+        rest = (c.rjust(w) for c, w in zip(cells[1:], widths[1:]))
+        return (pad * 2).join([left, *rest])
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, fmt(headers), sep]
+    lines += [fmt(r) for r in rows]
+    lines.append(sep)
+    lines.append(f"total span time: {total_us / 1e3:.3f} ms over "
+                 f"{len(records)} spans")
+    return "\n".join(lines)

@@ -1,0 +1,291 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+Prometheus-flavoured, dependency-free, and cheap enough to leave enabled
+in the hot paths (one dict lookup + one lock per *pipeline call*, never
+per symbol).  Metric names follow the convention
+``repro_<area>_<name>[_total]`` (see docs/ARCHITECTURE.md), e.g.::
+
+    metrics().counter("repro_cache_hits_total", cache="decode_table").inc()
+    metrics().gauge("repro_app_compression_ratio").set(3.8)
+    metrics().histogram("repro_encode_avg_bits").observe(5.2)
+
+Series are keyed by ``(name, sorted label items)``.  Per-name label
+cardinality is bounded: once ``max_series_per_name`` label sets exist for
+a name, further *new* label sets fold into a single overflow series
+(labels ``{"overflow": "true"}``) and the drop is counted in
+``dropped_series`` — unbounded label values can therefore never blow up
+memory.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "set_registry",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram buckets: geometric, covering µs-to-minutes when the
+#: unit is seconds and bytes-to-GB when the unit is "count-ish"
+DEFAULT_BUCKETS = tuple(float(b) for b in (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0,
+    1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+))
+
+_OVERFLOW_KEY = (("overflow", "true"),)
+
+
+class _Instrument:
+    __slots__ = ("name", "labels", "_lock")
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    __slots__ = ("_value",)
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple):
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _sample(self):
+        return self._value
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    __slots__ = ("_value",)
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple):
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _sample(self):
+        return self._value
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple, buckets=None):
+        super().__init__(name, labels)
+        bs = tuple(sorted(float(b) for b in (buckets or DEFAULT_BUCKETS)))
+        if not bs:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bs
+        self._counts = [0] * (len(bs) + 1)  # +inf bucket last
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        i = bisect_left(self.buckets, float(value))
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += float(value)
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def _sample(self):
+        cumulative = []
+        running = 0
+        with self._lock:
+            counts = list(self._counts)
+            total, s = self._count, self._sum
+        for c in counts:
+            running += c
+            cumulative.append(running)
+        return {
+            "count": total,
+            "sum": s,
+            "buckets": {
+                **{str(b): cumulative[i] for i, b in enumerate(self.buckets)},
+                "+Inf": cumulative[-1],
+            },
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Thread-safe instrument registry with bounded label cardinality."""
+
+    def __init__(self, max_series_per_name: int = 256):
+        if max_series_per_name < 1:
+            raise ValueError("max_series_per_name must be >= 1")
+        self.max_series_per_name = int(max_series_per_name)
+        self._series: dict[str, dict[tuple, _Instrument]] = {}
+        self._kind: dict[str, str] = {}
+        self._lock = threading.Lock()
+        self.dropped_series = 0
+
+    # ---------------------------------------------------------- lookup --
+    def _get(self, kind: str, name: str, labels: dict, **extra):
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid metric name {name!r} "
+                "(convention: repro_<area>_<name>, snake_case)"
+            )
+        for k in labels:
+            if not _LABEL_RE.match(k):
+                raise ValueError(f"invalid label name {k!r}")
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            known = self._kind.get(name)
+            if known is None:
+                self._kind[name] = kind
+                self._series[name] = {}
+            elif known != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {known}, "
+                    f"requested {kind}"
+                )
+            series = self._series[name]
+            inst = series.get(key)
+            if inst is None:
+                if len(series) >= self.max_series_per_name:
+                    self.dropped_series += 1
+                    key = _OVERFLOW_KEY
+                    inst = series.get(key)
+                    if inst is None:
+                        inst = _KINDS[kind](name, key, **extra)
+                        series[key] = inst
+                else:
+                    inst = _KINDS[kind](name, key, **extra)
+                    series[key] = inst
+            return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, buckets: Iterable[float] | None = None,
+                  **labels) -> Histogram:
+        return self._get("histogram", name, labels, buckets=buckets)
+
+    # --------------------------------------------------------- reading --
+    def total(self, name: str, **label_filter) -> float:
+        """Sum of a counter/gauge across series matching ``label_filter``."""
+        with self._lock:
+            series = dict(self._series.get(name, {}))
+        out = 0.0
+        for inst in series.values():
+            if all(inst.labels.get(k) == str(v)
+                   for k, v in label_filter.items()):
+                if isinstance(inst, Histogram):
+                    out += inst.count
+                else:
+                    out += inst.value
+        return out
+
+    def snapshot(self) -> dict:
+        """Point-in-time dump: ``{name: {kind, series: [...]}}``."""
+        with self._lock:
+            names = {n: dict(s) for n, s in self._series.items()}
+            kinds = dict(self._kind)
+        doc = {}
+        for name in sorted(names):
+            doc[name] = {
+                "kind": kinds[name],
+                "series": [
+                    {"labels": inst.labels, "value": inst._sample()}
+                    for _, inst in sorted(names[name].items())
+                ],
+            }
+        return doc
+
+    def render(self) -> str:
+        """Prometheus-exposition-style plain text."""
+        lines = []
+        for name, entry in self.snapshot().items():
+            lines.append(f"# TYPE {name} {entry['kind']}")
+            for s in entry["series"]:
+                lbl = ",".join(f'{k}="{v}"' for k, v in sorted(s["labels"].items()))
+                lbl = "{" + lbl + "}" if lbl else ""
+                v = s["value"]
+                if isinstance(v, dict):  # histogram
+                    lines.append(f"{name}_count{lbl} {v['count']}")
+                    lines.append(f"{name}_sum{lbl} {v['sum']}")
+                else:
+                    g = f"{v:g}"
+                    lines.append(f"{name}{lbl} {g}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()
+            self._kind.clear()
+            self.dropped_series = 0
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global registry the pipeline instruments feed."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (tests); returns the previous one."""
+    global _REGISTRY
+    prev = _REGISTRY
+    _REGISTRY = registry
+    return prev

@@ -1,0 +1,364 @@
+"""Stage-scoped tracing for the encode/decode pipelines.
+
+The paper's headline numbers are *per-stage* (histogram, GenerateCL/CW,
+canonize, reduce-shuffle-merge, decode) throughput breakdowns.  This
+module gives every pipeline stage a **span**: a named, nestable,
+thread-safe timing scope carrying wall time, payload bytes, and
+arbitrary attributes::
+
+    from repro.obs import span, tracing
+
+    with tracing() as tracer:
+        with span("encode.shuffle_merge", bytes_in=data.nbytes) as sp:
+            ...
+            sp.set_attr(bytes_out=out.nbytes)
+        tracer.spans  # finished Span records
+
+Design constraints, in order:
+
+1. **Zero cost when off.**  The process-global tracer defaults to
+   :class:`NullTracer`; ``span()`` then returns a shared singleton whose
+   ``__enter__``/``__exit__`` do nothing.  All pipeline instrumentation
+   goes through this indirection, so the disabled overhead is one global
+   read and one no-op context manager per *stage* (never per symbol).
+2. **Thread-safe nesting.**  Each thread keeps its own span stack
+   (``threading.local``), so the chunk-parallel decoder's pool workers
+   produce correctly-parented spans on their own timeline tracks.
+3. **One trace for modeled + measured.**  :meth:`Tracer.adopt_timing`
+   and :meth:`Tracer.adopt_spans` place *synthetic* spans (e.g. the cost
+   model's :class:`~repro.cuda.costmodel.KernelTiming` records, see
+   ``Profiler.to_spans``) on named side tracks, so modeled kernel
+   breakdowns and measured wall time live in the same exported file.
+
+Span names follow the stage naming convention ``<area>.<stage>`` (e.g.
+``encode.histogram``, ``decode.lanes``); see :data:`PIPELINE_STAGES`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+__all__ = [
+    "PIPELINE_STAGES",
+    "Span",
+    "synthetic_span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "span",
+    "add_attrs",
+]
+
+#: Canonical span names of the paper's pipeline stages, in pipeline
+#: order.  One traced ``compress_field``/``decompress_field`` round trip
+#: emits at least these (plus app/container envelopes and sub-spans).
+PIPELINE_STAGES = (
+    "encode.histogram",           # §IV-A privatized histogramming
+    "encode.codebook",            # §IV-B two-phase construction (CL+CW)
+    "encode.canonize",            # fused into GenerateCW (paper's point)
+    "encode.reduce_shuffle_merge",  # §IV-C encoding scheme
+    "decode.stream",              # treeless canonical decode
+)
+
+
+class Span:
+    """One finished (or in-flight) timing scope.
+
+    Times are stored relative to the owning tracer's epoch in
+    microseconds — the native unit of the Chrome trace-event format.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "tid", "track",
+        "start_us", "dur_us", "attrs", "_tracer", "_t0_ns",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id = 0
+        self.tid = 0
+        #: named side track for synthetic spans (None = real thread)
+        self.track: str | None = None
+        self.start_us = 0.0
+        self.dur_us = 0.0
+        self._tracer = tracer
+        self._t0_ns = 0
+
+    # ------------------------------------------------------- properties --
+    @property
+    def duration_s(self) -> float:
+        return self.dur_us / 1e6
+
+    def set_attr(self, **kw) -> None:
+        """Attach/overwrite attributes on this span."""
+        self.attrs.update(kw)
+
+    # -------------------------------------------------- context manager --
+    def __enter__(self) -> "Span":
+        self._t0_ns = time.perf_counter_ns()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter_ns()
+        self.start_us = (self._t0_ns - self._tracer._epoch_ns) / 1e3
+        self.dur_us = (t1 - self._t0_ns) / 1e3
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self)
+        return False  # never swallow
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "tid": self.tid,
+            "track": self.track,
+            "ts_us": round(self.start_us, 3),
+            "dur_us": round(self.dur_us, 3),
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.dur_us:.1f}us, "
+                f"id={self.span_id}, parent={self.parent_id})")
+
+
+def synthetic_span(
+    name: str, start_us: float, dur_us: float,
+    track: str = "modeled", **attrs,
+) -> Span:
+    """Build a detached span with explicit placement (no wall clock).
+
+    Used to adopt *modeled* timings — e.g. the cost model's per-kernel
+    breakdowns — into a trace alongside measured spans.  The span lives
+    on the named side ``track`` in the exported timeline.
+    """
+    sp = Span.__new__(Span)
+    sp.name = name
+    sp.attrs = attrs
+    sp.span_id = 0
+    sp.parent_id = 0
+    sp.tid = 0
+    sp.track = track
+    sp.start_us = float(start_us)
+    sp.dur_us = float(dur_us)
+    sp._tracer = None
+    sp._t0_ns = 0
+    return sp
+
+
+class Tracer:
+    """Collects spans from any number of threads into one timeline."""
+
+    enabled = True
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self._epoch_ns = time.perf_counter_ns()
+        self._wall_epoch = time.time()
+        self._finished: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._thread_names: dict[int, str] = {}
+        self._track_cursor_us: dict[str, float] = {}
+
+    # ---------------------------------------------------------- spans --
+    def span(self, name: str, **attrs) -> Span:
+        """Create a span context manager: ``with tracer.span("x"): ...``"""
+        return Span(self, name, attrs)
+
+    def current(self) -> Span | None:
+        """The innermost active span on the calling thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def add_attrs(self, **kw) -> None:
+        """Attach attributes to the calling thread's innermost span."""
+        cur = self.current()
+        if cur is not None:
+            cur.attrs.update(kw)
+
+    def _push(self, sp: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        sp.span_id = next(self._ids)
+        sp.parent_id = stack[-1].span_id if stack else 0
+        sp.tid = threading.get_ident()
+        if sp.tid not in self._thread_names:
+            self._thread_names[sp.tid] = threading.current_thread().name
+        stack.append(sp)
+
+    def _pop(self, sp: Span) -> None:
+        stack = self._local.stack
+        # tolerate mis-nesting from generators/async callers: pop to sp
+        while stack and stack[-1] is not sp:
+            stack.pop()
+        if stack:
+            stack.pop()
+        with self._lock:
+            self._finished.append(sp)
+
+    # ------------------------------------------------ adopted timelines --
+    def adopt_timing(
+        self, name: str, seconds: float,
+        track: str = "modeled", **attrs,
+    ) -> Span:
+        """Append a synthetic span of ``seconds`` to a named side track.
+
+        Spans on a track are laid end-to-end (each track keeps a cursor),
+        which is how a modeled kernel sequence reads naturally in
+        Perfetto next to the measured timeline.
+        """
+        with self._lock:
+            cursor = self._track_cursor_us.get(track, 0.0)
+            sp = synthetic_span(name, cursor, seconds * 1e6, track, **attrs)
+            sp.span_id = next(self._ids)
+            self._track_cursor_us[track] = cursor + sp.dur_us
+            self._finished.append(sp)
+        return sp
+
+    def adopt_spans(self, spans: Iterable[Span]) -> int:
+        """Merge pre-built (synthetic) spans into this trace."""
+        spans = list(spans)
+        with self._lock:
+            for sp in spans:
+                if not sp.span_id:
+                    sp.span_id = next(self._ids)
+                self._finished.append(sp)
+                if sp.track is not None:
+                    end = sp.start_us + sp.dur_us
+                    cur = self._track_cursor_us.get(sp.track, 0.0)
+                    self._track_cursor_us[sp.track] = max(cur, end)
+        return len(spans)
+
+    # ---------------------------------------------------------- access --
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans, ordered by start time (stable)."""
+        with self._lock:
+            out = list(self._finished)
+        out.sort(key=lambda s: (s.track is not None, s.start_us, s.span_id))
+        return out
+
+    def span_names(self) -> list[str]:
+        return [s.name for s in self.spans]
+
+    def thread_names(self) -> dict[int, str]:
+        return dict(self._thread_names)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._track_cursor_us.clear()
+            self._epoch_ns = time.perf_counter_ns()
+            self._wall_epoch = time.time()
+
+
+class _NullSpan:
+    """Shared no-op span: the entire disabled-tracing hot path."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    dur_us = 0.0
+    start_us = 0.0
+    duration_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, **kw) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Default tracer: every operation is a no-op."""
+
+    enabled = False
+    name = "null"
+    spans: tuple = ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def add_attrs(self, **kw) -> None:
+        pass
+
+    def adopt_timing(self, name, seconds, track="modeled", **attrs):
+        return NULL_SPAN
+
+    def adopt_spans(self, spans) -> int:
+        return 0
+
+    def span_names(self) -> list:
+        return []
+
+    def thread_names(self) -> dict:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+_GLOBAL: Tracer | NullTracer = NullTracer()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-global tracer (a :class:`NullTracer` by default)."""
+    return _GLOBAL
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` globally; returns the previous one."""
+    global _GLOBAL
+    prev = _GLOBAL
+    _GLOBAL = tracer
+    return prev
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Enable tracing for a scope::
+
+        with tracing() as tracer:
+            compress_field(field, 1e-3)
+        write_chrome_trace("out.json", tracer)
+    """
+    t = tracer if tracer is not None else Tracer()
+    prev = set_tracer(t)
+    try:
+        yield t
+    finally:
+        set_tracer(prev)
+
+
+def span(name: str, **attrs):
+    """Open a span on the current global tracer (no-op when disabled)."""
+    return _GLOBAL.span(name, **attrs)
+
+
+def add_attrs(**kw) -> None:
+    """Attach attributes to the innermost active span, if tracing."""
+    _GLOBAL.add_attrs(**kw)

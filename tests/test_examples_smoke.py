@@ -31,6 +31,7 @@ def load_example(name: str):
     "lossy_compression_pipeline",
     "device_comparison",
     "tuning_exploration",
+    "trace_pipeline",
 ])
 def test_example_runs(name, capsys):
     module = load_example(name)
@@ -44,6 +45,6 @@ def test_every_example_has_smoke_coverage():
     covered = {
         "algorithm_walkthrough", "adaptive_breaking", "streaming_timesteps",
         "quickstart", "genomics_kmer", "lossy_compression_pipeline",
-        "device_comparison", "tuning_exploration",
+        "device_comparison", "tuning_exploration", "trace_pipeline",
     }
     assert scripts == covered, f"untested examples: {scripts - covered}"

@@ -1,0 +1,187 @@
+"""Exporters: Chrome-trace schema, JSONL round trip, validators, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.cli import main as trace_cli
+from repro.obs.export import (
+    CHROME_EVENT_KEYS,
+    chrome_trace_events,
+    detect_format,
+    load_spans,
+    stage_summary,
+    validate_chrome_trace,
+    validate_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, synthetic_span
+
+
+@pytest.fixture
+def traced() -> Tracer:
+    t = Tracer("test")
+    with t.span("encode.reduce_shuffle_merge", bytes_in=1000) as sp:
+        with t.span("encode.shuffle_merge", moved_words=7):
+            pass
+        sp.set_attr(bytes_out=300, np_attr=np.int64(5))
+    t.adopt_timing("modeled.hist", 1e-3, track="modeled:V100", gbps=80.0)
+    return t
+
+
+class TestChrome:
+    def test_events_schema(self, traced):
+        events = chrome_trace_events(traced)
+        xs = [e for e in events if e.get("ph") == "X"]
+        ms = [e for e in events if e.get("ph") == "M"]
+        assert len(xs) == 3
+        assert ms, "expected metadata (thread-name) events"
+        for ev in xs:
+            for key in CHROME_EVENT_KEYS:
+                assert key in ev
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+        # numpy attr must have been converted to a plain int
+        outer = next(e for e in xs if e["name"] == "encode.reduce_shuffle_merge")
+        assert outer["args"]["np_attr"] == 5
+        assert isinstance(outer["args"]["np_attr"], int)
+
+    def test_side_track_gets_own_tid_and_name(self, traced):
+        events = chrome_trace_events(traced)
+        modeled = next(e for e in events
+                       if e.get("ph") == "X" and e["name"] == "modeled.hist")
+        assert modeled["tid"] >= 1 << 20
+        names = [e["args"]["name"] for e in events if e.get("ph") == "M"
+                 and e["name"] == "thread_name"]
+        assert "[modeled:V100]" in names
+
+    def test_write_and_validate(self, traced, tmp_path):
+        path = tmp_path / "t.json"
+        reg = MetricsRegistry()
+        reg.counter("repro_cache_hits_total", cache="decode_table").inc(3)
+        doc = write_chrome_trace(path, traced, registry=reg)
+        assert validate_chrome_trace(path) == []
+        assert validate_chrome_trace(doc) == []
+        on_disk = json.loads(path.read_text())
+        assert on_disk["displayTimeUnit"] == "ms"
+        m = on_disk["otherData"]["metrics"]
+        assert m["repro_cache_hits_total"]["series"][0]["value"] == 3
+
+    def test_validator_catches_corruption(self, tmp_path):
+        bad = {"traceEvents": [{"ph": "X", "name": "x", "ts": -5}]}
+        problems = validate_chrome_trace(bad)
+        assert problems
+        assert any("missing" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+        p = tmp_path / "junk.json"
+        p.write_text("not json at all")
+        assert validate_chrome_trace(p)
+
+    def test_empty_trace_is_invalid(self):
+        assert validate_chrome_trace({"traceEvents": []})
+
+
+class TestJsonl:
+    def test_round_trip(self, traced, tmp_path):
+        path = tmp_path / "t.jsonl"
+        reg = MetricsRegistry()
+        reg.gauge("repro_x").set(1.5)
+        n = write_jsonl(path, traced, registry=reg)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == n == 5  # meta + 3 spans + metrics
+        assert lines[0]["type"] == "trace_meta"
+        assert lines[0]["n_spans"] == 3
+        assert lines[-1]["type"] == "metrics"
+        assert validate_jsonl(path) == []
+        spans = load_spans(path)
+        assert [s["name"] for s in spans] == [
+            "encode.reduce_shuffle_merge", "encode.shuffle_merge",
+            "modeled.hist",
+        ]
+        assert spans[0]["attrs"]["bytes_out"] == 300
+
+    def test_validator_catches_drift(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"type": "span", "name": "x"}\n')
+        problems = validate_jsonl(p)
+        assert any("trace_meta" in pr for pr in problems)
+        assert any("missing" in pr for pr in problems)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert validate_jsonl(empty) == ["empty jsonl file"]
+
+
+class TestDetectAndLoad:
+    def test_detect(self, traced, tmp_path):
+        cj, jl = tmp_path / "c.json", tmp_path / "s.jsonl"
+        write_chrome_trace(cj, traced)
+        write_jsonl(jl, traced)
+        assert detect_format(cj) == "chrome"
+        assert detect_format(jl) == "jsonl"
+
+    def test_load_spans_uniform_across_formats(self, traced, tmp_path):
+        cj, jl = tmp_path / "c.json", tmp_path / "s.jsonl"
+        write_chrome_trace(cj, traced)
+        write_jsonl(jl, traced)
+        a, b = load_spans(cj), load_spans(jl)
+        assert [s["name"] for s in a] == [s["name"] for s in b]
+        for s in a + b:
+            for key in ("name", "ts_us", "dur_us", "tid", "attrs"):
+                assert key in s
+
+
+class TestStageSummary:
+    def test_table_contents(self, traced):
+        text = stage_summary(traced, title="my summary")
+        assert "my summary" in text
+        assert "encode.reduce_shuffle_merge" in text
+        assert "GB/s" in text
+        assert "over 3 spans" in text
+
+    def test_accepts_span_dicts_and_plain_spans(self):
+        spans = [synthetic_span("a", 0.0, 1000.0, "t", bytes_in=1000)]
+        text = stage_summary(spans)
+        assert "a" in text
+        dicts = [s.to_dict() for s in spans]
+        assert "a" in stage_summary(dicts)
+
+    def test_share_sums_to_100(self, traced):
+        text = stage_summary(traced)
+        shares = [float(l.rsplit(None, 1)[-1].rstrip("%"))
+                  for l in text.splitlines()
+                  if l.strip().endswith("%")]
+        assert sum(shares) == pytest.approx(100.0, abs=0.5)
+
+
+class TestCli:
+    def test_summary_and_validate(self, traced, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        reg = MetricsRegistry()
+        reg.counter("repro_decode_lut_fallback_total", path="batch").inc()
+        write_chrome_trace(path, traced, registry=reg)
+
+        assert trace_cli([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "encode.reduce_shuffle_merge" in out
+
+        assert trace_cli([str(path), "--validate"]) == 0
+        assert "valid chrome-trace" in capsys.readouterr().out
+
+        assert trace_cli([str(path), "--stages"]) == 0
+        out = capsys.readouterr().out
+        assert "modeled.hist" not in out
+
+        assert trace_cli([str(path), "--metrics"]) == 0
+        assert "repro_decode_lut_fallback_total" in capsys.readouterr().out
+
+    def test_validate_fails_on_corrupt(self, tmp_path, capsys):
+        p = tmp_path / "bad.json"
+        p.write_text('{"traceEvents": [{"ph": "X"}]}')
+        assert trace_cli([str(p), "--validate"]) == 1
+
+    def test_missing_file(self, tmp_path):
+        assert trace_cli([str(tmp_path / "nope.json")]) == 2

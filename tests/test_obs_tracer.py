@@ -1,0 +1,208 @@
+"""Tracer behaviour: nesting, threading, adoption, no-op overhead."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullTracer,
+    Tracer,
+    add_attrs,
+    get_tracer,
+    set_tracer,
+    span,
+    synthetic_span,
+    tracing,
+)
+
+
+def find(tracer, name):
+    return [s for s in tracer.spans if s.name == name]
+
+
+class TestNesting:
+    def test_parenting_and_ordering(self):
+        t = Tracer("t")
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                pass
+            with t.span("inner2") as inner2:
+                pass
+        assert outer.parent_id == 0
+        assert inner.parent_id == outer.span_id
+        assert inner2.parent_id == outer.span_id
+        assert inner.span_id != inner2.span_id
+        names = [s.name for s in t.spans]
+        assert names == ["outer", "inner", "inner2"]
+
+    def test_durations_nest(self):
+        t = Tracer("t")
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                time.sleep(0.002)
+        assert inner.dur_us > 0
+        assert outer.dur_us >= inner.dur_us
+        assert outer.start_us <= inner.start_us
+
+    def test_deep_nesting(self):
+        t = Tracer("t")
+        with t.span("a"):
+            with t.span("b"):
+                with t.span("c") as c:
+                    pass
+        b = find(t, "b")[0]
+        assert c.parent_id == b.span_id
+
+    def test_attrs_and_set_attr(self):
+        t = Tracer("t")
+        with t.span("s", bytes_in=10) as sp:
+            sp.set_attr(bytes_out=3, ratio=3.3)
+        d = sp.to_dict()
+        assert d["attrs"]["bytes_in"] == 10
+        assert d["attrs"]["bytes_out"] == 3
+
+    def test_exception_marks_span_and_propagates(self):
+        t = Tracer("t")
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("x")
+        sp = find(t, "boom")[0]
+        assert sp.attrs["error"] == "ValueError"
+        assert sp.dur_us >= 0
+
+    def test_reset(self):
+        t = Tracer("t")
+        with t.span("a"):
+            pass
+        t.reset()
+        assert t.spans == []
+
+
+class TestThreading:
+    def test_threads_get_independent_stacks(self):
+        t = Tracer("t")
+        errs = []
+
+        def work(i):
+            try:
+                with t.span(f"thread.{i}") as outer:
+                    with t.span(f"child.{i}") as child:
+                        pass
+                assert child.parent_id == outer.span_id
+            except Exception as e:  # pragma: no cover
+                errs.append(e)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        with t.span("main"):
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+        assert not errs
+        # worker spans must not parent to the main-thread span
+        main = find(t, "main")[0]
+        for i in range(8):
+            assert find(t, f"thread.{i}")[0].parent_id == 0
+            assert find(t, f"child.{i}")[0].parent_id != 0
+        assert main.parent_id == 0
+
+    def test_span_ids_unique_under_contention(self):
+        t = Tracer("t")
+
+        def work():
+            for _ in range(50):
+                with t.span("s"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        ids = [s.span_id for s in t.spans]
+        assert len(ids) == len(set(ids)) == 200
+
+
+class TestAdoption:
+    def test_adopt_spans_on_side_track(self):
+        t = Tracer("t")
+        n = t.adopt_spans([
+            synthetic_span("modeled.k1", 0.0, 10.0, "modeled:V100", gbps=1.0),
+            synthetic_span("modeled.k2", 10.0, 5.0, "modeled:V100"),
+        ])
+        assert n == 2
+        tracks = {s.track for s in t.spans}
+        assert tracks == {"modeled:V100"}
+        k1, k2 = find(t, "modeled.k1")[0], find(t, "modeled.k2")[0]
+        assert k2.start_us >= k1.start_us + k1.dur_us
+
+    def test_measured_sorts_before_synthetic(self):
+        t = Tracer("t")
+        t.adopt_spans([synthetic_span("m", 0.0, 1.0, "side")])
+        with t.span("real"):
+            pass
+        names = [s.name for s in t.spans]
+        assert names == ["real", "m"]
+
+
+class TestGlobalTracer:
+    def test_default_is_noop(self):
+        prev = set_tracer(NullTracer())
+        try:
+            g = get_tracer()
+            assert isinstance(g, NullTracer)
+            assert not g.enabled
+            with span("anything", k=1) as sp:
+                sp.set_attr(more=2)
+            assert sp is NULL_SPAN
+            add_attrs(ignored=True)  # must not raise
+        finally:
+            set_tracer(prev)
+
+    def test_tracing_installs_and_restores(self):
+        prev = set_tracer(NullTracer())
+        try:
+            with tracing() as t:
+                assert get_tracer() is t
+                with span("inside"):
+                    pass
+            assert isinstance(get_tracer(), NullTracer)
+            assert [s.name for s in t.spans] == ["inside"]
+        finally:
+            set_tracer(prev)
+
+    def test_add_attrs_reaches_current_span(self):
+        prev = set_tracer(NullTracer())
+        try:
+            with tracing() as t:
+                with span("s"):
+                    add_attrs(note="hi")
+            assert find(t, "s")[0].attrs["note"] == "hi"
+        finally:
+            set_tracer(prev)
+
+
+class TestOverhead:
+    def test_noop_span_is_cheap(self):
+        """Disabled instrumentation must cost next to nothing.
+
+        This is a smoke bound, deliberately generous (CI machines vary):
+        100k no-op spans must finish well under a second, i.e. a few
+        microseconds each at worst — far below the <2% budget for
+        stage-granularity instrumentation.
+        """
+        prev = set_tracer(NullTracer())
+        try:
+            n = 100_000
+            t0 = time.perf_counter()
+            for _ in range(n):
+                with span("hot"):
+                    pass
+            elapsed = time.perf_counter() - t0
+            assert elapsed < 1.0, f"no-op span too slow: {elapsed:.3f}s/{n}"
+        finally:
+            set_tracer(prev)

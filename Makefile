@@ -4,13 +4,20 @@
 PY := PYTHONPATH=src python
 TRACE_DIR := /tmp/repro-trace-smoke
 
-.PHONY: test unit trace-smoke bench-smoke bench
+.PHONY: test unit trace-smoke serve-smoke bench-smoke bench
 
-# tier-1 verification (ROADMAP.md): unit suite + telemetry smoke
-test: unit trace-smoke
+# tier-1 verification (ROADMAP.md): unit suite + telemetry smoke +
+# serving smoke
+test: unit trace-smoke serve-smoke
 
 unit:
 	$(PY) -m pytest -x -q
+
+# serving smoke: boot an ephemeral repro-serve, fire a mixed burst
+# (including a malformed body and an oversized payload), assert the
+# 200/400/413 contract and a clean shutdown
+serve-smoke:
+	$(PY) -m repro.serve.cli --smoke
 
 # end-to-end telemetry smoke: run a traced compress/decompress round
 # trip (examples/trace_pipeline.py), then schema-validate the emitted

@@ -16,7 +16,11 @@ import numpy as np
 from conftest import emit
 
 from repro.perf.report import write_wallclock_json
-from repro.perf.wallclock import run_wallclock, wallclock_table
+from repro.perf.wallclock import (
+    run_serve_bench,
+    run_wallclock,
+    wallclock_table,
+)
 
 BENCH_SIZE = 1 << 20  # the acceptance surrogate size: 1 MiB
 BENCH_JSON = "BENCH_wallclock.json"
@@ -27,8 +31,14 @@ def test_wallclock(results_dir, bench_rng):
         run_wallclock("enwik8", BENCH_SIZE, repeats=5),
         run_wallclock("nyx_quant", BENCH_SIZE, repeats=5),
     ]
+    # serving layer: 8 concurrent clients through queue → batcher → shards;
+    # p50/p99 latency + shed rate become part of the acceptance artifact
+    serve = run_serve_bench(
+        n_clients=8, requests_per_client=10, size_symbols=4096
+    )
     doc = write_wallclock_json(
-        results_dir / BENCH_JSON, results, extra={"surrogate_bytes": BENCH_SIZE}
+        results_dir / BENCH_JSON, results,
+        extra={"surrogate_bytes": BENCH_SIZE, "serve": serve},
     )
     emit(results_dir, "wallclock", wallclock_table(results))
 
@@ -44,3 +54,12 @@ def test_wallclock(results_dir, bench_rng):
     for r in results:
         assert r.decode_batch_s < r.decode_scalar_s
         assert np.isfinite(r.encode_mb_s)
+
+    # serving-layer invariants: no corruption, no unexplained failures,
+    # and the artifact carries the latency/shed record
+    assert doc["serve"]["corrupt_roundtrips"] == 0
+    assert doc["serve"]["errors"] == 0
+    assert doc["serve"]["completed"] + doc["serve"]["shed"] == (
+        doc["serve"]["requests"]
+    )
+    assert doc["serve"]["latency_p99_ms"] >= doc["serve"]["latency_p50_ms"]

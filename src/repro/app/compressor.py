@@ -25,6 +25,7 @@ from repro.core.bitstream import decode_stream
 from repro.core.codebook_parallel import parallel_codebook
 from repro.core.encoder import gpu_encode
 from repro.core.serialization import (
+    container_guard,
     deserialize_adaptive,
     deserialize_stream,
     serialize_adaptive,
@@ -148,10 +149,20 @@ def compress_symbols(
     return header + payload, report
 
 
+@container_guard
 def decompress_symbols(buf: bytes) -> np.ndarray:
+    """Inverse of :func:`compress_symbols`.
+
+    Adversarial robustness contract (relied on by :mod:`repro.serve`):
+    any malformed, truncated, or bit-flipped input raises
+    :class:`ValueError` — never ``struct.error``/``IndexError``/
+    ``KeyError``/``OverflowError``.
+    """
     buf = bytes(buf)
     if buf[:4] != _SYM_MAGIC:
         raise ValueError("not a symbol container")
+    if len(buf) < 13:
+        raise ValueError("truncated symbol container header")
     with _span("app.decompress_symbols", bytes_in=len(buf)) as sp:
         itemsize, n = struct.unpack("<BQ", buf[4:13])
         body = buf[13:]
@@ -165,7 +176,10 @@ def decompress_symbols(buf: bytes) -> np.ndarray:
             if stream.n_symbols != n:
                 raise ValueError("symbol count mismatch in container")
             out = decode_stream(stream, book)
-        dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}[itemsize]
+        dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32,
+                 8: np.uint64}.get(itemsize)
+        if dtype is None:
+            raise ValueError(f"invalid itemsize {itemsize} in container")
         out = out.astype(dtype)
         sp.set_attr(bytes_out=int(out.nbytes))
     _metrics().counter("repro_app_bytes_out_total",
@@ -223,7 +237,10 @@ def compress_field(
     return blob, report
 
 
+@container_guard
 def decompress_field(buf: bytes) -> np.ndarray:
+    """Inverse of :func:`compress_field` (same :class:`ValueError`-only
+    robustness contract as :func:`decompress_symbols`)."""
     buf = bytes(buf)
     if buf[:4] != _FIELD_MAGIC:
         raise ValueError("not a field container")

@@ -21,6 +21,7 @@ Layout (little-endian):
 
 from __future__ import annotations
 
+import functools
 import struct
 
 import numpy as np
@@ -34,6 +35,7 @@ __all__ = [
     "MAGIC",
     "ADAPTIVE_MAGIC",
     "FORMAT_VERSION",
+    "container_guard",
     "serialize_codebook",
     "deserialize_codebook",
     "serialize_stream",
@@ -45,6 +47,37 @@ __all__ = [
 MAGIC = b"RPRH"
 ADAPTIVE_MAGIC = b"RPRA"
 FORMAT_VERSION = 1
+
+#: low-level exceptions a malformed container can provoke inside numpy /
+#: struct / dict plumbing.  A deserializer must never let these escape: a
+#: server loop treats ``ValueError`` as "bad request" and anything else
+#: as an internal fault, so an adversarial byte string raising
+#: ``struct.error`` would be misclassified (and could kill a worker).
+_GUARDED_ERRORS = (struct.error, IndexError, KeyError, OverflowError,
+                   TypeError)
+
+
+def container_guard(fn):
+    """Decorator: any parsing mishap surfaces as :class:`ValueError`.
+
+    Deliberate ``ValueError``s (bad magic, size disagreements, Kraft
+    violations) pass through untouched; incidental low-level errors from
+    truncated or bit-flipped input are converted with the original
+    exception chained for debugging.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        try:
+            return fn(*args, **kwargs)
+        except ValueError:
+            raise
+        except _GUARDED_ERRORS as exc:
+            raise ValueError(
+                f"corrupt container ({type(exc).__name__}: {exc})"
+            ) from exc
+
+    return wrapper
 
 
 def _blob(data: bytes) -> bytes:
@@ -89,6 +122,7 @@ def serialize_codebook(book: CanonicalCodebook) -> bytes:
     return struct.pack("<I", book.n_symbols) + lengths.astype(np.uint8).tobytes()
 
 
+@container_guard
 def deserialize_codebook(buf: bytes) -> CanonicalCodebook:
     r = _Reader(bytes(buf))
     (n,) = r.unpack("<I")
@@ -125,6 +159,7 @@ def serialize_stream(stream: EncodedStream, book: CanonicalCodebook) -> bytes:
     return b"".join(parts)
 
 
+@container_guard
 def deserialize_stream(buf: bytes) -> tuple[EncodedStream, CanonicalCodebook]:
     r = _Reader(bytes(buf))
     if r.take(4) != MAGIC:
@@ -160,8 +195,44 @@ def deserialize_stream(buf: bytes) -> tuple[EncodedStream, CanonicalCodebook]:
     )
 
     tail_payload = np.frombuffer(r.blob(), dtype=np.uint8).copy()
+    tuning = EncoderTuning(magnitude, red, word_bits)
+
+    # -- structural invariants (adversarial-input hardening) -------------
+    # A flipped size field must be rejected *before* the decoder sizes
+    # its output from it: every declared symbol costs at least one code
+    # bit, chunks are exactly 2^M symbols, and the breaking side channel
+    # must agree with the chunk geometry.
+    if int(n_symbols) != int(n_chunks) * tuning.chunk_symbols + int(
+        tail_symbols
+    ):
+        raise ValueError("n_symbols disagrees with chunk geometry")
+    if int(tail_symbols) >= tuning.chunk_symbols:
+        raise ValueError("tail as large as a chunk")
+    if int(tail_symbols) > int(tail_bits):
+        raise ValueError("tail symbols exceed tail bits")
+    if (int(tail_bits) + 7) // 8 != tail_payload.size:
+        raise ValueError("tail payload size disagrees with tail bits")
+    total_bits = (
+        int(chunk_bits.sum())
+        + int(bit_lengths.astype(np.int64).sum())
+        + int(tail_bits)
+    )
+    if int(n_symbols) > total_bits:
+        raise ValueError("declared symbols exceed encoded bits")
+    if int(n_cells) != int(n_chunks) * tuning.cells_per_chunk:
+        raise ValueError("breaking cell count disagrees with chunks")
+    if int(group) != tuning.group_symbols:
+        raise ValueError("breaking group size disagrees with tuning")
+    if int(nnz) > int(n_cells):
+        raise ValueError("more broken cells than cells")
+    idx64 = indices.astype(np.int64)
+    if idx64.size and (
+        int(idx64[-1]) >= int(n_cells) or np.any(np.diff(idx64) <= 0)
+    ):
+        raise ValueError("breaking cell indices unsorted or out of range")
+
     stream = EncodedStream(
-        tuning=EncoderTuning(magnitude, red, word_bits),
+        tuning=tuning,
         n_symbols=int(n_symbols),
         chunk_bits=chunk_bits,
         payload=payload,
@@ -203,6 +274,7 @@ def serialize_adaptive(result, book: CanonicalCodebook) -> bytes:
     return b"".join(parts)
 
 
+@container_guard
 def deserialize_adaptive(buf: bytes):
     """Inverse of :func:`serialize_adaptive`.
 
@@ -238,6 +310,17 @@ def deserialize_adaptive(buf: bytes):
         expect = ids.size * (1 << magnitude)
         if group_streams[rv].n_symbols != expect:
             raise ValueError("group stream size disagrees with chunk table")
+    # structural invariants mirroring deserialize_stream's hardening
+    if int(n_symbols) != int(n_chunks) * (1 << int(magnitude)) + int(
+        tail_symbols
+    ):
+        raise ValueError("n_symbols disagrees with chunk geometry")
+    if int(tail_symbols) >= (1 << int(magnitude)):
+        raise ValueError("tail as large as a chunk")
+    if int(tail_symbols) > int(tail_bits):
+        raise ValueError("tail symbols exceed tail bits")
+    if (int(tail_bits) + 7) // 8 != tail_payload.size:
+        raise ValueError("tail payload size disagrees with tail bits")
     result = AdaptiveEncodeResult(
         magnitude=int(magnitude),
         word_bits=int(word_bits),

@@ -19,6 +19,7 @@ gives free parallelism across files/timesteps.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -141,13 +142,17 @@ class StreamingDecoder:
 
     def __init__(self) -> None:
         self.symbols_decoded = 0
+        # decode_segment is called concurrently by the serve layer's
+        # worker shards; the counter update must not race
+        self._count_lock = threading.Lock()
 
     def decode_segment(self, segment: bytes) -> np.ndarray:
         with _span("streaming.decode_segment", bytes_in=len(segment)) as sp:
             stream, book = deserialize_stream(segment)
             out = decode_stream(stream, book, table=cached_decode_table(book))
             sp.set_attr(bytes_out=int(out.nbytes))
-        self.symbols_decoded += out.size
+        with self._count_lock:
+            self.symbols_decoded += out.size
         return out
 
     def decode_all(self, segments: list[bytes]) -> np.ndarray:

@@ -38,6 +38,7 @@ __all__ = [
     "CodebookCache",
     "cached_codebook",
     "codebook_cache",
+    "cache_infos",
 ]
 
 
@@ -189,3 +190,11 @@ def cached_codebook(
 ) -> CanonicalCodebook:
     """Memoized codebook construction keyed by the histogram digest."""
     return _CODEBOOK_CACHE.get(hist, build)
+
+
+def cache_infos() -> dict[str, CacheInfo]:
+    """Hit/miss snapshot of both process-wide caches (``/stats`` feed)."""
+    return {
+        "codebook": _CODEBOOK_CACHE.info(),
+        "decode_table": _TABLE_CACHE.info(),
+    }

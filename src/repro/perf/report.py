@@ -105,6 +105,12 @@ def write_wallclock_json(
         "datasets": {r.dataset: r.to_dict() for r in results},
     }
     if extra:
+        extra = dict(extra)
+        serve = extra.pop("serve", None)
+        if serve is not None:
+            # the serving-layer load-generator section is a first-class
+            # result, not host metadata — keep it top-level
+            doc["serve"] = serve
         doc["meta"].update(extra)
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

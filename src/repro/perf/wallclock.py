@@ -45,7 +45,13 @@ from repro.obs.export import stage_summary, write_chrome_trace, write_jsonl
 from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.perf.report import render_table
 
-__all__ = ["WallclockResult", "run_wallclock", "wallclock_table", "main"]
+__all__ = [
+    "WallclockResult",
+    "run_wallclock",
+    "run_serve_bench",
+    "wallclock_table",
+    "main",
+]
 
 #: datasets the harness times by default: a text-like byte alphabet and a
 #: quantization-code alphabet (the paper's two workload families)
@@ -187,6 +193,113 @@ def run_wallclock(
     )
 
 
+def run_serve_bench(
+    n_clients: int = 8,
+    requests_per_client: int = 25,
+    size_symbols: int = 8192,
+    n_distributions: int = 3,
+    queue_size: int = 128,
+    max_batch: int = 16,
+    max_delay_ms: float = 4.0,
+    seed: int = 2021,
+) -> dict:
+    """Load-generate against an in-process :class:`CompressionService`.
+
+    ``n_clients`` threads each fire ``requests_per_client`` mixed
+    compress→decompress round trips over ``n_distributions`` symbol
+    distributions (so the micro-batcher has real coalescing
+    opportunities), recording per-request latency.  The returned dict —
+    stored under ``"serve"`` in ``BENCH_wallclock.json`` — carries the
+    p50/p99 latencies, the shed rate, the mean batch size, and the
+    corruption count (which must be zero).
+    """
+    import threading
+    import time as _time
+
+    from repro.serve.queue import DeadlineExceeded, QueueFullError
+    from repro.serve.service import CompressionService, ServiceConfig
+
+    rng = np.random.default_rng(seed)
+    datasets = [
+        rng.choice(
+            256, size=size_symbols,
+            p=rng.dirichlet(np.ones(256) * 0.15),
+        ).astype(np.uint16)
+        for _ in range(n_distributions)
+    ]
+    latencies: list[float] = []
+    lat_lock = threading.Lock()
+    shed = [0]
+    corrupt = [0]
+    errors = [0]
+
+    cfg = ServiceConfig(
+        queue_size=queue_size, max_batch=max_batch,
+        max_delay_s=max_delay_ms / 1e3,
+    )
+
+    def client(cid: int, svc: CompressionService) -> None:
+        local_lat = []
+        for i in range(requests_per_client):
+            arr = datasets[(cid + i) % len(datasets)]
+            t0 = _time.perf_counter()
+            try:
+                blob, _report = svc.compress(arr)
+                back = svc.decompress(blob)
+            except (QueueFullError, DeadlineExceeded):
+                with lat_lock:
+                    shed[0] += 1
+                continue
+            except Exception:  # noqa: BLE001 - counted, not raised
+                with lat_lock:
+                    errors[0] += 1
+                continue
+            local_lat.append(_time.perf_counter() - t0)
+            if not np.array_equal(back, arr):
+                with lat_lock:
+                    corrupt[0] += 1
+        with lat_lock:
+            latencies.extend(local_lat)
+
+    t_start = _time.perf_counter()
+    with CompressionService(cfg) as svc:
+        threads = [
+            threading.Thread(target=client, args=(c, svc), daemon=True)
+            for c in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = svc.stats()
+    wall_s = _time.perf_counter() - t_start
+
+    total = n_clients * requests_per_client
+    lat = np.sort(np.asarray(latencies)) if latencies else np.zeros(1)
+    return {
+        "clients": n_clients,
+        "requests": total,
+        "completed": len(latencies),
+        "shed": shed[0],
+        "errors": errors[0],
+        "corrupt_roundtrips": corrupt[0],
+        "shed_rate": round(shed[0] / total, 4),
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(len(latencies) / wall_s, 1),
+        "latency_p50_ms": round(float(np.percentile(lat, 50)) * 1e3, 3),
+        "latency_p99_ms": round(float(np.percentile(lat, 99)) * 1e3, 3),
+        "mean_batch_size": stats["batches"]["mean_size"],
+        "cache_hit_rate": stats["caches"]["codebook"]["hit_rate"],
+        "config": {
+            "queue_size": queue_size,
+            "max_batch": max_batch,
+            "max_delay_ms": max_delay_ms,
+            "size_symbols": size_symbols,
+            "n_distributions": n_distributions,
+        },
+    }
+
+
 def wallclock_table(results: Sequence[WallclockResult]) -> str:
     rows = [
         [
@@ -223,6 +336,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                          "pipeline stage spans + metrics) to this path; "
                          "'.jsonl' suffix selects the JSONL span log, "
                          "anything else a Chrome trace")
+    ap.add_argument("--serve", action="store_true",
+                    help="also run the serving-layer load generator "
+                         "(queue -> micro-batcher -> shards) and record "
+                         "p50/p99 latency + shed rate in the JSON artifact")
+    ap.add_argument("--serve-clients", type=int, default=8)
+    ap.add_argument("--serve-requests", type=int, default=25,
+                    help="requests per client")
     args = ap.parse_args(argv)
 
     tracer: Tracer | None = None
@@ -239,10 +359,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.trace:
             set_tracer(prev)
     print(wallclock_table(results))
+    serve_doc = None
+    if args.serve:
+        serve_doc = run_serve_bench(
+            n_clients=args.serve_clients,
+            requests_per_client=args.serve_requests,
+        )
+        print()
+        print("serving layer (in-process load generator):")
+        print(f"  {serve_doc['completed']}/{serve_doc['requests']} round "
+              f"trips, {serve_doc['throughput_rps']} rps, "
+              f"p50 {serve_doc['latency_p50_ms']} ms / "
+              f"p99 {serve_doc['latency_p99_ms']} ms, "
+              f"shed rate {serve_doc['shed_rate']}, "
+              f"mean batch {serve_doc['mean_batch_size']}")
+        if serve_doc["corrupt_roundtrips"]:
+            print("  WARNING: corrupt round trips detected!")
     if args.json:
         from repro.perf.report import write_wallclock_json
 
-        write_wallclock_json(args.json, results)
+        extra = {"serve": serve_doc} if serve_doc is not None else None
+        write_wallclock_json(args.json, results, extra=extra)
         print(f"[written to {args.json}]")
     if args.trace and tracer is not None:
         writer = (write_jsonl if args.trace.endswith(".jsonl")

@@ -1,0 +1,63 @@
+"""Async compression service layer: queue → micro-batcher → worker shards.
+
+The ROADMAP's north star is a system that serves heavy traffic, and the
+paper's whole design is batch-shaped: chunk-level parallelism makes one
+big launch over many independent units far cheaper than many small ones.
+This package turns that property into a serving architecture:
+
+- :mod:`repro.serve.queue` — bounded admission queue with priority
+  classes, per-request deadlines, and explicit load shedding (reject
+  with a retry-after hint instead of growing without bound);
+- :mod:`repro.serve.batcher` — adaptive micro-batcher that coalesces
+  requests into batches keyed by ``(codebook digest, magnitude)`` so
+  batchmates share one codebook/decode-table build through the
+  digest-keyed caches in :mod:`repro.huffman.cache`;
+- :mod:`repro.serve.workers` — a shard pool sized from the active
+  :class:`~repro.cuda.device.DeviceSpec`, with per-shard tracer spans
+  and graceful drain/shutdown;
+- :mod:`repro.serve.service` — the façade wiring the three together
+  around :mod:`repro.app.compressor` and :mod:`repro.core.streaming`,
+  with bounded retries, jittered backoff, and a degraded serial
+  fallback when shards die;
+- :mod:`repro.serve.http` + :mod:`repro.serve.cli` — a dependency-free
+  asyncio HTTP front (``POST /compress``, ``POST /decompress``,
+  ``GET /healthz``, ``GET /stats``) installed as ``repro-serve``.
+
+Typical in-process use::
+
+    from repro.serve import CompressionService, ServiceConfig
+
+    with CompressionService(ServiceConfig(n_shards=4)) as svc:
+        blob, report = svc.compress(symbols)
+        back = svc.decompress(blob)
+"""
+
+from repro.serve.batcher import Batch, BatchPolicy, MicroBatcher, batch_key
+from repro.serve.queue import (
+    AdmissionQueue,
+    DeadlineExceeded,
+    Priority,
+    QueueClosed,
+    QueueFullError,
+    ServeRequest,
+)
+from repro.serve.service import CompressionService, ServiceConfig
+from repro.serve.workers import ShardCrashed, ShardPool, default_shard_count
+
+__all__ = [
+    "AdmissionQueue",
+    "Priority",
+    "ServeRequest",
+    "QueueFullError",
+    "QueueClosed",
+    "DeadlineExceeded",
+    "Batch",
+    "BatchPolicy",
+    "MicroBatcher",
+    "batch_key",
+    "ShardPool",
+    "ShardCrashed",
+    "default_shard_count",
+    "CompressionService",
+    "ServiceConfig",
+]

@@ -1,0 +1,261 @@
+"""Adaptive micro-batcher: coalesce same-codebook requests into batches.
+
+The paper's throughput comes from launching one wide kernel over many
+independent chunks; the serving-side analogue is gathering many
+independent requests before doing work (Rivera et al. make the same
+point for decode).  The profit center here is the digest-keyed caches in
+:mod:`repro.huffman.cache`: requests that share a codebook digest are
+grouped into one :class:`Batch` and dispatched to one shard *in
+sequence*, so the first batchmate's codebook/decode-table build is a
+cache miss and every other batchmate is a hit — one build amortized over
+the whole batch, exactly the cuSZ timestep pattern.
+
+Batches are keyed by :func:`batch_key`:
+
+- compress: ``("c", histogram digest, magnitude)`` — the histogram is
+  computed once at batching time and stashed in ``req.meta`` so the
+  worker never recomputes it;
+- decompress: ``("d", codebook digest, magnitude)`` peeked from the
+  container header without a full deserialize.
+
+Flush triggers, checked on every loop iteration:
+
+1. a key's batch reaches ``max_batch`` (size flush);
+2. a key's oldest request has waited ``max_delay_s`` (latency flush);
+3. the admission queue drained and nothing new arrived within the poll
+   window (drain flush) — an idle server never sits on work.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+import numpy as np
+
+from repro.huffman.cache import histogram_digest
+from repro.obs import metrics as _metrics
+from repro.serve.queue import AdmissionQueue, ServeRequest
+
+__all__ = ["BatchPolicy", "Batch", "MicroBatcher", "batch_key"]
+
+#: batch-size histogram buckets (1..max sensible micro-batch)
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the micro-batcher (see docs/ARCHITECTURE.md, Serving)."""
+
+    max_batch: int = 16
+    max_delay_s: float = 0.005
+    poll_s: float = 0.002
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_delay_s < 0 or self.poll_s <= 0:
+            raise ValueError("delays must be positive")
+
+
+@dataclass
+class Batch:
+    """A flushed group of same-key requests, ready for one shard."""
+
+    key: Hashable
+    requests: list[ServeRequest]
+    created_at: float = field(default_factory=time.monotonic)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def _peek_codebook_digest(buf: bytes) -> Optional[str]:
+    """Codebook digest + magnitude of a serialized container, or ``None``.
+
+    Reads just enough of the header(s) to hash the canonical length
+    vector — the same bytes :func:`repro.huffman.cache.codebook_digest`
+    ultimately keys on (canonical codes are a pure function of their
+    lengths).  Returns ``None`` on anything unparseable; the request
+    then forms its own singleton batch and the real error surfaces in
+    the worker with a proper exception.
+    """
+    try:
+        if buf[:4] == b"RPRS":  # app symbol container: skip its header
+            buf = buf[13:]
+        if buf[:4] == b"RPRH":
+            magnitude = buf[5]
+            (alphabet,) = struct.unpack("<I", buf[40:44])
+            lengths = buf[44: 44 + alphabet]
+        elif buf[:4] == b"RPRA":
+            magnitude = buf[5]
+            (alphabet,) = struct.unpack("<I", buf[39:43])
+            lengths = buf[43: 43 + alphabet]
+        else:
+            return None
+        if len(lengths) != alphabet:
+            return None
+        import hashlib
+
+        h = hashlib.blake2b(digest_size=16)
+        h.update(struct.pack("<I", alphabet))
+        h.update(lengths)
+        return f"{h.hexdigest()}:{magnitude}"
+    except (IndexError, struct.error, ValueError):
+        return None
+
+
+def batch_key(req: ServeRequest) -> Hashable:
+    """The coalescing key: same key ⇒ same codebook ⇒ shared build.
+
+    Side effect for compress requests: the histogram is computed here
+    (once) and stored in ``req.meta["histogram"]`` for the worker.
+    """
+    if req.op == "compress":
+        data = np.asarray(req.payload)
+        num_symbols = req.meta.get("num_symbols")
+        if num_symbols is None:
+            num_symbols = int(data.max()) + 1 if data.size else 1
+            req.meta["num_symbols"] = num_symbols
+        if "histogram" not in req.meta:
+            req.meta["histogram"] = np.bincount(
+                data.reshape(-1).astype(np.int64), minlength=num_symbols
+            )
+        digest = histogram_digest(req.meta["histogram"])
+        return ("c", digest, req.meta.get("magnitude"))
+    if req.op == "decompress":
+        digest = _peek_codebook_digest(bytes(req.payload))
+        if digest is None:
+            return ("d", "opaque", req.req_id)  # singleton batch
+        return ("d", digest)
+    return (req.op, req.req_id)
+
+
+class MicroBatcher:
+    """Single consumer thread: admission queue → keyed batches → sink.
+
+    The sink is typically :meth:`repro.serve.workers.ShardPool.dispatch`.
+    ``drain()`` waits until both the queue and the pending buckets are
+    empty — used by graceful shutdown so no admitted request is lost.
+    """
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        sink: Callable[[Batch], None],
+        policy: BatchPolicy = BatchPolicy(),
+        key_fn: Callable[[ServeRequest], Hashable] = batch_key,
+    ):
+        self.queue = queue
+        self.sink = sink
+        self.policy = policy
+        self.key_fn = key_fn
+        self._pending: dict[Hashable, list[ServeRequest]] = {}
+        self._oldest: dict[Hashable, float] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._thread: Optional[threading.Thread] = None
+        self.batches_flushed = 0
+        self.requests_batched = 0
+
+    # ---------------------------------------------------------- lifecycle --
+    def start(self) -> "MicroBatcher":
+        if self._thread is not None:
+            raise RuntimeError("batcher already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Block until queue + pending buckets are empty (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.queue.depth() == 0 and self._idle.wait(0.01):
+                with self._lock:
+                    if not self._pending and self.queue.depth() == 0:
+                        return True
+            time.sleep(0.002)
+        return False
+
+    # --------------------------------------------------------------- loop --
+    def _run(self) -> None:
+        poll = self.policy.poll_s
+        while not self._stop.is_set():
+            req = self.queue.get(timeout=poll)
+            now = time.monotonic()
+            if req is not None:
+                self._idle.clear()
+                self._add(req, now)
+            self._flush_due(now, drain=req is None)
+            with self._lock:
+                if not self._pending:
+                    self._idle.set()
+        # shutdown: flush whatever is left so nothing is dropped
+        self._flush_due(time.monotonic(), drain=True, force=True)
+        with self._lock:
+            if not self._pending:
+                self._idle.set()
+
+    def _add(self, req: ServeRequest, now: float) -> None:
+        key = self.key_fn(req)
+        with self._lock:
+            bucket = self._pending.setdefault(key, [])
+            if not bucket:
+                self._oldest[key] = now
+            bucket.append(req)
+            full = len(bucket) >= self.policy.max_batch
+        if full:
+            self._flush_key(key)
+
+    def _flush_due(self, now: float, drain: bool, force: bool = False) -> None:
+        with self._lock:
+            due = [
+                k
+                for k, t0 in self._oldest.items()
+                if force
+                or drain
+                or now - t0 >= self.policy.max_delay_s
+                or len(self._pending[k]) >= self.policy.max_batch
+            ]
+        for key in due:
+            self._flush_key(key)
+
+    def _flush_key(self, key: Hashable) -> None:
+        with self._lock:
+            reqs = self._pending.pop(key, None)
+            self._oldest.pop(key, None)
+        if not reqs:
+            return
+        live = []
+        for r in reqs:
+            if r.expired():
+                r.shed("deadline")
+            else:
+                live.append(r)
+        if not live:
+            return
+        self.batches_flushed += 1
+        self.requests_batched += len(live)
+        _metrics().histogram(
+            "repro_serve_batch_size", buckets=_BATCH_BUCKETS
+        ).observe(len(live))
+        self.sink(Batch(key=key, requests=live))
+
+    # -------------------------------------------------------------- stats --
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches_flushed:
+            return 0.0
+        return self.requests_batched / self.batches_flushed

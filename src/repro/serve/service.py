@@ -1,0 +1,338 @@
+"""The serving façade: admission queue → micro-batcher → shard pool.
+
+:class:`CompressionService` wires the pieces around the existing library
+paths — :func:`repro.app.compressor.compress_symbols` /
+:func:`~repro.app.compressor.decompress_symbols` for app containers and
+:class:`repro.core.streaming.StreamingDecoder` for raw ``RPRH``
+segments — and adds the serving concerns none of them have:
+
+- **timeouts**: every request can carry a deadline; blocking helpers
+  bound their wait with ``config.default_timeout_s``;
+- **bounded retries with jittered backoff**: a request whose shard
+  crashed mid-batch is re-admitted up to ``max_retries`` times, with
+  a small randomized sleep so a thundering herd of retries cannot
+  re-synchronize;
+- **degraded mode**: when no shard is alive (or re-admission is
+  impossible), the batch executes serially on the calling thread —
+  slower, but the service keeps answering;
+- **explicit backpressure**: admission beyond the queue bound raises
+  :class:`~repro.serve.queue.QueueFullError` instead of queuing
+  unboundedly.
+
+The batcher key guarantees batchmates share a codebook digest, so the
+per-batch execution loop naturally feeds the digest-keyed caches in
+:mod:`repro.huffman.cache`: one miss per batch, hits for the rest.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.app.compressor import (
+    CompressionReport,
+    compress_symbols,
+    decompress_symbols,
+)
+from repro.core.streaming import StreamingDecoder
+from repro.core.tuning import DEFAULT_MAGNITUDE
+from repro.cuda.device import DeviceSpec, V100
+from repro.huffman.cache import cache_infos
+from repro.obs import metrics as _metrics
+from repro.obs import span as _span
+from repro.serve.batcher import Batch, BatchPolicy, MicroBatcher
+from repro.serve.queue import (
+    AdmissionQueue,
+    Priority,
+    QueueClosed,
+    QueueFullError,
+    ServeRequest,
+)
+from repro.serve.workers import ShardCrashed, ShardPool, default_shard_count
+
+__all__ = ["ServiceConfig", "CompressionService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one service instance (see ARCHITECTURE.md)."""
+
+    queue_size: int = 256
+    max_batch: int = 16
+    max_delay_s: float = 0.005
+    n_shards: Optional[int] = None  # None → sized from `device`
+    max_retries: int = 2
+    retry_backoff_s: float = 0.005
+    default_timeout_s: float = 30.0
+    request_max_bytes: int = 8 << 20
+    device: DeviceSpec = V100
+    magnitude: int = DEFAULT_MAGNITUDE
+
+
+class CompressionService:
+    """In-process compression service; the HTTP front wraps this."""
+
+    def __init__(self, config: ServiceConfig = ServiceConfig()):
+        self.config = config
+        self.queue = AdmissionQueue(maxsize=config.queue_size)
+        self.batcher = MicroBatcher(
+            self.queue,
+            sink=self._dispatch,
+            policy=BatchPolicy(
+                max_batch=config.max_batch, max_delay_s=config.max_delay_s
+            ),
+        )
+        n = (
+            config.n_shards
+            if config.n_shards is not None
+            else default_shard_count(config.device)
+        )
+        self.pool = ShardPool(
+            n, handler=self._handle_batch, on_crash=self._on_crash,
+            device=config.device,
+        )
+        self._segment_decoder = StreamingDecoder()
+        self._rng = random.Random(0x52505253)
+        self._started = False
+        self._closed = False
+        self._lock = threading.Lock()
+        self.requests_served = 0
+        self.started_at = time.time()
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> "CompressionService":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        self.batcher.start()
+        return self
+
+    def close(self, graceful: bool = True, timeout: float = 10.0) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        # stop admissions but keep queued work drainable
+        self.queue.close(shed_pending=not graceful)
+        if graceful and self._started:
+            self.batcher.drain(timeout)
+            self.pool.drain(timeout)
+        self.batcher.stop()
+        self.pool.shutdown(graceful=graceful, timeout=timeout)
+
+    def __enter__(self) -> "CompressionService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- submit
+    def submit(
+        self,
+        op: str,
+        payload: Any,
+        priority: Priority = Priority.INTERACTIVE,
+        deadline_s: Optional[float] = None,
+        **meta: Any,
+    ) -> Future:
+        """Admit one request; returns its future (raises on shed).
+
+        ``deadline_s`` is a *relative* budget in seconds; it becomes an
+        absolute monotonic deadline at admission time.
+        """
+        if not self._started:
+            raise RuntimeError("service not started (use `with service:`)")
+        if op not in ("compress", "decompress"):
+            raise ValueError(f"unknown op {op!r}")
+        req = ServeRequest(
+            op=op,
+            payload=payload,
+            priority=priority,
+            deadline_s=(
+                time.monotonic() + deadline_s if deadline_s is not None else None
+            ),
+            meta=dict(meta),
+        )
+        if op == "compress":
+            req.meta.setdefault("magnitude", self.config.magnitude)
+        self.queue.submit(req)
+        _metrics().counter("repro_serve_requests_total", op=op).inc()
+        return req.future
+
+    def submit_compress(self, data: np.ndarray, **kw) -> Future:
+        return self.submit("compress", data, **kw)
+
+    def submit_decompress(self, buf: bytes, **kw) -> Future:
+        return self.submit("decompress", buf, **kw)
+
+    # blocking conveniences ------------------------------------------------
+    def compress(
+        self, data: np.ndarray, timeout: Optional[float] = None, **kw
+    ) -> tuple[bytes, CompressionReport]:
+        return self.submit_compress(data, **kw).result(
+            timeout if timeout is not None else self.config.default_timeout_s
+        )
+
+    def decompress(
+        self, buf: bytes, timeout: Optional[float] = None, **kw
+    ) -> np.ndarray:
+        return self.submit_decompress(buf, **kw).result(
+            timeout if timeout is not None else self.config.default_timeout_s
+        )
+
+    # ---------------------------------------------------------- execution
+    def _dispatch(self, batch: Batch) -> None:
+        """Batcher sink: route to a shard, degrade serially if none live."""
+        try:
+            self.pool.dispatch(batch)
+        except ShardCrashed:
+            self._execute_degraded(batch)
+
+    def _handle_batch(self, batch: Batch) -> None:
+        """Runs on a shard thread; per-request errors never kill a shard."""
+        t0 = time.monotonic()
+        for req in batch.requests:
+            self._execute_request(req)
+        elapsed = time.monotonic() - t0
+        if batch.requests:
+            self.queue.note_service_time(elapsed / len(batch.requests))
+
+    def _execute_degraded(self, batch: Batch) -> None:
+        _metrics().counter("repro_serve_degraded_total").inc()
+        with _span("serve.degraded", batch_size=len(batch)):
+            self._handle_batch(batch)
+
+    def _execute_request(self, req: ServeRequest) -> None:
+        if req.future.done():
+            return
+        if req.expired():
+            req.shed("deadline")
+            return
+        try:
+            if req.op == "compress":
+                result = self._do_compress(req)
+            else:
+                result = self._do_decompress(req)
+        except (ValueError, TypeError, KeyError, NotImplementedError) as exc:
+            # user error: belongs to this request, not to the shard
+            _metrics().counter(
+                "repro_serve_errors_total", op=req.op
+            ).inc()
+            req.future.set_exception(exc)
+            return
+        req.future.set_result(result)
+        with self._lock:
+            self.requests_served += 1
+
+    def _do_compress(self, req: ServeRequest):
+        data = np.asarray(req.payload)
+        if data.nbytes > self.config.request_max_bytes:
+            raise ValueError(
+                f"payload {data.nbytes} B exceeds request_max_bytes"
+            )
+        return compress_symbols(
+            data,
+            num_symbols=req.meta.get("num_symbols"),
+            magnitude=req.meta.get("magnitude", self.config.magnitude),
+            device=self.config.device,
+            adaptive=bool(req.meta.get("adaptive", False)),
+        )
+
+    def _do_decompress(self, req: ServeRequest) -> np.ndarray:
+        buf = bytes(req.payload)
+        if len(buf) > self.config.request_max_bytes:
+            raise ValueError(f"payload {len(buf)} B exceeds request_max_bytes")
+        if buf[:4] == b"RPRS":
+            return decompress_symbols(buf)
+        if buf[:4] == b"RPRH":
+            # a raw streaming segment (repro.core.streaming)
+            return self._segment_decoder.decode_segment(buf)
+        raise ValueError("unrecognized container magic")
+
+    # ------------------------------------------------------------- crash
+    def _on_crash(self, crash: ShardCrashed) -> None:
+        """Retry a crashed batch's unfinished requests, bounded + jittered."""
+        if crash.batch is None:
+            return
+        for req in crash.batch.requests:
+            if req.future.done():
+                continue
+            req.attempts += 1
+            if req.attempts > self.config.max_retries:
+                req.future.set_exception(
+                    RuntimeError(
+                        f"request {req.req_id} failed after "
+                        f"{req.attempts} attempts"
+                    )
+                )
+                continue
+            _metrics().counter("repro_serve_retries_total").inc()
+            # jittered backoff: decorrelate the retry herd
+            time.sleep(
+                self._rng.uniform(0.0, self.config.retry_backoff_s)
+                * (2 ** (req.attempts - 1))
+            )
+            try:
+                self.queue.submit(req)
+            except (QueueFullError, QueueClosed):
+                # cannot re-admit: serve it here rather than lose it
+                self._execute_degraded(
+                    Batch(key=("retry", req.req_id), requests=[req])
+                )
+
+    # -------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Operational snapshot surfaced by ``GET /stats``."""
+        reg = _metrics()
+        caches = {
+            name: {
+                "hits": info.hits,
+                "misses": info.misses,
+                "size": info.size,
+                "maxsize": info.maxsize,
+                "hit_rate": (
+                    round(info.hits / (info.hits + info.misses), 4)
+                    if (info.hits + info.misses)
+                    else None
+                ),
+            }
+            for name, info in cache_infos().items()
+        }
+        hist = reg.histogram("repro_serve_batch_size")
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "queue": {
+                "depth": self.queue.depth(),
+                "maxsize": self.queue.maxsize,
+                "closed": self.queue.closed,
+            },
+            "shards": {
+                "alive": self.pool.alive_count,
+                "total": self.pool.size,
+                "degraded": self.pool.alive_count < self.pool.size,
+            },
+            "batches": {
+                "flushed": self.batcher.batches_flushed,
+                "requests": self.batcher.requests_batched,
+                "mean_size": round(self.batcher.mean_batch_size, 3),
+                "size_histogram": hist._sample()["buckets"],
+            },
+            "requests": {
+                "served": self.requests_served,
+                "submitted": int(reg.total("repro_serve_requests_total")),
+                "shed": int(reg.total("repro_serve_shed_total")),
+                "retries": int(reg.total("repro_serve_retries_total")),
+                "degraded_batches": int(
+                    reg.total("repro_serve_degraded_total")
+                ),
+                "user_errors": int(reg.total("repro_serve_errors_total")),
+            },
+            "caches": caches,
+        }

@@ -1,0 +1,212 @@
+"""Worker shard pool: thread shards sized from the device spec.
+
+Each shard is one thread with its own inbox, emitting per-shard tracer
+spans (``serve.shard.batch``) so a traced serving run shows which shard
+executed which batch on its own timeline track — the same shape the
+chunk-parallel decoder's pool workers already have.
+
+Failure model: a handler exception that is *not* a per-request user
+error escapes the shard loop, kills the shard (it marks itself dead and
+stops draining its inbox), and surfaces to the service as
+:class:`ShardCrashed` carrying the batch so the service can retry the
+requests elsewhere or fall back to the degraded serial path.  Tests
+inject failures with :meth:`ShardPool.inject_failure`.
+"""
+
+from __future__ import annotations
+
+import queue as _stdqueue
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.cuda.device import DeviceSpec, V100
+from repro.obs import metrics as _metrics
+from repro.obs import span as _span
+from repro.serve.batcher import Batch
+
+__all__ = ["ShardCrashed", "WorkerShard", "ShardPool", "default_shard_count"]
+
+
+class ShardCrashed(RuntimeError):
+    """A shard died while (or before) executing a batch."""
+
+    def __init__(self, shard_id: int, batch: Optional[Batch] = None):
+        super().__init__(f"worker shard {shard_id} crashed")
+        self.shard_id = shard_id
+        self.batch = batch
+
+
+def default_shard_count(device: DeviceSpec = V100) -> int:
+    """Shards ∝ device width: one shard per ~16 SMs (or 8 CPU cores).
+
+    The shards model concurrent kernel streams, not SMs; a handful is
+    enough to keep the host-side pipeline busy while one batch's
+    codebook build is in flight.
+    """
+    per_shard = 16 if device.kind == "gpu" else 8
+    return max(1, min(8, device.sm_count // per_shard))
+
+
+class WorkerShard(threading.Thread):
+    """One worker thread draining its private inbox of batches."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        handler: Callable[[Batch], None],
+        on_crash: Callable[[ShardCrashed], None],
+    ):
+        super().__init__(name=f"repro-serve-shard-{shard_id}", daemon=True)
+        self.shard_id = shard_id
+        self.handler = handler
+        self.on_crash = on_crash
+        self.inbox: _stdqueue.Queue = _stdqueue.Queue()
+        self.busy = False
+        self.alive_flag = threading.Event()
+        self.alive_flag.set()
+        self.fail_next = threading.Event()
+        self.batches_done = 0
+
+    def run(self) -> None:  # pragma: no branch - simple loop
+        while True:
+            item = self.inbox.get()
+            if item is None:  # shutdown sentinel
+                break
+            batch: Batch = item
+            self.busy = True
+            try:
+                if self.fail_next.is_set():
+                    self.fail_next.clear()
+                    raise ShardCrashed(self.shard_id, batch)
+                with _span(
+                    "serve.shard.batch",
+                    shard=self.shard_id,
+                    key=str(batch.key),
+                    batch_size=len(batch),
+                ):
+                    self.handler(batch)
+                self.batches_done += 1
+                _metrics().counter(
+                    "repro_serve_batches_total", shard=str(self.shard_id)
+                ).inc()
+            except Exception as exc:  # noqa: BLE001 - shard containment
+                # the handler is responsible for per-request user errors;
+                # anything escaping it is a shard-level fault
+                self.alive_flag.clear()
+                crash = (
+                    exc
+                    if isinstance(exc, ShardCrashed)
+                    else ShardCrashed(self.shard_id, batch)
+                )
+                crash.__cause__ = None if exc is crash else exc
+                _metrics().counter(
+                    "repro_serve_shard_crashes_total",
+                    shard=str(self.shard_id),
+                ).inc()
+                try:
+                    self.on_crash(crash)
+                finally:
+                    self._evacuate()
+                    self.busy = False
+                break
+            finally:
+                self.busy = False
+
+    def _evacuate(self) -> None:
+        """Hand every batch still in a dead shard's inbox back upstream."""
+        while True:
+            try:
+                item = self.inbox.get_nowait()
+            except _stdqueue.Empty:
+                return
+            if item is not None:
+                self.on_crash(ShardCrashed(self.shard_id, item))
+
+    @property
+    def is_alive_shard(self) -> bool:
+        return self.alive_flag.is_set() and self.is_alive()
+
+    @property
+    def load(self) -> int:
+        return self.inbox.qsize()
+
+
+class ShardPool:
+    """Fixed pool of :class:`WorkerShard`, least-loaded dispatch.
+
+    ``on_crash`` (from the service) receives :class:`ShardCrashed` with
+    the affected batch so its requests can be retried or completed
+    through the degraded path.  ``drain``/``shutdown`` implement
+    graceful termination: sentinels after the queued work, then joins.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        handler: Callable[[Batch], None],
+        on_crash: Optional[Callable[[ShardCrashed], None]] = None,
+        device: DeviceSpec = V100,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.device = device
+        self._on_crash_cb = on_crash or (lambda crash: None)
+        self._lock = threading.Lock()
+        self.shards = [
+            WorkerShard(i, handler, self._on_crash) for i in range(n_shards)
+        ]
+        for sh in self.shards:
+            sh.start()
+
+    # ---------------------------------------------------------- dispatch --
+    def dispatch(self, batch: Batch) -> None:
+        """Send a batch to the least-loaded live shard.
+
+        Raises :class:`ShardCrashed` (shard id ``-1``) when no shard is
+        alive; the service maps that onto its degraded serial path.
+        """
+        with self._lock:
+            live = [s for s in self.shards if s.is_alive_shard]
+        if not live:
+            raise ShardCrashed(-1, batch)
+        target = min(live, key=lambda s: s.load)
+        target.inbox.put(batch)
+
+    def _on_crash(self, crash: ShardCrashed) -> None:
+        self._on_crash_cb(crash)
+
+    # ------------------------------------------------------------- state --
+    @property
+    def alive_count(self) -> int:
+        with self._lock:
+            return sum(1 for s in self.shards if s.is_alive_shard)
+
+    @property
+    def size(self) -> int:
+        return len(self.shards)
+
+    def inject_failure(self, shard_id: int = 0) -> None:
+        """Make one shard fail its next batch (tests / chaos drills)."""
+        self.shards[shard_id].fail_next.set()
+
+    # --------------------------------------------------------- lifecycle --
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait until every live shard's inbox is empty."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(
+                (s.inbox.empty() and not s.busy) or not s.is_alive_shard
+                for s in self.shards
+            ):
+                return True
+            time.sleep(0.002)
+        return False
+
+    def shutdown(self, graceful: bool = True, timeout: float = 10.0) -> None:
+        if graceful:
+            self.drain(timeout)
+        for s in self.shards:
+            s.inbox.put(None)
+        for s in self.shards:
+            s.join(timeout=timeout)

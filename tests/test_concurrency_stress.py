@@ -1,0 +1,134 @@
+"""Concurrency stress: the library layer under 8+ threads.
+
+Satellite bar for the serving PR: ``compress_symbols`` /
+``decompress_symbols`` share the process-global digest-keyed caches
+(:mod:`repro.huffman.cache`), the metrics registry, and the streaming
+decoder counters.  Hammering them from many threads must yield
+bit-identical round trips, internally-consistent cache accounting, and
+exact metrics totals (no lost increments).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.app.compressor import compress_symbols, decompress_symbols
+from repro.core.streaming import StreamingDecoder
+from repro.huffman.cache import cache_infos, codebook_cache, decode_table_cache
+from repro.obs.metrics import MetricsRegistry, metrics, set_registry
+
+N_THREADS = 10
+ROUNDS = 12  # per thread
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    prev = set_registry(MetricsRegistry())
+    codebook_cache().clear()
+    decode_table_cache().clear()
+    yield
+    set_registry(prev)
+
+
+def _distributions(n=4, size=2500, alphabet=56):
+    out = []
+    for s in range(n):
+        rng = np.random.default_rng(31 + s)
+        probs = rng.dirichlet(np.ones(alphabet) * (0.1 + 0.2 * s))
+        out.append(rng.choice(alphabet, size=size, p=probs).astype(np.uint16))
+    return out
+
+
+DISTS = _distributions()
+BLOBS = [compress_symbols(d)[0] for d in DISTS]
+
+
+def _run_threads(target):
+    errs: list[str] = []
+    lock = threading.Lock()
+
+    def wrapped(tid):
+        try:
+            target(tid)
+        except Exception as exc:  # noqa: BLE001 - surfaced in assert
+            with lock:
+                errs.append(f"thread {tid}: {exc!r}")
+
+    threads = [threading.Thread(target=wrapped, args=(t,))
+               for t in range(N_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120.0)
+    assert not any(t.is_alive() for t in threads), "stress thread hung"
+    assert not errs, errs[:5]
+
+
+class TestSharedCaches:
+    def test_compress_decompress_from_10_threads_round_trips(self):
+        def worker(tid):
+            rng = np.random.default_rng(tid)
+            for j in range(ROUNDS):
+                i = int(rng.integers(0, len(DISTS)))
+                blob, report = compress_symbols(DISTS[i])
+                assert blob == BLOBS[i], "non-deterministic compress"
+                assert report.ratio > 0
+                out = decompress_symbols(BLOBS[i])
+                np.testing.assert_array_equal(out, DISTS[i])
+
+        _run_threads(worker)
+
+        # cache accounting is exact under the lock: every compress does
+        # one codebook lookup, every decompress one table lookup
+        infos = cache_infos()
+        total_ops = N_THREADS * ROUNDS
+        book = infos["codebook"]
+        assert book.hits + book.misses == total_ops
+        assert book.misses <= len(DISTS)  # one build per distribution
+        table = infos["decode_table"]
+        assert table.hits + table.misses >= total_ops
+        assert table.hits > 0
+
+    def test_metrics_totals_are_exact_under_contention(self):
+        def worker(tid):
+            for _ in range(ROUNDS):
+                compress_symbols(DISTS[tid % len(DISTS)])
+
+        _run_threads(worker)
+        reg = metrics()
+        expected = sum(
+            DISTS[t % len(DISTS)].nbytes * ROUNDS for t in range(N_THREADS)
+        )
+        got = reg.total("repro_app_bytes_in_total", op="compress_symbols")
+        assert got == expected, f"lost metric increments: {got} != {expected}"
+
+    def test_cache_hit_counters_match_registry(self):
+        def worker(tid):
+            for _ in range(ROUNDS):
+                decompress_symbols(BLOBS[tid % len(BLOBS)])
+
+        _run_threads(worker)
+        reg = metrics()
+        infos = cache_infos()
+        reg_hits = reg.total("repro_cache_hits_total", cache="decode_table")
+        reg_misses = reg.total("repro_cache_misses_total",
+                               cache="decode_table")
+        assert reg_hits == infos["decode_table"].hits
+        assert reg_misses == infos["decode_table"].misses
+
+
+class TestStreamingDecoderCounters:
+    def test_shared_decoder_counts_every_symbol(self):
+        dec = StreamingDecoder()
+        seg = BLOBS[0][13:]  # RPRH segment inside the app container
+
+        def worker(tid):
+            for _ in range(ROUNDS):
+                out = dec.decode_segment(seg)
+                assert out.size == DISTS[0].size
+
+        _run_threads(worker)
+        assert dec.symbols_decoded == N_THREADS * ROUNDS * DISTS[0].size

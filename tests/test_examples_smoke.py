@@ -32,6 +32,7 @@ def load_example(name: str):
     "device_comparison",
     "tuning_exploration",
     "trace_pipeline",
+    "serve_roundtrip",
 ])
 def test_example_runs(name, capsys):
     module = load_example(name)
@@ -46,5 +47,6 @@ def test_every_example_has_smoke_coverage():
         "algorithm_walkthrough", "adaptive_breaking", "streaming_timesteps",
         "quickstart", "genomics_kmer", "lossy_compression_pipeline",
         "device_comparison", "tuning_exploration", "trace_pipeline",
+        "serve_roundtrip",
     }
     assert scripts == covered, f"untested examples: {scripts - covered}"

@@ -1,0 +1,125 @@
+"""Admission queue: bounds, priorities, deadlines, shedding semantics."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.serve.queue import (
+    AdmissionQueue,
+    DeadlineExceeded,
+    Priority,
+    QueueClosed,
+    QueueFullError,
+    ServeRequest,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    prev = set_registry(MetricsRegistry())
+    yield
+    set_registry(prev)
+
+
+def _req(op="compress", **kw) -> ServeRequest:
+    return ServeRequest(op=op, payload=b"", **kw)
+
+
+class TestAdmission:
+    def test_fifo_within_class(self):
+        q = AdmissionQueue(maxsize=8)
+        reqs = [_req() for _ in range(3)]
+        for r in reqs:
+            q.submit(r)
+        assert [q.get(0.1).req_id for _ in range(3)] == [
+            r.req_id for r in reqs
+        ]
+
+    def test_priority_classes_served_in_order(self):
+        q = AdmissionQueue(maxsize=8)
+        bulk = _req(priority=Priority.BULK)
+        inter = _req(priority=Priority.INTERACTIVE)
+        q.submit(bulk)
+        q.submit(inter)
+        assert q.get(0.1) is inter
+        assert q.get(0.1) is bulk
+
+    def test_bound_is_enforced_with_retry_after(self):
+        q = AdmissionQueue(maxsize=2)
+        q.submit(_req())
+        q.submit(_req())
+        with pytest.raises(QueueFullError) as ei:
+            q.submit(_req())
+        assert ei.value.retry_after_s > 0
+        assert ei.value.depth == 2
+        # draining one slot re-opens admission
+        assert q.get(0.1) is not None
+        q.submit(_req())
+
+    def test_depth_tracks_submissions(self):
+        q = AdmissionQueue(maxsize=4)
+        assert q.depth() == 0
+        q.submit(_req())
+        q.submit(_req())
+        assert q.depth() == 2
+        q.get(0.1)
+        assert q.depth() == 1
+
+
+class TestDeadlines:
+    def test_expired_request_is_shed_not_dropped(self):
+        q = AdmissionQueue(maxsize=4)
+        dead = _req(deadline_s=time.monotonic() - 0.001)
+        live = _req()
+        q.submit(dead)
+        q.submit(live)
+        got = q.get(0.1)
+        assert got is live  # the expired one was skipped...
+        assert dead.future.done()  # ...but its future was completed
+        with pytest.raises(DeadlineExceeded):
+            dead.future.result(0)
+
+    def test_get_timeout_returns_none(self):
+        q = AdmissionQueue(maxsize=4)
+        t0 = time.monotonic()
+        assert q.get(timeout=0.05) is None
+        assert time.monotonic() - t0 >= 0.04
+
+    def test_get_wakes_on_submit_from_other_thread(self):
+        q = AdmissionQueue(maxsize=4)
+        out = []
+        t = threading.Thread(target=lambda: out.append(q.get(2.0)))
+        t.start()
+        time.sleep(0.02)
+        r = _req()
+        q.submit(r)
+        t.join(2.0)
+        assert out and out[0] is r
+
+
+class TestClose:
+    def test_close_sheds_pending_and_rejects_new(self):
+        q = AdmissionQueue(maxsize=4)
+        r1, r2 = _req(), _req()
+        q.submit(r1)
+        q.submit(r2)
+        assert q.close(shed_pending=True) == 2
+        for r in (r1, r2):
+            assert r.future.done()
+            with pytest.raises(QueueClosed):
+                r.future.result(0)
+        with pytest.raises(QueueClosed):
+            q.submit(_req())
+        assert q.get(0.01) is None
+
+    def test_graceful_close_keeps_queued_work_drainable(self):
+        q = AdmissionQueue(maxsize=4)
+        r = _req()
+        q.submit(r)
+        assert q.close(shed_pending=False) == 0
+        assert q.get(0.1) is r  # still drainable
+        assert q.get(0.01) is None  # then closed-and-empty

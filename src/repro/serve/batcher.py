@@ -40,10 +40,23 @@ from repro.huffman.cache import histogram_digest
 from repro.obs import metrics as _metrics
 from repro.serve.queue import AdmissionQueue, ServeRequest
 
-__all__ = ["BatchPolicy", "Batch", "MicroBatcher", "batch_key"]
+__all__ = [
+    "BatchPolicy",
+    "Batch",
+    "MicroBatcher",
+    "batch_key",
+    "MAX_ALPHABET",
+]
 
 #: batch-size histogram buckets (1..max sensible micro-batch)
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: hard ceiling on the alphabet implied by a compress payload.  The
+#: paper's quantization codes top out at 2**16 bins; 2**20 leaves
+#: generous headroom while keeping the worst-case histogram allocation
+#: at 8 MiB (int64) — a single hostile symbol value can no longer force
+#: a multi-gigabyte ``np.bincount`` on the batcher thread.
+MAX_ALPHABET = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -51,14 +64,22 @@ class BatchPolicy:
     """Knobs of the micro-batcher (see docs/ARCHITECTURE.md, Serving)."""
 
     max_batch: int = 16
+    #: how long a key's oldest request may wait before a latency flush.
+    #: ``0`` is allowed but intentional-use-only: it flushes every poll
+    #: iteration, i.e. it disables coalescing entirely.
     max_delay_s: float = 0.005
     poll_s: float = 0.002
 
     def __post_init__(self):
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
-        if self.max_delay_s < 0 or self.poll_s <= 0:
-            raise ValueError("delays must be positive")
+        if self.max_delay_s < 0:
+            raise ValueError(
+                "max_delay_s must be >= 0 (0 flushes every poll, "
+                "disabling coalescing)"
+            )
+        if self.poll_s <= 0:
+            raise ValueError("poll_s must be > 0")
 
 
 @dataclass
@@ -108,18 +129,62 @@ def _peek_codebook_digest(buf: bytes) -> Optional[str]:
         return None
 
 
+def _checked_num_symbols(
+    data: np.ndarray, declared: Optional[int], max_alphabet: int
+) -> int:
+    """Validate a compress payload and return its alphabet size.
+
+    Runs *before* any histogramming, on every request, so adversarial
+    payloads are rejected with :class:`ValueError` (a per-request user
+    error) instead of raising arbitrary exceptions — or forcing
+    arbitrarily large allocations — on the single batcher thread:
+
+    - dtype must be integer (``np.bincount`` raises on floats);
+    - symbols must be non-negative (``bincount`` raises on negatives);
+    - the implied alphabet (``max+1``, or the declared ``num_symbols``)
+      is capped at ``max_alphabet`` so one huge symbol value (e.g. a
+      single ``uint64`` near 2**64, well under any byte-size limit)
+      cannot demand a multi-gigabyte histogram or overflow ``int64``.
+    """
+    if declared is not None:
+        declared = int(declared)
+        if not 1 <= declared <= max_alphabet:
+            raise ValueError(
+                f"num_symbols {declared} outside [1, {max_alphabet}]"
+            )
+    if data.dtype.kind not in "iu":
+        raise ValueError(
+            f"compress payload must be an integer array, got {data.dtype}"
+        )
+    if data.size == 0:
+        return declared if declared is not None else 1
+    lo, hi = int(data.min()), int(data.max())
+    if lo < 0:
+        raise ValueError(
+            f"compress payload contains negative symbol {lo}"
+        )
+    bound = declared if declared is not None else max_alphabet
+    if hi >= bound:
+        raise ValueError(
+            f"symbol value {hi} exceeds alphabet bound {bound}"
+        )
+    return declared if declared is not None else hi + 1
+
+
 def batch_key(req: ServeRequest) -> Hashable:
     """The coalescing key: same key ⇒ same codebook ⇒ shared build.
 
-    Side effect for compress requests: the histogram is computed here
-    (once) and stored in ``req.meta["histogram"]`` for the worker.
+    Side effect for compress requests: the payload is validated and the
+    histogram is computed here (once), stored in ``req.meta`` for the
+    worker.  Invalid payloads raise :class:`ValueError`; the batcher
+    maps that onto the request's future (never onto its own thread).
     """
     if req.op == "compress":
         data = np.asarray(req.payload)
-        num_symbols = req.meta.get("num_symbols")
-        if num_symbols is None:
-            num_symbols = int(data.max()) + 1 if data.size else 1
-            req.meta["num_symbols"] = num_symbols
+        num_symbols = _checked_num_symbols(
+            data, req.meta.get("num_symbols"), MAX_ALPHABET
+        )
+        req.meta["num_symbols"] = num_symbols
         if "histogram" not in req.meta:
             req.meta["histogram"] = np.bincount(
                 data.reshape(-1).astype(np.int64), minlength=num_symbols
@@ -209,7 +274,25 @@ class MicroBatcher:
                 self._idle.set()
 
     def _add(self, req: ServeRequest, now: float) -> None:
-        key = self.key_fn(req)
+        try:
+            key = self.key_fn(req)
+        except Exception as exc:  # noqa: BLE001 - batcher-thread containment
+            # A poison request must cost only itself: complete its future
+            # exceptionally (as a user error, so the HTTP front answers
+            # 400, not 500) and keep consuming the queue.  An exception
+            # escaping here would kill the single batcher thread and hang
+            # every subsequent request — a one-request denial of service.
+            _metrics().counter(
+                "repro_serve_errors_total", op=req.op
+            ).inc()
+            if not req.future.done():
+                if isinstance(exc, (ValueError, TypeError, KeyError)):
+                    req.future.set_exception(exc)
+                else:
+                    wrapped = ValueError(f"invalid {req.op} request: {exc}")
+                    wrapped.__cause__ = exc
+                    req.future.set_exception(wrapped)
+            return
         with self._lock:
             bucket = self._pending.setdefault(key, [])
             if not bucket:

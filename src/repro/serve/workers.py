@@ -165,13 +165,55 @@ class ShardPool:
 
         Raises :class:`ShardCrashed` (shard id ``-1``) when no shard is
         alive; the service maps that onto its degraded serial path.
+
+        TOCTOU guard: a shard can crash — and finish evacuating its
+        inbox — between the liveness check and our ``inbox.put``, which
+        would park the batch in a dead shard's inbox forever.  So after
+        the put we re-check liveness; if the target died, we reclaim the
+        inbox ourselves and re-dispatch to another shard.
         """
-        with self._lock:
-            live = [s for s in self.shards if s.is_alive_shard]
-        if not live:
-            raise ShardCrashed(-1, batch)
-        target = min(live, key=lambda s: s.load)
-        target.inbox.put(batch)
+        for _ in range(len(self.shards) + 1):
+            with self._lock:
+                live = [s for s in self.shards if s.is_alive_shard]
+            if not live:
+                raise ShardCrashed(-1, batch)
+            target = min(live, key=lambda s: s.load)
+            target.inbox.put(batch)
+            if target.is_alive_shard:
+                return
+            if not self._reclaim(target, batch):
+                # the dying shard's own _evacuate drained our batch and
+                # routed it through on_crash — nothing left to do here
+                return
+            # reclaimed: pick another shard (the dead one is no longer
+            # in `live` on the next iteration)
+        raise ShardCrashed(-1, batch)
+
+    def _reclaim(self, shard: WorkerShard, batch: Batch) -> bool:
+        """Drain a dead shard's inbox; ``True`` iff ``batch`` came back.
+
+        Safe against the dying thread's concurrent ``_evacuate``: queue
+        pops are atomic, so each stranded item is recovered by exactly
+        one side.  Items that are not ours follow the same path
+        ``_evacuate`` would have sent them down (``on_crash``); shutdown
+        sentinels are put back.
+        """
+        found = False
+        sentinels = 0
+        while True:
+            try:
+                item = shard.inbox.get_nowait()
+            except _stdqueue.Empty:
+                break
+            if item is None:
+                sentinels += 1
+            elif item is batch:
+                found = True
+            else:
+                self._on_crash(ShardCrashed(shard.shard_id, item))
+        for _ in range(sentinels):
+            shard.inbox.put(None)
+        return found
 
     def _on_crash(self, crash: ShardCrashed) -> None:
         self._on_crash_cb(crash)

@@ -116,6 +116,27 @@ def test_unknown_route_is_404(server):
     assert status == 404
 
 
+def test_hostile_uint64_symbol_is_400_and_service_survives(server):
+    """Regression: a single uint64 >= 2**63 used to kill the batcher
+    thread (OverflowError escaping batch_key) and hang all later
+    requests — it must be a plain 400 with the service still serving."""
+    hostile = np.array([2**63 + 42], dtype=np.uint64).tobytes()
+    status, _, body = _request(server, "POST", "/compress", body=hostile,
+                               headers={"X-Repro-Dtype": "uint64"})
+    assert status == 400, body
+
+    data = np.arange(64, dtype=np.uint16) % 7
+    status, _, blob = _request(
+        server, "POST", "/compress", body=data.tobytes(),
+        headers={"X-Repro-Dtype": "uint16"},
+    )
+    assert status == 200, blob  # batcher still consuming the queue
+
+    status, _, body = _request(server, "GET", "/healthz")
+    assert status == 200
+    assert json.loads(body)["status"] == "ok"
+
+
 def test_bad_dtype_is_400(server):
     status, _, _ = _request(server, "POST", "/compress", body=b"\x00" * 8,
                             headers={"X-Repro-Dtype": "float32"})

@@ -4,11 +4,12 @@
 PY := PYTHONPATH=src python
 TRACE_DIR := /tmp/repro-trace-smoke
 
-.PHONY: test unit trace-smoke serve-smoke bench-smoke bench
+.PHONY: test unit trace-smoke serve-smoke bench-smoke bench \
+        conform-smoke conform
 
 # tier-1 verification (ROADMAP.md): unit suite + telemetry smoke +
-# serving smoke
-test: unit trace-smoke serve-smoke
+# serving smoke + differential conformance smoke matrix
+test: unit trace-smoke serve-smoke conform-smoke
 
 unit:
 	$(PY) -m pytest -x -q
@@ -26,6 +27,20 @@ trace-smoke:
 	$(PY) examples/trace_pipeline.py --out-dir $(TRACE_DIR) --quiet
 	$(PY) -m repro.obs.cli $(TRACE_DIR)/trace.json --validate
 	$(PY) -m repro.obs.cli $(TRACE_DIR)/trace.jsonl --validate
+
+# conformance smoke: every smoke-tier encoder x decoder pair over the
+# smoke corpora, plus the harness's own negative self-test (a seeded
+# divergence MUST make repro-conform exit non-zero, hence the `!`)
+conform-smoke:
+	$(PY) -m repro.conform.cli --out /tmp/CONFORMANCE.json
+	! $(PY) -m repro.conform.cli --seed-divergence --no-fuzz \
+	        --no-invariants --no-golden --no-shrink \
+	        --out /tmp/CONFORMANCE.negative.json > /dev/null
+
+# full conformance matrix: every registered implementation over the
+# full corpus set; writes ./CONFORMANCE.json
+conform:
+	$(PY) -m repro.conform.cli --full --out CONFORMANCE.json
 
 # wall-clock smoke: regenerates benchmarks/results/BENCH_wallclock.json
 # and asserts the >=20x batch-vs-scalar decode bar on the enwik surrogate

@@ -1,0 +1,60 @@
+"""Differential conformance harness (`repro.conform`).
+
+The paper's central correctness claim is that every parallel scheme —
+two-phase codebook construction, reduce-shuffle-merge encoding, treeless
+canonical decoding — is *bit-exact* against the serial baseline.  This
+package turns that claim into an enforced contract:
+
+- :mod:`repro.conform.registry` — every encoder and decoder variant in
+  the repo, registered behind one artifact model so the harness can
+  enumerate encoder×decoder pairs mechanically;
+- :mod:`repro.conform.corpora` — shared seeded corpora: paper-dataset
+  surrogates, degenerate inputs (empty, single-symbol, W-bit codewords,
+  exact chunk boundaries), skew sweeps;
+- :mod:`repro.conform.invariants` — cross-implementation bitstream
+  equality and metamorphic invariants (concatenation, chunk-magnitude
+  independence, codebook-digest stability);
+- :mod:`repro.conform.shrink` — first-divergence minimization: shrink a
+  failing input and report the first differing symbol/chunk/bit offset;
+- :mod:`repro.conform.fuzz` — byte-level mutation fuzzing of serialized
+  containers (the ``ValueError``-only containment contract);
+- :mod:`repro.conform.golden` — golden bitstream + First/Entry vectors
+  checked into ``tests/golden/``;
+- :mod:`repro.conform.matrix` — the matrix runner producing the
+  ``CONFORMANCE.json`` artifact;
+- :mod:`repro.conform.cli` — the ``repro-conform`` entry point (exits
+  non-zero on any divergence).
+"""
+
+from repro.conform.corpora import Corpus, Sample, build_corpora, corpus_names
+from repro.conform.matrix import (
+    CellResult,
+    ConformanceReport,
+    run_matrix,
+)
+from repro.conform.registry import (
+    ConformRegistry,
+    DecoderImpl,
+    EncodeArtifact,
+    EncoderImpl,
+    default_registry,
+)
+from repro.conform.shrink import DivergenceReport, diff_report, shrink_failing
+
+__all__ = [
+    "Corpus",
+    "Sample",
+    "build_corpora",
+    "corpus_names",
+    "CellResult",
+    "ConformanceReport",
+    "run_matrix",
+    "ConformRegistry",
+    "DecoderImpl",
+    "EncodeArtifact",
+    "EncoderImpl",
+    "default_registry",
+    "DivergenceReport",
+    "diff_report",
+    "shrink_failing",
+]

@@ -1,0 +1,184 @@
+"""``repro-conform`` — run the conformance battery, emit CONFORMANCE.json.
+
+Exit code is the contract: 0 when every encoder×decoder cell, invariant
+suite, fuzz target, and golden vector passes; 1 on *any* divergence.
+``--seed-divergence`` is the harness's own negative test — it breaks one
+decoder on purpose, so that invocation MUST exit non-zero (CI runs it
+with the expectation inverted; a zero exit there means the harness has
+gone blind).
+
+Examples::
+
+    repro-conform                         # smoke matrix -> CONFORMANCE.json
+    repro-conform --full                  # every impl x every corpus
+    repro-conform --corpora skewed,maxlen_w --no-fuzz
+    repro-conform --write-golden          # regenerate tests/golden/
+    repro-conform --seed-divergence       # must fail (negative self-test)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.conform.corpora import (
+    FULL_CORPORA,
+    SMOKE_CORPORA,
+    build_corpora,
+)
+from repro.conform.golden import (
+    check_golden,
+    default_golden_dir,
+    write_golden,
+)
+from repro.conform.matrix import run_matrix
+from repro.conform.registry import default_registry
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-conform",
+        description="differential conformance matrix over every "
+                    "registered encoder/decoder pair",
+    )
+    p.add_argument(
+        "--out", default="CONFORMANCE.json",
+        help="report artifact path (default: %(default)s)",
+    )
+    p.add_argument(
+        "--full", action="store_true",
+        help="run every implementation over the full corpus set "
+             "(default: the fast smoke subset)",
+    )
+    p.add_argument(
+        "--corpora", default=None,
+        help="comma-separated corpus names (overrides --full's corpus set)",
+    )
+    p.add_argument(
+        "--magnitude", type=int, default=10,
+        help="chunk magnitude M, chunk = 2^M symbols (default: %(default)s)",
+    )
+    p.add_argument(
+        "--fuzz-rounds", type=int, default=16,
+        help="mutants per mutation op per container (default: %(default)s)",
+    )
+    p.add_argument("--no-fuzz", action="store_true",
+                   help="skip container mutation fuzzing")
+    p.add_argument("--no-invariants", action="store_true",
+                   help="skip the metamorphic invariant suites")
+    p.add_argument("--no-golden", action="store_true",
+                   help="skip the golden-vector check")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimizing the input")
+    p.add_argument(
+        "--golden-dir", default=None,
+        help="golden vector directory (default: tests/golden/)",
+    )
+    p.add_argument(
+        "--write-golden", action="store_true",
+        help="regenerate the golden artifacts and exit",
+    )
+    p.add_argument(
+        "--seed-divergence", nargs="?", const="stream.batch", default=None,
+        metavar="DECODER",
+        help="deliberately break DECODER (default: stream.batch); the run "
+             "must then exit non-zero — the harness's negative self-test",
+    )
+    return p
+
+
+def _print_summary(report, out_path: str) -> None:
+    s = report.summary()
+    print(
+        f"conformance [{report.mode}] M={report.magnitude}: "
+        f"{s['pairs']} pairs x {s['corpora']} corpora = {s['cells']} cells"
+    )
+    print(
+        f"  samples: {s['samples_passed']} passed, "
+        f"{s['samples_failed']} failed, {s['samples_skipped']} skipped"
+    )
+    if report.invariants:
+        print(
+            f"  invariants: {len(report.invariants)} suites, "
+            f"{s['invariants_failed']} failed"
+        )
+    if report.fuzz:
+        print(
+            f"  fuzz: {s['fuzz_targets']} targets, "
+            f"{s['fuzz_violations']} contract violations"
+        )
+    if report.golden_problems is not None:
+        print(f"  golden: {len(report.golden_problems)} mismatches")
+        for prob in report.golden_problems[:8]:
+            print(f"    - {prob}")
+    for cell in report.cells:
+        if cell.ok:
+            continue
+        print(f"  FAIL {cell.encoder} x {cell.decoder} on {cell.corpus}:")
+        for d in cell.divergences[:3]:
+            loc = ", ".join(
+                f"{k}={d[k]}" for k in
+                ("first_index", "chunk", "cell", "bit_offset")
+                if k in d
+            )
+            what = d.get("error") or (
+                f"expected {d.get('expected')} got {d.get('got')}"
+            )
+            extra = (
+                f" (shrunk to {d['shrunk_symbols']} symbols)"
+                if "shrunk_symbols" in d else ""
+            )
+            print(f"    {d['sample']}: {what} at {loc}{extra}")
+    for inv in report.invariants:
+        if not inv.ok:
+            print(f"  FAIL invariant {inv.name} on {inv.corpus}: "
+                  f"{inv.details[:2]}")
+    for fz in report.fuzz:
+        if not fz.ok:
+            print(f"  FAIL fuzz {fz.target} on {fz.corpus}: "
+                  f"{fz.violations[:2]}")
+    print(f"  report: {out_path}  ({report.elapsed_s:.1f}s)")
+    print("CONFORMANCE: " + ("PASS" if report.ok else "FAIL"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    golden_dir = args.golden_dir or default_golden_dir()
+
+    if args.write_golden:
+        out = write_golden(golden_dir)
+        print(f"golden vectors written to {out}")
+        return 0
+
+    if args.corpora:
+        names = tuple(n.strip() for n in args.corpora.split(",") if n.strip())
+    else:
+        names = FULL_CORPORA if args.full else SMOKE_CORPORA
+    corpora = build_corpora(names, magnitude=args.magnitude)
+
+    registry = default_registry()
+    if args.seed_divergence is not None:
+        registry = registry.with_seeded_divergence(args.seed_divergence)
+
+    report = run_matrix(
+        registry=registry,
+        corpora=corpora,
+        smoke=not args.full,
+        magnitude=args.magnitude,
+        shrink=not args.no_shrink,
+        with_invariants=not args.no_invariants,
+        with_fuzz=not args.no_fuzz,
+        fuzz_rounds=args.fuzz_rounds,
+    )
+    if not args.no_golden:
+        report.golden_problems = check_golden(golden_dir)
+
+    report.write(args.out)
+    _print_summary(report, args.out)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,281 @@
+"""The conformance matrix runner.
+
+One matrix run enumerates every compatible encoder×decoder pair from
+the registry, drives each pair through every corpus sample, and checks
+round-trip identity against the input.  A failing cell is shrunk with
+the bounded ddmin loop and annotated with a first-divergence report
+(symbol index, chunk, cell, bit offset).  The run also executes the
+cross-implementation invariant suites and the container mutation fuzz,
+then folds everything into one :class:`ConformanceReport` whose JSON
+form is the ``CONFORMANCE.json`` artifact.
+
+The report's :attr:`~ConformanceReport.ok` is the gate: the CLI exits
+non-zero whenever any cell, invariant, or fuzz target fails.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.conform.corpora import Corpus, build_corpora
+from repro.conform.fuzz import FuzzResult, run_fuzz
+from repro.conform.invariants import InvariantResult, run_invariants
+from repro.conform.registry import (
+    ConformRegistry,
+    DecoderImpl,
+    EncoderImpl,
+    default_registry,
+)
+from repro.conform.shrink import diff_report, shrink_failing
+
+__all__ = ["CellResult", "ConformanceReport", "run_matrix"]
+
+#: report schema version (bump on shape changes)
+SCHEMA_VERSION = 1
+
+#: don't bother shrinking inputs already at or below this size
+_SHRINK_FLOOR = 32
+
+
+@dataclass
+class CellResult:
+    """Outcome of one encoder×decoder pair over one corpus."""
+
+    encoder: str
+    decoder: str
+    corpus: str
+    passed: int = 0
+    failed: int = 0
+    skipped: int = 0
+    divergences: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def to_dict(self) -> dict:
+        out = {
+            "encoder": self.encoder,
+            "decoder": self.decoder,
+            "corpus": self.corpus,
+            "passed": self.passed,
+            "failed": self.failed,
+            "skipped": self.skipped,
+            "status": "pass" if self.ok else "FAIL",
+        }
+        if self.divergences:
+            out["divergences"] = self.divergences[:5]
+        return out
+
+
+@dataclass
+class ConformanceReport:
+    """Everything one matrix run learned, JSON-serializable."""
+
+    mode: str
+    magnitude: int
+    cells: list[CellResult] = field(default_factory=list)
+    invariants: list[InvariantResult] = field(default_factory=list)
+    fuzz: list[FuzzResult] = field(default_factory=list)
+    #: golden-vector mismatches (None = golden check not run)
+    golden_problems: list | None = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(c.ok for c in self.cells)
+            and all(i.ok for i in self.invariants)
+            and all(f.ok for f in self.fuzz)
+            and not self.golden_problems
+        )
+
+    @property
+    def n_pairs(self) -> int:
+        return len({(c.encoder, c.decoder) for c in self.cells})
+
+    @property
+    def n_corpora(self) -> int:
+        return len({c.corpus for c in self.cells})
+
+    def summary(self) -> dict:
+        failed_cells = [c for c in self.cells if not c.ok]
+        return {
+            "ok": self.ok,
+            "pairs": self.n_pairs,
+            "corpora": self.n_corpora,
+            "cells": len(self.cells),
+            "cells_failed": len(failed_cells),
+            "samples_passed": sum(c.passed for c in self.cells),
+            "samples_failed": sum(c.failed for c in self.cells),
+            "samples_skipped": sum(c.skipped for c in self.cells),
+            "invariants_failed": sum(
+                1 for i in self.invariants if not i.ok
+            ),
+            "fuzz_targets": len(self.fuzz),
+            "fuzz_violations": sum(
+                len(f.violations) for f in self.fuzz
+            ),
+            "golden_problems": (
+                None if self.golden_problems is None
+                else len(self.golden_problems)
+            ),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "mode": self.mode,
+            "magnitude": self.magnitude,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "summary": self.summary(),
+            "cells": [c.to_dict() for c in self.cells],
+            "invariants": [i.to_dict() for i in self.invariants],
+            "fuzz": [f.to_dict() for f in self.fuzz],
+            "golden": self.golden_problems,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+
+def _roundtrip(
+    enc: EncoderImpl, dec: DecoderImpl, data: np.ndarray, book, magnitude: int
+):
+    """Encode then decode; returns (decoded|None, artifact|None, error)."""
+    try:
+        art = enc.encode(data, book, magnitude)
+        return np.asarray(dec.decode(art)), art, None
+    except Exception as exc:  # noqa: BLE001 - reported, never escapes
+        return None, None, exc
+
+
+def _applicable(enc: EncoderImpl, dec: DecoderImpl, size: int) -> bool:
+    if size < enc.min_symbols:
+        return False
+    if enc.max_symbols is not None and size > enc.max_symbols:
+        return False
+    if dec.max_symbols is not None and size > dec.max_symbols:
+        return False
+    return True
+
+
+def _run_cell(
+    enc: EncoderImpl,
+    dec: DecoderImpl,
+    corpus: Corpus,
+    magnitude: int,
+    shrink: bool,
+) -> CellResult:
+    cell = CellResult(enc.name, dec.name, corpus.name)
+    for sample in corpus.samples:
+        if not _applicable(enc, dec, sample.data.size):
+            cell.skipped += 1
+            continue
+        book = sample.resolve_book()
+        expected = sample.data.astype(np.int64)
+        got, art, err = _roundtrip(enc, dec, sample.data, book, magnitude)
+        if err is None and got is not None and np.array_equal(
+            got.reshape(-1).astype(np.int64), expected
+        ):
+            cell.passed += 1
+            continue
+        cell.failed += 1
+        r = None
+        if art is not None and art.kind == "stream":
+            r = art.payload.tuning.reduction_factor
+        rep = diff_report(
+            expected,
+            None if err is not None else got,
+            book=book,
+            magnitude=magnitude,
+            reduction_factor=r,
+            error=err,
+        )
+        entry = {"sample": sample.name, "input_symbols": int(sample.data.size),
+                 **rep.to_dict()}
+        if shrink and err is None and sample.data.size > _SHRINK_FLOOR:
+
+            def still_fails(candidate: np.ndarray) -> bool:
+                g, _a, e = _roundtrip(enc, dec, candidate, book, magnitude)
+                if e is not None:
+                    return True
+                return not np.array_equal(
+                    np.asarray(g).reshape(-1).astype(np.int64),
+                    candidate.astype(np.int64),
+                )
+
+            small = shrink_failing(sample.data, still_fails)
+            entry["shrunk_symbols"] = int(small.size)
+            if small.size < sample.data.size:
+                g2, _a2, e2 = _roundtrip(enc, dec, small, book, magnitude)
+                try:
+                    entry["shrunk"] = diff_report(
+                        small.astype(np.int64),
+                        None if e2 is not None else g2,
+                        book=book, magnitude=magnitude,
+                        reduction_factor=r, error=e2,
+                    ).to_dict()
+                except ValueError:
+                    pass  # the shrunk slice no longer diverges; keep size
+        cell.divergences.append(entry)
+    _count_cell(cell)
+    return cell
+
+
+def _count_cell(cell: CellResult) -> None:
+    try:
+        from repro.obs.metrics import metrics
+
+        metrics().counter(
+            "repro_conform_cells_total",
+            status="pass" if cell.ok else "fail",
+        ).inc()
+    except Exception:  # noqa: BLE001 - metrics must never fail the run
+        pass
+
+
+def run_matrix(
+    registry: ConformRegistry | None = None,
+    corpora: list[Corpus] | None = None,
+    smoke: bool = True,
+    magnitude: int = 10,
+    shrink: bool = True,
+    with_invariants: bool = True,
+    with_fuzz: bool = True,
+    fuzz_rounds: int = 16,
+) -> ConformanceReport:
+    """Run the full conformance battery and return the report.
+
+    ``smoke=True`` restricts the pair enumeration to the fast subset
+    (``make conform-smoke``); ``smoke=False`` is the full matrix.
+    """
+    t0 = time.perf_counter()
+    registry = registry if registry is not None else default_registry()
+    if corpora is None:
+        corpora = build_corpora(magnitude=magnitude)
+    report = ConformanceReport(
+        mode="smoke" if smoke else "full", magnitude=magnitude
+    )
+    for enc, dec in registry.pairs(smoke=smoke):
+        for corpus in corpora:
+            report.cells.append(
+                _run_cell(enc, dec, corpus, magnitude, shrink)
+            )
+    if with_invariants:
+        report.invariants = run_invariants(corpora, magnitude=magnitude)
+    if with_fuzz:
+        report.fuzz = run_fuzz(
+            corpora, rounds=fuzz_rounds, magnitude=magnitude
+        )
+    report.elapsed_s = time.perf_counter() - t0
+    return report

@@ -1,0 +1,132 @@
+"""First-divergence minimization.
+
+When an encoder×decoder cell fails, a 16 Ki-symbol counterexample is
+useless for debugging.  :func:`shrink_failing` runs a bounded
+delta-debugging loop (drop halves, then quarters, then chunk-aligned
+windows) to find a locally minimal input that still fails, and
+:func:`diff_report` pinpoints the first divergence: symbol index, chunk,
+cell within the chunk, and the bit offset where the streams part ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.huffman.codebook import CanonicalCodebook
+
+__all__ = ["DivergenceReport", "diff_report", "shrink_failing"]
+
+
+@dataclass
+class DivergenceReport:
+    """Where two symbol streams first disagree."""
+
+    kind: str  # "mismatch" | "length" | "exception"
+    first_index: int | None = None
+    expected: int | None = None
+    got: int | None = None
+    chunk: int | None = None
+    cell: int | None = None
+    bit_offset: int | None = None
+    expected_size: int | None = None
+    got_size: int | None = None
+    n_diffs: int | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if v is not None}
+
+
+def diff_report(
+    expected: np.ndarray,
+    got: np.ndarray | None,
+    book: CanonicalCodebook | None = None,
+    magnitude: int | None = None,
+    reduction_factor: int | None = None,
+    error: Exception | None = None,
+) -> DivergenceReport:
+    """Locate the first divergence between expected and decoded symbols.
+
+    With a codebook, the *bit* offset of the first differing symbol is
+    computed from the expected stream's codeword lengths; with a chunk
+    magnitude, the chunk and (with ``r``) the merge cell too.
+    """
+    if error is not None:
+        return DivergenceReport(
+            kind="exception", error=f"{type(error).__name__}: {error}"
+        )
+    expected = np.asarray(expected, dtype=np.int64).reshape(-1)
+    got = np.asarray(got, dtype=np.int64).reshape(-1)
+    if expected.size != got.size:
+        return DivergenceReport(
+            kind="length",
+            expected_size=int(expected.size),
+            got_size=int(got.size),
+        )
+    diffs = np.flatnonzero(expected != got)
+    if diffs.size == 0:
+        raise ValueError("streams are identical; nothing diverges")
+    i = int(diffs[0])
+    rep = DivergenceReport(
+        kind="mismatch",
+        first_index=i,
+        expected=int(expected[i]),
+        got=int(got[i]),
+        n_diffs=int(diffs.size),
+    )
+    if book is not None:
+        lens = book.lengths[expected].astype(np.int64)
+        rep.bit_offset = int(lens[:i].sum())
+    if magnitude is not None:
+        N = 1 << magnitude
+        rep.chunk = i // N
+        if reduction_factor is not None:
+            group = 1 << reduction_factor
+            rep.cell = (i % N) // group
+    return rep
+
+
+def shrink_failing(
+    data: np.ndarray,
+    fails: Callable[[np.ndarray], bool],
+    max_checks: int = 48,
+) -> np.ndarray:
+    """Greedy bounded ddmin: smallest slice of ``data`` that still fails.
+
+    ``fails(candidate)`` must return True when the candidate still
+    triggers the divergence (and must swallow its own exceptions —
+    a crashing candidate counts as failing only if the caller says so).
+    The loop tries dropping halves, then quarters, then eighths, always
+    keeping a failing candidate, and stops after ``max_checks`` probe
+    evaluations — minimization is best-effort, never the bottleneck.
+    """
+    cur = np.asarray(data)
+    if cur.size == 0 or not fails(cur):
+        return cur
+    checks = 0
+    granularity = 2
+    while granularity <= 8 and checks < max_checks and cur.size > 1:
+        n = cur.size
+        piece = max(n // granularity, 1)
+        shrunk = False
+        for lo in range(0, n, piece):
+            if checks >= max_checks:
+                break
+            candidate = np.concatenate([cur[:lo], cur[lo + piece:]])
+            if candidate.size == cur.size:
+                continue
+            checks += 1
+            try:
+                still = fails(candidate)
+            except Exception:  # noqa: BLE001 - a probe must never abort
+                still = False
+            if still:
+                cur = candidate
+                shrunk = True
+                break  # restart scan at the same granularity
+        if not shrunk:
+            granularity *= 2
+    return cur

@@ -111,6 +111,11 @@ def write_wallclock_json(
             # the serving-layer load-generator section is a first-class
             # result, not host metadata — keep it top-level
             doc["serve"] = serve
+        conform = extra.pop("conform", None)
+        if conform is not None:
+            # likewise the conformance cell counts: they qualify the
+            # throughput numbers ("fast AND still bit-exact")
+            doc["conform"] = conform
         doc["meta"].update(extra)
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

@@ -343,6 +343,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     ap.add_argument("--serve-clients", type=int, default=8)
     ap.add_argument("--serve-requests", type=int, default=25,
                     help="requests per client")
+    ap.add_argument("--conform", action="store_true",
+                    help="also run the conformance smoke matrix and "
+                         "surface its cell counts (pairs x corpora, "
+                         "pass/fail) alongside the throughput table")
     args = ap.parse_args(argv)
 
     tracer: Tracer | None = None
@@ -375,11 +379,34 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"mean batch {serve_doc['mean_batch_size']}")
         if serve_doc["corrupt_roundtrips"]:
             print("  WARNING: corrupt round trips detected!")
+    conform_doc = None
+    if args.conform:
+        from repro.conform.matrix import run_matrix
+
+        report = run_matrix(smoke=True, with_fuzz=False, shrink=False)
+        s = report.summary()
+        conform_doc = {**s, "elapsed_s": round(report.elapsed_s, 3)}
+        print()
+        print("conformance smoke matrix:")
+        print(f"  {s['pairs']} encoder x decoder pairs over "
+              f"{s['corpora']} corpora = {s['cells']} cells "
+              f"({report.elapsed_s:.1f}s)")
+        print(f"  samples: {s['samples_passed']} passed, "
+              f"{s['samples_failed']} failed, "
+              f"{s['samples_skipped']} skipped; "
+              f"invariants failed: {s['invariants_failed']}")
+        if not report.ok:
+            print("  WARNING: conformance divergence detected — "
+                  "run repro-conform for the full report")
     if args.json:
         from repro.perf.report import write_wallclock_json
 
-        extra = {"serve": serve_doc} if serve_doc is not None else None
-        write_wallclock_json(args.json, results, extra=extra)
+        extra = {}
+        if serve_doc is not None:
+            extra["serve"] = serve_doc
+        if conform_doc is not None:
+            extra["conform"] = conform_doc
+        write_wallclock_json(args.json, results, extra=extra or None)
         print(f"[written to {args.json}]")
     if args.trace and tracer is not None:
         writer = (write_jsonl if args.trace.endswith(".jsonl")

@@ -1,12 +1,64 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures, hypothesis profiles, and tier markers.
+
+Hypothesis profiles
+-------------------
+
+``ci`` (the default)
+    Deterministic: ``derandomize=True`` pins every example sequence so a
+    failure reproduces byte-for-byte on any machine, and ``deadline=None``
+    keeps slow-but-honest paths (the SIMT interpreter, process pools)
+    from flaking on loaded runners.
+``dev``
+    Exploratory: random seeds, more examples, still no deadline.
+
+Select with ``HYPOTHESIS_PROFILE=dev pytest ...``; CI never sets the
+variable and therefore always runs the pinned profile.
+
+Tier markers
+------------
+
+Every collected test gets ``tier1`` unless it already carries ``tier2``;
+conformance-harness tests additionally carry ``conform`` (applied by
+filename).  ``make test`` runs tier1 + the conform smoke matrix;
+``pytest -m tier2`` opts into the slow exhaustive suites.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.core.codebook_parallel import parallel_codebook
 from repro.huffman.codebook import CanonicalCodebook
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        deadline=None,
+        derandomize=True,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "dev",
+        deadline=None,
+        max_examples=200,
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "conform" in item.nodeid.rsplit("/", 1)[-1]:
+            item.add_marker(pytest.mark.conform)
+        if item.get_closest_marker("tier2") is None:
+            item.add_marker(pytest.mark.tier1)
 
 
 @pytest.fixture

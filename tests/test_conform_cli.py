@@ -1,0 +1,81 @@
+"""End-to-end tests for the ``repro-conform`` CLI.
+
+The exit code IS the product: 0 only when every cell, invariant, fuzz
+target, and golden vector passes; 1 on any divergence — including the
+deliberately seeded one (the harness's negative self-test, wired into
+``make conform-smoke`` with an inverted expectation).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conform.cli import main
+
+
+def test_cli_smoke_passes_and_writes_artifact(tmp_path, capsys):
+    out = tmp_path / "CONFORMANCE.json"
+    rc = main([
+        "--out", str(out), "--corpora", "degenerate,skewed",
+        "--fuzz-rounds", "2",
+    ])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "CONFORMANCE: PASS" in text
+    report = json.loads(out.read_text())
+    assert report["summary"]["ok"] is True
+    assert report["summary"]["samples_failed"] == 0
+    assert report["summary"]["fuzz_violations"] == 0
+    assert report["summary"]["golden_problems"] == 0
+    assert report["cells"], "artifact must enumerate the matrix cells"
+
+
+def test_cli_seeded_divergence_exits_nonzero(tmp_path, capsys):
+    """The negative self-test: a broken decoder MUST fail the run."""
+    out = tmp_path / "CONFORMANCE.negative.json"
+    rc = main([
+        "--seed-divergence", "--corpora", "degenerate",
+        "--no-fuzz", "--no-invariants", "--no-golden", "--no-shrink",
+        "--out", str(out),
+    ])
+    assert rc == 1
+    text = capsys.readouterr().out
+    assert "CONFORMANCE: FAIL" in text
+    assert "stream.batch" in text
+    report = json.loads(out.read_text())
+    assert report["summary"]["ok"] is False
+    assert report["summary"]["samples_failed"] > 0
+
+
+def test_cli_seed_divergence_accepts_decoder_name(tmp_path):
+    rc = main([
+        "--seed-divergence", "dense.lanes", "--corpora", "degenerate",
+        "--no-fuzz", "--no-invariants", "--no-golden", "--no-shrink",
+        "--out", str(tmp_path / "neg.json"),
+    ])
+    assert rc == 1
+    report = json.loads((tmp_path / "neg.json").read_text())
+    failing = {
+        c["decoder"] for c in report["cells"] if c["status"] == "FAIL"
+    }
+    assert failing == {"dense.lanes"}
+
+
+def test_cli_write_golden_then_check_against_it(tmp_path, capsys):
+    gdir = tmp_path / "golden"
+    assert main(["--write-golden", "--golden-dir", str(gdir)]) == 0
+    assert (gdir / "manifest.json").exists()
+    rc = main([
+        "--out", str(tmp_path / "c.json"), "--corpora", "degenerate",
+        "--no-fuzz", "--no-invariants", "--golden-dir", str(gdir),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+
+
+def test_cli_rejects_unknown_corpus(tmp_path):
+    with pytest.raises(ValueError, match="unknown corpus"):
+        main(["--corpora", "no_such_corpus",
+              "--out", str(tmp_path / "x.json")])

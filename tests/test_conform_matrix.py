@@ -1,0 +1,183 @@
+"""Tests for the conformance harness itself.
+
+The matrix is a gate, so the gate needs its own negative control: a
+registry with a deliberately broken decoder MUST produce failing cells,
+a minimized counterexample, and a first-divergence report.  A harness
+that cannot see a seeded bug is worse than no harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conform import build_corpora, run_matrix
+from repro.conform.corpora import SMOKE_CORPORA
+from repro.conform.fuzz import MUTATION_OPS, run_fuzz
+from repro.conform.golden import check_golden, write_golden
+from repro.conform.invariants import run_invariants
+from repro.conform.registry import default_registry
+from repro.conform.shrink import diff_report, shrink_failing
+
+CORPORA = build_corpora(("degenerate", "skewed"))
+
+
+# ------------------------------------------------------------------ matrix
+
+
+def test_smoke_matrix_meets_coverage_floor_and_passes():
+    report = run_matrix(smoke=True, with_fuzz=False)
+    assert report.ok, report.to_json()
+    # the acceptance floor: >= 6 encoder x decoder pairs, >= 4 corpora
+    assert report.n_pairs >= 6
+    assert report.n_corpora >= len(SMOKE_CORPORA) >= 4
+    assert report.summary()["samples_failed"] == 0
+
+
+def test_full_registry_enumerates_every_kind():
+    reg = default_registry()
+    pairs = reg.pairs(smoke=False)
+    kinds = {(e.kind) for e, _d in pairs}
+    assert kinds == {"stream", "dense", "chunks", "segments", "adaptive"}
+    assert len(pairs) > len(reg.pairs(smoke=True))
+
+
+def test_seeded_divergence_is_detected_and_minimized():
+    reg = default_registry().with_seeded_divergence("stream.batch")
+    report = run_matrix(
+        registry=reg, corpora=CORPORA, smoke=True,
+        with_invariants=False, with_fuzz=False,
+    )
+    assert not report.ok
+    bad = [
+        c for c in report.cells
+        if c.decoder == "stream.batch" and not c.ok
+    ]
+    assert bad, "the broken decoder produced no failing cells"
+    div = bad[0].divergences[0]
+    assert div["kind"] == "mismatch"
+    assert "first_index" in div and "bit_offset" in div
+    # ddmin shrank the counterexample (a single-symbol flip minimizes
+    # all the way down to one symbol)
+    assert div["shrunk_symbols"] <= div["input_symbols"]
+    # untouched decoders keep passing: the divergence is attributed
+    good = [
+        c for c in report.cells
+        if c.decoder != "stream.batch" and c.encoder != "reduce_shuffle"
+    ]
+    assert all(c.ok for c in good)
+
+
+def test_unknown_decoder_seed_raises():
+    with pytest.raises(ValueError, match="unknown decoder"):
+        default_registry().with_seeded_divergence("no.such.decoder")
+
+
+def test_report_json_shape():
+    report = run_matrix(
+        corpora=build_corpora(("degenerate",)), smoke=True,
+        with_invariants=False, with_fuzz=False,
+    )
+    d = report.to_dict()
+    assert d["schema"] == 1
+    assert {"summary", "cells", "invariants", "fuzz", "golden"} <= set(d)
+    assert d["summary"]["ok"] is True
+    for cell in d["cells"]:
+        assert {"encoder", "decoder", "corpus", "status"} <= set(cell)
+
+
+# ---------------------------------------------------------------- shrinking
+
+
+def test_shrink_finds_minimal_failing_input():
+    data = np.arange(512, dtype=np.int64)
+
+    def fails(candidate):
+        return 7 in candidate
+
+    small = shrink_failing(data, fails)
+    assert 7 in small
+    assert small.size <= 8  # ddmin gets close to the single witness
+
+
+def test_shrink_returns_input_when_nothing_fails():
+    data = np.arange(16)
+    assert shrink_failing(data, lambda c: False).size == 16
+
+
+def test_diff_report_locates_chunk_cell_and_bit_offset():
+    from tests.conftest import make_book
+
+    book = make_book([4, 2, 1, 1])
+    expected = np.zeros(2100, dtype=np.int64)
+    got = expected.copy()
+    got[1500] = 2
+    rep = diff_report(expected, got, book=book, magnitude=10,
+                      reduction_factor=2)
+    assert rep.kind == "mismatch"
+    assert rep.first_index == 1500
+    assert rep.chunk == 1500 // 1024
+    assert rep.cell == (1500 % 1024) // 4
+    # symbol 0 has the 1-bit codeword in this book
+    assert rep.bit_offset == 1500 * int(book.lengths[0])
+
+
+def test_diff_report_length_and_exception_kinds():
+    rep = diff_report(np.zeros(4), np.zeros(3))
+    assert rep.kind == "length"
+    rep = diff_report(np.zeros(4), None, error=RuntimeError("boom"))
+    assert rep.kind == "exception" and "boom" in rep.error
+    with pytest.raises(ValueError):
+        diff_report(np.zeros(4), np.zeros(4))
+
+
+# ------------------------------------------------------- invariants & fuzz
+
+
+def test_invariants_pass_on_shared_corpora():
+    results = run_invariants(CORPORA)
+    assert results, "invariant suites must actually run"
+    for res in results:
+        assert res.ok, res.to_dict()
+
+
+def test_fuzz_contract_holds_and_is_deterministic():
+    a = run_fuzz(CORPORA[:1], rounds=4, seed=99)
+    b = run_fuzz(CORPORA[:1], rounds=4, seed=99)
+    assert a and all(r.ok for r in a)
+    assert [r.to_dict() for r in a] == [r.to_dict() for r in b]
+    per_target = 4 * len(MUTATION_OPS)
+    assert all(r.mutants == per_target for r in a)
+
+
+# ------------------------------------------------------------------ golden
+
+
+def test_checked_in_golden_vectors_match():
+    assert check_golden() == []
+
+
+def test_golden_write_is_byte_identical_across_runs(tmp_path):
+    d1 = tmp_path / "a"
+    d2 = tmp_path / "b"
+    write_golden(d1)
+    write_golden(d2)
+    files1 = sorted(p.name for p in d1.iterdir())
+    assert files1 == sorted(p.name for p in d2.iterdir())
+    for name in files1:
+        assert (d1 / name).read_bytes() == (d2 / name).read_bytes(), name
+    assert check_golden(d1) == []
+
+
+def test_golden_check_flags_tampered_container(tmp_path):
+    write_golden(tmp_path)
+    target = tmp_path / "text_m10.rprh"
+    blob = bytearray(target.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    target.write_bytes(bytes(blob))
+    problems = check_golden(tmp_path)
+    assert any("text_m10" in p for p in problems)
+
+
+def test_golden_check_flags_missing_manifest(tmp_path):
+    assert check_golden(tmp_path / "nowhere") != []

@@ -1,0 +1,126 @@
+"""Degenerate-input regression suite, shared across ALL implementations.
+
+The inputs that historically break Huffman implementations — the empty
+stream, a single-symbol alphabet, one repeated symbol, maximum-length
+(W-bit) codewords, and sizes exactly at the chunk boundary ``N = 2^M``
+— are enumerated once (as conformance corpora) and driven through every
+registered encoder×decoder pair.  A new implementation added to
+:func:`repro.conform.registry.default_registry` inherits this suite for
+free; a pair that cannot apply (size caps, streaming's non-empty
+requirement) is skipped explicitly rather than silently passed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conform.corpora import build_corpora, wbit_codebook
+from repro.conform.registry import default_registry
+from repro.core.encoder import gpu_encode
+from repro.core.bitstream import decode_stream
+from repro.huffman.serial import serial_encode
+
+_REG = default_registry()
+_PAIRS = _REG.pairs(smoke=False)
+_CORPORA = {c.name: c for c in build_corpora(("degenerate", "maxlen_w"))}
+_SAMPLES = [
+    (corpus.name, s) for corpus in _CORPORA.values() for s in corpus.samples
+]
+
+
+def _applicable(enc, dec, size: int) -> bool:
+    if size < enc.min_symbols:
+        return False
+    if enc.max_symbols is not None and size > enc.max_symbols:
+        return False
+    return dec.max_symbols is None or size <= dec.max_symbols
+
+
+@pytest.mark.parametrize(
+    "enc,dec", _PAIRS, ids=[f"{e.name}-{d.name}" for e, d in _PAIRS]
+)
+@pytest.mark.parametrize(
+    "corpus,sample", _SAMPLES,
+    ids=[f"{c}.{s.name}" for c, s in _SAMPLES],
+)
+def test_degenerate_roundtrip(enc, dec, corpus, sample):
+    if not _applicable(enc, dec, sample.data.size):
+        pytest.skip(
+            f"{enc.name} x {dec.name} not applicable at {sample.data.size}"
+        )
+    book = sample.resolve_book()
+    art = enc.encode(sample.data, book, 10)
+    got = np.asarray(dec.decode(art)).reshape(-1).astype(np.int64)
+    np.testing.assert_array_equal(got, sample.data.astype(np.int64))
+
+
+def test_empty_stream_round_trips_to_empty():
+    corpus = _CORPORA["degenerate"]
+    empty = next(s for s in corpus.samples if s.name == "empty")
+    book = empty.resolve_book()
+    enc = gpu_encode(empty.data, book)
+    assert enc.stream.n_symbols == 0
+    assert decode_stream(enc.stream, book).size == 0
+
+
+def test_single_symbol_alphabet_uses_one_bit_codes():
+    corpus = _CORPORA["degenerate"]
+    s = next(
+        x for x in corpus.samples if x.name == "single_symbol_alphabet"
+    )
+    book = s.resolve_book()
+    # a 1-symbol alphabet still gets a non-zero-length codeword, so the
+    # bitstream is decodable without out-of-band symbol counts per chunk
+    assert book.lengths[0] >= 1
+    _buf, nbits = serial_encode(s.data, book)
+    assert nbits == int(book.lengths[0]) * s.data.size
+
+
+def test_wbit_codebook_saturates_word_width():
+    book = wbit_codebook(32)
+    assert int(book.max_length) == 32
+    # Kraft sum of [1..31, 32, 32] is exactly 1: the book is complete
+    kraft = sum(2.0 ** -int(l) for l in book.lengths)
+    assert kraft == pytest.approx(1.0)
+
+
+def test_wbit_stream_is_breaking_dominated():
+    """W-bit codewords force merge overflow pervasively; the breaking
+    side channel must carry most cells AND still round-trip exactly.
+
+    ``r`` is pinned to 2 here: the average-bitwidth rule would choose
+    r=0 (no merging) for a ~31-bit average, which is exactly why the
+    crafted book needs an explicit override to stress the side channel.
+    """
+    s = _CORPORA["maxlen_w"].samples[0]
+    book = s.resolve_book()
+    enc = gpu_encode(s.data, book, magnitude=10, reduction_factor=2)
+    st = enc.stream
+    total_cells = st.n_chunks * st.tuning.cells_per_chunk
+    assert st.breaking.cell_indices.size > total_cells // 2
+    np.testing.assert_array_equal(
+        decode_stream(st, book), s.data.astype(np.int64)
+    )
+
+
+@pytest.mark.parametrize("delta", [-1, 0, 1])
+def test_chunk_boundary_sizes(delta):
+    """Sizes at exactly N = 2^M and one either side.
+
+    Only *full* chunks count toward ``n_chunks``; the remainder rides
+    in the tail.  N-1 symbols are therefore all tail, N is one chunk
+    with an empty tail, and N+1 is one chunk plus a one-symbol tail.
+    """
+    rng = np.random.default_rng(7)
+    N = 1 << 10
+    data = rng.integers(0, 8, N + delta).astype(np.uint8)
+    from repro.core.codebook_parallel import parallel_codebook
+
+    book = parallel_codebook(np.bincount(data, minlength=8)).codebook
+    st = gpu_encode(data, book, magnitude=10).stream
+    assert st.n_chunks == (0 if delta < 0 else 1)
+    assert st.tail_symbols == (N - 1 if delta < 0 else max(delta, 0))
+    np.testing.assert_array_equal(
+        decode_stream(st, book), data.astype(np.int64)
+    )

@@ -1,0 +1,172 @@
+"""Recovery-path coverage: gap-array resync and broken-cell accounting.
+
+Two mechanisms let the decoders survive hostile streams, and both are
+pinned here against the conformance golden vectors:
+
+- :mod:`repro.decoder.self_sync` decodes dense streams by speculative
+  subsequence decoding plus a synchronization sweep.  The sweep must
+  (a) reproduce the serial decode bit-for-bit on clean streams, and
+  (b) *re-synchronize* after a corrupted region — the gap-array decode
+  of a corrupted stream must agree with what a serial decoder says
+  about the very same corrupted bits, because prefix codes realign
+  after a bounded number of codewords.
+- :mod:`repro.core.breaking` carries merge cells that overflow the
+  W-bit representing word in a sparse side channel.  Its accounting —
+  which cells broke, how many bits each carries, what those bits are —
+  must match a from-scratch serial packing of each cell's symbols.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.conform.golden import GOLDEN_VECTORS, default_golden_dir
+from repro.core.bitstream import decode_stream
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.serialization import deserialize_stream
+from repro.decoder.self_sync import self_sync_decode
+from repro.huffman.decoder import decode_canonical
+from repro.huffman.serial import serial_encode
+
+
+def _vector(name: str):
+    data, book, magnitude, r = GOLDEN_VECTORS[name]()
+    if book is None:
+        freqs = np.bincount(data.astype(np.int64),
+                            minlength=int(data.max()) + 1)
+        book = parallel_codebook(freqs.astype(np.int64)).codebook
+    return data, book, magnitude, r
+
+
+# ---------------------------------------------------------------- self-sync
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_VECTORS))
+def test_gap_array_matches_serial_on_golden_vectors(name):
+    data, book, _m, _r = _vector(name)
+    buf, nbits = serial_encode(data, book)
+    sub = max(256, 2 * int(book.max_length))
+    res = self_sync_decode(buf, nbits, book, data.size,
+                           subsequence_bits=sub)
+    np.testing.assert_array_equal(res.symbols, data.astype(np.int64))
+    assert res.n_subsequences == -(-nbits // sub)
+    assert res.sync_rounds >= 1
+
+
+@pytest.mark.parametrize("flip_at_fraction", [0.25, 0.5, 0.9])
+def test_gap_array_resynchronizes_after_corruption(flip_at_fraction):
+    """A flipped bit must not desync the *parallel* decode relative to
+    the serial decode of the same corrupted stream."""
+    data, book, _m, _r = _vector("text_m10")
+    buf, nbits = serial_encode(data, book)
+    bad = buf.copy()
+    pos = int(nbits * flip_at_fraction)
+    bad[pos // 8] ^= 0x80 >> (pos % 8)
+
+    serial_view = decode_canonical(bad, nbits, book, data.size)
+    res = self_sync_decode(bad, nbits, book, data.size,
+                           subsequence_bits=256)
+    np.testing.assert_array_equal(res.symbols, serial_view)
+    # prefix codes self-synchronize: the corruption stays local, and the
+    # stream's tail decodes to the original symbols again
+    assert np.array_equal(res.symbols[-16:], data[-16:].astype(np.int64))
+    # ... while the corrupted position itself genuinely diverged
+    assert not np.array_equal(res.symbols, data.astype(np.int64))
+
+
+def test_gap_array_counts_redecodes_under_misalignment():
+    """Short subsequences force entry-state corrections: the sweep must
+    report its own work honestly (rounds > 1 implies redecodes > 0)."""
+    data, book, _m, _r = _vector("skew_m8")
+    buf, nbits = serial_encode(data, book)
+    res = self_sync_decode(buf, nbits, book, data.size,
+                           subsequence_bits=2 * int(book.max_length))
+    np.testing.assert_array_equal(res.symbols, data.astype(np.int64))
+    if res.sync_rounds > 1:
+        assert res.redecodes > 0
+
+
+# ---------------------------------------------------------------- breaking
+
+
+def _golden_stream(name: str):
+    path = default_golden_dir() / f"{name}.rprh"
+    if not path.exists():
+        pytest.skip(f"golden vector {name} not generated")
+    return deserialize_stream(path.read_bytes())
+
+
+def test_breaking_accounting_matches_serial_packing():
+    """Every broken cell's bit count and payload must equal the serial
+    packing of exactly its 2^r source symbols."""
+    data, book, magnitude, r = _vector("breaking_w32")
+    st = gpu_encode(data, book, magnitude=magnitude,
+                    reduction_factor=r).stream
+    br = st.breaking
+    g = br.group_symbols
+    assert g == 1 << r
+    assert br.nnz > 0, "the crafted vector must actually break cells"
+    # ascending, in-range cell addressing
+    assert np.all(np.diff(br.cell_indices.astype(np.int64)) > 0)
+    assert int(br.cell_indices[-1]) < br.n_cells
+    for k in range(br.nnz):
+        gi = int(br.cell_indices[k])
+        syms = data[gi * g: (gi + 1) * g]
+        want_bits = int(book.lengths[syms].astype(np.int64).sum())
+        payload, got_bits = br.cell_payload(k)
+        assert got_bits == want_bits
+        assert want_bits > 32, "an unbroken cell leaked into the channel"
+        want_buf, want_nbits = serial_encode(syms, book)
+        assert want_nbits == want_bits
+        np.testing.assert_array_equal(payload, want_buf)
+
+
+def test_breaking_sparse_view_is_consistent():
+    data, book, magnitude, r = _vector("breaking_w32")
+    br = gpu_encode(data, book, magnitude=magnitude,
+                    reduction_factor=r).stream.breaking
+    sv = br.to_sparse_vector()
+    assert sv.length == br.n_cells
+    np.testing.assert_array_equal(sv.indices, br.cell_indices)
+    np.testing.assert_array_equal(sv.values, br.bit_lengths)
+    assert br.breaking_fraction == pytest.approx(br.nnz / br.n_cells)
+
+
+def test_breaking_survives_container_roundtrip_against_golden():
+    """The checked-in breaking_w32 container must reproduce today's
+    side channel exactly — and still decode to the original symbols."""
+    data, book, magnitude, r = _vector("breaking_w32")
+    st_now = gpu_encode(data, book, magnitude=magnitude,
+                        reduction_factor=r).stream
+    st_old, book_old = _golden_stream("breaking_w32")
+    np.testing.assert_array_equal(
+        st_old.breaking.cell_indices, st_now.breaking.cell_indices
+    )
+    np.testing.assert_array_equal(
+        st_old.breaking.bit_lengths, st_now.breaking.bit_lengths
+    )
+    np.testing.assert_array_equal(
+        st_old.breaking.payload, st_now.breaking.payload
+    )
+    np.testing.assert_array_equal(
+        decode_stream(st_old, book_old), data.astype(np.int64)
+    )
+    manifest = json.loads(
+        (default_golden_dir() / "manifest.json").read_text()
+    )
+    assert manifest["breaking_w32"]["breaking_cells"] == st_now.breaking.nnz
+
+
+def test_breaking_empty_when_codewords_fit_the_word():
+    """Sanity inverse: short codewords with small groups never break."""
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 4, 2_048).astype(np.uint8)
+    book = parallel_codebook(np.bincount(data, minlength=4)).codebook
+    st = gpu_encode(data, book, magnitude=10, reduction_factor=2).stream
+    assert st.breaking.nnz == 0
+    assert st.breaking.breaking_fraction == 0.0

@@ -8,8 +8,9 @@ TRACE_DIR := /tmp/repro-trace-smoke
         conform-smoke conform
 
 # tier-1 verification (ROADMAP.md): unit suite + telemetry smoke +
-# serving smoke + differential conformance smoke matrix
-test: unit trace-smoke serve-smoke conform-smoke
+# serving smoke + differential conformance smoke matrix + wall-clock
+# smoke (the scan-pack no-regression gate)
+test: unit trace-smoke serve-smoke conform-smoke bench-smoke
 
 unit:
 	$(PY) -m pytest -x -q
@@ -42,8 +43,10 @@ conform-smoke:
 conform:
 	$(PY) -m repro.conform.cli --full --out CONFORMANCE.json
 
-# wall-clock smoke: regenerates benchmarks/results/BENCH_wallclock.json
-# and asserts the >=20x batch-vs-scalar decode bar on the enwik surrogate
+# wall-clock smoke: regenerates benchmarks/results/BENCH_wallclock.json,
+# asserts the >=20x batch-vs-scalar decode bar on the enwik surrogate,
+# and gates the scan-pack encoder: byte-identical container AND no
+# slower than the iterative reference (non-zero exit on regression)
 bench-smoke:
 	$(PY) -m pytest benchmarks/test_wallclock.py -q
 

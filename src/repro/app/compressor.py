@@ -22,8 +22,8 @@ import numpy as np
 
 from repro.core.adaptive import adaptive_decode, adaptive_encode
 from repro.core.bitstream import decode_stream
+from repro.core.chunk_parallel import parallel_encode
 from repro.core.codebook_parallel import parallel_codebook
-from repro.core.encoder import gpu_encode
 from repro.core.serialization import (
     container_guard,
     deserialize_adaptive,
@@ -91,7 +91,10 @@ def _encode_to_bytes(
         hist.histogram,
         lambda: parallel_codebook(hist.histogram, device=device).codebook,
     )
-    enc = gpu_encode(data, book, magnitude=magnitude, device=device)
+    # threshold-gated multiprocess sharding: serve-sized requests stay on
+    # the in-process scan path, bulk fields shard whole chunks across
+    # cores with a bit-identical result (repro.core.chunk_parallel)
+    enc = parallel_encode(data, book, magnitude=magnitude, device=device)
     payload = serialize_stream(enc.stream, book)
     report = CompressionReport(
         input_bytes=int(data.nbytes),

@@ -36,6 +36,7 @@ from repro.core.encoder import gpu_encode
 from repro.core.serialization import (
     deserialize_codebook,
     serialize_codebook,
+    serialize_stream,
 )
 from repro.decoder.chunk_parallel import parallel_decode_stream
 from repro.huffman.cache import codebook_digest
@@ -140,8 +141,19 @@ def _inv_bitstream_equality(corpus: Corpus, magnitude: int) -> InvariantResult:
 
         # reduce-shuffle container: total code bits always equal the
         # reference; chunks without broken cells are payload-exact
-        enc = gpu_encode(s.data, book, magnitude=magnitude)
+        enc = gpu_encode(s.data, book, magnitude=magnitude,
+                         impl="iterative")
         st = enc.stream
+
+        # the scan-pack fast path serializes to the *identical bytes*
+        # as the iterative reference (payload, offsets, breaking side
+        # channel, tail — everything)
+        scan = gpu_encode(s.data, book, magnitude=magnitude, impl="scan")
+        res.check(
+            serialize_stream(scan.stream, book)
+            == serialize_stream(enc.stream, book),
+            s.name, "scan-pack container bytes != iterative container",
+        )
         res.check(
             st.encoded_bits == ref_bits, s.name,
             "reduce_shuffle encoded_bits != serial total bits",

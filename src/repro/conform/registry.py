@@ -142,7 +142,14 @@ def _enc_prefix_sum(data, book, magnitude):
 
 
 def _enc_reduce_shuffle(data, book, magnitude):
-    enc = gpu_encode(data, book, magnitude=magnitude)
+    # pinned to the iterative reference path: the matrix must keep
+    # covering it even though gpu_encode's default is now scan-pack
+    enc = gpu_encode(data, book, magnitude=magnitude, impl="iterative")
+    return EncodeArtifact("stream", enc.stream, book, int(data.size))
+
+
+def _enc_scan_pack(data, book, magnitude):
+    enc = gpu_encode(data, book, magnitude=magnitude, impl="scan")
     return EncodeArtifact("stream", enc.stream, book, int(data.size))
 
 
@@ -363,6 +370,7 @@ def default_registry() -> ConformRegistry:
         EncoderImpl("serial", "dense", _enc_serial),
         EncoderImpl("prefix_sum", "dense", _enc_prefix_sum),
         EncoderImpl("reduce_shuffle", "stream", _enc_reduce_shuffle),
+        EncoderImpl("scan_pack", "stream", _enc_scan_pack),
         EncoderImpl("adaptive", "adaptive", _enc_adaptive, canonical=False),
         EncoderImpl(
             "streaming", "segments", _enc_streaming, canonical=False,

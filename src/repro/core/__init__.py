@@ -7,7 +7,16 @@ from repro.core.adaptive import (
     adaptive_encode,
 )
 from repro.core.bitstream import EncodedStream, decode_stream, decode_stream_scalar
-from repro.core.breaking import BreakingStore, extract_breaking
+from repro.core.breaking import (
+    BreakingStore,
+    extract_breaking,
+    extract_breaking_symbols,
+    merge_breaking_stores,
+)
+from repro.core.chunk_parallel import (
+    PARALLEL_THRESHOLD_BYTES,
+    parallel_encode,
+)
 from repro.core.canonical import (
     BaseCodebook,
     CanonizeResult,
@@ -15,12 +24,21 @@ from repro.core.canonical import (
     canonize,
 )
 from repro.core.codebook_parallel import ParallelCodebookResult, parallel_codebook
-from repro.core.encoder import GpuEncodeResult, gpu_encode
+from repro.core.encoder import ENCODE_IMPLS, GpuEncodeResult, gpu_encode
 from repro.core.generate_cl import GenerateCLResult, generate_cl
 from repro.core.generate_cw import GenerateCWResult, generate_cw
 from repro.core.merge_path import MergeStats, merge_path_partition, parallel_merge
 from repro.core.metrics import CompressionMetrics, analyze_stream, metrics_report
 from repro.core.reduce_merge import ReduceMergeResult, reduce_merge, reduce_merge_trace
+from repro.core.scan_pack import (
+    ScanPackResult,
+    analytic_moved_words,
+    packed_codeword_table,
+    packed_pair_stats,
+    packed_tables_supported,
+    scan_pack,
+    scan_pack_symbols,
+)
 from repro.core.serialization import (
     deserialize_codebook,
     deserialize_stream,
@@ -56,14 +74,26 @@ __all__ = [
     "decode_stream_scalar",
     "BreakingStore",
     "extract_breaking",
+    "extract_breaking_symbols",
+    "merge_breaking_stores",
+    "PARALLEL_THRESHOLD_BYTES",
+    "parallel_encode",
     "BaseCodebook",
     "CanonizeResult",
     "base_codebook_from_tree",
     "canonize",
     "ParallelCodebookResult",
     "parallel_codebook",
+    "ENCODE_IMPLS",
     "GpuEncodeResult",
     "gpu_encode",
+    "ScanPackResult",
+    "analytic_moved_words",
+    "packed_codeword_table",
+    "packed_pair_stats",
+    "packed_tables_supported",
+    "scan_pack",
+    "scan_pack_symbols",
     "GenerateCLResult",
     "generate_cl",
     "GenerateCWResult",

@@ -24,7 +24,14 @@ from repro.obs import metrics as _metrics
 from repro.utils.bits import pack_codeword_groups
 from repro.utils.sparse import SparseVector, dense_to_sparse
 
-__all__ = ["BreakingStore", "extract_breaking", "breaking_costs"]
+__all__ = [
+    "BreakingStore",
+    "extract_breaking",
+    "extract_breaking_cells",
+    "extract_breaking_symbols",
+    "merge_breaking_stores",
+    "breaking_costs",
+]
 
 
 @dataclass
@@ -102,30 +109,135 @@ def extract_breaking(
     idx = dense_to_sparse(
         np.ones(n_cells, dtype=np.uint8), mask=broken
     ).indices
-    reg = _metrics()
-    reg.counter("repro_encode_cells_total").inc(n_cells)
-    reg.counter("repro_encode_broken_cells_total").inc(int(idx.size))
-    if n_cells:
-        reg.gauge("repro_encode_breaking_fraction").set(idx.size / n_cells)
-    if idx.size == 0:
-        return BreakingStore.empty(n_cells, group_symbols)
-
-    # a cell's bit length is bounded by group_symbols * MAX_CODE_BITS;
-    # uint16 covers every practical (M, r), with a guard for exotic ones
-    len_dtype = np.uint16 if group_symbols * 64 <= 0xFFFF else np.int64
     grouped_codes = codes.reshape(n_cells, group_symbols)
     grouped_lens = lengths.reshape(n_cells, group_symbols)
+    return extract_breaking_cells(
+        grouped_codes[idx], grouped_lens[idx], idx, n_cells, group_symbols
+    )
+
+
+def _count_breaking(n_cells: int, nnz: int) -> None:
+    reg = _metrics()
+    reg.counter("repro_encode_cells_total").inc(n_cells)
+    reg.counter("repro_encode_broken_cells_total").inc(nnz)
+    if n_cells:
+        reg.gauge("repro_encode_breaking_fraction").set(nnz / n_cells)
+
+
+def _len_dtype(group_symbols: int):
+    # a cell's bit length is bounded by group_symbols * MAX_CODE_BITS;
+    # uint16 covers every practical (M, r), with a guard for exotic ones
+    return np.uint16 if group_symbols * 64 <= 0xFFFF else np.int64
+
+
+def extract_breaking_cells(
+    gathered_codes: np.ndarray,
+    gathered_lens: np.ndarray,
+    cell_indices: np.ndarray,
+    n_cells: int,
+    group_symbols: int,
+) -> BreakingStore:
+    """Pack *pre-gathered* broken cells into the side channel.
+
+    ``gathered_codes``/``gathered_lens`` are ``(nnz, group_symbols)``
+    rows — only the broken cells, in ascending ``cell_indices`` order.
+    This is the entry point the scan-pack encoder uses: it never
+    materializes the full per-symbol code/length arrays, only the broken
+    fraction (1e-6 … 1e-3 of the data).  Byte-identical to
+    :func:`extract_breaking` over the same cells.
+    """
+    _count_breaking(n_cells, int(cell_indices.size))
+    if cell_indices.size == 0:
+        return BreakingStore.empty(n_cells, group_symbols)
     # pack all broken cells at once: one grouped_arange scatter into a
     # byte-aligned flat bit array (bit-identical to per-cell packing)
     payload, bit_lengths, offsets = pack_codeword_groups(
-        grouped_codes[idx], grouped_lens[idx]
+        np.asarray(gathered_codes, dtype=np.uint64),
+        np.asarray(gathered_lens, dtype=np.int64),
     )
     return BreakingStore(
         n_cells=n_cells,
         group_symbols=group_symbols,
-        cell_indices=idx.astype(np.uint32),
-        bit_lengths=bit_lengths.astype(len_dtype),
+        cell_indices=np.asarray(cell_indices).astype(np.uint32),
+        bit_lengths=bit_lengths.astype(_len_dtype(group_symbols)),
         payload=payload,
+        payload_offsets=offsets,
+    )
+
+
+def extract_breaking_symbols(
+    data: np.ndarray,
+    book,
+    broken: np.ndarray,
+    group_symbols: int,
+) -> BreakingStore:
+    """Backtrace broken cells straight from the *symbol* stream.
+
+    The scan-pack path has no per-symbol code/length arrays to hand —
+    only the packed reduce output — so the backtrace re-gathers the
+    codewords of just the broken cells from the codebook (the paper's
+    "simple reduction without bit operations" reads the input the same
+    way).  Byte-identical to :func:`extract_breaking` over the full
+    lookup arrays.
+    """
+    broken = np.asarray(broken, dtype=bool)
+    n_cells = broken.size
+    data = np.asarray(data)
+    if data.size != n_cells * group_symbols:
+        raise ValueError("data size does not match cells * group size")
+    idx = dense_to_sparse(
+        np.ones(n_cells, dtype=np.uint8), mask=broken
+    ).indices
+    if idx.size == 0:
+        _count_breaking(n_cells, 0)
+        return BreakingStore.empty(n_cells, group_symbols)
+    syms = data.reshape(n_cells, group_symbols)[idx]
+    return extract_breaking_cells(
+        book.codes[syms].astype(np.uint64),
+        book.lengths[syms].astype(np.int64),
+        idx, n_cells, group_symbols,
+    )
+
+
+def merge_breaking_stores(
+    stores: list,
+    cell_counts: list,
+    group_symbols: int,
+    count_metrics: bool = True,
+) -> BreakingStore:
+    """Concatenate per-shard side channels into one global store.
+
+    ``stores[k]`` covers ``cell_counts[k]`` consecutive cells; local
+    cell indices are rebased onto the global cell axis.  Per-cell
+    payloads are byte-aligned, so concatenation is byte-identical to a
+    single whole-stream extraction.  ``count_metrics`` mirrors the
+    serial path's counters in *this* process (shard workers count in
+    their own, invisible, registries).
+    """
+    n_cells = int(sum(cell_counts))
+    nnz = int(sum(s.nnz for s in stores))
+    if count_metrics:
+        _count_breaking(n_cells, nnz)
+    if nnz == 0:
+        return BreakingStore.empty(n_cells, group_symbols)
+    base = 0
+    indices = []
+    for store, cells in zip(stores, cell_counts):
+        if store.nnz:
+            indices.append(store.cell_indices.astype(np.int64) + base)
+        base += int(cells)
+    bit_lengths = np.concatenate(
+        [s.bit_lengths for s in stores if s.nnz]
+    ).astype(_len_dtype(group_symbols))
+    nbytes = (bit_lengths.astype(np.int64) + 7) // 8
+    offsets = np.zeros(nnz + 1, dtype=np.int64)
+    np.cumsum(nbytes, out=offsets[1:])
+    return BreakingStore(
+        n_cells=n_cells,
+        group_symbols=group_symbols,
+        cell_indices=np.concatenate(indices).astype(np.uint32),
+        bit_lengths=bit_lengths,
+        payload=np.concatenate([s.payload for s in stores if s.nnz]),
         payload_offsets=offsets,
     )
 

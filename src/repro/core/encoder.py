@@ -26,8 +26,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.bitstream import EncodedStream
-from repro.core.breaking import BreakingStore, breaking_costs, extract_breaking
+from repro.core.breaking import (
+    BreakingStore,
+    breaking_costs,
+    extract_breaking,
+    extract_breaking_symbols,
+)
 from repro.core.reduce_merge import reduce_merge
+from repro.core.scan_pack import packed_pair_stats, scan_pack_symbols
 from repro.core.shuffle_merge import shuffle_merge
 from repro.core.tuning import (
     DEFAULT_MAGNITUDE,
@@ -43,7 +49,7 @@ from repro.obs import metrics as _metrics
 from repro.obs import span as _span
 from repro.utils.bits import pack_codewords
 
-__all__ = ["GpuEncodeResult", "gpu_encode"]
+__all__ = ["GpuEncodeResult", "gpu_encode", "ENCODE_IMPLS"]
 
 register_kernel(KernelInfo(
     name="enc.blockwise_len",
@@ -121,6 +127,83 @@ class GpuEncodeResult:
         return self.input_bytes * scale / secs / 1e9 if secs else float("inf")
 
 
+#: encoder implementations selectable via ``gpu_encode(..., impl=...)``
+ENCODE_IMPLS = ("auto", "scan", "iterative")
+
+
+def _fast_histogram(data: np.ndarray, n_symbols: int) -> np.ndarray:
+    """``np.bincount`` with a halved input for byte alphabets.
+
+    ``bincount`` casts its input to int64 before counting; viewing a
+    contiguous uint8 stream as uint16 *pairs* halves both the cast and
+    the count loop, and the 64 Ki pair counts fold back to exact
+    per-symbol counts (low-byte sums + high-byte sums — endian-agnostic
+    because the fold is symmetric).
+    """
+    if data.dtype == np.uint8 and data.flags.c_contiguous \
+            and data.size >= (1 << 16):
+        even = data[: data.size & ~1]
+        ph = np.bincount(even.view(np.uint16), minlength=1 << 16)
+        ph = ph.reshape(256, 256)
+        hist = ph.sum(axis=0) + ph.sum(axis=1)
+        if data.size & 1:
+            hist[int(data[-1])] += 1
+        if hist.size > n_symbols and not hist[n_symbols:].any():
+            hist = hist[:n_symbols]  # match bincount's minlength shape
+        elif hist.size < n_symbols:
+            hist = np.concatenate(
+                [hist, np.zeros(n_symbols - hist.size, dtype=hist.dtype)]
+            )
+        return hist
+    return np.bincount(data, minlength=n_symbols)
+
+
+def _scan_symbol_stats(data: np.ndarray, book: CanonicalCodebook) -> float:
+    """Average codeword bitwidth + zero-codeword check, histogram-based.
+
+    The scan path never materializes the per-symbol length array; the
+    exact same ``avg_bits`` (an integer total over an integer count)
+    comes out of one histogram.  Error behaviour mirrors
+    ``book.lookup``: out-of-range symbols raise ``IndexError``, symbols
+    without codewords raise the same ``ValueError``.
+    """
+    if data.size == 0:
+        return 0.0
+    if data.dtype == np.uint16 and data.size >= (1 << 12):
+        # at 16-bit width the length gather beats bincount's int64 cast;
+        # fancy indexing reproduces lookup's range errors verbatim
+        lens = book.lengths[data]
+        if int(lens.min()) == 0:
+            bad = int(data[int(np.argmin(lens))])
+            raise ValueError(
+                f"symbol {bad} has no codeword (zero frequency)"
+            )
+        return float(int(lens.sum(dtype=np.int64))) / data.size
+    try:
+        hist = _fast_histogram(data, book.n_symbols)
+    except (ValueError, TypeError):
+        # negative or non-castable symbol dtypes: fall back to a length
+        # gather, which reproduces lookup's indexing semantics exactly
+        lens = book.lengths[data]
+        if int(lens.min()) == 0:
+            bad = int(data[np.argmin(lens)])
+            raise ValueError(
+                f"symbol {bad} has no codeword (zero frequency)"
+            ) from None
+        return float(int(lens.sum(dtype=np.int64))) / data.size
+    if hist.size > book.n_symbols:
+        raise IndexError(
+            f"index {int(data.max())} is out of bounds for axis 0 with "
+            f"size {book.n_symbols}"
+        )
+    if np.any((hist > 0) & (book.lengths == 0)):
+        zero = (book.lengths == 0)[data]
+        bad = int(data[int(np.argmax(zero))])
+        raise ValueError(f"symbol {bad} has no codeword (zero frequency)")
+    total_bits = int((hist * book.lengths.astype(np.int64)).sum())
+    return total_bits / data.size
+
+
 def gpu_encode(
     data: np.ndarray,
     book: CanonicalCodebook,
@@ -129,29 +212,62 @@ def gpu_encode(
     reduction_factor: int | None = None,
     word_bits: int = 32,
     device: DeviceSpec = V100,
+    impl: str = "auto",
 ) -> GpuEncodeResult:
     """Encode ``data`` with the reduce-shuffle-merge scheme.
 
     ``tuning`` pins (M, r) explicitly; otherwise ``magnitude`` is used and
     ``r`` comes from the average-bitwidth rule (or ``reduction_factor``
     when given).  Every symbol must have a codeword in ``book``.
+
+    ``impl`` selects the host execution strategy — the produced
+    :class:`~repro.core.bitstream.EncodedStream` and the modeled kernel
+    costs are bit-for-bit identical either way (enforced by the
+    conformance matrix):
+
+    - ``"iterative"`` — the paper-shaped r-reduce + s-shuffle pipeline;
+    - ``"scan"`` — the single-pass scan-pack fast path
+      (:mod:`repro.core.scan_pack`);
+    - ``"auto"`` (default) — scan-pack; the iterative path remains the
+      modeled-kernel reference.
     """
+    if impl not in ENCODE_IMPLS:
+        raise ValueError(f"impl must be one of {ENCODE_IMPLS}, got {impl!r}")
+    use_scan = impl != "iterative"
     data = np.asarray(data)
     enc_span = _span("encode.reduce_shuffle_merge",
-                     bytes_in=int(data.nbytes), device=device.name)
+                     bytes_in=int(data.nbytes), device=device.name,
+                     impl="scan" if use_scan else "iterative")
     with enc_span:
-        with _span("encode.lookup", n_symbols=int(data.size)):
-            codes, lens = book.lookup(data)
-        if data.size and int(lens.min()) == 0:
-            bad = int(data[np.argmin(lens)])
-            raise ValueError(f"symbol {bad} has no codeword (zero frequency)")
-        lens = lens.astype(np.int64)
-        total_bits = int(lens.sum())
-        avg_bits = total_bits / data.size if data.size else 0.0
-        result = _gpu_encode_body(
-            data, book, tuning, magnitude, reduction_factor, word_bits,
-            device, codes, lens, avg_bits,
-        )
+        if use_scan:
+            with _span("encode.lookup", n_symbols=int(data.size)):
+                # fused stats: one pair-table gather yields the exact
+                # avg bitwidth AND the packed pairs scan-pack reuses as
+                # its first REDUCE iteration
+                stats = packed_pair_stats(data, book)
+                if stats is None:
+                    avg_bits, pair_packed = _scan_symbol_stats(data, book), \
+                        None
+                else:
+                    avg_bits, pair_packed = stats
+            result = _gpu_encode_scan_body(
+                data, book, tuning, magnitude, reduction_factor, word_bits,
+                device, avg_bits, pair_packed,
+            )
+        else:
+            with _span("encode.lookup", n_symbols=int(data.size)):
+                codes, lens = book.lookup(data)
+            if data.size and int(lens.min()) == 0:
+                bad = int(data[np.argmin(lens)])
+                raise ValueError(
+                    f"symbol {bad} has no codeword (zero frequency)"
+                )
+            lens = lens.astype(np.int64)
+            avg_bits = int(lens.sum()) / data.size if data.size else 0.0
+            result = _gpu_encode_body(
+                data, book, tuning, magnitude, reduction_factor, word_bits,
+                device, codes, lens, avg_bits,
+            )
     enc_span.set_attr(
         bytes_out=int(result.stream.payload_bytes),
         avg_bits=round(avg_bits, 4),
@@ -172,6 +288,158 @@ def gpu_encode(
     return result
 
 
+def _resolve_tuning(
+    tuning: EncoderTuning | None,
+    magnitude: int,
+    reduction_factor: int | None,
+    word_bits: int,
+    avg_bits: float,
+) -> EncoderTuning:
+    if tuning is not None:
+        return tuning
+    if reduction_factor is None:
+        from repro.core.tuning import choose_reduction_factor
+
+        reduction_factor = choose_reduction_factor(
+            max(avg_bits, 1e-9), word_bits, magnitude,
+            EMPIRICAL_MAX_REDUCTION,
+        )
+    return EncoderTuning(magnitude, reduction_factor, word_bits)
+
+
+def _structural_costs(
+    data: np.ndarray,
+    stream: EncodedStream,
+    tuning: EncoderTuning,
+    n_full: int,
+    moved_words: int,
+    breaking_fraction: float,
+    breaking: BreakingStore,
+) -> list[KernelCost]:
+    """Modeled kernel costs from structural counts only.
+
+    Shared by the iterative and scan-pack bodies: every input here
+    (sizes, launch geometry, moved words, breaking fraction) is provably
+    equal between the two implementations, so the modeled Table II/V
+    numbers cannot drift with the host execution strategy.
+    """
+    r = tuning.reduction_factor
+    s = tuning.shuffle_factor
+    n_main = n_full * tuning.chunk_symbols
+    in_bytes = float(data.nbytes)
+    out_bytes = float(stream.payload_bytes)
+    merges = float(n_main) * (1.0 - 0.5**r) if r else 0.0
+    penalty = _occupancy_penalty(s) * _deep_reduce_penalty(r)
+    fused = KernelCost(
+        name="enc.reduce_shuffle_merge",
+        bytes_coalesced=in_bytes + out_bytes,
+        launches=1,
+        compute_cycles=(
+            _LOOKUP_CYCLES * data.size
+            + _MERGE_CYCLES * merges
+            + _MOVE_CYCLES * moved_words
+        ) * penalty,
+        divergence_factor=1.0,  # divergence folded into _MOVE_CYCLES
+        meta={
+            "M": tuning.magnitude,
+            "r": r,
+            "s": s,
+            "chunks": n_full,
+            "moved_words": moved_words,
+            "breaking_fraction": breaking_fraction,
+            "occupancy_penalty": _occupancy_penalty(s),
+            "deep_reduce_penalty": _deep_reduce_penalty(r),
+        },
+    )
+    blockwise = KernelCost(
+        name="enc.blockwise_len",
+        bytes_coalesced=float(n_full * 16),
+        launches=1,
+        compute_cycles=float(n_full) * 4.0,
+        meta={"chunks": n_full},
+    )
+    coalesce = KernelCost(
+        name="enc.coalesce_copy",
+        bytes_coalesced=(_OUTPUT_TRAFFIC_FACTOR - 1.0) * out_bytes,
+        launches=1,
+        compute_cycles=out_bytes / 4.0,
+        meta={},
+    )
+    return [fused, *breaking_costs(breaking), blockwise, coalesce]
+
+
+def _gpu_encode_scan_body(
+    data: np.ndarray,
+    book: CanonicalCodebook,
+    tuning: EncoderTuning | None,
+    magnitude: int,
+    reduction_factor: int | None,
+    word_bits: int,
+    device: DeviceSpec,
+    avg_bits: float,
+    pair_packed: np.ndarray | None = None,
+) -> "GpuEncodeResult":
+    """Scan-pack encode body: one fused gather/reduce/scatter pass."""
+    tuning = _resolve_tuning(
+        tuning, magnitude, reduction_factor, word_bits, avg_bits
+    )
+    N = tuning.chunk_symbols
+    n_full = data.size // N
+    n_main = n_full * N
+    main = data[:n_main]
+
+    # -- fused lookup + reduce + exclusive scan + bit scatter ---------------
+    with _span("encode.scan_pack", r=tuning.reduction_factor,
+               s=tuning.shuffle_factor, chunks=n_full) as scan_span:
+        res = scan_pack_symbols(main, book, tuning, pair_packed=pair_packed)
+    scan_span.set_attr(moved_words=res.merged.moved_words,
+                       cells=res.n_cells)
+    frac = res.breaking_fraction
+
+    # -- breaking backtrace + sparse save (symbol-side gather) --------------
+    with _span("encode.breaking") as brk_span:
+        breaking = extract_breaking_symbols(
+            main, book, res.broken, tuning.group_symbols
+        )
+    brk_span.set_attr(nnz=breaking.nnz, fraction=frac)
+
+    # -- coalescing copy -----------------------------------------------------
+    with _span("encode.coalesce") as co_span:
+        payload, offsets = res.merged.payload()
+    co_span.set_attr(bytes_out=int(payload.nbytes))
+
+    # -- tail ---------------------------------------------------------------
+    with _span("encode.pack_tail", n_symbols=int(data.size - n_main)):
+        tail_codes, tail_lens = book.lookup(data[n_main:])
+        tail_buf, tail_bits = pack_codewords(
+            tail_codes, tail_lens.astype(np.int64)
+        )
+
+    stream = EncodedStream(
+        tuning=tuning,
+        n_symbols=int(data.size),
+        chunk_bits=res.merged.bits,
+        payload=payload,
+        chunk_offsets=offsets,
+        breaking=breaking,
+        tail_payload=tail_buf,
+        tail_bits=tail_bits,
+        tail_symbols=int(data.size - n_main),
+    )
+    costs = _structural_costs(
+        data, stream, tuning, n_full, res.merged.moved_words,
+        frac, breaking,
+    )
+    return GpuEncodeResult(
+        stream=stream,
+        costs=costs,
+        tuning=tuning,
+        avg_bits=avg_bits,
+        breaking_fraction=frac,
+        input_bytes=int(data.nbytes),
+    )
+
+
 def _gpu_encode_body(
     data: np.ndarray,
     book: CanonicalCodebook,
@@ -184,15 +452,9 @@ def _gpu_encode_body(
     lens: np.ndarray,
     avg_bits: float,
 ) -> "GpuEncodeResult":
-    if tuning is None:
-        if reduction_factor is None:
-            from repro.core.tuning import choose_reduction_factor
-
-            reduction_factor = choose_reduction_factor(
-                max(avg_bits, 1e-9), word_bits, magnitude,
-                EMPIRICAL_MAX_REDUCTION,
-            )
-        tuning = EncoderTuning(magnitude, reduction_factor, word_bits)
+    tuning = _resolve_tuning(
+        tuning, magnitude, reduction_factor, word_bits, avg_bits
+    )
     N = tuning.chunk_symbols
     r = tuning.reduction_factor
     s = tuning.shuffle_factor
@@ -214,20 +476,20 @@ def _gpu_encode_body(
     # -- SHUFFLE-merge ------------------------------------------------------
     with _span("encode.shuffle_merge", s=s, chunks=n_full) as shuf_span:
         if red.broken.any():
-            vals = red.values.copy()
-            cell_lens = red.lengths.copy()
-            vals[red.broken] = 0
-            cell_lens[red.broken] = 0
-        else:
-            # common case (<0.01 % breaking in the paper): no broken cells
-            # to zero out, so feed the reduce output straight through
-            # without materializing two more full-size arrays
-            vals, cell_lens = red.values, red.lengths
-        shuf = shuffle_merge(vals, cell_lens, tuning.cells_per_chunk,
-                             tuning.word_bits)
+            # zero broken cells *in place*: reduce_merge owns its output
+            # buffers (never aliases the caller's arrays), and the
+            # breaking side channel above has already captured the true
+            # bits — no need for two more full-size copies here
+            red.values[red.broken] = 0
+            red.lengths[red.broken] = 0
+        shuf = shuffle_merge(red.values, red.lengths,
+                             tuning.cells_per_chunk, tuning.word_bits)
+        shuf_span.set_attr(moved_words=shuf.moved_words)
+
+    # -- coalescing copy -----------------------------------------------------
+    with _span("encode.coalesce") as co_span:
         payload, offsets = shuf.payload()
-        shuf_span.set_attr(moved_words=shuf.moved_words,
-                           bytes_out=int(payload.nbytes))
+    co_span.set_attr(bytes_out=int(payload.nbytes))
 
     # -- tail ---------------------------------------------------------------
     with _span("encode.pack_tail", n_symbols=int(data.size - n_main)):
@@ -246,47 +508,10 @@ def _gpu_encode_body(
         tail_symbols=int(data.size - n_main),
     )
 
-    # -- structural costs ----------------------------------------------------
-    in_bytes = float(data.nbytes)
-    out_bytes = float(stream.payload_bytes)
-    merges = float(n_main) * (1.0 - 0.5**r) if r else 0.0
-    penalty = _occupancy_penalty(s) * _deep_reduce_penalty(r)
-    fused = KernelCost(
-        name="enc.reduce_shuffle_merge",
-        bytes_coalesced=in_bytes + out_bytes,
-        launches=1,
-        compute_cycles=(
-            _LOOKUP_CYCLES * data.size
-            + _MERGE_CYCLES * merges
-            + _MOVE_CYCLES * shuf.moved_words
-        ) * penalty,
-        divergence_factor=1.0,  # divergence folded into _MOVE_CYCLES
-        meta={
-            "M": tuning.magnitude,
-            "r": r,
-            "s": s,
-            "chunks": n_full,
-            "moved_words": shuf.moved_words,
-            "breaking_fraction": red.breaking_fraction,
-            "occupancy_penalty": _occupancy_penalty(s),
-            "deep_reduce_penalty": _deep_reduce_penalty(r),
-        },
+    costs = _structural_costs(
+        data, stream, tuning, n_full, shuf.moved_words,
+        red.breaking_fraction, breaking,
     )
-    blockwise = KernelCost(
-        name="enc.blockwise_len",
-        bytes_coalesced=float(n_full * 16),
-        launches=1,
-        compute_cycles=float(n_full) * 4.0,
-        meta={"chunks": n_full},
-    )
-    coalesce = KernelCost(
-        name="enc.coalesce_copy",
-        bytes_coalesced=(_OUTPUT_TRAFFIC_FACTOR - 1.0) * out_bytes,
-        launches=1,
-        compute_cycles=out_bytes / 4.0,
-        meta={},
-    )
-    costs = [fused, *breaking_costs(breaking), blockwise, coalesce]
     return GpuEncodeResult(
         stream=stream,
         costs=costs,

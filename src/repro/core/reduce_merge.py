@@ -85,20 +85,46 @@ def reduce_merge(
     if word_bits >= 64:
         raise ValueError("word_bits must be below 64")
 
-    vals = codes.copy()
-    out_lens = lens.copy()
-    for _ in range(r):
-        v = vals.reshape(-1, 2)
-        l = out_lens.reshape(-1, 2)
-        new_len = l[:, 0] + l[:, 1]
-        # values stay exact while they fit in the uint64 accumulator;
-        # beyond that the cell is broken anyway (> word_bits)
-        representable = new_len <= 63
-        shift = np.where(representable, l[:, 1], 0).astype(np.uint64)
-        merged = (v[:, 0] << shift) | v[:, 1]
-        merged[~representable] = 0
-        vals = merged
-        out_lens = new_len
+    if r == 0 or codes.size == 0:
+        # copy so the result never aliases the caller's arrays (the
+        # encoder zeroes broken cells in place on the returned buffers)
+        vals = codes.copy()
+        out_lens = lens.copy()
+    else:
+        # ping-pong halving buffers: iteration i reads the previous
+        # level and writes the next into a preallocated half-size
+        # buffer, so the loop allocates two buffers total instead of a
+        # fresh (merged, new_len) pair per iteration
+        ping_v = np.empty(codes.size >> 1, dtype=np.uint64)
+        ping_l = np.empty(codes.size >> 1, dtype=np.int64)
+        pong_v = pong_l = None
+        src_v, src_l = codes, lens
+        dst_v, dst_l = ping_v, ping_l
+        size = codes.size
+        for _ in range(r):
+            size >>= 1
+            v = src_v[: size * 2].reshape(-1, 2)
+            l = src_l[: size * 2].reshape(-1, 2)
+            out_v = dst_v[:size]
+            out_l = dst_l[:size]
+            np.add(l[:, 0], l[:, 1], out=out_l)
+            # values stay exact while they fit in the uint64 accumulator;
+            # beyond that the cell is broken anyway (> word_bits)
+            representable = out_l <= 63
+            shift = np.where(representable, l[:, 1], 0).astype(np.uint64)
+            np.left_shift(v[:, 0], shift, out=out_v)
+            np.bitwise_or(out_v, v[:, 1], out=out_v)
+            out_v[~representable] = 0
+            if pong_v is None:
+                pong_v = np.empty(codes.size >> 2, dtype=np.uint64) \
+                    if r > 1 else ping_v
+                pong_l = np.empty(codes.size >> 2, dtype=np.int64) \
+                    if r > 1 else ping_l
+            src_v, src_l = out_v, out_l
+            dst_v, dst_l = (pong_v, pong_l) if dst_v is ping_v \
+                else (ping_v, ping_l)
+        vals = src_v
+        out_lens = src_l
 
     broken = out_lens > word_bits
     return ReduceMergeResult(

@@ -62,25 +62,34 @@ class ShuffleMergeResult:
     def payload(self) -> tuple[np.ndarray, np.ndarray]:
         """Byte-aligned concatenation of all chunks (the coalescing copy).
 
-        Vectorized ``grouped_arange`` gather: every chunk's first
-        ``nbytes[c]`` bytes are pulled out of the rectangular word storage
-        with one flat fancy-index — no Python-level chunk loop.
+        Chunks are dense slabs, so the copy is one contiguous memcpy per
+        chunk (the GPU's batched ``cudaMemcpyAsync`` shape) when chunks
+        are few and fat; for many tiny chunks a single vectorized
+        ``grouped_arange`` gather avoids the per-chunk loop overhead.
+        Both produce identical bytes.
 
         Returns ``(buffer, byte_offsets)`` with ``byte_offsets`` of length
         ``n_chunks + 1``.
         """
-        from repro.utils.bits import grouped_arange
-
         nbytes = (self.bits + 7) // 8
         offsets = np.zeros(self.n_chunks + 1, dtype=np.int64)
         np.cumsum(nbytes, out=offsets[1:])
-        if self.n_chunks == 0 or int(offsets[-1]) == 0:
+        total = int(offsets[-1])
+        if self.n_chunks == 0 or total == 0:
             return np.empty(0, dtype=np.uint8), offsets
         big = self.words.astype(
             _WORD_DTYPES[self.word_bits]
         ).reshape(self.n_chunks, -1)
         raw = big.view(np.uint8).reshape(self.n_chunks, -1)
         row_bytes = raw.shape[1]
+        if total >= self.n_chunks * 64:
+            # few, fat chunks: slab memcpy per chunk beats index building
+            out = np.empty(total, dtype=np.uint8)
+            for c in range(self.n_chunks):
+                out[offsets[c]:offsets[c + 1]] = raw[c, : int(nbytes[c])]
+            return out, offsets
+        from repro.utils.bits import grouped_arange
+
         src = np.repeat(
             np.arange(self.n_chunks, dtype=np.int64) * row_bytes, nbytes
         ) + grouped_arange(nbytes)
@@ -183,21 +192,32 @@ def shuffle_merge(
 
 
 def shuffle_merge_trace(
-    cell_values: np.ndarray, cell_lengths: np.ndarray, cells_per_chunk: int
+    cell_values: np.ndarray,
+    cell_lengths: np.ndarray,
+    cells_per_chunk: int,
+    word_bits: int = 32,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """Per-iteration (words, group_bits) snapshots for one chunk — Fig. 2.
 
-    For small documentation/test inputs.
+    For small documentation/test inputs.  ``word_bits`` selects the
+    representing-word width exactly as in :func:`shuffle_merge`; earlier
+    revisions hardcoded 32-bit alignment here, which made W∈{8,16}
+    traces disagree with the merge they were meant to illustrate.
     """
+    if word_bits not in _WORD_DTYPES:
+        raise ValueError("word_bits must be 8, 16, or 32")
     vals = np.asarray(cell_values, dtype=np.uint64)
     lens = np.asarray(cell_lengths, dtype=np.int64)
-    shift_up = (np.uint64(32) - lens.astype(np.uint64)) % np.uint64(64)
-    words = ((vals << shift_up) & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    if np.any(lens > word_bits) or np.any(lens < 0):
+        raise ValueError("cell lengths must be in [0, word_bits]")
+    mask = np.uint64((1 << word_bits) - 1)
+    shift_up = (np.uint64(word_bits) - lens.astype(np.uint64)) % np.uint64(64)
+    words = ((vals << shift_up) & mask).astype(np.uint32)
     words = words.reshape(1, cells_per_chunk, 1)
     glen = lens.reshape(1, cells_per_chunk).copy()
     snaps = [(words.reshape(cells_per_chunk, -1).copy(), glen[0].copy())]
     s = int(np.log2(cells_per_chunk))
     for _ in range(s):
-        words, glen, _m = _merge_iteration(words, glen)
+        words, glen, _m = _merge_iteration(words, glen, word_bits)
         snaps.append((words[0].copy(), glen[0].copy()))
     return snaps

@@ -99,7 +99,10 @@ def write_wallclock_json(
             "note": (
                 "decode_scalar_s is the pre-existing scalar reference "
                 "decoder (before); decode_batch_s is the table-driven "
-                "batch lane decoder (after); best-of-N wall-clock."
+                "batch lane decoder (after); encode_s is the iterative "
+                "reduce-shuffle encoder (before); encode_scan_s is the "
+                "scan-pack fast path (after, bit-identical container); "
+                "best-of-N wall-clock, sequential per-impl blocks."
             ),
         },
         "datasets": {r.dataset: r.to_dict() for r in results},

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -76,10 +76,30 @@ class WallclockResult:
     #: measured and recorded alongside the timings)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: the scan-pack fast path (``impl="scan"``, the default encoder),
+    #: timed in its own sequential best-of-N block right after the
+    #: iterative reference so the two numbers see the same cache state
+    encode_scan_s: float = 0.0
+    #: per-stage wall time (ms) of one traced encode per implementation:
+    #: ``{"iterative": {"encode.lookup": ..., ...}, "scan": {...}}``
+    encode_stages: dict = field(default_factory=dict)
 
     @property
     def encode_mb_s(self) -> float:
         return self.input_bytes / self.encode_s / 1e6
+
+    @property
+    def encode_scan_mb_s(self) -> float:
+        if not self.encode_scan_s:
+            return 0.0
+        return self.input_bytes / self.encode_scan_s / 1e6
+
+    @property
+    def encode_speedup(self) -> float:
+        """scan-pack over the iterative reference (the PR-level number)."""
+        if not self.encode_scan_s:
+            return 1.0
+        return self.encode_s / self.encode_scan_s
 
     @property
     def decode_scalar_mb_s(self) -> float:
@@ -97,6 +117,8 @@ class WallclockResult:
         d = asdict(self)
         d.update(
             encode_mb_s=round(self.encode_mb_s, 2),
+            encode_scan_mb_s=round(self.encode_scan_mb_s, 2),
+            encode_speedup=round(self.encode_speedup, 2),
             decode_scalar_mb_s=round(self.decode_scalar_mb_s, 3),
             decode_batch_mb_s=round(self.decode_batch_mb_s, 2),
             decode_speedup=round(self.decode_speedup, 1),
@@ -128,6 +150,34 @@ def _cache_info() -> tuple[int, int]:
     return a.hits + b.hits, a.misses + b.misses
 
 
+def _encode_stage_breakdown(data, book) -> dict:
+    """One traced encode per implementation; per-stage times in ms.
+
+    Each encode runs under a private :class:`Tracer`, so the nested
+    ``encode.*`` pipeline-stage spans (lookup, reduce/shuffle or
+    scan-pack, breaking extraction, coalesce, tail pack) are captured
+    regardless of whether the bench itself is traced.  The dict lands in
+    ``BENCH_wallclock.json`` so a regression in any single stage is
+    visible without re-running with ``--trace``.
+    """
+    out: dict[str, dict] = {}
+    for impl in ("iterative", "scan"):
+        t = Tracer(f"bench-stages-{impl}")
+        prev = set_tracer(t)
+        try:
+            gpu_encode(data, book, impl=impl)
+        finally:
+            set_tracer(prev)
+        stages: dict[str, float] = {}
+        for sp in t.spans:
+            if sp.name.startswith("encode."):
+                stages[sp.name] = round(
+                    stages.get(sp.name, 0.0) + sp.duration_s * 1e3, 3
+                )
+        out[impl] = stages
+    return out
+
+
 def run_wallclock(
     dataset: str,
     size_bytes: int = DEFAULT_SIZE,
@@ -154,15 +204,32 @@ def run_wallclock(
     book = parallel_codebook(hist.histogram).codebook
     table = cached_decode_table(book)  # warm, as in any steady-state use
 
-    enc = gpu_encode(data, book)
+    enc = gpu_encode(data, book, impl="iterative")
     ref = decode_stream_scalar(enc.stream, book)
     fast = decode_stream(enc.stream, book, table=table)
     if not np.array_equal(ref, fast) or not np.array_equal(fast, data):
         raise AssertionError(f"decoder mismatch on {dataset}")
+    # the scan-pack fast path must serialize to the identical container
+    # before its throughput number means anything
+    from repro.core.serialization import serialize_stream
 
+    enc_scan = gpu_encode(data, book, impl="scan")
+    if serialize_stream(enc_scan.stream, book) != \
+            serialize_stream(enc.stream, book):
+        raise AssertionError(f"scan-pack container divergence on {dataset}")
+
+    # sequential best-of-N blocks, iterative first then scan: each impl
+    # is timed back-to-back so the two numbers see the same cache/page
+    # state and the ratio is an honest like-for-like speedup
     encode_s = _timed_best(
-        tracer, "bench.encode", lambda: gpu_encode(data, book),
-        repeats, dataset=dataset,
+        tracer, "bench.encode",
+        lambda: gpu_encode(data, book, impl="iterative"),
+        repeats, dataset=dataset, impl="iterative",
+    )
+    encode_scan_s = _timed_best(
+        tracer, "bench.encode_scan",
+        lambda: gpu_encode(data, book, impl="scan"),
+        repeats, dataset=dataset, impl="scan",
     )
     # the batch path goes through the digest-keyed table cache exactly as
     # a steady-state deployment would: every repeat is a cache hit
@@ -186,6 +253,8 @@ def run_wallclock(
             enc.stream.payload_bytes + enc.stream.metadata_bytes
         ),
         encode_s=encode_s,
+        encode_scan_s=encode_scan_s,
+        encode_stages=_encode_stage_breakdown(data, book),
         decode_scalar_s=scalar_s,
         decode_batch_s=batch_s,
         cache_hits=hits1 - hits0,
@@ -306,6 +375,8 @@ def wallclock_table(results: Sequence[WallclockResult]) -> str:
             r.dataset,
             r.input_bytes // 1024,
             r.encode_mb_s,
+            r.encode_scan_mb_s,
+            round(r.encode_speedup, 2),
             r.decode_scalar_mb_s,
             r.decode_batch_mb_s,
             r.decode_speedup,
@@ -313,8 +384,8 @@ def wallclock_table(results: Sequence[WallclockResult]) -> str:
         for r in results
     ]
     return render_table(
-        ["dataset", "KiB", "enc MB/s", "dec scalar MB/s", "dec batch MB/s",
-         "speedup"],
+        ["dataset", "KiB", "enc iter MB/s", "enc scan MB/s", "enc x",
+         "dec scalar MB/s", "dec batch MB/s", "dec x"],
         rows,
         title="Wall-clock fast paths (measured, this host)",
     )

@@ -161,10 +161,10 @@ def pack_codeword_groups(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Pack every *row* of codewords into its own byte-aligned stream.
 
-    Vectorized across rows with a single ``grouped_arange`` scatter: each
-    row's bits land at ``row_byte_offset * 8 + bit_index`` inside one flat
-    bit array, the inter-row gaps stay zero (the byte padding), and one
-    ``np.packbits`` finishes the job.  Bit-identical to calling
+    Vectorized at *word* granularity: every codeword is left-aligned in a
+    64-bit word and scattered into its row's word grid at an exclusive
+    prefix-sum bit offset — each codeword touches at most two words, so
+    the work is O(codewords), not O(bits).  Bit-identical to calling
     :func:`pack_codewords` once per row and concatenating the buffers —
     which is exactly the Python loop this replaces in the breaking-cell
     dense-to-sparse save.
@@ -176,7 +176,7 @@ def pack_codeword_groups(
     lengths = np.asarray(lengths, dtype=np.int64)
     if codes.shape != lengths.shape or codes.ndim != 2:
         raise ValueError("codes and lengths must be equal-shape 2-D arrays")
-    rows = codes.shape[0]
+    rows, group = codes.shape
     bit_lengths = lengths.sum(axis=1)
     nbytes = (bit_lengths + 7) // 8
     byte_offsets = np.zeros(rows + 1, dtype=np.int64)
@@ -184,11 +184,35 @@ def pack_codeword_groups(
     total_bytes = int(byte_offsets[-1])
     if total_bytes == 0:
         return np.empty(0, dtype=np.uint8), bit_lengths, byte_offsets
-    flat_bits = codeword_bits(codes.ravel(), lengths.ravel())
-    dst = np.repeat(byte_offsets[:-1] * 8, bit_lengths) + grouped_arange(bit_lengths)
-    bit_arr = np.zeros(total_bytes * 8, dtype=np.uint8)
-    bit_arr[dst] = flat_bits
-    return np.packbits(bit_arr), bit_lengths, byte_offsets
+    # exclusive prefix of bit offsets within each row
+    offs = np.zeros((rows, group), dtype=np.int64)
+    np.cumsum(lengths[:, :-1], axis=1, out=offs[:, 1:])
+    # left-align each codeword; << auto-drops any stray bits above `l`
+    # (mirroring codeword_bits, which reads only the low `l` bits)
+    shift_up = (np.uint64(64) - lengths.astype(np.uint64)) % np.uint64(64)
+    v_left = np.where(lengths == 0, np.uint64(0), codes << shift_up)
+    shift = (offs & 63).astype(np.uint64)
+    word = offs >> 6
+    val1 = v_left >> shift
+    # (v << (64 - shift)) with a shift=0-safe double shift (numpy's uint64
+    # shift is mod 64, so a single << 64 would be a no-op, not a clear)
+    val2 = (v_left << (np.uint64(63) - shift)) << np.uint64(1)
+    # row capacity: bit_lengths <= 64 * group, so words 0..group-1 hold
+    # every bit and column `group` is a spill guard that must stay zero
+    cols = group + 1
+    grid = np.zeros(rows * cols, dtype=np.uint64)
+    idx = (np.arange(rows, dtype=np.int64)[:, None] * cols + word).ravel()
+    # disjoint bit ranges per the prefix offsets: add aliases to bitwise-or
+    np.add.at(grid, idx, val1.ravel())
+    np.add.at(grid, idx + 1, val2.ravel())
+    grid = grid.reshape(rows, cols)
+    assert not grid[:, group].any(), "codeword pack spill beyond row capacity"
+    raw = grid.astype(">u8").view(np.uint8).reshape(rows, -1)
+    row_bytes = raw.shape[1]
+    src = np.repeat(
+        np.arange(rows, dtype=np.int64) * row_bytes, nbytes
+    ) + grouped_arange(nbytes)
+    return raw.reshape(-1)[src], bit_lengths, byte_offsets
 
 
 def unpack_to_bits(buffer: np.ndarray, total_bits: int) -> np.ndarray:

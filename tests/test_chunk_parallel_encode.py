@@ -1,0 +1,168 @@
+"""Multiprocess shard layer: worker-count independence, chaos, serve stress.
+
+The shard layer's contract is that it is a pure throughput knob:
+``parallel_encode`` must emit the byte-identical container with identical
+modeled costs for every worker count, survive a crashed worker by
+degrading to the serial path (same bytes again), and keep behaving under
+the serve layer's thread-pool concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.app.compressor import compress_symbols, decompress_symbols
+from repro.core.chunk_parallel import (
+    PARALLEL_THRESHOLD_BYTES,
+    default_workers,
+    parallel_encode,
+)
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.serialization import serialize_stream
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.serve.service import CompressionService, ServiceConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    prev = set_registry(MetricsRegistry())
+    yield
+    set_registry(prev)
+
+
+def _payload(size=200_000, alphabet=300, seed=17):
+    rng = np.random.default_rng(seed)
+    probs = rng.dirichlet(np.ones(alphabet) * 0.15)
+    data = rng.choice(alphabet, size=size, p=probs).astype(np.uint16)
+    book = parallel_codebook(np.bincount(data, minlength=alphabet)).codebook
+    return data, book
+
+
+def _cost_tuples(res):
+    return [(c.name, c.bytes_coalesced, c.bytes_random, c.launches,
+             c.compute_cycles) for c in res.costs]
+
+
+class TestWorkerCountIndependence:
+    def test_bitstream_identical_for_every_worker_count(self):
+        """PR 4's invariant, extended to the process pool: the container
+        bytes and modeled costs are a pure function of (data, book)."""
+        data, book = _payload()
+        ref = gpu_encode(data, book, magnitude=10)
+        ref_bytes = serialize_stream(ref.stream, book)
+        for workers in (1, 2, 3, 5):
+            par = parallel_encode(data, book, magnitude=10,
+                                  workers=workers, threshold_bytes=0)
+            assert serialize_stream(par.stream, book) == ref_bytes, workers
+            assert _cost_tuples(par) == _cost_tuples(ref), workers
+            assert par.avg_bits == ref.avg_bits
+            assert par.breaking_fraction == ref.breaking_fraction
+
+    def test_small_inputs_short_circuit_to_serial(self):
+        data, book = _payload(size=4000)
+        assert data.nbytes < PARALLEL_THRESHOLD_BYTES
+        par = parallel_encode(data, book, magnitude=10, workers=4)
+        ref = gpu_encode(data, book, magnitude=10)
+        assert serialize_stream(par.stream, book) == \
+            serialize_stream(ref.stream, book)
+
+    def test_default_workers_bounded(self):
+        assert 1 <= default_workers() <= 4
+
+
+class TestChaos:
+    def test_crashed_worker_falls_back_to_identical_serial(self):
+        """One shard raising inside its process must not corrupt or fail
+        the encode: the pool fault is contained, the serial fallback
+        produces the identical stream, and the degradation is counted."""
+        data, book = _payload(seed=23)
+        ref = gpu_encode(data, book, magnitude=10)
+        from repro.obs import metrics as _metrics
+        before = _metrics().counter(
+            "repro_encode_parallel_fallback_total").value
+        par = parallel_encode(data, book, magnitude=10, workers=3,
+                              threshold_bytes=0, _inject_failure=1)
+        after = _metrics().counter(
+            "repro_encode_parallel_fallback_total").value
+        assert after == before + 1
+        assert serialize_stream(par.stream, book) == \
+            serialize_stream(ref.stream, book)
+        assert _cost_tuples(par) == _cost_tuples(ref)
+
+    def test_user_errors_are_not_retried(self):
+        """Out-of-range symbols are the caller's bug, not a pool fault:
+        they surface with the exact serial-path exception, and the
+        fallback counter stays untouched."""
+        data, book = _payload(seed=29)
+        bad = data.copy()
+        bad[1234] = 301  # alphabet is 300
+        with pytest.raises(IndexError) as par_exc:
+            parallel_encode(bad, book, magnitude=10, workers=3,
+                            threshold_bytes=0)
+        with pytest.raises(IndexError) as ser_exc:
+            gpu_encode(bad, book, magnitude=10)
+        assert str(par_exc.value) == str(ser_exc.value)
+        from repro.obs import metrics as _metrics
+        assert _metrics().counter(
+            "repro_encode_parallel_fallback_total").value == 0
+
+
+class TestServeStress:
+    def test_ten_thread_serve_stress_exercises_scan_pack(self):
+        """10 client threads hammer the service: every blob must be
+        bit-identical to the facade reference and decode losslessly —
+        the MicroBatcher / ShardPool path now rides the scan-pack
+        encoder underneath."""
+        dists = []
+        for s in range(4):
+            rng = np.random.default_rng(101 + s)
+            probs = rng.dirichlet(np.ones(48) * (0.08 + 0.2 * s))
+            dists.append(
+                rng.choice(48, size=2500, p=probs).astype(np.uint16)
+            )
+        reference = [compress_symbols(d)[0] for d in dists]
+
+        cfg = ServiceConfig(n_shards=3, max_batch=8, max_delay_s=0.004,
+                            queue_size=512)
+        failures: list[str] = []
+        lock = threading.Lock()
+
+        def client(cid: int):
+            rng = np.random.default_rng(cid)
+            for j in range(12):
+                i = int(rng.integers(0, len(dists)))
+                try:
+                    if (cid + j) % 2 == 0:
+                        blob, _ = svc.compress(dists[i])
+                        ok = blob == reference[i]
+                    else:
+                        out = svc.decompress(reference[i])
+                        ok = np.array_equal(out, dists[i])
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    ok = False
+                    with lock:
+                        failures.append(f"client {cid} req {j}: {exc!r}")
+                    continue
+                if not ok:
+                    with lock:
+                        failures.append(f"client {cid} req {j}: corrupt")
+
+        with CompressionService(cfg) as svc:
+            threads = [threading.Thread(target=client, args=(c,))
+                       for c in range(10)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120.0)
+            stats = svc.stats()
+
+        assert not failures, failures[:5]
+        assert stats["requests"]["served"] == 120
+        assert stats["requests"]["user_errors"] == 0
+        # and every reference blob round-trips through the facade
+        for d, blob in zip(dists, reference):
+            assert np.array_equal(decompress_symbols(blob), d)

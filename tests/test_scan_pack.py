@@ -1,0 +1,199 @@
+"""Scan-pack fast encoder: equivalence with the iterative reference.
+
+The load-bearing claim of the fast path is *bit-for-bit identity*:
+``scan_pack == shuffle_merge ∘ zeroed(reduce_merge)`` on any input the
+iterative pair accepts (property-tested over random (M, r, W, skew)),
+and ``gpu_encode(impl="scan")`` serializing to the identical container
+bytes with identical modeled costs as ``impl="iterative"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import ENCODE_IMPLS, gpu_encode
+from repro.core.reduce_merge import reduce_merge
+from repro.core.scan_pack import (
+    analytic_moved_words,
+    packed_pair_stats,
+    packed_tables_supported,
+    scan_pack,
+    scan_pack_symbols,
+)
+from repro.core.serialization import serialize_stream
+from repro.core.shuffle_merge import shuffle_merge
+from repro.core.tuning import EncoderTuning
+
+
+def book_for(data, n):
+    return parallel_codebook(np.bincount(data, minlength=n)).codebook
+
+
+def iterative_reference(codes, lens, tuning):
+    """The exact composition gpu_encode's iterative body runs."""
+    red = reduce_merge(codes, lens, tuning.reduction_factor,
+                       word_bits=tuning.word_bits)
+    v = red.values.copy()
+    l = red.lengths.copy()
+    v[red.broken] = 0
+    l[red.broken] = 0
+    merged = shuffle_merge(v, l, tuning.cells_per_chunk,
+                           word_bits=tuning.word_bits)
+    return red, merged
+
+
+def random_cells(rng, n, W, skew):
+    if skew == "uniform":
+        lens = rng.integers(0, W + 1, n)
+    elif skew == "tiny":
+        lens = rng.integers(0, 4, n)
+    elif skew == "fat":  # mostly-breaking cells
+        lens = rng.integers(max(W // 2, 1), 49, n)
+    else:  # mixed: clean runs with breaking bursts
+        lens = rng.integers(1, max(W // 3, 2), n)
+        burst = rng.random(n) < 0.08
+        lens[burst] = rng.integers(W, 49, int(burst.sum()))
+    codes = rng.integers(0, 1 << 62, n, dtype=np.uint64)
+    return codes, lens.astype(np.int64)
+
+
+class TestScanPackProperty:
+    @given(st.data())
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_scan_pack_equals_reduce_shuffle(self, data):
+        W = data.draw(st.sampled_from([8, 16, 32]))
+        M = data.draw(st.integers(2, 7))
+        r = data.draw(st.integers(0, min(3, M - 1)))
+        n_chunks = data.draw(st.integers(1, 4))
+        skew = data.draw(
+            st.sampled_from(["uniform", "tiny", "fat", "mixed"])
+        )
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        tuning = EncoderTuning(M, r, W)
+        codes, lens = random_cells(rng, n_chunks << M, W, skew)
+
+        sp = scan_pack(codes, lens, tuning)
+        red, merged = iterative_reference(codes, lens, tuning)
+
+        assert np.array_equal(sp.merged.words, merged.words)
+        assert np.array_equal(sp.merged.bits, merged.bits)
+        assert sp.merged.iterations == merged.iterations
+        assert sp.merged.moved_words == merged.moved_words
+        assert np.array_equal(sp.broken, red.broken)
+        assert np.array_equal(sp.cell_lengths, red.lengths)
+        assert sp.breaking_fraction == red.breaking_fraction
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_symbol_encode_bytes_identical(self, data):
+        """gpu_encode scan vs iterative: identical container bytes."""
+        alphabet = data.draw(st.sampled_from([2, 7, 64, 300]))
+        magnitude = data.draw(st.integers(3, 8))
+        size = data.draw(st.integers(0, 3000))
+        conc = data.draw(st.floats(0.05, 2.0))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        probs = rng.dirichlet(np.ones(alphabet) * conc)
+        syms = rng.choice(alphabet, size=max(size, 1), p=probs)[:size]
+        syms = syms.astype(np.uint16)
+        if not syms.size:
+            return
+        book = book_for(syms, alphabet)
+        it = gpu_encode(syms, book, magnitude=magnitude, impl="iterative")
+        sc = gpu_encode(syms, book, magnitude=magnitude, impl="scan")
+        assert serialize_stream(sc.stream, book) == \
+            serialize_stream(it.stream, book)
+        assert sc.avg_bits == it.avg_bits
+        assert sc.breaking_fraction == it.breaking_fraction
+        it_costs = [(c.name, c.bytes_coalesced, c.bytes_random,
+                     c.launches, c.compute_cycles) for c in it.costs]
+        sc_costs = [(c.name, c.bytes_coalesced, c.bytes_random,
+                     c.launches, c.compute_cycles) for c in sc.costs]
+        assert sc_costs == it_costs
+
+
+class TestScanPackUnits:
+    @pytest.mark.parametrize("W", [8, 16, 32])
+    def test_word_widths_roundtrip_vs_iterative(self, W):
+        rng = np.random.default_rng(5)
+        syms = rng.choice(40, size=9000,
+                          p=rng.dirichlet(np.ones(40) * 0.1))
+        syms = syms.astype(np.uint16)
+        book = book_for(syms, 40)
+        it = gpu_encode(syms, book, magnitude=6, word_bits=W,
+                        impl="iterative")
+        sc = gpu_encode(syms, book, magnitude=6, word_bits=W, impl="scan")
+        assert serialize_stream(sc.stream, book) == \
+            serialize_stream(it.stream, book)
+
+    def test_analytic_moved_words_matches_shuffle(self):
+        for s in range(0, 9):
+            for n_chunks in (0, 1, 3, 17):
+                cpc = 1 << s
+                vals = np.zeros(n_chunks * cpc, dtype=np.uint64)
+                lens = np.ones(n_chunks * cpc, dtype=np.int64)
+                sm = shuffle_merge(vals, lens, cpc)
+                assert analytic_moved_words(n_chunks, s) == sm.moved_words
+
+    def test_impl_validation(self):
+        data = np.array([0, 1], dtype=np.uint8)
+        book = book_for(data, 2)
+        with pytest.raises(ValueError, match="impl must be one of"):
+            gpu_encode(data, book, impl="warp")
+        assert set(ENCODE_IMPLS) == {"auto", "scan", "iterative"}
+
+    def test_error_parity_out_of_range_and_zero_freq(self):
+        rng = np.random.default_rng(0)
+        syms = rng.integers(0, 2, 4096).astype(np.uint16)
+        book = book_for(syms, 3)  # symbol 2 never occurs -> no codeword
+        bad_oob = syms.copy()
+        bad_oob[7] = 9
+        bad_zero = syms.copy()
+        bad_zero[7] = 2
+        for bad, exc in ((bad_oob, IndexError), (bad_zero, ValueError)):
+            msgs = []
+            for impl in ("iterative", "scan"):
+                with pytest.raises(exc) as ei:
+                    gpu_encode(bad, book, impl=impl)
+                msgs.append(str(ei.value))
+            assert msgs[0] == msgs[1]
+
+    def test_pair_packed_reuse_is_identical(self):
+        rng = np.random.default_rng(11)
+        syms = rng.choice(50, size=4096,
+                          p=rng.dirichlet(np.ones(50) * 0.2))
+        syms = syms.astype(np.uint16)
+        book = book_for(syms, 50)
+        tuning = EncoderTuning(6, 2, 32)
+        assert packed_tables_supported(book, tuning)
+        stats = packed_pair_stats(syms, book)
+        direct = scan_pack_symbols(syms, book, tuning)
+        if stats is None:
+            return  # book has unused symbols: fusion correctly declined
+        avg, pairs = stats
+        lens = book.lengths[syms].astype(np.int64)
+        assert avg == int(lens.sum()) / syms.size
+        reused = scan_pack_symbols(syms, book, tuning, pair_packed=pairs)
+        assert np.array_equal(reused.merged.words, direct.merged.words)
+        assert np.array_equal(reused.merged.bits, direct.merged.bits)
+        assert np.array_equal(reused.broken, direct.broken)
+
+    def test_pair_stats_declines_incomplete_books(self):
+        rng = np.random.default_rng(3)
+        syms = rng.integers(0, 4, 4096).astype(np.uint16)
+        book = book_for(syms, 9)  # symbols 4..8 have no codewords
+        assert packed_pair_stats(syms, book) is None
+
+    def test_empty_and_tail_only_inputs(self):
+        data = np.arange(2, dtype=np.uint8).repeat(40)
+        book = book_for(data, 2)
+        for syms in (data[:0], data[:3]):
+            it = gpu_encode(syms, book, magnitude=6, impl="iterative")
+            sc = gpu_encode(syms, book, magnitude=6, impl="scan")
+            assert serialize_stream(sc.stream, book) == \
+                serialize_stream(it.stream, book)

@@ -45,8 +45,10 @@ conform:
 
 # wall-clock smoke: regenerates benchmarks/results/BENCH_wallclock.json,
 # asserts the >=20x batch-vs-scalar decode bar on the enwik surrogate,
-# and gates the scan-pack encoder: byte-identical container AND no
-# slower than the iterative reference (non-zero exit on regression)
+# gates the scan-pack encoder (byte-identical container AND no slower
+# than the iterative reference), and gates the gap-array decoder:
+# bit-identical to the lane decoder, and >=3x faster on both surrogates
+# when the compiled kernel is available (non-zero exit on regression)
 bench-smoke:
 	$(PY) -m pytest benchmarks/test_wallclock.py -q
 

@@ -8,12 +8,15 @@ times the code that really runs and records the before/after numbers in
 quantization-code stream.
 
 The PR-level bars: a >=20x decode speedup on the enwik-like surrogate,
-and the scan-pack encode fast path no slower than the iterative
+the scan-pack encode fast path no slower than the iterative
 reduce-shuffle reference on both surrogates (``run_wallclock`` already
 aborts if the scan container is not byte-identical, so a passing run
-certifies round-trip + bytes + throughput together).  The assertions
-keep a margin for machine noise; the checked-in JSON carries the actual
-measured ratios, including the per-stage encode breakdown.
+certifies round-trip + bytes + throughput together), and — when the
+compiled gap kernel is available — the gap-array decoder >=3x over the
+lane decoder on both surrogates (``run_wallclock`` aborts unless the
+gap output is bit-identical to the lane decoder's first).  The
+assertions keep a margin for machine noise; the checked-in JSON carries
+the actual measured ratios, including the per-stage encode breakdown.
 """
 
 import numpy as np
@@ -66,6 +69,17 @@ def test_wallclock(results_dir, bench_rng):
             f"{r.encode_scan_s:.4f}s vs {r.encode_s:.4f}s"
         )
         assert r.encode_stages["scan"] and r.encode_stages["iterative"]
+        # the gap-array gate: bit-identity is certified inside
+        # run_wallclock; the throughput bar applies only with the
+        # compiled kernel (the numpy reference backend exists for
+        # correctness, not speed, so no-toolchain hosts skip the ratio)
+        assert r.decode_gap_s > 0
+        if r.gap_backend == "native":
+            assert r.decode_speedup_gap >= 3.0, (
+                f"gap decoder only {r.decode_speedup_gap:.2f}x vs lanes "
+                f"on {r.dataset} (native backend needs >= 3x)"
+            )
+            assert r.decode_gap_s < r.decode_batch_s
 
     # serving-layer invariants: no corruption, no unexplained failures,
     # and the artifact carries the latency/shed record

@@ -230,6 +230,10 @@ def _dec_stream_container(art):
     return decode_stream(stream, book)
 
 
+def _dec_stream_gap(art):
+    return decode_stream(art.payload, art.book, strategy="gap")
+
+
 def _dec_dense_scalar(art):
     buf, nbits = art.payload
     return decode_canonical(buf, nbits, art.book, art.n_symbols)
@@ -237,7 +241,12 @@ def _dec_dense_scalar(art):
 
 def _dec_dense_lanes(art):
     buf, nbits = art.payload
-    return decode_batch(buf, nbits, art.book, art.n_symbols)
+    return decode_batch(buf, nbits, art.book, art.n_symbols, impl="lanes")
+
+
+def _dec_dense_gap(art):
+    buf, nbits = art.payload
+    return decode_batch(buf, nbits, art.book, art.n_symbols, impl="gap")
 
 
 def _dec_dense_selfsync(art):
@@ -269,6 +278,13 @@ def _chunks_lanes_layout(art):
 def _dec_chunks_lanes(art):
     buffer, starts, ends, syms = _chunks_lanes_layout(art)
     return decode_lanes(buffer, starts, ends, syms, art.book)
+
+
+def _dec_chunks_gap(art):
+    from repro.decoder.gap_array import gap_decode_lanes
+
+    buffer, starts, ends, syms = _chunks_lanes_layout(art)
+    return gap_decode_lanes(buffer, starts, ends, syms, art.book).symbols
 
 
 def _dec_chunks_scalar(art):
@@ -396,11 +412,13 @@ def default_registry() -> ConformRegistry:
             max_symbols=3_000, smoke=False,
         ),
         DecoderImpl("stream.container", ("stream",), _dec_stream_container),
+        DecoderImpl("stream.gap", ("stream",), _dec_stream_gap),
         DecoderImpl(
             "dense.scalar", ("dense",), _dec_dense_scalar,
             max_symbols=20_000,
         ),
         DecoderImpl("dense.lanes", ("dense",), _dec_dense_lanes),
+        DecoderImpl("dense.gap", ("dense",), _dec_dense_gap),
         DecoderImpl(
             "dense.self_sync", ("dense",), _dec_dense_selfsync,
             max_symbols=20_000,
@@ -414,6 +432,7 @@ def default_registry() -> ConformRegistry:
             max_symbols=20_000,
         ),
         DecoderImpl("chunks.lanes", ("chunks",), _dec_chunks_lanes),
+        DecoderImpl("chunks.gap", ("chunks",), _dec_chunks_gap),
         DecoderImpl(
             "segments.streaming", ("segments",), _dec_segments_streaming
         ),

@@ -226,19 +226,37 @@ def decode_stream(
     stream: EncodedStream,
     book: CanonicalCodebook,
     table: DecodeTable | None = None,
-    strategy: str = "batch",
+    strategy: str = "auto",
 ) -> np.ndarray:
     """Decode an :class:`EncodedStream` back to its symbol array.
 
-    ``strategy="batch"`` (default) runs the vectorized lane decoder;
-    ``strategy="scalar"`` runs the original per-chunk scalar reference.
-    Both produce identical symbols on every valid container.
+    ``strategy`` picks the machinery — all produce identical symbols on
+    every valid container:
+
+    - ``"auto"`` (default): the gap-array decoder when its compiled
+      backend is available, the book is in gap range, and the stream is
+      big enough to amortize pass 1; else ``"batch"``.
+    - ``"gap"``: two-pass gap-array decode (subchunk sync points, then
+      lock-step lanes; :mod:`repro.decoder.gap_array`).
+    - ``"batch"``: the vectorized chunk-lane decoder.
+    - ``"scalar"``: the original per-chunk scalar reference.
     """
     if strategy == "scalar":
         return decode_stream_scalar(stream, book, table)
-    if strategy != "batch":
+    if strategy not in ("auto", "batch", "gap"):
         raise ValueError(f"unknown decode strategy: {strategy!r}")
-    with _span("decode.stream", strategy="batch",
+    # local import: gap_array builds on the huffman decode machinery
+    from repro.decoder import gap_array
+    from repro.decoder.gap_native import native_available
+
+    if strategy == "auto":
+        strategy = (
+            "gap"
+            if native_available()
+            and stream.n_symbols >= gap_array.AUTO_MIN_SYMBOLS
+            else "batch"
+        )
+    with _span("decode.stream", strategy=strategy,
                bytes_in=int(stream.payload_bytes),
                n_symbols=int(stream.n_symbols),
                chunks=stream.n_chunks) as sp:
@@ -247,7 +265,14 @@ def decode_stream(
         with _span("decode.lanes") as lanes_span:
             buffer, starts, ends, nsyms = stream_lanes(stream)
             lanes_span.set_attr(lanes=int(nsyms.size))
-            decoded = decode_lanes(buffer, starts, ends, nsyms, book, table)
+            if strategy == "gap":
+                decoded = gap_array.gap_decode_lanes(
+                    buffer, starts, ends, nsyms, book, table
+                ).symbols
+            else:
+                decoded = decode_lanes(
+                    buffer, starts, ends, nsyms, book, table
+                )
         with _span("decode.assemble", broken=stream.breaking.nnz):
             out = assemble_stream_symbols(stream, decoded)
         sp.set_attr(bytes_out=int(out.nbytes))

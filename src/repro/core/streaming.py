@@ -154,8 +154,11 @@ class StreamingDecoder:
     returns a fresh codebook object each time.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, strategy: str = "auto") -> None:
         self.symbols_decoded = 0
+        #: decode_stream strategy for every segment ("auto" routes to
+        #: the gap-array decoder when its compiled backend is present)
+        self.strategy = strategy
         # decode_segment is called concurrently by the serve layer's
         # worker shards; the counter update must not race
         self._count_lock = threading.Lock()
@@ -163,7 +166,10 @@ class StreamingDecoder:
     def decode_segment(self, segment: bytes) -> np.ndarray:
         with _span("streaming.decode_segment", bytes_in=len(segment)) as sp:
             stream, book = deserialize_stream(segment)
-            out = decode_stream(stream, book, table=cached_decode_table(book))
+            out = decode_stream(
+                stream, book, table=cached_decode_table(book),
+                strategy=self.strategy,
+            )
             sp.set_attr(bytes_out=int(out.nbytes))
         with self._count_lock:
             self.symbols_decoded += out.size

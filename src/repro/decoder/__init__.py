@@ -7,12 +7,26 @@ from repro.decoder.chunk_parallel import (
     chunk_parallel_decode,
     parallel_decode_stream,
 )
+from repro.decoder.gap_array import (
+    GapArray,
+    GapDecodeResult,
+    gap_decode_lanes,
+    gap_supported,
+    reference_gap_array,
+)
+from repro.decoder.gap_native import native_available
 from repro.decoder.self_sync import SelfSyncResult, self_sync_decode
 
 __all__ = [
     "ChunkDecodeResult",
     "chunk_parallel_decode",
     "parallel_decode_stream",
+    "GapArray",
+    "GapDecodeResult",
+    "gap_decode_lanes",
+    "gap_supported",
+    "reference_gap_array",
+    "native_available",
     "SelfSyncResult",
     "self_sync_decode",
 ]

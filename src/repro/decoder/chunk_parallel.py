@@ -51,20 +51,32 @@ def _auto_workers(total_symbols: int, n_lanes: int) -> int:
     return max(1, min(4, cpus, by_volume, n_lanes))
 
 
-def _shard_bounds(nsyms: np.ndarray, workers: int) -> list[tuple[int, int]]:
-    """Split lanes into contiguous shards with balanced symbol volume."""
-    cum = np.cumsum(nsyms)
+def _shard_bounds(weights: np.ndarray, workers: int) -> list[tuple[int, int]]:
+    """Split lanes into contiguous shards with balanced weight volume.
+
+    ``weights`` is per-lane decode work: symbol counts for the lane
+    decoder, subchunk counts for the gap decoder (its two passes scale
+    with subchunks, and a symbol-balanced split would starve shards of
+    lanes whose chunks compress densely).  Shards cover whole lanes, so
+    the concatenated output is identical for every worker count.
+    """
+    cum = np.cumsum(weights)
     total = int(cum[-1]) if cum.size else 0
     bounds, lo = [], 0
     for w in range(1, workers + 1):
         hi = int(np.searchsorted(cum, total * w // workers, side="left")) + 1
-        hi = min(max(hi, lo), nsyms.size)
+        hi = min(max(hi, lo), weights.size)
         if w == workers:
-            hi = nsyms.size
+            hi = weights.size
         if hi > lo:
             bounds.append((lo, hi))
         lo = hi
     return bounds
+
+
+#: test hook: shard indices forced to fail inside the pool, exercising
+#: the serial-fallback path without real crashes
+_fail_shards: set = set()
 
 
 def parallel_decode_stream(
@@ -72,47 +84,98 @@ def parallel_decode_stream(
     book: CanonicalCodebook,
     table: DecodeTable | None = None,
     workers: int | None = None,
+    impl: str = "auto",
 ) -> np.ndarray:
     """Decode a container with lane shards batched across a thread pool.
 
     ``workers=None`` sizes the pool automatically (1 for small inputs —
-    the single-shot vectorized call already saturates one core).  Shards
-    are contiguous lane ranges balanced by symbol volume; every shard
-    runs the same lock-step batch decoder over the shared read-only
-    buffer, so results are bit-identical regardless of ``workers``.
+    the single-shot vectorized call already saturates one core).
+    ``impl`` picks the per-shard machinery: ``"lanes"`` (the lock-step
+    batch decoder), ``"gap"`` (the two-pass gap-array decoder), or
+    ``"auto"`` (gap when its compiled backend is available and the
+    container is large enough).  Shards are contiguous lane ranges
+    balanced by decode work at the active impl's granularity; every
+    shard reads the shared read-only buffer and decodes whole lanes, so
+    results are bit-identical regardless of ``workers`` and ``impl``.
+    A shard crash falls back to one serial decode of the full container.
     """
     if table is None:
         table = cached_decode_table(book)
+    if impl not in ("auto", "gap", "lanes"):
+        raise ValueError(f"unknown decode impl: {impl!r}")
+    from repro.decoder import gap_array
+    from repro.decoder.gap_native import native_available
+
     with _span("decode.chunk_parallel",
                bytes_in=int(stream.payload_bytes),
                n_symbols=int(stream.n_symbols),
                chunks=stream.n_chunks) as sp:
         buffer, starts, ends, nsyms = stream_lanes(stream)
+        total_syms = int(nsyms.sum())
+        use_gap = impl == "gap" or (
+            impl == "auto"
+            and native_available()
+            and total_syms >= gap_array.AUTO_MIN_SYMBOLS
+        )
+        if use_gap:
+            # one subchunk width for every shard: shard outputs (and the
+            # gap side channel) don't depend on how lanes were sharded
+            S = gap_array.default_subchunk_bits(
+                int((ends - starts).sum()),
+                "native" if native_available() else "numpy",
+            )
+            weights = gap_array.subchunk_lane_counts(ends - starts, S)
+
+            def _decode(s, e, ns):
+                return gap_array.gap_decode_lanes(
+                    buffer, s, e, ns, book, table, subchunk_bits=S
+                ).symbols
+
+        else:
+            weights = nsyms
+
+            def _decode(s, e, ns):
+                return decode_lanes(buffer, s, e, ns, book, table)
+
         w = workers if workers is not None else _auto_workers(
-            int(nsyms.sum()), nsyms.size
+            total_syms, nsyms.size
         )
         reg = _metrics()
         reg.gauge("repro_decode_pool_workers").set(w)
+        sp.set_attr(impl="gap" if use_gap else "lanes")
         if w <= 1 or nsyms.size < 2:
             sp.set_attr(workers=1, shards=1, lanes=int(nsyms.size))
             reg.counter("repro_decode_shards_total").inc()
-            decoded = decode_lanes(buffer, starts, ends, nsyms, book, table)
+            decoded = _decode(starts, ends, nsyms)
         else:
-            bounds = _shard_bounds(nsyms, w)
+            bounds = _shard_bounds(weights, w)
             sp.set_attr(workers=w, shards=len(bounds), lanes=int(nsyms.size))
             reg.counter("repro_decode_shards_total").inc(len(bounds))
 
-            def _shard(be):
-                with _span("decode.shard", lanes=be[1] - be[0]):
-                    return decode_lanes(
-                        buffer, starts[be[0]:be[1]], ends[be[0]:be[1]],
-                        nsyms[be[0]:be[1]], book, table,
+            def _shard(ibe):
+                i, (lo, hi) = ibe
+                with _span("decode.shard", lanes=hi - lo):
+                    if i in _fail_shards:
+                        raise RuntimeError(f"injected shard failure {i}")
+                    return _decode(
+                        starts[lo:hi], ends[lo:hi], nsyms[lo:hi]
                     )
 
-            with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
-                parts = list(pool.map(_shard, bounds))
-            decoded = (np.concatenate(parts) if parts
-                       else np.empty(0, np.int64))
+            try:
+                with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+                    parts = list(pool.map(_shard, enumerate(bounds)))
+                decoded = (np.concatenate(parts) if parts
+                           else np.empty(0, np.int64))
+            except ValueError:
+                raise  # corrupt container: surface, don't re-decode
+            except Exception:
+                # a crashed shard must not kill the decode: run the
+                # serial reference once over the whole container
+                reg.counter("repro_decode_parallel_fallback_total").inc()
+                with _span("decode.serial_fallback", lanes=int(nsyms.size)):
+                    decoded = decode_lanes(
+                        buffer, starts, ends, nsyms, book, table
+                    )
         with _span("decode.assemble", broken=stream.breaking.nnz):
             out = assemble_stream_symbols(stream, decoded)
         sp.set_attr(bytes_out=int(out.nbytes))
@@ -138,11 +201,14 @@ def chunk_parallel_decode(
     table: DecodeTable | None = None,
     device: DeviceSpec = V100,
     workers: int | None = None,
+    impl: str = "auto",
 ) -> ChunkDecodeResult:
     """Decode an encoded stream chunk-parallel, with cost accounting."""
     if table is None:
         table = cached_decode_table(book)
-    symbols = parallel_decode_stream(stream, book, table, workers=workers)
+    symbols = parallel_decode_stream(
+        stream, book, table, workers=workers, impl=impl
+    )
 
     # structural cost: coalesced read of the payload + reverse codebook,
     # then per-chunk serial symbol emission (coarse: whole warps idle

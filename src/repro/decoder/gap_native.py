@@ -1,0 +1,303 @@
+"""Runtime-compiled C kernel backing the gap-array decoder.
+
+ROADMAP names a "compiled-kernel backend registry: keep the NumPy
+implementations as the reference semantics, add an optional compiled
+path" — this module is that path for :mod:`repro.decoder.gap_array`.
+The two kernels mirror the paper's two passes exactly:
+
+- ``gap_sync_pass``: per-chunk codeword-length walk that records, at
+  every fixed-width subchunk boundary, the first codeword-aligned bit
+  offset at-or-after the boundary and the number of symbols emitted
+  before it — the *gap array*.  Chunks are independent, so eight are
+  interleaved per iteration to hide the decode-table load latency
+  (the serial bp → window → table → bp chain otherwise dominates).
+- ``gap_decode_pass``: lock-step decode of *all* subchunk lanes; every
+  lane owns a disjoint ``[out_off, out_end)`` output range computed
+  from the gap array, so lanes are order-independent.  Eight lanes are
+  interleaved per step — the host-side stand-in for a GPU warp.
+
+Compilation happens once per process via :mod:`cffi` + the system C
+compiler and is cached on disk keyed by a hash of the C source; when
+cffi, a compiler, or a writable cache directory is missing the module
+degrades to ``kernel() -> None`` and the callers stay on the NumPy
+reference backend.  ``REPRO_GAP_DISABLE_NATIVE=1`` forces that
+degradation (used by tests to pin the reference path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["GapKernel", "kernel", "native_available", "native_error"]
+
+#: symbols must fit the 24-bit field of a packed (sym << 8 | len) entry
+MAX_NATIVE_SYMBOL = (1 << 24) - 1
+
+_CDEF = r"""
+void gap_sync_pass(const uint8_t *buf, const int64_t *ch_start,
+    const int64_t *ch_end, const int64_t *lane_base, int64_t n_ch,
+    int64_t S, const uint32_t *tab, int k, int64_t *gap_off,
+    int64_t *gap_cnt, int64_t *ch_n, int64_t *ch_endpos);
+void gap_decode_pass(const uint8_t *buf, const int64_t *bit_off,
+    const int64_t *out_off, const int64_t *out_end, int64_t n_lanes,
+    const uint32_t *tab, int k, int64_t *out);
+"""
+
+_CSRC = r"""
+#include <stdint.h>
+#include <string.h>
+
+static inline uint64_t load_be64(const uint8_t *p) {
+    uint64_t v;
+    memcpy(&v, p, 8);
+    return __builtin_bswap64(v);
+}
+
+/* Pass 1: gap-array discovery.  Table entries are (sym << 8) | len with
+ * len >= 1, so the walk always advances and terminates even on corrupt
+ * streams.  The caller pads buf by >= 8 bytes past the last bit. */
+void gap_sync_pass(const uint8_t *buf,
+                   const int64_t *ch_start, const int64_t *ch_end,
+                   const int64_t *lane_base, int64_t n_ch, int64_t S,
+                   const uint32_t *tab, int k,
+                   int64_t *gap_off, int64_t *gap_cnt,
+                   int64_t *ch_n, int64_t *ch_endpos) {
+    const int sh0 = 64 - k;
+    const uint32_t mask = (1u << k) - 1;
+    enum { B = 8 };
+    for (int64_t cb = 0; cb < n_ch; cb += B) {
+        int nbk = (int)((n_ch - cb < B) ? (n_ch - cb) : B);
+        int64_t bp[B], end[B], cur[B], last[B], nb[B], n[B];
+        for (int j = 0; j < nbk; j++) {
+            int64_t c = cb + j;
+            bp[j] = ch_start[c];
+            end[j] = ch_end[c];
+            cur[j] = lane_base[c];
+            last[j] = lane_base[c + 1];
+            nb[j] = ch_start[c] + S;
+            n[j] = 0;
+            gap_off[cur[j]] = bp[j];
+            gap_cnt[cur[j]] = 0;
+            cur[j]++;
+        }
+        int active = 1;
+        while (active) {
+            active = 0;
+            for (int j = 0; j < nbk; j++) {
+                if (bp[j] < end[j]) {
+                    active = 1;
+                    while (cur[j] < last[j] && bp[j] >= nb[j]) {
+                        gap_off[cur[j]] = bp[j];
+                        gap_cnt[cur[j]] = n[j];
+                        cur[j]++;
+                        nb[j] += S;
+                    }
+                    uint32_t w = (uint32_t)(load_be64(buf + (bp[j] >> 3))
+                                            >> (sh0 - (bp[j] & 7)));
+                    bp[j] += tab[w & mask] & 0xFFu;
+                    n[j]++;
+                }
+            }
+        }
+        for (int j = 0; j < nbk; j++) {
+            /* boundaries at/past the chunk's last codeword: record the
+             * final chain position (== end on a well-formed stream) */
+            while (cur[j] < last[j]) {
+                gap_off[cur[j]] = bp[j];
+                gap_cnt[cur[j]] = n[j];
+                cur[j]++;
+            }
+            ch_n[cb + j] = n[j];
+            ch_endpos[cb + j] = bp[j];
+        }
+    }
+}
+
+/* Pass 2: lock-step decode of all subchunk lanes. */
+void gap_decode_pass(const uint8_t *buf,
+                     const int64_t *bit_off, const int64_t *out_off,
+                     const int64_t *out_end, int64_t n_lanes,
+                     const uint32_t *tab, int k, int64_t *out) {
+    const int sh0 = 64 - k;
+    const uint32_t mask = (1u << k) - 1;
+    enum { B = 8 };
+    for (int64_t base = 0; base < n_lanes; base += B) {
+        int nb = (int)((n_lanes - base < B) ? (n_lanes - base) : B);
+        int64_t bp[B], oi[B], oe[B];
+        int64_t maxn = 0;
+        for (int j = 0; j < nb; j++) {
+            bp[j] = bit_off[base + j];
+            oi[j] = out_off[base + j];
+            oe[j] = out_end[base + j];
+            if (oe[j] - oi[j] > maxn) maxn = oe[j] - oi[j];
+        }
+        for (int64_t it = 0; it < maxn; it++) {
+            for (int j = 0; j < nb; j++) {
+                if (oi[j] < oe[j]) {
+                    uint32_t w = (uint32_t)(load_be64(buf + (bp[j] >> 3))
+                                            >> (sh0 - (bp[j] & 7)));
+                    uint32_t ent = tab[w & mask];
+                    out[oi[j]++] = ent >> 8;
+                    bp[j] += ent & 0xFFu;
+                }
+            }
+        }
+    }
+}
+"""
+
+
+def _source_digest() -> str:
+    return hashlib.blake2b(
+        (_CDEF + _CSRC).encode(), digest_size=8
+    ).hexdigest()
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_GAP_NATIVE_DIR")
+    if env:
+        return Path(env)
+    # source checkout: <repo>/build/gap_native (this file lives at
+    # <repo>/src/repro/decoder/gap_native.py); installed package or a
+    # read-only checkout falls back to a per-user temp directory.
+    root = Path(__file__).resolve().parents[3]
+    if (root / "pyproject.toml").exists() and os.access(root, os.W_OK):
+        return root / "build" / "gap_native"
+    return Path(tempfile.gettempdir()) / f"repro-gap-native-{os.getuid()}"
+
+
+class GapKernel:
+    """Thin numpy-array façade over the compiled passes."""
+
+    def __init__(self, ffi, lib) -> None:
+        self._ffi = ffi
+        self._lib = lib
+
+    def _p(self, ctype: str, arr: np.ndarray):
+        return self._ffi.cast(ctype, arr.ctypes.data)
+
+    def sync_pass(
+        self,
+        padded_buf: np.ndarray,
+        ch_start: np.ndarray,
+        ch_end: np.ndarray,
+        lane_base: np.ndarray,
+        subchunk_bits: int,
+        tab: np.ndarray,
+        k: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        n_ch = ch_start.shape[0]
+        n_lanes = int(lane_base[-1])
+        gap_off = np.empty(n_lanes, np.int64)
+        gap_cnt = np.empty(n_lanes, np.int64)
+        ch_n = np.empty(n_ch, np.int64)
+        ch_endpos = np.empty(n_ch, np.int64)
+        self._lib.gap_sync_pass(
+            self._p("uint8_t *", padded_buf),
+            self._p("int64_t *", ch_start),
+            self._p("int64_t *", ch_end),
+            self._p("int64_t *", lane_base),
+            n_ch,
+            int(subchunk_bits),
+            self._p("uint32_t *", tab),
+            int(k),
+            self._p("int64_t *", gap_off),
+            self._p("int64_t *", gap_cnt),
+            self._p("int64_t *", ch_n),
+            self._p("int64_t *", ch_endpos),
+        )
+        return gap_off, gap_cnt, ch_n, ch_endpos
+
+    def decode_pass(
+        self,
+        padded_buf: np.ndarray,
+        bit_off: np.ndarray,
+        out_off: np.ndarray,
+        out_end: np.ndarray,
+        tab: np.ndarray,
+        k: int,
+        n_out: int,
+    ) -> np.ndarray:
+        out = np.empty(int(n_out), np.int64)
+        self._lib.gap_decode_pass(
+            self._p("uint8_t *", padded_buf),
+            self._p("int64_t *", bit_off),
+            self._p("int64_t *", out_off),
+            self._p("int64_t *", out_end),
+            bit_off.shape[0],
+            self._p("uint32_t *", tab),
+            int(k),
+            self._p("int64_t *", out),
+        )
+        return out
+
+
+_LOCK = threading.Lock()
+_KERNEL: Optional[GapKernel] = None
+_TRIED = False
+_ERROR: Optional[str] = None
+
+
+def _load_or_compile() -> GapKernel:
+    from cffi import FFI
+
+    digest = _source_digest()
+    modname = f"_repro_gap_{digest}"
+    cdir = _cache_dir() / digest
+    ffi = FFI()
+    ffi.cdef(_CDEF)
+    sopath = None
+    if cdir.is_dir():
+        hits = sorted(cdir.glob(f"{modname}*.so"))
+        if hits:
+            sopath = hits[0]
+    if sopath is None:
+        cdir.mkdir(parents=True, exist_ok=True)
+        ffi.set_source(modname, _CSRC, extra_compile_args=["-O2"])
+        sopath = Path(ffi.compile(tmpdir=str(cdir)))
+    spec = importlib.util.spec_from_file_location(modname, sopath)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {sopath}")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault(modname, mod)
+    spec.loader.exec_module(mod)
+    return GapKernel(mod.ffi, mod.lib)
+
+
+def kernel() -> Optional[GapKernel]:
+    """The compiled kernel, or ``None`` when unavailable (first call
+    pays the one-time compile; later calls are a cached read)."""
+    global _KERNEL, _TRIED, _ERROR
+    if _TRIED:
+        return _KERNEL
+    with _LOCK:
+        if _TRIED:
+            return _KERNEL
+        if os.environ.get("REPRO_GAP_DISABLE_NATIVE"):
+            _ERROR = "disabled via REPRO_GAP_DISABLE_NATIVE"
+        else:
+            try:
+                _KERNEL = _load_or_compile()
+            except Exception as exc:  # no cffi / no cc / read-only fs
+                _ERROR = f"{type(exc).__name__}: {exc}"
+        _TRIED = True
+    return _KERNEL
+
+
+def native_available() -> bool:
+    return kernel() is not None
+
+
+def native_error() -> Optional[str]:
+    """Why the native backend is off (``None`` while it works)."""
+    kernel()
+    return _ERROR

@@ -353,22 +353,37 @@ def decode_batch(
     book: CanonicalCodebook,
     n_symbols: int,
     table: DecodeTable | None = None,
+    impl: str = "auto",
 ) -> np.ndarray:
     """Table-driven batch decode of a single dense bitstream.
 
     Drop-in counterpart of :func:`decode_canonical` built on
-    :func:`decode_lanes` (one lane).  Exists mainly so property tests can
-    pit the LUT machinery against the scalar reference on arbitrary
-    streams; the real speedup comes from multi-lane calls.
+    :func:`decode_lanes` (one lane).  ``impl`` selects the machinery:
+    ``"lanes"`` walks the stream as a single lane; ``"gap"`` routes
+    through the gap-array decoder (:mod:`repro.decoder.gap_array`),
+    which subchunks the stream so even one dense stream decodes with
+    thousands of parallel lanes; ``"auto"`` picks ``"gap"`` when its
+    compiled backend is available and the book is in gap range, else
+    ``"lanes"``.
     """
-    return decode_lanes(
-        np.asarray(buffer, dtype=np.uint8),
-        np.array([0], dtype=np.int64),
-        np.array([total_bits], dtype=np.int64),
-        np.array([n_symbols], dtype=np.int64),
-        book,
-        table,
-    )
+    if impl not in ("auto", "gap", "lanes"):
+        raise ValueError(f"unknown decode impl: {impl!r}")
+    buffer = np.asarray(buffer, dtype=np.uint8)
+    starts = np.array([0], dtype=np.int64)
+    ends = np.array([total_bits], dtype=np.int64)
+    nsyms = np.array([n_symbols], dtype=np.int64)
+    if impl != "lanes":
+        # local import: gap_array builds on this module
+        from repro.decoder import gap_array
+        from repro.decoder.gap_native import native_available
+
+        if impl == "gap" or (
+            native_available() and n_symbols >= gap_array.AUTO_MIN_SYMBOLS
+        ):
+            return gap_array.gap_decode_lanes(
+                buffer, starts, ends, nsyms, book, table
+            ).symbols
+    return decode_lanes(buffer, starts, ends, nsyms, book, table)
 
 
 def decode_with_tree(

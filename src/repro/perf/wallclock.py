@@ -2,10 +2,11 @@
 
 Everything else under :mod:`repro.perf` prices *modeled* GPU kernels; this
 module times the code that actually runs: the vectorized encoder
-(reduce-shuffle-merge with scatter packing) and the two decoders — the
-scalar treeless reference and the table-driven batch lane decoder — on
-paper-dataset surrogates.  The measured batch/scalar ratio is the
-PR-level acceptance number recorded in ``BENCH_wallclock.json``.
+(reduce-shuffle-merge with scatter packing) and the three decoders — the
+scalar treeless reference, the table-driven batch lane decoder, and the
+two-pass gap-array decoder — on paper-dataset surrogates.  The measured
+batch/scalar and gap/lanes ratios are the PR-level acceptance numbers
+recorded in ``BENCH_wallclock.json``.
 
 Timing is routed through the observability layer: each measured region
 runs under a :class:`repro.obs.Tracer` span (``bench.encode``,
@@ -71,6 +72,12 @@ class WallclockResult:
     encode_s: float
     decode_scalar_s: float
     decode_batch_s: float
+    #: the gap-array decoder (``strategy="gap"``), timed in its own
+    #: best-of-N block right after the lane decoder; 0.0 when the run
+    #: skipped it (book outside gap range)
+    decode_gap_s: float = 0.0
+    #: which gap backend the timed runs used ("native" or "numpy")
+    gap_backend: str = ""
     #: decode-table + codebook cache activity during this run (digest
     #: lookups are part of any steady-state deployment, so they are
     #: measured and recorded alongside the timings)
@@ -113,6 +120,19 @@ class WallclockResult:
     def decode_speedup(self) -> float:
         return self.decode_scalar_s / self.decode_batch_s
 
+    @property
+    def decode_gap_mb_s(self) -> float:
+        if not self.decode_gap_s:
+            return 0.0
+        return self.input_bytes / self.decode_gap_s / 1e6
+
+    @property
+    def decode_speedup_gap(self) -> float:
+        """gap-array decoder over the lock-step lane decoder (PR bar)."""
+        if not self.decode_gap_s:
+            return 1.0
+        return self.decode_batch_s / self.decode_gap_s
+
     def to_dict(self) -> dict:
         d = asdict(self)
         d.update(
@@ -122,6 +142,8 @@ class WallclockResult:
             decode_scalar_mb_s=round(self.decode_scalar_mb_s, 3),
             decode_batch_mb_s=round(self.decode_batch_mb_s, 2),
             decode_speedup=round(self.decode_speedup, 1),
+            decode_gap_mb_s=round(self.decode_gap_mb_s, 2),
+            decode_speedup_gap=round(self.decode_speedup_gap, 2),
         )
         return d
 
@@ -206,9 +228,17 @@ def run_wallclock(
 
     enc = gpu_encode(data, book, impl="iterative")
     ref = decode_stream_scalar(enc.stream, book)
-    fast = decode_stream(enc.stream, book, table=table)
+    fast = decode_stream(enc.stream, book, table=table, strategy="batch")
     if not np.array_equal(ref, fast) or not np.array_equal(fast, data):
         raise AssertionError(f"decoder mismatch on {dataset}")
+    # the gap decoder's throughput only counts if its output is
+    # bit-identical to the lane decoder's on the same container
+    gap_out = decode_stream(enc.stream, book, table=table, strategy="gap")
+    if not np.array_equal(gap_out, fast):
+        raise AssertionError(f"gap decoder mismatch on {dataset}")
+    from repro.decoder.gap_native import native_available
+
+    gap_backend = "native" if native_available() else "numpy"
     # the scan-pack fast path must serialize to the identical container
     # before its throughput number means anything
     from repro.core.serialization import serialize_stream
@@ -235,7 +265,13 @@ def run_wallclock(
     # a steady-state deployment would: every repeat is a cache hit
     batch_s = _timed_best(
         tracer, "bench.decode_batch",
-        lambda: decode_stream(enc.stream, book), repeats, dataset=dataset,
+        lambda: decode_stream(enc.stream, book, strategy="batch"),
+        repeats, dataset=dataset,
+    )
+    gap_s = _timed_best(
+        tracer, "bench.decode_gap",
+        lambda: decode_stream(enc.stream, book, strategy="gap"),
+        repeats, dataset=dataset, backend=gap_backend,
     )
     # the scalar reference is ~25x slower; cap its repeats to keep the
     # harness quick while still taking a best-of
@@ -257,6 +293,8 @@ def run_wallclock(
         encode_stages=_encode_stage_breakdown(data, book),
         decode_scalar_s=scalar_s,
         decode_batch_s=batch_s,
+        decode_gap_s=gap_s,
+        gap_backend=gap_backend,
         cache_hits=hits1 - hits0,
         cache_misses=misses1 - misses0,
     )
@@ -379,13 +417,14 @@ def wallclock_table(results: Sequence[WallclockResult]) -> str:
             round(r.encode_speedup, 2),
             r.decode_scalar_mb_s,
             r.decode_batch_mb_s,
-            r.decode_speedup,
+            r.decode_gap_mb_s,
+            round(r.decode_speedup_gap, 2),
         ]
         for r in results
     ]
     return render_table(
         ["dataset", "KiB", "enc iter MB/s", "enc scan MB/s", "enc x",
-         "dec scalar MB/s", "dec batch MB/s", "dec x"],
+         "dec scalar MB/s", "dec lanes MB/s", "dec gap MB/s", "gap x"],
         rows,
         title="Wall-clock fast paths (measured, this host)",
     )

@@ -4,13 +4,13 @@
 PY := PYTHONPATH=src python
 TRACE_DIR := /tmp/repro-trace-smoke
 
-.PHONY: test unit trace-smoke serve-smoke bench-smoke bench \
+.PHONY: test unit trace-smoke serve-smoke obs-smoke bench-smoke bench \
         conform-smoke conform
 
 # tier-1 verification (ROADMAP.md): unit suite + telemetry smoke +
-# serving smoke + differential conformance smoke matrix + wall-clock
-# smoke (the scan-pack no-regression gate)
-test: unit trace-smoke serve-smoke conform-smoke bench-smoke
+# serving smoke + observability smoke + differential conformance smoke
+# matrix + wall-clock smoke (the scan-pack no-regression gate)
+test: unit trace-smoke serve-smoke obs-smoke conform-smoke bench-smoke
 
 unit:
 	$(PY) -m pytest -x -q
@@ -28,6 +28,15 @@ trace-smoke:
 	$(PY) examples/trace_pipeline.py --out-dir $(TRACE_DIR) --quiet
 	$(PY) -m repro.obs.cli $(TRACE_DIR)/trace.json --validate
 	$(PY) -m repro.obs.cli $(TRACE_DIR)/trace.jsonl --validate
+
+# observability smoke: boot an ephemeral server, drive a burst with one
+# forced error and one forced p99 outlier, then strictly validate every
+# telemetry surface — /metrics round-trips through the Prometheus text
+# parser (cumulative buckets, escaped labels), /slo evaluates all stock
+# objectives, /trace/recent is a valid Chrome trace containing the
+# error and the outlier with full span trees
+obs-smoke:
+	$(PY) -m repro.obs.smoke
 
 # conformance smoke: every smoke-tier encoder x decoder pair over the
 # smoke corpora, plus the harness's own negative self-test (a seeded
@@ -48,9 +57,14 @@ conform:
 # gates the scan-pack encoder (byte-identical container AND no slower
 # than the iterative reference), and gates the gap-array decoder:
 # bit-identical to the lane decoder, and >=3x faster on both surrogates
-# when the compiled kernel is available (non-zero exit on regression)
+# when the compiled kernel is available (non-zero exit on regression).
+# The second line is the perf-history sentinel's negative self-test: a
+# synthetic ~30% slowdown over a stable baseline MUST make the sentinel
+# exit non-zero (hence the `!`) — a sentinel that stops catching
+# regressions fails the build
 bench-smoke:
 	$(PY) -m pytest benchmarks/test_wallclock.py -q
+	! $(PY) -m repro.perf.history --self-test 0.3 > /dev/null
 
 # full modeled-benchmark suite (regenerates the paper tables)
 bench:

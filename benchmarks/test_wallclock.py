@@ -22,6 +22,13 @@ the actual measured ratios, including the per-stage encode breakdown.
 import numpy as np
 from conftest import emit
 
+from repro.perf.history import (
+    THROUGHPUT_METRICS,
+    append_entry,
+    check_regression,
+    history_entry,
+    load_history,
+)
 from repro.perf.report import write_wallclock_json
 from repro.perf.wallclock import (
     run_serve_bench,
@@ -31,6 +38,7 @@ from repro.perf.wallclock import (
 
 BENCH_SIZE = 1 << 20  # the acceptance surrogate size: 1 MiB
 BENCH_JSON = "BENCH_wallclock.json"
+BENCH_HISTORY = "BENCH_history.jsonl"
 
 
 def test_wallclock(results_dir, bench_rng):
@@ -89,3 +97,36 @@ def test_wallclock(results_dir, bench_rng):
         doc["serve"]["requests"]
     )
     assert doc["serve"]["latency_p99_ms"] >= doc["serve"]["latency_p50_ms"]
+
+    # ---- perf-history sentinel: this run vs the rolling baseline -------
+    history_path = results_dir / BENCH_HISTORY
+    prior = load_history(history_path)
+    entry = history_entry(results)
+    verdict = check_regression(prior, entry)
+    # gate first, then append: a regressing run still leaves its trace
+    # in the log (the human investigating wants to see it), but the
+    # failing assert keeps CI red
+    append_entry(history_path, entry)
+    assert len(load_history(history_path)) == len(prior) + 1
+    assert verdict.ok, "\n" + verdict.render()
+
+    # an identical re-run of the same numbers must always pass the gate
+    again = check_regression(load_history(history_path), entry)
+    assert again.ok, "\n" + again.render()
+
+    # negative control (the bench-smoke `!` run exercises the CLI path;
+    # this one pins the library behavior): a ~30% across-the-board
+    # slowdown over a perfectly stable baseline MUST be caught
+    stable = [entry] * 5
+    degraded = {
+        "datasets": {
+            ds: {
+                m: (v * 0.7 if m in THROUGHPUT_METRICS else v)
+                for m, v in met.items()
+            }
+            for ds, met in entry["datasets"].items()
+        }
+    }
+    caught = check_regression(stable, degraded)
+    assert not caught.ok, "sentinel missed a 30% synthetic slowdown"
+    assert caught.regressions, caught.render()

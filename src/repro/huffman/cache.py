@@ -27,6 +27,7 @@ import numpy as np
 from repro.huffman.codebook import CanonicalCodebook
 from repro.huffman.decoder import _HOST_TABLE_BITS, DecodeTable, build_decode_table
 from repro.obs import metrics as _metrics
+from repro.obs.trace import add_attrs as _add_attrs
 
 __all__ = [
     "CacheInfo",
@@ -95,6 +96,10 @@ class _LruCache:
     def _count(self, hit: bool) -> None:
         kind = "repro_cache_hits_total" if hit else "repro_cache_misses_total"
         _metrics().counter(kind, cache=self.name).inc()
+        # stamp the enclosing stage span so a request's trace shows which
+        # caches it hit (surfaced as RequestRecord.paths in the flight
+        # recorder); a no-op when tracing is off
+        _add_attrs(**{f"{self.name}_cache": "hit" if hit else "miss"})
 
     def get_or_build(self, key, build: Callable):
         with self._lock:

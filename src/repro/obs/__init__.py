@@ -35,13 +35,30 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.flight import (
+    FlightRecorder,
+    NullFlightRecorder,
+    RequestRecord,
+    extract_paths,
+    flight_recorder,
+    set_flight_recorder,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     metrics,
+    parse_prometheus_text,
     set_registry,
+)
+from repro.obs.slo import (
+    DEFAULT_ALERT_POLICIES,
+    SLO,
+    AlertPolicy,
+    SLOTracker,
+    default_serve_slos,
 )
 from repro.obs.trace import (
     NULL_SPAN,
@@ -50,10 +67,13 @@ from repro.obs.trace import (
     Span,
     Tracer,
     add_attrs,
+    get_global_tracer,
     get_tracer,
+    set_thread_tracer,
     set_tracer,
     span,
     synthetic_span,
+    thread_tracing,
     tracing,
 )
 
@@ -66,8 +86,11 @@ __all__ = [
     "NullTracer",
     "NULL_SPAN",
     "get_tracer",
+    "get_global_tracer",
     "set_tracer",
+    "set_thread_tracer",
     "tracing",
+    "thread_tracing",
     "span",
     "add_attrs",
     # metrics
@@ -77,6 +100,21 @@ __all__ = [
     "MetricsRegistry",
     "metrics",
     "set_registry",
+    "escape_label_value",
+    "parse_prometheus_text",
+    # flight recorder
+    "RequestRecord",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "extract_paths",
+    "flight_recorder",
+    "set_flight_recorder",
+    # slo
+    "SLO",
+    "AlertPolicy",
+    "SLOTracker",
+    "default_serve_slos",
+    "DEFAULT_ALERT_POLICIES",
     # export
     "chrome_trace_events",
     "write_chrome_trace",

@@ -8,6 +8,14 @@ JSON and the JSONL span log written by :mod:`repro.obs.export`::
     repro-trace out.json --stages       # paper pipeline stages only
     repro-trace out.json --metrics      # embedded metrics dump, if any
 
+``--flight URL`` pulls a live server's flight recorder instead of a
+file: it fetches ``URL/trace/recent``, prints the retained request
+records (id, op, status, latency, chosen paths), and with ``-o`` saves
+the Chrome-trace document for Perfetto::
+
+    repro-trace --flight http://127.0.0.1:8077
+    repro-trace --flight http://127.0.0.1:8077 -o flight.json
+
 The ``--validate`` mode is what ``make trace-smoke`` runs in CI: it
 fails loudly on schema drift of either format.
 """
@@ -37,7 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-trace",
         description="summarize or validate a repro pipeline trace file",
     )
-    p.add_argument("trace", type=pathlib.Path,
+    p.add_argument("trace", type=pathlib.Path, nargs="?",
                    help="Chrome-trace JSON or JSONL span log")
     p.add_argument("--validate", action="store_true",
                    help="schema-check the file; exit 1 on drift")
@@ -45,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict the summary to the paper pipeline stages")
     p.add_argument("--metrics", action="store_true",
                    help="also print the embedded metrics dump, if present")
+    p.add_argument("--flight", metavar="URL",
+                   help="fetch a live server's /trace/recent instead of "
+                        "reading a file")
+    p.add_argument("-n", type=int, default=None,
+                   help="with --flight: limit to the newest N records")
+    p.add_argument("-o", "--output", type=pathlib.Path, default=None,
+                   help="with --flight: also save the Chrome-trace JSON")
     return p
 
 
@@ -63,9 +78,55 @@ def _embedded_metrics(path: pathlib.Path) -> dict | None:
     return None
 
 
+def _flight_pull(url: str, n: int | None,
+                 output: pathlib.Path | None) -> int:
+    import urllib.error
+    import urllib.request
+
+    endpoint = url.rstrip("/") + "/trace/recent"
+    if n is not None:
+        endpoint += f"?n={int(n)}"
+    try:
+        with urllib.request.urlopen(endpoint, timeout=10.0) as resp:
+            doc = json.loads(resp.read().decode())
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"error: cannot fetch {endpoint}: {exc}", file=sys.stderr)
+        return 2
+    other = doc.get("otherData", {})
+    records = other.get("records", [])
+    stats = other.get("stats", {})
+    print(f"flight recorder @ {url}: "
+          f"{stats.get('kept', len(records))} kept / "
+          f"{stats.get('seen', '?')} seen")
+    for rec in records:
+        paths = " ".join(
+            f"{k}={v}" for k, v in sorted(rec.get("paths", {}).items())
+        )
+        line = (f"  {rec.get('request_id', '?'):>22}  "
+                f"{rec.get('op', '?'):<10} {rec.get('status', '?'):<6} "
+                f"{rec.get('duration_ms', 0.0):9.3f} ms  "
+                f"[{rec.get('retained', '')}]")
+        if rec.get("error"):
+            line += f"  error={rec['error']}"
+        if paths:
+            line += f"  {paths}"
+        print(line)
+    if output is not None:
+        with open(output, "w") as f:
+            json.dump(doc, f, indent=1)
+        print(f"wrote {output} ({len(doc.get('traceEvents', []))} events)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.flight:
+        return _flight_pull(args.flight, args.n, args.output)
     path = args.trace
+    if path is None:
+        print("error: a trace file or --flight URL is required",
+              file=sys.stderr)
+        return 2
     if not path.exists():
         print(f"error: no such trace file: {path}", file=sys.stderr)
         return 2

@@ -32,6 +32,8 @@ __all__ = [
     "metrics",
     "set_registry",
     "DEFAULT_BUCKETS",
+    "escape_label_value",
+    "parse_prometheus_text",
 ]
 
 _NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
@@ -45,6 +47,49 @@ DEFAULT_BUCKETS = tuple(float(b) for b in (
 ))
 
 _OVERFLOW_KEY = (("overflow", "true"),)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format.
+
+    Backslash, double-quote, and newline are the three characters the
+    line protocol reserves inside a quoted label value.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _render_labels(items) -> str:
+    if not items:
+        return ""
+    body = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in items
+    )
+    return "{" + body + "}"
+
+
+def _render_value(v: float) -> str:
+    if isinstance(v, float) and v != v:  # NaN
+        return "NaN"
+    return f"{v:g}"
 
 
 class _Instrument:
@@ -252,21 +297,37 @@ class MetricsRegistry:
         return doc
 
     def render(self) -> str:
-        """Prometheus-exposition-style plain text."""
+        """Prometheus text-exposition format (version 0.0.4).
+
+        Compliance points a real scraper depends on (held stable by
+        :func:`parse_prometheus_text` in tests and ``make obs-smoke``):
+
+        - histograms emit cumulative per-bucket ``<name>_bucket`` series
+          with ``le`` labels, terminated by ``le="+Inf"`` whose value
+          equals ``<name>_count``;
+        - label values are escaped (``\\`` → ``\\\\``, ``"`` → ``\\"``,
+          newline → ``\\n``) so hostile or odd label values can never
+          corrupt the line protocol;
+        - the output ends with a trailing newline.
+        """
         lines = []
         for name, entry in self.snapshot().items():
             lines.append(f"# TYPE {name} {entry['kind']}")
             for s in entry["series"]:
-                lbl = ",".join(f'{k}="{v}"' for k, v in sorted(s["labels"].items()))
-                lbl = "{" + lbl + "}" if lbl else ""
+                base = sorted(s["labels"].items())
                 v = s["value"]
                 if isinstance(v, dict):  # histogram
+                    for le, cum in v["buckets"].items():
+                        lbl = _render_labels(base + [("le", le)])
+                        lines.append(f"{name}_bucket{lbl} {cum}")
+                    lbl = _render_labels(base)
+                    lines.append(f"{name}_sum{lbl} {_render_value(v['sum'])}")
                     lines.append(f"{name}_count{lbl} {v['count']}")
-                    lines.append(f"{name}_sum{lbl} {v['sum']}")
                 else:
-                    g = f"{v:g}"
-                    lines.append(f"{name}{lbl} {g}")
-        return "\n".join(lines)
+                    lines.append(
+                        f"{name}{_render_labels(base)} {_render_value(v)}"
+                    )
+        return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
         with self._lock:
@@ -289,3 +350,170 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
     prev = _REGISTRY
     _REGISTRY = registry
     return prev
+
+
+# ------------------------------------------------------------ parsing --
+_SAMPLE_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*")
+
+
+def _parse_labels(body: str, lineno: int) -> dict[str, str]:
+    """Parse the ``k="v",...`` interior of a label block (escape-aware)."""
+    labels: dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ValueError(f"line {lineno}: malformed label pair in "
+                             f"{body!r}")
+        key = body[i:eq].strip()
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"line {lineno}: bad label name {key!r}")
+        if eq + 1 >= n or body[eq + 1] != '"':
+            raise ValueError(f"line {lineno}: label value must be quoted")
+        # scan the quoted value respecting backslash escapes
+        j = eq + 2
+        raw = []
+        while j < n:
+            c = body[j]
+            if c == "\\" and j + 1 < n:
+                raw.append(body[j: j + 2])
+                j += 2
+                continue
+            if c == '"':
+                break
+            raw.append(c)
+            j += 1
+        else:
+            raise ValueError(f"line {lineno}: unterminated label value")
+        labels[key] = _unescape_label_value("".join(raw))
+        i = j + 1
+        if i < n:
+            if body[i] != ",":
+                raise ValueError(
+                    f"line {lineno}: expected ',' between labels, got "
+                    f"{body[i]!r}"
+                )
+            i += 1
+    return labels
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse (and validate) Prometheus text-exposition output.
+
+    Returns ``{family: {"kind": kind, "samples": [(name, labels, value),
+    ...]}}``.  Raises :class:`ValueError` on any line that a real
+    Prometheus scraper would reject, and additionally enforces histogram
+    integrity: every ``_bucket`` series group must be cumulative
+    (non-decreasing in ``le`` order), carry an ``le="+Inf"`` bucket, and
+    agree with its ``_count``.  This is the format gate ``make
+    obs-smoke`` runs against a live ``GET /metrics``.
+    """
+    families: dict[str, dict] = {}
+    kinds: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(f"line {lineno}: malformed TYPE line")
+                _, _, fname, kind = parts
+                if kind not in _KINDS:
+                    raise ValueError(
+                        f"line {lineno}: unknown metric kind {kind!r}"
+                    )
+                kinds[fname] = kind
+                families.setdefault(fname, {"kind": kind, "samples": []})
+            continue  # HELP and other comments pass through
+        m = _SAMPLE_NAME_RE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = m.group(0)
+        rest = line[m.end():]
+        labels: dict[str, str] = {}
+        if rest.startswith("{"):
+            close = _find_label_close(rest, lineno)
+            labels = _parse_labels(rest[1:close], lineno)
+            rest = rest[close + 1:]
+        rest = rest.strip()
+        value_str = rest.split()[0] if rest else ""
+        try:
+            value = float(value_str)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value {value_str!r}"
+            ) from None
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and kinds.get(base) == "histogram":
+                family = base
+                break
+        if family not in families:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no preceding "
+                f"# TYPE declaration"
+            )
+        families[family]["samples"].append((name, labels, value))
+    _validate_histograms(families)
+    return families
+
+
+def _find_label_close(rest: str, lineno: int) -> int:
+    """Index of the ``}`` closing a label block (escape/quote aware)."""
+    in_quotes = False
+    i = 1
+    while i < len(rest):
+        c = rest[i]
+        if c == "\\" and in_quotes:
+            i += 2
+            continue
+        if c == '"':
+            in_quotes = not in_quotes
+        elif c == "}" and not in_quotes:
+            return i
+        i += 1
+    raise ValueError(f"line {lineno}: unterminated label block")
+
+
+def _validate_histograms(families: dict) -> None:
+    for fname, fam in families.items():
+        if fam["kind"] != "histogram":
+            continue
+        groups: dict[tuple, dict] = {}
+        for name, labels, value in fam["samples"]:
+            rest = {k: v for k, v in labels.items() if k != "le"}
+            key = tuple(sorted(rest.items()))
+            g = groups.setdefault(key, {"buckets": [], "count": None})
+            if name == f"{fname}_bucket":
+                if "le" not in labels:
+                    raise ValueError(
+                        f"{fname}: bucket sample missing 'le' label"
+                    )
+                le = labels["le"]
+                bound = float("inf") if le == "+Inf" else float(le)
+                g["buckets"].append((bound, value))
+            elif name == f"{fname}_count":
+                g["count"] = value
+        for key, g in groups.items():
+            if not g["buckets"]:
+                raise ValueError(
+                    f"{fname}{dict(key)}: histogram has no _bucket samples"
+                )
+            buckets = sorted(g["buckets"])
+            cums = [c for _, c in buckets]
+            if any(b > a for a, b in zip(cums[1:], cums)):
+                raise ValueError(
+                    f"{fname}{dict(key)}: bucket counts not cumulative"
+                )
+            if buckets[-1][0] != float("inf"):
+                raise ValueError(
+                    f"{fname}{dict(key)}: missing le=\"+Inf\" bucket"
+                )
+            if g["count"] is not None and g["count"] != buckets[-1][1]:
+                raise ValueError(
+                    f"{fname}{dict(key)}: +Inf bucket ({buckets[-1][1]:g}) "
+                    f"!= _count ({g['count']:g})"
+                )

@@ -1,0 +1,301 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An :class:`SLO` names a *bad-event fraction* the service promises to
+stay under — e.g. "at most 1% of compress requests slower than 500 ms"
+or "at most 1% of requests error".  Objectives are evaluated straight
+from the process-global metrics registry (:mod:`repro.obs.metrics`):
+latency objectives read the cumulative buckets of a histogram, ratio
+objectives divide two counters.  Nothing new is instrumented — the SLO
+layer is a pure reader.
+
+Burn rate follows the SRE-workbook definition: the observed bad-event
+fraction over a window divided by the objective.  Burn rate 1.0 spends
+the error budget exactly at the sustainable pace; 14.4 exhausts a
+30-day budget in two days.  Because the registry is cumulative, the
+:class:`SLOTracker` keeps a bounded ring of counter snapshots and
+differences them to recover windowed rates — every call to
+:meth:`SLOTracker.evaluate` (each ``GET /slo`` scrape, each
+``service.stats()``) appends one snapshot, so scraping *is* the
+sampling loop.
+
+An alert fires only when a fast *and* a slow window burn together
+(multi-window, the standard flap suppressor): the fast window proves
+the problem is current, the slow window proves it is material.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import metrics as _metrics
+
+__all__ = [
+    "SLO",
+    "AlertPolicy",
+    "SLOTracker",
+    "default_serve_slos",
+    "DEFAULT_ALERT_POLICIES",
+]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective: keep ``bad / total`` under ``objective``.
+
+    ``kind="latency"``: ``metric`` is a histogram; a request is *bad*
+    when it lands above ``threshold`` seconds (evaluated from the
+    cumulative bucket at the largest bound <= ``threshold``, so pick a
+    threshold that is a bucket bound for exact accounting).
+
+    ``kind="ratio"``: ``metric`` is the bad-event counter and
+    ``total_metric`` the total-event counter, both summed across series
+    matching ``labels``.
+    """
+
+    name: str
+    objective: float                  # allowed bad fraction, e.g. 0.01
+    kind: str                         # "latency" | "ratio"
+    metric: str
+    threshold_s: float = 0.0          # latency only
+    total_metric: str = ""            # ratio only
+    labels: dict = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self):
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be a fraction in (0, 1)")
+        if self.kind not in ("latency", "ratio"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "latency" and self.threshold_s <= 0:
+            raise ValueError("latency SLO needs threshold_s > 0")
+        if self.kind == "ratio" and not self.total_metric:
+            raise ValueError("ratio SLO needs total_metric")
+
+
+@dataclass(frozen=True)
+class AlertPolicy:
+    """Fire when both windows burn faster than ``burn_rate``."""
+
+    fast_window_s: float
+    slow_window_s: float
+    burn_rate: float
+    severity: str = "page"
+
+
+#: the SRE-workbook pairings, scaled to service-local horizons: a
+#: 1m/5m page for "on fire right now", a 5m/1h ticket for "steadily
+#: leaking budget"
+DEFAULT_ALERT_POLICIES = (
+    AlertPolicy(60.0, 300.0, 14.4, "page"),
+    AlertPolicy(300.0, 3600.0, 6.0, "ticket"),
+)
+
+
+def default_serve_slos(
+    latency_threshold_s: float = 0.1,
+    latency_objective: float = 0.01,
+    error_objective: float = 0.01,
+    shed_objective: float = 0.05,
+) -> tuple[SLO, ...]:
+    """The serving layer's stock objectives (see ARCHITECTURE.md)."""
+    return (
+        SLO(
+            name="compress_p99_latency",
+            objective=latency_objective,
+            kind="latency",
+            metric="repro_serve_request_latency_seconds",
+            threshold_s=latency_threshold_s,
+            labels={"op": "compress"},
+            description=(
+                f"99% of compress requests under {latency_threshold_s}s"
+            ),
+        ),
+        SLO(
+            name="decompress_p99_latency",
+            objective=latency_objective,
+            kind="latency",
+            metric="repro_serve_request_latency_seconds",
+            threshold_s=latency_threshold_s,
+            labels={"op": "decompress"},
+            description=(
+                f"99% of decompress requests under {latency_threshold_s}s"
+            ),
+        ),
+        SLO(
+            name="error_rate",
+            objective=error_objective,
+            kind="ratio",
+            metric="repro_serve_errors_total",
+            total_metric="repro_serve_requests_total",
+            description="at most 1% of requests end in a user error",
+        ),
+        SLO(
+            name="shed_rate",
+            objective=shed_objective,
+            kind="ratio",
+            metric="repro_serve_shed_total",
+            total_metric="repro_serve_requests_total",
+            description="at most 5% of requests shed under load",
+        ),
+    )
+
+
+class SLOTracker:
+    """Evaluate SLOs from registry snapshots; bounded, thread-safe."""
+
+    def __init__(
+        self,
+        slos: Sequence[SLO],
+        registry: Optional[MetricsRegistry] = None,
+        alert_policies: Sequence[AlertPolicy] = DEFAULT_ALERT_POLICIES,
+        clock: Callable[[], float] = time.monotonic,
+        min_events: int = 10,
+    ):
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate SLO names")
+        self.slos = tuple(slos)
+        self._registry = registry
+        self.alert_policies = tuple(alert_policies)
+        self._clock = clock
+        #: windows below this many total events report burn rate None —
+        #: a 1-in-3 error burst should not page anybody
+        self.min_events = int(min_events)
+        self._lock = threading.Lock()
+        horizon = max(
+            [p.slow_window_s for p in self.alert_policies] or [3600.0]
+        )
+        self._horizon_s = horizon * 1.25
+        self._snapshots: deque[tuple[float, dict[str, tuple[float, float]]]]
+        self._snapshots = deque()
+
+    # ------------------------------------------------------- raw counts --
+    def _reg(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else _metrics()
+
+    def _counts(self, slo: SLO) -> tuple[float, float]:
+        """Cumulative ``(bad, total)`` for one SLO, right now."""
+        reg = self._reg()
+        if slo.kind == "ratio":
+            return (
+                reg.total(slo.metric, **slo.labels),
+                reg.total(slo.total_metric),
+            )
+        # latency: walk the histogram series matching the label filter
+        bad = total = 0.0
+        snap = reg.snapshot().get(slo.metric)
+        if snap is None or snap["kind"] != "histogram":
+            return 0.0, 0.0
+        for series in snap["series"]:
+            labels = series["labels"]
+            if not all(labels.get(k) == str(v)
+                       for k, v in slo.labels.items()):
+                continue
+            sample = series["value"]
+            total += sample["count"]
+            below = 0.0
+            for bound_str, cum in sample["buckets"].items():
+                if bound_str == "+Inf":
+                    continue
+                if float(bound_str) <= slo.threshold_s:
+                    below = max(below, float(cum))
+            bad += sample["count"] - below
+        return bad, total
+
+    # ------------------------------------------------------- evaluation --
+    def evaluate(self, now: Optional[float] = None) -> dict:
+        """Take a snapshot and report every SLO's windows + alerts."""
+        now = self._clock() if now is None else float(now)
+        current = {slo.name: self._counts(slo) for slo in self.slos}
+        with self._lock:
+            self._snapshots.append((now, current))
+            while self._snapshots and \
+                    self._snapshots[0][0] < now - self._horizon_s:
+                self._snapshots.popleft()
+            snapshots = list(self._snapshots)
+
+        windows = sorted({
+            w for p in self.alert_policies
+            for w in (p.fast_window_s, p.slow_window_s)
+        })
+        doc: dict = {"slos": {}, "alerts": []}
+        for slo in self.slos:
+            bad, total = current[slo.name]
+            entry = {
+                "objective": slo.objective,
+                "kind": slo.kind,
+                "description": slo.description,
+                "bad": bad,
+                "total": total,
+                "bad_fraction": (bad / total) if total else None,
+                "windows": {},
+            }
+            burn: dict[float, Optional[float]] = {}
+            for w in windows:
+                d_bad, d_total, covered = self._window_delta(
+                    snapshots, slo.name, now, w
+                )
+                frac = (d_bad / d_total) if d_total >= self.min_events \
+                    else None
+                rate = (frac / slo.objective) if frac is not None else None
+                burn[w] = rate
+                entry["windows"][f"{int(w)}s"] = {
+                    "bad": d_bad,
+                    "total": d_total,
+                    "bad_fraction": frac,
+                    "burn_rate": rate,
+                    "covered_s": round(covered, 3),
+                }
+            entry["burning"] = False
+            for policy in self.alert_policies:
+                fast = burn.get(policy.fast_window_s)
+                slow = burn.get(policy.slow_window_s)
+                if fast is not None and slow is not None \
+                        and fast > policy.burn_rate \
+                        and slow > policy.burn_rate:
+                    entry["burning"] = True
+                    doc["alerts"].append({
+                        "slo": slo.name,
+                        "severity": policy.severity,
+                        "burn_rate_fast": round(fast, 3),
+                        "burn_rate_slow": round(slow, 3),
+                        "threshold": policy.burn_rate,
+                        "windows_s": [policy.fast_window_s,
+                                      policy.slow_window_s],
+                    })
+            doc["slos"][slo.name] = entry
+        doc["healthy"] = not doc["alerts"]
+        doc["snapshots"] = len(snapshots)
+        return doc
+
+    @staticmethod
+    def _window_delta(
+        snapshots: list, name: str, now: float, window_s: float,
+    ) -> tuple[float, float, float]:
+        """Delta (bad, total) since the snapshot opening the window.
+
+        Uses the newest snapshot at or before ``now - window_s``; when
+        history is shorter than the window, the oldest snapshot serves
+        as baseline and ``covered`` reports the span actually observed.
+        """
+        target = now - window_s
+        baseline = snapshots[0]
+        for snap in snapshots:
+            if snap[0] <= target:
+                baseline = snap
+            else:
+                break
+        t0, counts = baseline
+        bad0, total0 = counts.get(name, (0.0, 0.0))
+        t1, counts1 = snapshots[-1]
+        bad1, total1 = counts1.get(name, (0.0, 0.0))
+        return (
+            max(0.0, bad1 - bad0),
+            max(0.0, total1 - total0),
+            max(0.0, t1 - t0),
+        )

@@ -50,8 +50,11 @@ __all__ = [
     "NullTracer",
     "NULL_SPAN",
     "get_tracer",
+    "get_global_tracer",
     "set_tracer",
+    "set_thread_tracer",
     "tracing",
+    "thread_tracing",
     "span",
     "add_attrs",
 ]
@@ -163,9 +166,16 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, name: str = "repro"):
+    def __init__(self, name: str = "repro", epoch_ns: int | None = None):
         self.name = name
-        self._epoch_ns = time.perf_counter_ns()
+        #: ``epoch_ns`` pins this tracer's time base to another tracer's
+        #: (``Tracer(epoch_ns=other._epoch_ns)``), so spans collected
+        #: here can be merged into the other timeline without rebasing —
+        #: the request-scoped tracers in :mod:`repro.serve.service` use
+        #: this to stay alignable with an installed global tracer.
+        self._epoch_ns = (
+            time.perf_counter_ns() if epoch_ns is None else int(epoch_ns)
+        )
         self._wall_epoch = time.time()
         self._finished: list[Span] = []
         self._lock = threading.Lock()
@@ -324,9 +334,21 @@ class NullTracer:
 
 _GLOBAL: Tracer | NullTracer = NullTracer()
 
+#: per-thread tracer override: a request-scoped tracer installed with
+#: :func:`set_thread_tracer` / :func:`thread_tracing` shadows the global
+#: one *on that thread only*, so concurrent worker shards can each
+#: collect their own request's span tree without racing on one tracer.
+_THREAD = threading.local()
+
 
 def get_tracer() -> Tracer | NullTracer:
-    """The process-global tracer (a :class:`NullTracer` by default)."""
+    """The active tracer: the calling thread's override, else the global."""
+    t = getattr(_THREAD, "tracer", None)
+    return t if t is not None else _GLOBAL
+
+
+def get_global_tracer() -> Tracer | NullTracer:
+    """The process-global tracer, ignoring any thread-local override."""
     return _GLOBAL
 
 
@@ -335,6 +357,15 @@ def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
     global _GLOBAL
     prev = _GLOBAL
     _GLOBAL = tracer
+    return prev
+
+
+def set_thread_tracer(
+    tracer: Tracer | NullTracer | None,
+) -> Tracer | NullTracer | None:
+    """Install (or with ``None`` clear) this thread's tracer override."""
+    prev = getattr(_THREAD, "tracer", None)
+    _THREAD.tracer = tracer
     return prev
 
 
@@ -354,11 +385,29 @@ def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
         set_tracer(prev)
 
 
+@contextmanager
+def thread_tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Route this thread's spans into ``tracer`` for the scope.
+
+    Unlike :func:`tracing` this shadows the global tracer only on the
+    calling thread; other threads are unaffected.  This is how the serve
+    layer gives every request its own span tree while requests execute
+    concurrently on different shard threads.
+    """
+    prev = set_thread_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_thread_tracer(prev)
+
+
 def span(name: str, **attrs):
-    """Open a span on the current global tracer (no-op when disabled)."""
-    return _GLOBAL.span(name, **attrs)
+    """Open a span on the active tracer (no-op when tracing is off)."""
+    t = getattr(_THREAD, "tracer", None)
+    return (t if t is not None else _GLOBAL).span(name, **attrs)
 
 
 def add_attrs(**kw) -> None:
     """Attach attributes to the innermost active span, if tracing."""
-    _GLOBAL.add_attrs(**kw)
+    t = getattr(_THREAD, "tracer", None)
+    (t if t is not None else _GLOBAL).add_attrs(**kw)

@@ -17,6 +17,13 @@ pipeline stage span plus the metrics dump — into one Perfetto-loadable
 file.  Cache hit/miss counts per run are recorded in the
 ``BENCH_wallclock.json`` artifact.
 
+Every run also appends one line — git rev, per-dataset MB/s for every
+path, speedup ratios, cache/fallback counters — to the longitudinal
+``benchmarks/results/BENCH_history.jsonl`` (``--no-history`` opts out);
+``--sentinel`` additionally gates the run against the rolling baseline
+via :mod:`repro.perf.history` and exits non-zero on a statistically
+meaningful throughput regression.
+
 Run it as a script (``repro-bench`` console entry point)::
 
     repro-bench --size 1048576 --repeats 5 --json out.json --trace t.json
@@ -457,6 +464,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                     help="also run the conformance smoke matrix and "
                          "surface its cell counts (pairs x corpora, "
                          "pass/fail) alongside the throughput table")
+    ap.add_argument("--history", type=str,
+                    default="benchmarks/results/BENCH_history.jsonl",
+                    help="append this run (git rev + per-dataset MB/s + "
+                         "cache/fallback counters) to the JSONL history")
+    ap.add_argument("--no-history", action="store_true",
+                    help="do not append this run to the history file")
+    ap.add_argument("--sentinel", action="store_true",
+                    help="gate this run against the rolling baseline of "
+                         "the history before appending; exit 1 on a "
+                         "meaningful throughput regression")
     args = ap.parse_args(argv)
 
     tracer: Tracer | None = None
@@ -525,7 +542,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         print()
         print(stage_summary(tracer))
         print(f"[trace written to {args.trace}]")
-    return 0
+    exit_code = 0
+    if not args.no_history:
+        from repro.perf.history import (
+            append_entry,
+            check_regression,
+            history_entry,
+            load_history,
+        )
+
+        entry = history_entry(results)
+        prior = load_history(args.history)
+        if args.sentinel:
+            verdict = check_regression(prior, entry)
+            print()
+            print(verdict.render())
+            if not verdict.ok:
+                exit_code = 1
+        append_entry(args.history, entry)
+        print(f"[history: run #{len(prior) + 1} appended to "
+              f"{args.history}]")
+    return exit_code
 
 
 if __name__ == "__main__":

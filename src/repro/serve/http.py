@@ -16,6 +16,15 @@ Routes:
   bytes + ``X-Repro-Dtype``.
 - ``GET /healthz``     — liveness + shard census.
 - ``GET /stats``       — :meth:`CompressionService.stats` as JSON.
+- ``GET /metrics``     — Prometheus text exposition (format 0.0.4).
+- ``GET /slo``         — multi-window burn-rate SLO evaluation as JSON.
+- ``GET /trace/recent``— the flight recorder's retained request span
+  trees as one Chrome trace-event document (``?n=`` limits records).
+
+Every request carries an id: a client-supplied ``X-Repro-Request-Id``
+is honored, one is minted otherwise; either way the id is echoed on the
+response and stamped through the service's span trees and flight
+recorder, so one grep connects an HTTP response to its trace.
 
 Status mapping: 400 malformed, 404 unknown route, 405 bad method,
 413 oversized, 429 + ``Retry-After`` on queue shed, 503 on shutdown,
@@ -32,7 +41,13 @@ from typing import Optional
 import numpy as np
 
 from repro.obs import metrics as _metrics
-from repro.serve.queue import DeadlineExceeded, Priority, QueueClosed, QueueFullError
+from repro.serve.queue import (
+    DeadlineExceeded,
+    Priority,
+    QueueClosed,
+    QueueFullError,
+    new_request_id,
+)
 from repro.serve.service import CompressionService
 
 __all__ = ["ServeHTTP", "run_server"]
@@ -97,8 +112,13 @@ class ServeHTTP:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         status = 500
+        rid = None
         try:
             method, path, headers, body = await self._read_request(reader)
+            # honor the client's request id or mint one; the normalized
+            # header is what _common_submit_kw forwards into the service
+            rid = headers.get("x-repro-request-id") or new_request_id()
+            headers["x-repro-request-id"] = rid
             status, out_headers, payload = await self._route(
                 method, path, headers, body
             )
@@ -113,6 +133,8 @@ class ServeHTTP:
             status = 500
             out_headers = {"Content-Type": "application/json"}
             payload = json.dumps({"error": f"internal: {exc}"}).encode()
+        if rid is not None:
+            out_headers.setdefault("X-Repro-Request-Id", rid)
         _metrics().counter(
             "repro_serve_http_responses_total", status=str(status)
         ).inc()
@@ -211,7 +233,29 @@ class ServeHTTP:
 
     # ------------------------------------------------------------- routing
     async def _route(self, method: str, path: str, headers: dict, body: bytes):
-        path = path.split("?", 1)[0]
+        query = ""
+        if "?" in path:
+            path, query = path.split("?", 1)
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+            }, _metrics().render().encode()
+        if path == "/slo":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, {"Content-Type": "application/json"}, (
+                json.dumps(self.service.slo_report()).encode()
+            )
+        if path == "/trace/recent":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            n = self._query_int(query, "n")
+            doc = self.service.flight.to_chrome_trace(n)
+            return 200, {"Content-Type": "application/json"}, (
+                json.dumps(doc).encode()
+            )
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "use GET")
@@ -241,9 +285,21 @@ class ServeHTTP:
             return await self._decompress(headers, body)
         raise _HttpError(404, f"no route {path!r}")
 
+    @staticmethod
+    def _query_int(query: str, key: str) -> Optional[int]:
+        for part in query.split("&"):
+            if part.startswith(f"{key}="):
+                try:
+                    return int(part.split("=", 1)[1])
+                except ValueError:
+                    raise _HttpError(
+                        400, f"bad query parameter {key!r}"
+                    ) from None
+        return None
+
     # ------------------------------------------------------------ handlers
     def _common_submit_kw(self, headers: dict) -> dict:
-        kw: dict = {}
+        kw: dict = {"request_id": headers.get("x-repro-request-id")}
         prio = headers.get("x-repro-priority", "interactive").lower()
         if prio not in ("interactive", "bulk"):
             raise _HttpError(400, f"unknown priority {prio!r}")

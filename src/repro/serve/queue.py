@@ -17,6 +17,7 @@ its request.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from collections import deque
@@ -26,10 +27,12 @@ from enum import IntEnum
 from typing import Any, Optional
 
 from repro.obs import metrics as _metrics
+from repro.obs.flight import RequestRecord, flight_recorder
 
 __all__ = [
     "Priority",
     "ServeRequest",
+    "new_request_id",
     "QueueFullError",
     "QueueClosed",
     "DeadlineExceeded",
@@ -37,6 +40,15 @@ __all__ = [
 ]
 
 _REQ_IDS = itertools.count(1)
+
+
+def new_request_id() -> str:
+    """Mint a request id: short, unique, log-greppable.
+
+    ``<pid-hex>-<8 random hex>`` — unique across the worker processes a
+    scale-out deployment runs, cheap enough to mint per request.
+    """
+    return f"{os.getpid():x}-{os.urandom(4).hex()}"
 
 
 class Priority(IntEnum):
@@ -87,6 +99,11 @@ class ServeRequest:
     deadline_s: Optional[float] = None  # absolute, time.monotonic()
     meta: dict = field(default_factory=dict)
     req_id: int = field(default_factory=lambda: next(_REQ_IDS))
+    #: the externally-visible request id: assigned at admission (or
+    #: honored from the client's ``X-Repro-Request-Id``), propagated
+    #: through batcher and shards, stamped on every span of the
+    #: request's trace tree, and keyed in the flight recorder
+    request_id: str = field(default_factory=new_request_id)
     attempts: int = 0
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
@@ -99,16 +116,30 @@ class ServeRequest:
     def shed(self, reason: str) -> None:
         """Complete the future exceptionally and count the shed."""
         _metrics().counter("repro_serve_shed_total", reason=reason).inc()
-        if not self.future.done():
-            msg = f"request {self.req_id} ({self.op}) shed: {reason}"
-            exc: Exception
-            if reason == "deadline":
-                exc = DeadlineExceeded(msg)
-            elif reason == "shutdown":
-                exc = QueueClosed(msg)
-            else:
-                exc = QueueFullError(0)
-            self.future.set_exception(exc)
+        if self.future.done():
+            return
+        msg = f"request {self.req_id} ({self.op}) shed: {reason}"
+        exc: Exception
+        if reason == "deadline":
+            exc = DeadlineExceeded(msg)
+        elif reason == "shutdown":
+            exc = QueueClosed(msg)
+        else:
+            exc = QueueFullError(0)
+        self.future.set_exception(exc)
+        # sheds happen on the batcher/queue threads, where no service
+        # context exists — report to the process flight recorder so a
+        # shed request is as attributable as an executed one
+        flight_recorder().record(RequestRecord(
+            request_id=self.request_id,
+            op=self.op,
+            status="shed",
+            duration_ms=(time.monotonic() - self.enqueued_at) * 1e3,
+            ts=time.time(),
+            error=type(exc).__name__,
+            attrs={"reason": reason, "priority": self.priority.name,
+                   "attempts": self.attempts},
+        ))
 
 
 class AdmissionQueue:

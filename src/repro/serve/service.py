@@ -46,6 +46,15 @@ from repro.cuda.device import DeviceSpec, V100
 from repro.huffman.cache import cache_infos
 from repro.obs import metrics as _metrics
 from repro.obs import span as _span
+from repro.obs.flight import (
+    FlightRecorder,
+    NullFlightRecorder,
+    RequestRecord,
+    extract_paths,
+    set_flight_recorder,
+)
+from repro.obs.slo import SLOTracker, default_serve_slos
+from repro.obs.trace import Tracer, get_global_tracer, thread_tracing
 from repro.serve.batcher import Batch, BatchPolicy, MicroBatcher
 from repro.serve.queue import (
     AdmissionQueue,
@@ -57,6 +66,15 @@ from repro.serve.queue import (
 from repro.serve.workers import ShardCrashed, ShardPool, default_shard_count
 
 __all__ = ["ServiceConfig", "CompressionService"]
+
+#: request-latency histogram bounds (seconds).  0.1 is deliberately a
+#: bound: the default latency SLO thresholds there, and a threshold that
+#: is a bucket bound makes the SLO's bad-event count exact rather than
+#: interpolated.
+_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
 
 
 @dataclass(frozen=True)
@@ -73,6 +91,11 @@ class ServiceConfig:
     request_max_bytes: int = 8 << 20
     device: DeviceSpec = V100
     magnitude: int = DEFAULT_MAGNITUDE
+    #: flight-recorder sizing (0 capacity disables request recording)
+    flight_capacity: int = 256
+    flight_sample_every: int = 8
+    #: latency SLO threshold: 99% of requests must finish under this
+    slo_latency_threshold_s: float = 0.1
 
 
 class CompressionService:
@@ -104,6 +127,23 @@ class CompressionService:
         self._lock = threading.Lock()
         self.requests_served = 0
         self.started_at = time.time()
+        #: request-scoped telemetry: every executed request is traced
+        #: into its own span tree and offered to the flight recorder
+        #: (tail-retained: errors + p99 outliers + a sampled baseline)
+        self.flight = (
+            FlightRecorder(
+                capacity=config.flight_capacity,
+                sample_every=config.flight_sample_every,
+            )
+            if config.flight_capacity
+            else NullFlightRecorder()
+        )
+        self._prev_flight = None
+        #: declarative objectives over the serve histograms/counters;
+        #: evaluated on every /slo scrape and stats() call
+        self.slo = SLOTracker(
+            default_serve_slos(config.slo_latency_threshold_s)
+        )
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> "CompressionService":
@@ -111,6 +151,10 @@ class CompressionService:
             if self._started:
                 return self
             self._started = True
+        # make this service's recorder the process recorder so sheds on
+        # queue/batcher threads land in the same ring as executed requests
+        if self.flight.enabled:
+            self._prev_flight = set_flight_recorder(self.flight)
         self.batcher.start()
         return self
 
@@ -126,6 +170,9 @@ class CompressionService:
             self.pool.drain(timeout)
         self.batcher.stop()
         self.pool.shutdown(graceful=graceful, timeout=timeout)
+        if self._prev_flight is not None:
+            set_flight_recorder(self._prev_flight)
+            self._prev_flight = None
 
     def __enter__(self) -> "CompressionService":
         return self.start()
@@ -140,12 +187,15 @@ class CompressionService:
         payload: Any,
         priority: Priority = Priority.INTERACTIVE,
         deadline_s: Optional[float] = None,
+        request_id: Optional[str] = None,
         **meta: Any,
     ) -> Future:
         """Admit one request; returns its future (raises on shed).
 
         ``deadline_s`` is a *relative* budget in seconds; it becomes an
-        absolute monotonic deadline at admission time.
+        absolute monotonic deadline at admission time.  ``request_id``
+        honors a caller-supplied id (the HTTP front forwards
+        ``X-Repro-Request-Id``); one is minted otherwise.
         """
         if not self._started:
             raise RuntimeError("service not started (use `with service:`)")
@@ -160,6 +210,8 @@ class CompressionService:
             ),
             meta=dict(meta),
         )
+        if request_id:
+            req.request_id = str(request_id)
         if op == "compress":
             req.meta.setdefault("magnitude", self.config.magnitude)
         self.queue.submit(req)
@@ -215,17 +267,59 @@ class CompressionService:
         if req.expired():
             req.shed("deadline")
             return
-        try:
-            if req.op == "compress":
-                result = self._do_compress(req)
-            else:
-                result = self._do_decompress(req)
-        except (ValueError, TypeError, KeyError, NotImplementedError) as exc:
-            # user error: belongs to this request, not to the shard
+        # every request runs under its own tracer so concurrent shard
+        # threads collect disjoint span trees; pinning the epoch to an
+        # enabled global tracer keeps the trees adoptable into it
+        g = get_global_tracer()
+        rt = Tracer(
+            f"req-{req.request_id}",
+            epoch_ns=g._epoch_ns if g.enabled else None,
+        )
+        t0 = time.monotonic()
+        error: Optional[Exception] = None
+        with thread_tracing(rt):
+            try:
+                with rt.span(
+                    "serve.request",
+                    request_id=req.request_id,
+                    op=req.op,
+                    priority=req.priority.name,
+                    attempts=req.attempts,
+                ):
+                    if req.op == "compress":
+                        result = self._do_compress(req)
+                    else:
+                        result = self._do_decompress(req)
+            except (ValueError, TypeError, KeyError,
+                    NotImplementedError) as exc:
+                # user error: belongs to this request, not to the shard
+                error = exc
+        elapsed = time.monotonic() - t0
+        _metrics().histogram(
+            "repro_serve_request_latency_seconds",
+            buckets=_LATENCY_BUCKETS,
+            op=req.op,
+        ).observe(elapsed)
+        spans = tuple(sp.to_dict() for sp in rt.spans)
+        self.flight.record(RequestRecord(
+            request_id=req.request_id,
+            op=req.op,
+            status="error" if error is not None else "ok",
+            duration_ms=elapsed * 1e3,
+            ts=time.time(),
+            error=type(error).__name__ if error is not None else None,
+            paths=extract_paths(spans),
+            attrs={"priority": req.priority.name,
+                   "attempts": req.attempts},
+            spans=spans,
+        ))
+        if g.enabled:
+            g.adopt_spans(rt.spans)
+        if error is not None:
             _metrics().counter(
                 "repro_serve_errors_total", op=req.op
             ).inc()
-            req.future.set_exception(exc)
+            req.future.set_exception(error)
             return
         req.future.set_result(result)
         with self._lock:
@@ -306,6 +400,37 @@ class CompressionService:
             for name, info in cache_infos().items()
         }
         hist = reg.histogram("repro_serve_batch_size")
+        # decode-path health: which strategy served how many symbols,
+        # whether the native gap kernel is in play, and every fallback
+        from repro.decoder.gap_native import native_available
+
+        per_path: dict[str, int] = {}
+        snap = reg.snapshot().get("repro_decode_symbols_total")
+        if snap is not None:
+            for series in snap["series"]:
+                path = series["labels"].get("path", "unknown")
+                per_path[path] = per_path.get(path, 0) \
+                    + int(series["value"])
+        decode = {
+            "gap_backend": "native" if native_available() else "numpy",
+            "symbols_by_path": per_path,
+            "gap_subchunks": int(
+                reg.total("repro_decode_gap_subchunks_total")
+            ),
+            "gap_sync_points": int(
+                reg.total("repro_decode_gap_sync_points_total")
+            ),
+            "gap_chunk_fallbacks": int(
+                reg.total("repro_decode_gap_chunk_fallback_total")
+            ),
+            "gap_lut_fallbacks": int(
+                reg.total("repro_decode_gap_lut_fallback_total")
+            ),
+            "lut_fallbacks": int(
+                reg.total("repro_decode_lut_fallback_total")
+            ),
+        }
+        slo_doc = self.slo.evaluate()
         return {
             "uptime_s": round(time.time() - self.started_at, 3),
             "queue": {
@@ -335,4 +460,18 @@ class CompressionService:
                 "user_errors": int(reg.total("repro_serve_errors_total")),
             },
             "caches": caches,
+            "decode": decode,
+            "flight": self.flight.stats(),
+            "slo": {
+                "healthy": slo_doc["healthy"],
+                "alerts": slo_doc["alerts"],
+                "bad_fractions": {
+                    name: entry["bad_fraction"]
+                    for name, entry in slo_doc["slos"].items()
+                },
+            },
         }
+
+    def slo_report(self) -> dict:
+        """Full multi-window burn-rate evaluation (``GET /slo``)."""
+        return self.slo.evaluate()

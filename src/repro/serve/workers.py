@@ -84,6 +84,11 @@ class WorkerShard(threading.Thread):
                     shard=self.shard_id,
                     key=str(batch.key),
                     batch_size=len(batch),
+                    # bounded preview: enough to join a shard track to
+                    # the flight recorder's per-request records
+                    request_ids=",".join(
+                        r.request_id for r in batch.requests[:4]
+                    ) + ("…" if len(batch.requests) > 4 else ""),
                 ):
                     self.handler(batch)
                 self.batches_done += 1

@@ -1,0 +1,188 @@
+"""Flight-recorder retention semantics, bounds, and thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.flight import (
+    FlightRecorder,
+    NullFlightRecorder,
+    RequestRecord,
+    extract_paths,
+    flight_recorder,
+    set_flight_recorder,
+)
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture
+def reg():
+    mine = MetricsRegistry()
+    prev = set_registry(mine)
+    yield mine
+    set_registry(prev)
+
+
+def rec(
+    request_id: str = "r1",
+    status: str = "ok",
+    duration_ms: float = 1.0,
+    ts: float = 100.0,
+    **kw,
+) -> RequestRecord:
+    return RequestRecord(
+        request_id=request_id, op="compress", status=status,
+        duration_ms=duration_ms, ts=ts, **kw,
+    )
+
+
+# ------------------------------------------------------------ retention --
+def test_errors_always_kept(reg):
+    fr = FlightRecorder(capacity=8, sample_every=1000)
+    assert fr.record(rec("e1", status="error")) == "error"
+    assert fr.record(rec("s1", status="shed")) == "error"
+    assert [r.request_id for r in fr.recent(status="error")] == ["e1"]
+    assert [r.request_id for r in fr.recent(status="shed")] == ["s1"]
+
+
+def test_ambient_sampling_one_in_n(reg):
+    fr = FlightRecorder(capacity=64, sample_every=4, min_outlier_window=999)
+    for i in range(16):
+        fr.record(rec(f"r{i}", ts=float(i)))
+    kept = fr.recent()
+    assert len(kept) == 4  # 16 / sample_every
+    assert all(r.retained == "sample" for r in kept)
+    assert fr.seen == 16 and fr.kept == 4
+
+
+def test_outlier_kept_after_window_fills(reg):
+    fr = FlightRecorder(
+        capacity=64, sample_every=1000, min_outlier_window=8,
+    )
+    for i in range(8):
+        fr.record(rec(f"fast{i}", duration_ms=1.0, ts=float(i)))
+    # now the rolling window is warm; a 100x duration is >= its p99
+    reason = fr.record(rec("slow", duration_ms=100.0, ts=99.0))
+    assert reason == "outlier"
+    ids = [r.request_id for r in fr.recent()]
+    assert "slow" in ids
+
+
+def test_healthy_flood_cannot_evict_errors(reg):
+    fr = FlightRecorder(capacity=8, sample_every=1, min_outlier_window=999)
+    fr.record(rec("the-error", status="error", ts=0.0))
+    for i in range(100):  # flood of retained healthy samples
+        fr.record(rec(f"ok{i}", ts=float(i + 1)))
+    ids = [r.request_id for r in fr.recent()]
+    assert "the-error" in ids  # separate ring: never evicted by "ok"s
+    # both rings stay bounded by their halves of the capacity
+    assert len(fr.recent()) <= fr.capacity
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=1)
+    with pytest.raises(ValueError):
+        FlightRecorder(sample_every=0)
+
+
+# ---------------------------------------------------------- concurrency --
+def test_ten_thread_concurrency_exact_accounting(reg):
+    """10 writer threads; bounds hold and the metrics agree exactly."""
+    fr = FlightRecorder(capacity=32, sample_every=4, min_outlier_window=999)
+    per_thread = 200
+    n_threads = 10
+    errors_per_thread = 10
+
+    def writer(tid: int) -> None:
+        for i in range(per_thread):
+            status = "error" if i < errors_per_thread else "ok"
+            fr.record(rec(f"t{tid}-{i}", status=status,
+                          ts=float(tid * per_thread + i)))
+
+    threads = [
+        threading.Thread(target=writer, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    total = per_thread * n_threads
+    assert fr.seen == total
+    # rings bounded regardless of pressure
+    kept = fr.recent()
+    assert len(kept) <= fr.capacity
+    assert len([r for r in kept if r.retained in ("error", "outlier")]) <= 16
+    # the retention counter accounts for every single offer, exactly
+    counted = sum(
+        int(s["value"])
+        for s in reg.snapshot()["repro_obs_flight_records_total"]["series"]
+    )
+    assert counted == total
+    dropped = reg.total("repro_obs_flight_records_total", retained="dropped")
+    assert int(dropped) == total - fr.kept
+
+
+# ---------------------------------------------------------- path summary --
+def test_extract_paths():
+    spans = (
+        {"name": "serve.request", "attrs": {"op": "compress"}},
+        {"name": "encode.reduce_shuffle_merge", "attrs": {"impl": "scan"}},
+        {"name": "encode.codebook", "attrs": {"codebook_cache": "hit"}},
+        {"name": "decode.stream", "attrs": {"strategy": "gap"}},
+        {"name": "decode.gap", "attrs": {"backend": "native"}},
+    )
+    assert extract_paths(spans) == {
+        "encode_impl": "scan",
+        "codebook_cache": "hit",
+        "decode_strategy": "gap",
+        "gap_backend": "native",
+    }
+    assert extract_paths(()) == {}
+
+
+# -------------------------------------------------------------- export --
+def test_chrome_trace_shape(reg):
+    fr = FlightRecorder(capacity=8, sample_every=1, min_outlier_window=999)
+    spans = (
+        {"name": "serve.request", "span_id": 1, "parent_id": 0, "tid": 7,
+         "ts_us": 10.0, "dur_us": 50.0, "attrs": {"op": "compress"}},
+        {"name": "encode.lookup", "span_id": 2, "parent_id": 1, "tid": 7,
+         "ts_us": 12.0, "dur_us": 20.0, "attrs": {}},
+    )
+    fr.record(rec("traced", duration_ms=0.05, ts=fr._epoch_wall + 1.0,
+                  spans=spans))
+    doc = fr.to_chrome_trace()
+    events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    assert len(events) == 2
+    for e in events:
+        assert e["args"]["request_id"] == "traced"
+        assert e["ts"] >= 0.0
+    # the child keeps its relative placement inside the request
+    by_name = {e["name"]: e for e in events}
+    assert by_name["encode.lookup"]["ts"] > by_name["serve.request"]["ts"]
+    assert doc["otherData"]["records"][0]["request_id"] == "traced"
+    assert "spans" not in doc["otherData"]["records"][0]
+
+
+# ------------------------------------------------------------- globals --
+def test_global_recorder_swap(reg):
+    assert isinstance(flight_recorder(), NullFlightRecorder)
+    mine = FlightRecorder(capacity=4)
+    prev = set_flight_recorder(mine)
+    try:
+        assert flight_recorder() is mine
+    finally:
+        set_flight_recorder(prev)
+    assert isinstance(flight_recorder(), NullFlightRecorder)
+
+
+def test_null_recorder_is_inert():
+    nr = NullFlightRecorder()
+    assert nr.record(rec()) == ""
+    assert nr.recent() == []
+    assert nr.stats()["enabled"] is False
+    assert nr.to_chrome_trace()["traceEvents"] == []

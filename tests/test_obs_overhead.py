@@ -1,0 +1,103 @@
+"""Tier-2 guard: telemetry must stay ~free when off, bounded when on.
+
+The whole pipeline is instrumented unconditionally — every hot path
+calls ``span()`` and the serve layer offers every request to the flight
+recorder.  That is only acceptable because the disabled path
+(:class:`NullTracer` + :class:`NullFlightRecorder`, the defaults) is a
+couple of no-op calls.  This test pins that contract with wall-clock
+measurements on a 1 MiB corpus: the fully *enabled* path (request
+tracer + flight recording) must stay within a small constant factor of
+the disabled one, which transitively bounds the disabled path's own
+overhead to the noise floor.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.app.compressor import compress_symbols, decompress_symbols
+from repro.obs.flight import FlightRecorder, RequestRecord, extract_paths
+from repro.obs.trace import NullTracer, Tracer, get_tracer, thread_tracing
+
+pytestmark = pytest.mark.tier2
+
+CORPUS_BYTES = 1 << 20
+REPEATS = 5
+#: enabled-vs-disabled bound: tracing a 1 MiB round trip creates a few
+#: dozen spans, whose cost must vanish against ~10ms of real work
+MAX_OVERHEAD = 1.35
+
+
+@pytest.fixture(scope="module")
+def corpus() -> np.ndarray:
+    rng = np.random.default_rng(99)
+    probs = rng.dirichlet(np.ones(64) * 0.2)
+    return rng.choice(64, size=CORPUS_BYTES, p=probs).astype(np.uint8)
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_default_tracer_is_null():
+    assert isinstance(get_tracer(), NullTracer)
+
+
+def test_enabled_telemetry_overhead_bounded(corpus):
+    blob, _ = compress_symbols(corpus)
+
+    def round_trip():
+        b, _ = compress_symbols(corpus)
+        decompress_symbols(b)
+        return b
+
+    # ---- disabled: the shipped default (NullTracer, no recording) ----
+    t_off = _best_of(round_trip)
+
+    # ---- enabled: request tracer + flight record, the serve path ----
+    fr = FlightRecorder(capacity=64, sample_every=1)
+
+    def traced_round_trip():
+        rt = Tracer("req-overhead")
+        with thread_tracing(rt):
+            with rt.span("serve.request", op="round_trip"):
+                round_trip()
+        spans = tuple(sp.to_dict() for sp in rt.spans)
+        fr.record(RequestRecord(
+            request_id="overhead", op="compress", status="ok",
+            duration_ms=1.0, ts=time.time(),
+            paths=extract_paths(spans), spans=spans,
+        ))
+
+    t_on = _best_of(traced_round_trip)
+
+    assert fr.kept >= 1  # the enabled runs really recorded
+    assert t_on <= t_off * MAX_OVERHEAD, (
+        f"enabled telemetry costs {t_on / t_off:.2f}x the disabled path "
+        f"(bound {MAX_OVERHEAD}x): off={t_off * 1e3:.1f}ms "
+        f"on={t_on * 1e3:.1f}ms"
+    )
+
+
+def test_traced_request_collects_real_span_tree(corpus):
+    """The enabled path must actually observe the pipeline choices."""
+    rt = Tracer("req-paths")
+    with thread_tracing(rt):
+        with rt.span("serve.request", op="compress"):
+            blob, _ = compress_symbols(corpus[: 1 << 16])
+        with rt.span("serve.request", op="decompress"):
+            decompress_symbols(blob)
+    paths = extract_paths(sp.to_dict() for sp in rt.spans)
+    assert "encode_impl" in paths
+    assert "codebook_cache" in paths
+    names = rt.span_names()
+    assert any(n.startswith("encode.") for n in names)
+    assert any(n.startswith("decode.") for n in names)

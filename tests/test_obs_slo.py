@@ -1,0 +1,172 @@
+"""SLO evaluation: windowed burn rates from counter snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_ALERT_POLICIES,
+    SLO,
+    AlertPolicy,
+    SLOTracker,
+    default_serve_slos,
+)
+
+LAT_BUCKETS = (0.01, 0.1, 1.0)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+def ratio_slo(objective: float = 0.01) -> SLO:
+    return SLO(
+        name="error_rate", objective=objective, kind="ratio",
+        metric="repro_serve_errors_total",
+        total_metric="repro_serve_requests_total",
+    )
+
+
+def latency_slo(threshold: float = 0.1) -> SLO:
+    return SLO(
+        name="p99_latency", objective=0.01, kind="latency",
+        metric="repro_serve_request_latency_seconds",
+        threshold_s=threshold, labels={"op": "compress"},
+    )
+
+
+def drive(reg, total: int, errors: int) -> None:
+    reg.counter("repro_serve_requests_total", op="compress").inc(total)
+    reg.counter("repro_serve_errors_total", op="compress").inc(errors)
+
+
+# ----------------------------------------------------------- validation --
+def test_slo_validation():
+    with pytest.raises(ValueError):
+        SLO(name="x", objective=1.5, kind="ratio",
+            metric="m", total_metric="t")
+    with pytest.raises(ValueError):
+        SLO(name="x", objective=0.01, kind="weird", metric="m")
+    with pytest.raises(ValueError):
+        SLO(name="x", objective=0.01, kind="latency", metric="m")  # no thr
+    with pytest.raises(ValueError):
+        SLO(name="x", objective=0.01, kind="ratio", metric="m")  # no total
+    with pytest.raises(ValueError):
+        SLOTracker([ratio_slo(), ratio_slo()])  # duplicate names
+
+
+def test_default_serve_slos_complete():
+    slos = default_serve_slos(0.25)
+    names = {s.name for s in slos}
+    assert names == {"compress_p99_latency", "decompress_p99_latency",
+                     "error_rate", "shed_rate"}
+    assert all(s.threshold_s == 0.25 for s in slos if s.kind == "latency")
+
+
+# ------------------------------------------------------------ burn rate --
+def test_error_burst_fires_page_alert(reg):
+    tr = SLOTracker([ratio_slo()], registry=reg)
+    tr.evaluate(now=0.0)  # baseline snapshot: all zeros
+    drive(reg, total=100, errors=50)  # 50% bad vs 1% objective
+    doc = tr.evaluate(now=30.0)
+    entry = doc["slos"]["error_rate"]
+    w60 = entry["windows"]["60s"]
+    assert w60["bad"] == 50 and w60["total"] == 100
+    assert w60["bad_fraction"] == pytest.approx(0.5)
+    assert w60["burn_rate"] == pytest.approx(50.0)
+    assert entry["burning"] is True
+    assert doc["healthy"] is False
+    severities = {a["severity"] for a in doc["alerts"]}
+    assert "page" in severities
+
+
+def test_healthy_traffic_never_alerts(reg):
+    tr = SLOTracker([ratio_slo()], registry=reg)
+    tr.evaluate(now=0.0)
+    drive(reg, total=1000, errors=5)  # 0.5% < 1% objective
+    doc = tr.evaluate(now=30.0)
+    assert doc["healthy"] is True
+    assert doc["alerts"] == []
+    assert doc["slos"]["error_rate"]["windows"]["60s"]["burn_rate"] < 1.0
+
+
+def test_min_events_suppresses_tiny_windows(reg):
+    """A 1-in-3 error burst must not page anybody."""
+    tr = SLOTracker([ratio_slo()], registry=reg, min_events=10)
+    tr.evaluate(now=0.0)
+    drive(reg, total=3, errors=1)
+    doc = tr.evaluate(now=30.0)
+    w60 = doc["slos"]["error_rate"]["windows"]["60s"]
+    assert w60["burn_rate"] is None
+    assert doc["alerts"] == []
+
+
+def test_multi_window_suppresses_stale_burn(reg):
+    """An old burst outside the fast window must not keep alerting."""
+    tr = SLOTracker(
+        [ratio_slo()], registry=reg,
+        alert_policies=[AlertPolicy(60.0, 300.0, 14.4, "page")],
+    )
+    tr.evaluate(now=0.0)
+    drive(reg, total=100, errors=50)  # burst happens early
+    tr.evaluate(now=10.0)
+    # quiet period: plenty of healthy traffic, no new errors
+    drive(reg, total=1000, errors=0)
+    tr.evaluate(now=100.0)
+    drive(reg, total=500, errors=0)  # traffic inside the fast window too
+    doc = tr.evaluate(now=160.0)
+    w60 = doc["slos"]["error_rate"]["windows"]["60s"]
+    # the fast window no longer contains the burst -> burn subsides
+    assert w60["burn_rate"] is not None and w60["burn_rate"] < 14.4
+    assert doc["alerts"] == []
+
+
+def test_snapshot_ring_stays_bounded(reg):
+    tr = SLOTracker([ratio_slo()], registry=reg)
+    horizon = tr._horizon_s
+    for i in range(200):
+        tr.evaluate(now=float(i) * 60.0)
+    assert len(tr._snapshots) <= horizon / 60.0 + 2
+
+
+# -------------------------------------------------------------- latency --
+def test_latency_slo_counts_from_buckets(reg):
+    h = reg.histogram(
+        "repro_serve_request_latency_seconds",
+        buckets=LAT_BUCKETS, op="compress",
+    )
+    for _ in range(98):
+        h.observe(0.005)   # <= 0.1: good
+    h.observe(0.5)         # > 0.1: bad
+    h.observe(2.0)         # > 0.1: bad
+    tr = SLOTracker([latency_slo(0.1)], registry=reg)
+    doc = tr.evaluate(now=0.0)
+    entry = doc["slos"]["p99_latency"]
+    assert entry["total"] == 100
+    assert entry["bad"] == 2
+    assert entry["bad_fraction"] == pytest.approx(0.02)
+
+
+def test_latency_slo_label_filter(reg):
+    good = reg.histogram(
+        "repro_serve_request_latency_seconds",
+        buckets=LAT_BUCKETS, op="compress",
+    )
+    other = reg.histogram(
+        "repro_serve_request_latency_seconds",
+        buckets=LAT_BUCKETS, op="decompress",
+    )
+    good.observe(0.005)
+    other.observe(5.0)  # slow, but a different op: must not count
+    tr = SLOTracker([latency_slo(0.1)], registry=reg)
+    entry = tr.evaluate(now=0.0)["slos"]["p99_latency"]
+    assert entry["total"] == 1 and entry["bad"] == 0
+
+
+def test_default_policies_shape():
+    assert len(DEFAULT_ALERT_POLICIES) == 2
+    fast = DEFAULT_ALERT_POLICIES[0]
+    assert fast.fast_window_s < fast.slow_window_s
+    assert fast.severity == "page"

@@ -1,0 +1,191 @@
+"""Perf-history log + regression sentinel (repro.perf.history)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.history import (
+    THROUGHPUT_METRICS,
+    SentinelVerdict,
+    append_entry,
+    check_regression,
+    history_entry,
+    load_history,
+    main,
+)
+
+
+class FakeResult:
+    """Duck-typed WallclockResult: only to_dict() is consumed."""
+
+    def __init__(self, dataset: str, scale: float = 1.0):
+        self.dataset = dataset
+        self.scale = scale
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "gap_backend": "native",
+            "encode_mb_s": 20.0 * self.scale,
+            "encode_scan_mb_s": 60.0 * self.scale,
+            "encode_speedup": 3.0,
+            "decode_scalar_mb_s": 1.0 * self.scale,
+            "decode_batch_mb_s": 40.0 * self.scale,
+            "decode_speedup": 40.0,
+            "decode_gap_mb_s": 160.0 * self.scale,
+            "decode_speedup_gap": 4.0,
+            "compressed_bytes": 1234,
+            "cache_hits": 5,
+            "cache_misses": 2,
+        }
+
+
+def entry(scale: float = 1.0) -> dict:
+    return history_entry(
+        [FakeResult("enwik8", scale), FakeResult("nyx_quant", scale)],
+        rev="abc1234", ts="2026-08-08T00:00:00Z",
+    )
+
+
+# ---------------------------------------------------------------- entry --
+def test_history_entry_shape():
+    e = entry()
+    assert e["git_rev"] == "abc1234"
+    assert e["gap_backend"] == "native"
+    assert set(e["datasets"]) == {"enwik8", "nyx_quant"}
+    ds = e["datasets"]["enwik8"]
+    for m in THROUGHPUT_METRICS:
+        assert m in ds
+    assert ds["cache_hits"] == 5
+    assert "counters" in e  # decode fallback totals ride along
+
+
+def test_append_and_load_roundtrip(tmp_path):
+    path = tmp_path / "hist" / "BENCH_history.jsonl"
+    append_entry(path, entry())  # parent dir is created on demand
+    append_entry(path, entry(1.1))
+    loaded = load_history(path)
+    assert len(loaded) == 2
+    assert loaded[0]["git_rev"] == "abc1234"
+
+
+def test_load_skips_malformed_lines(tmp_path):
+    path = tmp_path / "h.jsonl"
+    with open(path, "w") as f:
+        f.write(json.dumps(entry()) + "\n")
+        f.write("{not json\n")
+        f.write("[1,2,3]\n")          # json, wrong shape
+        f.write("\n")
+        f.write(json.dumps(entry(1.2)) + "\n")
+    assert len(load_history(path)) == 2
+    assert load_history(tmp_path / "missing.jsonl") == []
+
+
+# ------------------------------------------------------------- sentinel --
+def test_insufficient_history_passes():
+    verdict = check_regression([entry(), entry()], entry(0.5), min_runs=3)
+    assert verdict.ok
+    assert verdict.checked == 0
+    assert verdict.skipped  # reported, not silently dropped
+
+
+def test_stable_rerun_passes():
+    history = [entry() for _ in range(5)]
+    verdict = check_regression(history, entry())
+    assert verdict.ok and not verdict.regressions
+    assert verdict.checked == 2 * len(THROUGHPUT_METRICS)
+
+
+def test_thirty_percent_slowdown_fails():
+    history = [entry() for _ in range(5)]
+    verdict = check_regression(history, entry(0.7))
+    assert not verdict.ok
+    regressed = {(r["dataset"], r["metric"]) for r in verdict.regressions}
+    assert ("enwik8", "decode_gap_mb_s") in regressed
+    # the rendered verdict names the numbers a human needs
+    text = verdict.render()
+    assert "FAIL" in text and "decode_gap_mb_s" in text
+
+
+def test_small_wobble_within_tolerance_passes():
+    history = [entry() for _ in range(5)]
+    verdict = check_regression(history, entry(0.9))  # -10% < 15% rel_tol
+    assert verdict.ok
+
+
+def test_mad_floor_absorbs_noisy_history():
+    """A scattered baseline widens the floor beyond rel_tol."""
+    history = [entry(s) for s in (1.0, 1.1, 1.2, 1.3, 1.4)]
+    # median scale 1.2; the window's own scatter makes 3*1.4826*MAD the
+    # operative floor, so a drop that rel_tol alone would flag passes
+    noisy_ok = check_regression(history, entry(0.95), rel_tol=0.05)
+    assert noisy_ok.ok
+    # but a collapse below even the widened floor still fails
+    assert not check_regression(history, entry(0.4), rel_tol=0.05).ok
+
+
+def test_zero_valued_paths_are_never_judged():
+    """A host that skips the gap path (0.0) neither gates nor baselines."""
+    history = [entry() for _ in range(5)]
+    cand = entry()
+    cand["datasets"]["enwik8"]["decode_gap_mb_s"] = 0.0
+    verdict = check_regression(history, cand)
+    assert verdict.ok  # 0.0 is "not exercised", not "infinitely slow"
+
+
+def test_window_uses_only_recent_runs():
+    """Ancient fast runs outside the window cannot fail today's run."""
+    ancient = [entry(2.0) for _ in range(10)]   # a golden age
+    recent = [entry(1.0) for _ in range(8)]     # the new normal
+    verdict = check_regression(ancient + recent, entry(0.95), window=8)
+    assert verdict.ok
+
+
+# ------------------------------------------------------------------ CLI --
+def test_cli_check_pass_and_fail(tmp_path):
+    hist = tmp_path / "h.jsonl"
+    for _ in range(5):
+        append_entry(hist, entry())
+    doc = {"meta": {"generated_utc": "2026-08-08T00:00:00Z"},
+           "datasets": {ds: FakeResult(ds).to_dict()
+                        for ds in ("enwik8", "nyx_quant")}}
+    bench = tmp_path / "BENCH_wallclock.json"
+    bench.write_text(json.dumps(doc))
+    assert main(["--history", str(hist), "--check", str(bench)]) == 0
+
+    slow = {"meta": doc["meta"],
+            "datasets": {ds: FakeResult(ds, 0.6).to_dict()
+                         for ds in ("enwik8", "nyx_quant")}}
+    bench.write_text(json.dumps(slow))
+    assert main(["--history", str(hist), "--check", str(bench)]) == 1
+
+
+def test_cli_check_append_grows_history(tmp_path):
+    hist = tmp_path / "h.jsonl"
+    doc = {"meta": {"generated_utc": "t"},
+           "datasets": {"enwik8": FakeResult("enwik8").to_dict()}}
+    bench = tmp_path / "b.json"
+    bench.write_text(json.dumps(doc))
+    assert main(["--history", str(hist), "--check", str(bench),
+                 "--append"]) == 0
+    assert len(load_history(hist)) == 1
+
+
+def test_cli_self_test_detects(tmp_path):
+    missing = tmp_path / "none.jsonl"
+    # detection exits 1 (CI inverts with `!`)
+    assert main(["--history", str(missing), "--self-test", "0.3"]) == 1
+    # a slowdown inside the noise floor is (correctly) not detected
+    assert main(["--history", str(missing), "--self-test", "0.01"]) == 0
+
+
+def test_cli_missing_artifact(tmp_path):
+    assert main(["--history", str(tmp_path / "h.jsonl"),
+                 "--check", str(tmp_path / "nope.json")]) == 2
+
+
+def test_verdict_render_pass():
+    v = SentinelVerdict(ok=True, checked=4, window_runs=5)
+    assert "PASS" in v.render()

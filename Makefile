@@ -5,12 +5,14 @@ PY := PYTHONPATH=src python
 TRACE_DIR := /tmp/repro-trace-smoke
 
 .PHONY: test unit trace-smoke serve-smoke obs-smoke bench-smoke bench \
-        conform-smoke conform
+        conform-smoke conform codebooks-smoke
 
 # tier-1 verification (ROADMAP.md): unit suite + telemetry smoke +
-# serving smoke + observability smoke + differential conformance smoke
-# matrix + wall-clock smoke (the scan-pack no-regression gate)
-test: unit trace-smoke serve-smoke obs-smoke conform-smoke bench-smoke
+# serving smoke + observability smoke + codebook-registry smoke +
+# differential conformance smoke matrix + wall-clock smoke (the
+# scan-pack no-regression gate)
+test: unit trace-smoke serve-smoke obs-smoke codebooks-smoke \
+      conform-smoke bench-smoke
 
 unit:
 	$(PY) -m pytest -x -q
@@ -37,6 +39,13 @@ trace-smoke:
 # error and the outlier with full span trees
 obs-smoke:
 	$(PY) -m repro.obs.smoke
+
+# codebook-registry smoke: boot an ephemeral server, register a
+# nyx_quant-style book over /codebooks, assert hot codebook_id requests
+# skip the histogram/codebook spans (via /trace/recent), assert the
+# registry hit metrics and the 400 contract for unknown/uncovered ids
+codebooks-smoke:
+	$(PY) -m repro.codebooks.smoke
 
 # conformance smoke: every smoke-tier encoder x decoder pair over the
 # smoke corpora, plus the harness's own negative self-test (a seeded

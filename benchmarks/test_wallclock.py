@@ -14,7 +14,9 @@ aborts if the scan container is not byte-identical, so a passing run
 certifies round-trip + bytes + throughput together), and — when the
 compiled gap kernel is available — the gap-array decoder >=3x over the
 lane decoder on both surrogates (``run_wallclock`` aborts unless the
-gap output is bit-identical to the lane decoder's first).  The
+gap output is bit-identical to the lane decoder's first), and the
+codebook-registry fast path >=2x amortized over the cold per-request
+codebook-build path at hot mean batch sizes >=8.  The
 assertions keep a margin for machine noise; the checked-in JSON carries
 the actual measured ratios, including the per-stage encode breakdown.
 """
@@ -31,6 +33,7 @@ from repro.perf.history import (
 )
 from repro.perf.report import write_wallclock_json
 from repro.perf.wallclock import (
+    run_codebooks_bench,
     run_serve_bench,
     run_wallclock,
     wallclock_table,
@@ -51,9 +54,17 @@ def test_wallclock(results_dir, bench_rng):
     serve = run_serve_bench(
         n_clients=8, requests_per_client=10, size_symbols=4096
     )
+    # codebook-registry fast path: the same nyx_quant-style payloads,
+    # cold (per-request codebook build) then hot (pre-registered
+    # codebook_id, single-stage encode); the amortized ratio is the
+    # PR-level acceptance bar
+    codebooks = run_codebooks_bench(n_requests=64)
     doc = write_wallclock_json(
         results_dir / BENCH_JSON, results,
-        extra={"surrogate_bytes": BENCH_SIZE, "serve": serve},
+        extra={
+            "surrogate_bytes": BENCH_SIZE, "serve": serve,
+            "codebooks": codebooks,
+        },
     )
     emit(results_dir, "wallclock", wallclock_table(results))
 
@@ -98,10 +109,40 @@ def test_wallclock(results_dir, bench_rng):
     )
     assert doc["serve"]["latency_p99_ms"] >= doc["serve"]["latency_p50_ms"]
 
+    # codebook-registry fast path invariants: hot containers still
+    # round-trip, hot batches really coalesce (>= 8 mean size at
+    # max_batch 16), every hot request hit the registry, and the
+    # amortized throughput clears the >= 2x acceptance bar (it measures
+    # ~10x on this host; 2x keeps margin for machine noise)
+    cb = doc["codebooks"]
+    assert cb["corrupt_roundtrips"] == 0
+    assert cb["registry_hits"] >= cb["requests"]
+    assert cb["registry_misses"] == 0
+    assert cb["hot"]["mean_batch_size"] >= 8.0, (
+        f"hot codebook_id requests did not coalesce: mean batch "
+        f"{cb['hot']['mean_batch_size']} (needs >= 8)"
+    )
+    assert cb["amortized_speedup"] >= 2.0, (
+        f"registry fast path only {cb['amortized_speedup']}x over the "
+        f"cold per-request codebook path (needs >= 2x)"
+    )
+
     # ---- perf-history sentinel: this run vs the rolling baseline -------
     history_path = results_dir / BENCH_HISTORY
     prior = load_history(history_path)
-    entry = history_entry(results)
+    entry = history_entry(
+        results,
+        extra={
+            "codebooks": {
+                "cold_mb_s": cb["cold"]["mb_s"],
+                "hot_mb_s": cb["hot"]["mb_s"],
+                "amortized_speedup": cb["amortized_speedup"],
+                "hot_mean_batch_size": cb["hot"]["mean_batch_size"],
+                "registry_hits": cb["registry_hits"],
+                "registry_misses": cb["registry_misses"],
+            }
+        },
+    )
     verdict = check_regression(prior, entry)
     # gate first, then append: a regressing run still leaves its trace
     # in the log (the human investigating wants to see it), but the

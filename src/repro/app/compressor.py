@@ -43,6 +43,7 @@ from repro.obs import span as _span
 __all__ = [
     "CompressionReport",
     "compress_symbols",
+    "compress_symbols_registered",
     "decompress_symbols",
     "compress_field",
     "decompress_field",
@@ -152,25 +153,83 @@ def compress_symbols(
     return header + payload, report
 
 
+def compress_symbols_registered(
+    data: np.ndarray,
+    book,
+    codebook_id: str | None = None,
+    magnitude: int = DEFAULT_MAGNITUDE,
+    device: DeviceSpec = V100,
+) -> tuple[bytes, CompressionReport]:
+    """Registry-hit compression: single-stage encode with a static book.
+
+    The histogram and codebook-construction stages are skipped entirely
+    (:mod:`repro.core.single_stage`); the container is byte-identical to
+    :func:`compress_symbols` whenever the cold path would have built the
+    same codebook.  ``book`` may be a :class:`~repro.huffman.codebook
+    .CanonicalCodebook` or a :class:`repro.codebooks.registry
+    .RegisteredCodebook` (whose warmed tables make the fast path fast).
+    """
+    from repro.core.single_stage import single_stage_encode
+
+    if hasattr(book, "book"):  # RegisteredCodebook
+        if codebook_id is None:
+            codebook_id = book.codebook_id
+        book = book.book
+    data = np.asarray(data)
+    if not np.issubdtype(data.dtype, np.integer):
+        raise TypeError("compress_symbols_registered expects integer data")
+    itemsize = data.dtype.itemsize
+    with _span("app.compress_symbols", bytes_in=int(data.nbytes),
+               adaptive=False, registry_hit=True,
+               codebook_id=codebook_id or ""):
+        enc = single_stage_encode(data, book, magnitude=magnitude,
+                                  device=device)
+        payload = serialize_stream(enc.stream, book)
+        report = CompressionReport(
+            input_bytes=int(data.nbytes),
+            compressed_bytes=len(payload),
+            avg_bits=enc.avg_bits,
+            breaking_fraction=enc.breaking_fraction,
+            modeled_encode_gbps=enc.modeled_gbps(device),
+            device=device.name,
+        )
+        header = _SYM_MAGIC + struct.pack("<BQ", itemsize, data.size)
+    _record_app_metrics("compress_symbols", report)
+    return header + payload, report
+
+
 @container_guard
-def decompress_symbols(buf: bytes, decode_strategy: str = "auto") -> np.ndarray:
+def decompress_symbols(
+    buf: bytes, decode_strategy: str = "auto", book=None
+) -> np.ndarray:
     """Inverse of :func:`compress_symbols`.
 
     ``decode_strategy`` is forwarded to
     :func:`repro.core.bitstream.decode_stream` (``"auto"`` routes large
     streams to the gap-array decoder when its compiled backend exists).
 
+    ``book`` is the registry fast path (see
+    :func:`repro.core.serialization.deserialize_stream`): a registered
+    codebook resolved from the container's header peek skips the
+    canonical rebuild and reuses the warmed k-bit LUT.  It accepts a
+    :class:`~repro.huffman.codebook.CanonicalCodebook` or a
+    ``RegisteredCodebook`` and never changes the decoded output — only
+    how fast the tables come back.
+
     Adversarial robustness contract (relied on by :mod:`repro.serve`):
     any malformed, truncated, or bit-flipped input raises
     :class:`ValueError` — never ``struct.error``/``IndexError``/
     ``KeyError``/``OverflowError``.
     """
+    if book is not None and hasattr(book, "book"):  # RegisteredCodebook
+        book = book.book
     buf = bytes(buf)
     if buf[:4] != _SYM_MAGIC:
         raise ValueError("not a symbol container")
     if len(buf) < 13:
         raise ValueError("truncated symbol container header")
-    with _span("app.decompress_symbols", bytes_in=len(buf)) as sp:
+    with _span("app.decompress_symbols", bytes_in=len(buf),
+               registry_hit=book is not None) as sp:
         itemsize, n = struct.unpack("<BQ", buf[4:13])
         body = buf[13:]
         if body[:4] == b"RPRA":
@@ -179,7 +238,7 @@ def decompress_symbols(buf: bytes, decode_strategy: str = "auto") -> np.ndarray:
                 raise ValueError("symbol count mismatch in container")
             out = adaptive_decode(result, book)
         else:
-            stream, book = deserialize_stream(body)
+            stream, book = deserialize_stream(body, book=book)
             if stream.n_symbols != n:
                 raise ValueError("symbol count mismatch in container")
             out = decode_stream(stream, book, strategy=decode_strategy)

@@ -1,0 +1,42 @@
+"""Persistent codebook registry + single-stage static-codebook fast path.
+
+ML compression workloads (gradients, activations, quantized tensors
+like the nyx_quant surrogate) reuse tiny, stable alphabets across
+millions of requests.  The paper's pipeline pays histogramming and
+two-phase codebook construction on every one of them; this subsystem
+lets a client *register* a canonical codebook once and then reference
+it by content digest, collapsing the encode pipeline to the single
+fused scan-pack stage (:mod:`repro.core.single_stage`) and the decode
+side to a header peek that reuses the registered book's cached k-bit
+LUT.
+
+Layout:
+
+- :mod:`repro.codebooks.store` — versioned on-disk persistence
+  (JSON manifest + one binary file per book);
+- :mod:`repro.codebooks.registry` — the in-process LRU registry,
+  layered on the digest caches in :mod:`repro.huffman.cache`;
+- :mod:`repro.codebooks.cli` — the ``repro-codebooks`` command
+  (register-from-corpus / list / inspect / evict);
+- :mod:`repro.codebooks.smoke` — the ``make codebooks-smoke`` gate.
+"""
+
+from repro.codebooks.registry import (
+    CodebookRegistry,
+    RegisteredCodebook,
+    lengths_digest,
+    process_registry,
+    set_process_registry,
+)
+from repro.codebooks.store import BOOK_MAGIC, STORE_VERSION, CodebookStore
+
+__all__ = [
+    "CodebookRegistry",
+    "RegisteredCodebook",
+    "lengths_digest",
+    "process_registry",
+    "set_process_registry",
+    "CodebookStore",
+    "BOOK_MAGIC",
+    "STORE_VERSION",
+]

@@ -1,0 +1,160 @@
+"""``repro-codebooks``: manage the persistent codebook registry.
+
+Register a book from a corpus file (raw little-endian symbols or a
+``.npy`` array), then reference it by content digest or name from
+``repro-serve`` clients via ``X-Repro-Codebook-Id``::
+
+    repro-codebooks register corpus.bin --dtype uint16 \\
+        --num-symbols 1024 --name nyx_quant
+    repro-codebooks list
+    repro-codebooks inspect nyx_quant
+    repro-codebooks evict nyx_quant
+
+The store directory defaults to ``$REPRO_CODEBOOK_DIR`` (falling back
+to ``~/.cache/repro-codebooks``); point ``repro-serve`` at the same
+directory to serve the registered books.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.codebooks.registry import ENV_STORE_DIR, CodebookRegistry
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_ROOT = "~/.cache/repro-codebooks"
+_DTYPES = ("uint8", "uint16", "uint32", "uint64")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-codebooks",
+        description="register / list / inspect / evict canonical "
+                    "codebooks in the persistent registry",
+    )
+    p.add_argument(
+        "--root", default=None,
+        help=f"store directory (default: ${ENV_STORE_DIR} or "
+             f"{_DEFAULT_ROOT})",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    reg = sub.add_parser(
+        "register", help="build a canonical codebook from a corpus file "
+                         "and persist it",
+    )
+    reg.add_argument("corpus", help="corpus path (.npy or raw bytes)")
+    reg.add_argument("--dtype", default="uint8", choices=_DTYPES,
+                     help="raw-corpus element type (ignored for .npy)")
+    reg.add_argument("--num-symbols", type=int, default=None,
+                     help="declared alphabet size (default: max+1)")
+    reg.add_argument("--name", default=None,
+                     help="human-readable alias for the codebook id")
+    reg.add_argument("--no-smooth", action="store_true",
+                     help="skip add-one smoothing (book then covers only "
+                          "symbols present in the corpus)")
+
+    sub.add_parser("list", help="list registered codebooks")
+
+    ins = sub.add_parser("inspect", help="dump one codebook's metadata")
+    ins.add_argument("ref", help="codebook id or name")
+
+    ev = sub.add_parser("evict", help="drop a codebook (memory + store)")
+    ev.add_argument("ref", help="codebook id or name")
+    return p
+
+
+def _open_registry(args: argparse.Namespace) -> CodebookRegistry:
+    root = args.root or os.environ.get(ENV_STORE_DIR) or _DEFAULT_ROOT
+    return CodebookRegistry(root=Path(root).expanduser())
+
+
+def _load_corpus(path: str, dtype: str) -> np.ndarray:
+    p = Path(path)
+    if not p.exists():
+        raise SystemExit(f"repro-codebooks: no such corpus {path!r}")
+    if p.suffix == ".npy":
+        data = np.load(p)
+    else:
+        data = np.fromfile(p, dtype=np.dtype(dtype))
+    data = np.asarray(data).reshape(-1)
+    if data.dtype.kind not in "iu":
+        raise SystemExit(
+            f"repro-codebooks: corpus dtype {data.dtype} is not integer"
+        )
+    if data.size == 0:
+        raise SystemExit("repro-codebooks: empty corpus")
+    return data
+
+
+def _register(args: argparse.Namespace) -> int:
+    from repro.core.codebook_parallel import parallel_codebook
+    from repro.serve.batcher import MAX_ALPHABET, _checked_num_symbols
+
+    data = _load_corpus(args.corpus, args.dtype)
+    try:
+        num_symbols = _checked_num_symbols(
+            data, args.num_symbols, MAX_ALPHABET
+        )
+        hist = np.bincount(data.astype(np.int64), minlength=num_symbols)
+        if not args.no_smooth:
+            hist = hist + 1
+        book = parallel_codebook(hist).codebook
+        registry = _open_registry(args)
+        entry = registry.register(book, name=args.name, source="corpus")
+    except ValueError as exc:
+        raise SystemExit(f"repro-codebooks: {exc}") from None
+    doc = entry.describe()
+    doc["store"] = str(registry.store.root)
+    print(json.dumps(doc, indent=1))
+    return 0
+
+
+def _list(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    # pull every persisted id into memory so the listing is complete
+    for cb_id in (registry.store.ids() if registry.store else []):
+        registry.get(cb_id)
+    rows = [e.describe() for e in registry.entries()]
+    print(json.dumps({"books": rows, **registry.info()}, indent=1))
+    return 0
+
+
+def _inspect(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    entry = registry.get(args.ref)
+    if entry is None:
+        raise SystemExit(f"repro-codebooks: unknown codebook {args.ref!r}")
+    print(json.dumps(entry.describe(), indent=1))
+    return 0
+
+
+def _evict(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    if not registry.evict(args.ref):
+        raise SystemExit(f"repro-codebooks: unknown codebook {args.ref!r}")
+    print(json.dumps({"evicted": args.ref}))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "register": _register,
+        "list": _list,
+        "inspect": _inspect,
+        "evict": _evict,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,285 @@
+"""``python -m repro.codebooks.smoke`` — codebook-registry smoke gate.
+
+Boots an in-process serve stack on an ephemeral port and walks the
+whole registry fast path the way a client would:
+
+- ``POST /codebooks`` registers a nyx_quant-style book (uint16,
+  1024-symbol geometric corpus) and returns its content digest;
+- hot ``/compress`` requests carrying ``X-Repro-Codebook-Id`` must
+  succeed, coalesce, and — checked via ``GET /trace/recent`` — execute
+  with **no** ``encode.histogram`` / ``encode.codebook*`` span anywhere
+  in their trees, with the flight paths showing
+  ``encode_impl=single_stage``;
+- ``GET /metrics`` must show ``repro_codebook_registry_hits_total``
+  advancing and ``GET /stats`` must carry the ``codebooks`` section
+  plus the encode/decode path counters;
+- hostile inputs (unknown id; a symbol outside the registered
+  alphabet) must answer 400, never 500;
+- a hot container must round-trip through ``/decompress`` (decode-side
+  registry hit) byte-exact.
+
+``make codebooks-smoke`` runs this in CI; any failed check exits
+non-zero.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import threading
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.codebooks.registry import CodebookRegistry, set_process_registry
+from repro.obs.export import validate_chrome_trace
+from repro.obs.metrics import parse_prometheus_text
+from repro.serve.http import run_server
+from repro.serve.service import CompressionService, ServiceConfig
+
+__all__ = ["main"]
+
+_HOST = "127.0.0.1"
+_N_HOT = 12  # >= 8: the fast path must coalesce real batch sizes
+
+
+def _post(port: int, path: str, body: bytes,
+          headers: Optional[dict] = None, timeout: float = 30.0):
+    conn = http.client.HTTPConnection(_HOST, port, timeout=timeout)
+    try:
+        conn.request("POST", path, body=body, headers=headers or {})
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def _get(port: int, path: str, timeout: float = 10.0):
+    conn = http.client.HTTPConnection(_HOST, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def _request(port: int, method: str, path: str, timeout: float = 10.0):
+    conn = http.client.HTTPConnection(_HOST, port, timeout=timeout)
+    try:
+        conn.request(method, path)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def _span_names_by_request(trace: dict) -> dict:
+    """request_id → set of span names, from the Chrome trace events."""
+    names: dict[str, set] = {}
+    for ev in trace.get("traceEvents", []):
+        rid = (ev.get("args") or {}).get("request_id")
+        if rid is not None:
+            names.setdefault(str(rid), set()).add(ev.get("name", ""))
+    return names
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    # an isolated, memory-only registry: the smoke must not read or
+    # mutate whatever $REPRO_CODEBOOK_DIR the machine has configured
+    prev_registry = set_process_registry(CodebookRegistry())
+    cfg = ServiceConfig(n_shards=2, flight_sample_every=1)
+    service = CompressionService(cfg).start()
+    ready = threading.Event()
+    stop = threading.Event()
+    bound: list[int] = []
+    server = threading.Thread(
+        target=run_server,
+        kwargs=dict(service=service, host=_HOST, port=0,
+                    ready=ready, bound=bound, stop=stop),
+        daemon=True,
+    )
+    server.start()
+    failures: list[str] = []
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        mark = "ok" if ok else "FAIL"
+        print(f"  [{mark}] {label}" + (f" — {detail}" if detail else ""))
+        if not ok:
+            failures.append(label)
+
+    try:
+        if not ready.wait(10.0):
+            print("codebooks-smoke: server failed to start", file=sys.stderr)
+            return 1
+        port = bound[0]
+        print(f"codebooks-smoke: server on port {port}")
+        rng = np.random.default_rng(2021)
+
+        # ---- register a nyx_quant-style book -------------------------
+        corpus = rng.geometric(0.3, 1 << 16).clip(0, 1023).astype(np.uint16)
+        status, _, body = _post(
+            port, "/codebooks", corpus.tobytes(),
+            {"X-Repro-Dtype": "uint16", "X-Repro-Num-Symbols": "1024",
+             "X-Repro-Name": "nyx_quant"},
+        )
+        doc = json.loads(body) if status == 200 else {}
+        cb_id = doc.get("codebook_id", "")
+        check("POST /codebooks -> 200 with codebook_id",
+              status == 200 and len(cb_id) == 32,
+              f"status={status} id={cb_id!r}")
+        check("registered book covers the declared alphabet",
+              doc.get("n_used") == 1024, f"n_used={doc.get('n_used')}")
+
+        status, _, body = _get(port, "/codebooks")
+        listing = json.loads(body) if status == 200 else {}
+        check("GET /codebooks lists the book",
+              status == 200 and len(listing.get("books", [])) == 1)
+
+        status, _, body = _get(port, f"/codebooks/{cb_id}")
+        check("GET /codebooks/<id> inspects (First/Entry present)",
+              status == 200 and "first" in json.loads(body))
+
+        # ---- hot traffic: fresh draws, same registered book ----------
+        blobs = []
+        ok_all = True
+        for i in range(_N_HOT):
+            data = rng.geometric(0.3, 8192).clip(0, 1023).astype(np.uint16)
+            status, hdr, blob = _post(
+                port, "/compress", data.tobytes(),
+                {"X-Repro-Dtype": "uint16", "X-Repro-Codebook-Id": cb_id,
+                 "X-Repro-Request-Id": f"smoke-hot-{i}"},
+            )
+            ok_all &= status == 200
+            blobs.append((data, blob))
+        check(f"{_N_HOT}x hot compress (X-Repro-Codebook-Id) -> 200",
+              ok_all)
+
+        # name alias resolves too
+        data0, blob0 = blobs[0]
+        status, _, alias_blob = _post(
+            port, "/compress", data0.tobytes(),
+            {"X-Repro-Dtype": "uint16", "X-Repro-Codebook-Id": "nyx_quant"},
+        )
+        check("name alias -> identical container",
+              status == 200 and alias_blob == blob0)
+
+        # ---- hot traces: no histogram / codebook spans ---------------
+        status, _, body = _get(port, "/trace/recent?n=256")
+        trace = json.loads(body) if status == 200 else {}
+        errs = validate_chrome_trace(trace) if status == 200 else ["no doc"]
+        check("/trace/recent is a valid Chrome trace", not errs,
+              "; ".join(errs[:3]))
+        records = trace.get("otherData", {}).get("records", [])
+        hot = [r for r in records
+               if str(r.get("attrs", {}).get("codebook_id", "")) == cb_id
+               and r.get("op") == "compress"]
+        check(f"hot requests recorded with codebook_id attr (>= {_N_HOT})",
+              len(hot) >= _N_HOT, f"got {len(hot)}")
+        by_request = _span_names_by_request(trace)
+        banned = {"encode.histogram", "encode.codebook",
+                  "encode.codebook.sort", "encode.codebook.generate_cl",
+                  "encode.codebook.generate_cw", "encode.canonize"}
+        no_banned = all(
+            not (by_request.get(r["request_id"], set()) & banned)
+            for r in hot
+        )
+        has_spans = all(
+            "encode.scan_pack" in by_request.get(r["request_id"], set())
+            for r in hot
+        )
+        check("hot span trees contain no histogram/codebook span",
+              bool(hot) and no_banned)
+        check("hot span trees do contain the fused scan_pack span",
+              bool(hot) and has_spans)
+        single_stage = all(
+            r.get("paths", {}).get("encode_impl") == "single_stage"
+            for r in hot
+        )
+        check("hot flight paths show encode_impl=single_stage",
+              bool(hot) and single_stage)
+        registry_hit = all(
+            r.get("attrs", {}).get("registry_hit") in (True, "True")
+            for r in hot
+        )
+        check("hot flight attrs show registry_hit", bool(hot) and registry_hit)
+
+        # ---- decode-side registry hit + byte-exact round trip --------
+        data, blob = blobs[-1]
+        status, hdr, out = _post(port, "/decompress", blob)
+        check("hot container decompress round trip",
+              status == 200 and out == data.tobytes()
+              and hdr.get("X-Repro-Dtype") == "uint16")
+
+        # ---- hostile inputs must be 400s, never 500s -----------------
+        status, _, _ = _post(
+            port, "/compress", data.tobytes(),
+            {"X-Repro-Dtype": "uint16",
+             "X-Repro-Codebook-Id": "no-such-book"},
+        )
+        check("unknown codebook_id -> 400", status == 400,
+              f"status={status}")
+        hostile = np.array([5000] * 64, dtype=np.uint16)  # > alphabet
+        status, _, _ = _post(
+            port, "/compress", hostile.tobytes(),
+            {"X-Repro-Dtype": "uint16", "X-Repro-Codebook-Id": cb_id},
+        )
+        check("uncovered symbols -> 400 (not a shard crash)",
+              status == 400, f"status={status}")
+        status, _, body = _get(port, "/healthz")
+        check("shards all alive after hostile traffic",
+              status == 200
+              and json.loads(body).get("status") == "ok")
+
+        # ---- metrics + stats surfaces --------------------------------
+        status, _, body = _get(port, "/metrics")
+        families = parse_prometheus_text(body.decode()) \
+            if status == 200 else {}
+        hits = sum(
+            value
+            for _name, _labels, value in families.get(
+                "repro_codebook_registry_hits_total", {}
+            ).get("samples", [])
+        )
+        check(f"registry hit counter >= {_N_HOT}", hits >= _N_HOT,
+              f"hits={hits}")
+
+        status, _, body = _get(port, "/stats")
+        st = json.loads(body) if status == 200 else {}
+        cb = st.get("codebooks", {})
+        check("/stats carries the codebooks section",
+              cb.get("size") == 1 and cb.get("hits", 0) >= _N_HOT,
+              json.dumps(cb))
+        enc = st.get("encode", {})
+        check("/stats encode section counts single-stage requests",
+              enc.get("single_stage_requests", 0) >= _N_HOT,
+              json.dumps(enc))
+        dec = st.get("decode", {})
+        check("/stats decode section counts registry requests",
+              dec.get("registry_requests", 0) >= 1, json.dumps(dec))
+
+        # ---- evict ----------------------------------------------------
+        status, _, _ = _request(port, "DELETE", f"/codebooks/{cb_id}")
+        check("DELETE /codebooks/<id> evicts", status == 200)
+        status, _, _ = _post(
+            port, "/compress", data.tobytes(),
+            {"X-Repro-Dtype": "uint16", "X-Repro-Codebook-Id": cb_id},
+        )
+        check("evicted id -> 400", status == 400, f"status={status}")
+    finally:
+        stop.set()
+        server.join(timeout=5.0)
+        service.close()
+        set_process_registry(prev_registry)
+
+    if failures:
+        print(f"codebooks-smoke: {len(failures)} failed check(s): "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print("codebooks-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -153,6 +153,17 @@ def _enc_scan_pack(data, book, magnitude):
     return EncodeArtifact("stream", enc.stream, book, int(data.size))
 
 
+def _enc_single_stage(data, book, magnitude):
+    # the codebook-registry fast path: static pre-registered book, no
+    # histogram/codebook stages; must stay byte-identical to scan_pack
+    # for the same book (the registry serves containers the cold path
+    # must be able to reproduce bit-for-bit)
+    from repro.core.single_stage import single_stage_encode
+
+    enc = single_stage_encode(data, book, magnitude=magnitude)
+    return EncodeArtifact("stream", enc.stream, book, int(data.size))
+
+
 def _enc_adaptive(data, book, magnitude):
     res = adaptive_encode(data, book, magnitude=magnitude)
     return EncodeArtifact("adaptive", res, book, int(data.size))
@@ -387,6 +398,7 @@ def default_registry() -> ConformRegistry:
         EncoderImpl("prefix_sum", "dense", _enc_prefix_sum),
         EncoderImpl("reduce_shuffle", "stream", _enc_reduce_shuffle),
         EncoderImpl("scan_pack", "stream", _enc_scan_pack),
+        EncoderImpl("single_stage", "stream", _enc_single_stage),
         EncoderImpl("adaptive", "adaptive", _enc_adaptive, canonical=False),
         EncoderImpl(
             "streaming", "segments", _enc_streaming, canonical=False,

@@ -160,7 +160,20 @@ def serialize_stream(stream: EncodedStream, book: CanonicalCodebook) -> bytes:
 
 
 @container_guard
-def deserialize_stream(buf: bytes) -> tuple[EncodedStream, CanonicalCodebook]:
+def deserialize_stream(
+    buf: bytes, book: CanonicalCodebook | None = None
+) -> tuple[EncodedStream, CanonicalCodebook]:
+    """Parse a ``RPRH`` container back into (stream, codebook).
+
+    ``book`` is the registry fast path: when the caller already holds
+    the canonical codebook (resolved by the serve layer's header peek
+    against :mod:`repro.codebooks`), the container's length vector is
+    *verified* against it byte-for-byte and the provided book — whose
+    First/Entry arrays and cached k-bit LUT are already built — is
+    reused instead of running ``canonical_from_lengths`` again.  A
+    mismatch falls back to the cold rebuild rather than erroring: the
+    container stays self-describing either way.
+    """
     r = _Reader(bytes(buf))
     if r.take(4) != MAGIC:
         raise ValueError("not a repro Huffman container (bad magic)")
@@ -171,7 +184,14 @@ def deserialize_stream(buf: bytes) -> tuple[EncodedStream, CanonicalCodebook]:
 
     (alphabet,) = r.unpack("<I")
     lengths = r.array(np.uint8, alphabet).astype(np.int32)
-    book = canonical_from_lengths(lengths)
+    if (
+        book is not None
+        and book.n_symbols == int(alphabet)
+        and np.array_equal(book.lengths, lengths)
+    ):
+        pass  # registry hit: skip the canonical rebuild
+    else:
+        book = canonical_from_lengths(lengths)
 
     chunk_bits = r.array(np.uint32, n_chunks).astype(np.int64)
     payload = np.frombuffer(r.blob(), dtype=np.uint8).copy()

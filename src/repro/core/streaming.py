@@ -163,9 +163,20 @@ class StreamingDecoder:
         # worker shards; the counter update must not race
         self._count_lock = threading.Lock()
 
-    def decode_segment(self, segment: bytes) -> np.ndarray:
-        with _span("streaming.decode_segment", bytes_in=len(segment)) as sp:
-            stream, book = deserialize_stream(segment)
+    def decode_segment(self, segment: bytes, book=None) -> np.ndarray:
+        """Decode one segment.
+
+        ``book`` is the codebook-registry fast path: when the serve
+        layer resolves the segment's header peek against a registered
+        book (:mod:`repro.codebooks`), the codebook section is verified
+        instead of rebuilt and the registered book's already-cached
+        k-bit LUT is fed straight to the decoder.
+        """
+        if book is not None and hasattr(book, "book"):  # RegisteredCodebook
+            book = book.book
+        with _span("streaming.decode_segment", bytes_in=len(segment),
+                   registry_hit=book is not None) as sp:
+            stream, book = deserialize_stream(segment, book=book)
             out = decode_stream(
                 stream, book, table=cached_decode_table(book),
                 strategy=self.strategy,

@@ -57,7 +57,7 @@ _PATH_ATTRS = {
     "decode.stream": ("strategy", "decode_strategy"),
     "decode.gap": ("backend", "gap_backend"),
 }
-_CACHE_ATTRS = ("codebook_cache", "decode_table_cache")
+_CACHE_ATTRS = ("codebook_cache", "decode_table_cache", "codebook_registry")
 
 
 def extract_paths(spans: Iterable[dict]) -> dict:

@@ -119,6 +119,11 @@ def write_wallclock_json(
             # likewise the conformance cell counts: they qualify the
             # throughput numbers ("fast AND still bit-exact")
             doc["conform"] = conform
+        codebooks = extra.pop("codebooks", None)
+        if codebooks is not None:
+            # the codebook-registry amortized fast-path numbers (cold
+            # per-request codebook builds vs hot registered-id requests)
+            doc["codebooks"] = codebooks
         doc["meta"].update(extra)
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

@@ -57,6 +57,7 @@ __all__ = [
     "WallclockResult",
     "run_wallclock",
     "run_serve_bench",
+    "run_codebooks_bench",
     "wallclock_table",
     "main",
 ]
@@ -414,6 +415,124 @@ def run_serve_bench(
     }
 
 
+def run_codebooks_bench(
+    n_requests: int = 64,
+    size_symbols: int = 8192,
+    alphabet: int = 1024,
+    queue_size: int = 256,
+    max_batch: int = 16,
+    max_delay_ms: float = 4.0,
+    n_shards: int = 2,
+    seed: int = 2021,
+) -> dict:
+    """Amortized throughput of the codebook-registry fast path.
+
+    Two phases over the *same* nyx_quant-style payloads (fresh geometric
+    draws, uint16, ``alphabet`` symbols):
+
+    - **cold** — every request carries only ``num_symbols``, so each
+      distinct empirical histogram forms its own batch key and pays the
+      full histogram → sort → codebook → canonize pipeline;
+    - **hot** — every request carries the ``codebook_id`` of one
+      pre-registered book, so the batcher coalesces them all onto the
+      ``("c", "cb", id, magnitude)`` key and the shards run the
+      single-stage encoder (no histogram span, no codebook span).
+
+    Each phase gets its own :class:`CompressionService` (so the mean
+    batch size is per-phase), submits every request before awaiting any
+    future (so the micro-batcher sees a real backlog and forms
+    ``>= 8``-size batches), and is timed submit→last-result only.  The
+    returned dict — stored under ``"codebooks"`` in
+    ``BENCH_wallclock.json`` and merged into the history line — carries
+    per-phase MB/s, the amortized speedup, and the registry hit/miss
+    counters.
+    """
+    import time as _time
+
+    from repro.codebooks.registry import (
+        CodebookRegistry,
+        set_process_registry,
+    )
+    from repro.serve.service import CompressionService, ServiceConfig
+
+    rng = np.random.default_rng(seed)
+    reference = (
+        rng.geometric(0.3, 1 << 16).clip(0, alphabet - 1).astype(np.uint16)
+    )
+    # add-one smoothing: the registered book must cover the full declared
+    # alphabet, exactly as POST /codebooks builds it
+    hist = np.bincount(reference.astype(np.int64), minlength=alphabet) + 1
+    book = parallel_codebook(hist).codebook
+    payloads = [
+        rng.geometric(0.3, size_symbols)
+        .clip(0, alphabet - 1)
+        .astype(np.uint16)
+        for _ in range(n_requests)
+    ]
+    total_bytes = sum(int(p.nbytes) for p in payloads)
+
+    cfg = ServiceConfig(
+        queue_size=queue_size, max_batch=max_batch,
+        max_delay_s=max_delay_ms / 1e3, n_shards=n_shards,
+    )
+    reg = obs_metrics()
+
+    def _phase(**submit_kw) -> tuple[dict, list[bytes]]:
+        with CompressionService(cfg) as svc:
+            t0 = _time.perf_counter()
+            futures = [
+                svc.submit_compress(p, **submit_kw) for p in payloads
+            ]
+            blobs = [f.result(120.0)[0] for f in futures]
+            wall = _time.perf_counter() - t0
+            mean_batch = svc.batcher.mean_batch_size
+        return {
+            "wall_s": round(wall, 4),
+            "mb_s": round(total_bytes / wall / 1e6, 2),
+            "throughput_rps": round(n_requests / wall, 1),
+            "mean_batch_size": round(mean_batch, 3),
+        }, blobs
+
+    registry = CodebookRegistry()
+    prev = set_process_registry(registry)
+    try:
+        entry = registry.register(book, name="bench", source="bench")
+        hits0 = int(reg.total("repro_codebook_registry_hits_total"))
+        misses0 = int(reg.total("repro_codebook_registry_misses_total"))
+        cold, cold_blobs = _phase(num_symbols=alphabet)
+        hot, hot_blobs = _phase(codebook_id=entry.codebook_id)
+        hits1 = int(reg.total("repro_codebook_registry_hits_total"))
+        misses1 = int(reg.total("repro_codebook_registry_misses_total"))
+        # correctness guard: a hot container must still round-trip
+        with CompressionService(cfg) as svc:
+            back = svc.decompress(hot_blobs[-1])
+        corrupt = int(not np.array_equal(back, payloads[-1]))
+        info = registry.info()
+    finally:
+        set_process_registry(prev)
+
+    return {
+        "requests": n_requests,
+        "payload_bytes": total_bytes,
+        "codebook_id": entry.codebook_id,
+        "cold": cold,
+        "hot": hot,
+        "amortized_speedup": round(cold["wall_s"] / hot["wall_s"], 2),
+        "registry_hits": hits1 - hits0,
+        "registry_misses": misses1 - misses0,
+        "registry": info,
+        "corrupt_roundtrips": corrupt,
+        "config": {
+            "size_symbols": size_symbols,
+            "alphabet": alphabet,
+            "queue_size": queue_size,
+            "max_batch": max_batch,
+            "max_delay_ms": max_delay_ms,
+            "n_shards": n_shards,
+        },
+    }
+
+
 def wallclock_table(results: Sequence[WallclockResult]) -> str:
     rows = [
         [
@@ -460,6 +579,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     ap.add_argument("--serve-clients", type=int, default=8)
     ap.add_argument("--serve-requests", type=int, default=25,
                     help="requests per client")
+    ap.add_argument("--codebooks", action="store_true",
+                    help="also run the codebook-registry amortized "
+                         "throughput bench (cold per-request codebook "
+                         "builds vs hot pre-registered codebook_id "
+                         "requests) and record the speedup + registry "
+                         "hit/miss counters in the JSON artifact and "
+                         "the history line")
+    ap.add_argument("--codebooks-requests", type=int, default=64,
+                    help="requests per phase of the codebooks bench")
     ap.add_argument("--conform", action="store_true",
                     help="also run the conformance smoke matrix and "
                          "surface its cell counts (pairs x corpora, "
@@ -506,6 +634,22 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"mean batch {serve_doc['mean_batch_size']}")
         if serve_doc["corrupt_roundtrips"]:
             print("  WARNING: corrupt round trips detected!")
+    codebooks_doc = None
+    if args.codebooks:
+        codebooks_doc = run_codebooks_bench(
+            n_requests=args.codebooks_requests,
+        )
+        print()
+        print("codebook registry fast path (amortized, in-process):")
+        print(f"  cold {codebooks_doc['cold']['mb_s']} MB/s "
+              f"(mean batch {codebooks_doc['cold']['mean_batch_size']}) "
+              f"vs hot {codebooks_doc['hot']['mb_s']} MB/s "
+              f"(mean batch {codebooks_doc['hot']['mean_batch_size']}): "
+              f"{codebooks_doc['amortized_speedup']}x amortized")
+        print(f"  registry hits {codebooks_doc['registry_hits']}, "
+              f"misses {codebooks_doc['registry_misses']}")
+        if codebooks_doc["corrupt_roundtrips"]:
+            print("  WARNING: corrupt round trips detected!")
     conform_doc = None
     if args.conform:
         from repro.conform.matrix import run_matrix
@@ -531,6 +675,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         extra = {}
         if serve_doc is not None:
             extra["serve"] = serve_doc
+        if codebooks_doc is not None:
+            extra["codebooks"] = codebooks_doc
         if conform_doc is not None:
             extra["conform"] = conform_doc
         write_wallclock_json(args.json, results, extra=extra or None)
@@ -551,7 +697,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             load_history,
         )
 
-        entry = history_entry(results)
+        hist_extra = None
+        if codebooks_doc is not None:
+            # the amortized fast-path numbers ride along on the history
+            # line so the sentinel's rolling window sees them too
+            hist_extra = {
+                "codebooks": {
+                    "cold_mb_s": codebooks_doc["cold"]["mb_s"],
+                    "hot_mb_s": codebooks_doc["hot"]["mb_s"],
+                    "amortized_speedup":
+                        codebooks_doc["amortized_speedup"],
+                    "hot_mean_batch_size":
+                        codebooks_doc["hot"]["mean_batch_size"],
+                    "registry_hits": codebooks_doc["registry_hits"],
+                    "registry_misses": codebooks_doc["registry_misses"],
+                }
+            }
+        entry = history_entry(results, extra=hist_extra)
         prior = load_history(args.history)
         if args.sentinel:
             verdict = check_regression(prior, entry)

@@ -181,6 +181,28 @@ def batch_key(req: ServeRequest) -> Hashable:
     """
     if req.op == "compress":
         data = np.asarray(req.payload)
+        codebook_id = req.meta.get("codebook_id")
+        if codebook_id is not None:
+            # registry fast path: no histogram, no header peek — the
+            # key is the registered content digest itself, so every
+            # request referencing the same book coalesces regardless of
+            # its empirical symbol distribution.  Resolution failures
+            # and coverage mismatches raise ValueError *here*, landing
+            # on this request's own future as a 400-class user error
+            # (never an IndexError escaping from a shard mid-encode).
+            from repro.codebooks.registry import process_registry
+            from repro.core.single_stage import validate_coverage
+
+            entry = process_registry().get(str(codebook_id))
+            if entry is None:
+                raise ValueError(
+                    f"unknown codebook_id {str(codebook_id)!r}"
+                )
+            validate_coverage(data, entry.book)
+            req.meta["codebook_id"] = entry.codebook_id
+            req.meta["registry_entry"] = entry
+            req.meta["registry_hit"] = True
+            return ("c", "cb", entry.codebook_id, req.meta.get("magnitude"))
         num_symbols = _checked_num_symbols(
             data, req.meta.get("num_symbols"), MAX_ALPHABET
         )

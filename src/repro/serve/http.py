@@ -14,6 +14,14 @@ Routes:
   ``X-Repro-Ratio`` header.
 - ``POST /decompress`` — body: container bytes; response: raw array
   bytes + ``X-Repro-Dtype``.
+- ``/codebooks``       — the :mod:`repro.codebooks` registry CRUD:
+  ``GET`` lists, ``POST`` registers a book built from the corpus in
+  the body (``X-Repro-Dtype``, optional ``X-Repro-Num-Symbols`` /
+  ``X-Repro-Name``), ``GET /codebooks/<id>`` inspects, ``DELETE
+  /codebooks/<id>`` evicts.  A compress request carrying
+  ``X-Repro-Codebook-Id`` (digest or name) takes the single-stage
+  static-codebook fast path; an unknown id or uncovered symbol is a
+  400.
 - ``GET /healthz``     — liveness + shard census.
 - ``GET /stats``       — :meth:`CompressionService.stats` as JSON.
 - ``GET /metrics``     — Prometheus text exposition (format 0.0.4).
@@ -283,6 +291,8 @@ class ServeHTTP:
             if method != "POST":
                 raise _HttpError(405, "use POST")
             return await self._decompress(headers, body)
+        if path == "/codebooks" or path.startswith("/codebooks/"):
+            return self._codebooks(method, path, headers, body)
         raise _HttpError(404, f"no route {path!r}")
 
     @staticmethod
@@ -333,9 +343,9 @@ class ServeHTTP:
         except asyncio.TimeoutError:
             raise _HttpError(504, "request timed out in service") from None
 
-    async def _compress(self, headers: dict, body: bytes):
-        if not body:
-            raise _HttpError(400, "empty body")
+    @staticmethod
+    def _body_array(headers: dict, body: bytes) -> np.ndarray:
+        """Decode a raw little-endian array body per ``X-Repro-Dtype``."""
         dtype_name = headers.get("x-repro-dtype", "uint8").lower()
         dtype = _DTYPES.get(dtype_name)
         if dtype is None:
@@ -349,8 +359,90 @@ class ServeHTTP:
                 f"body length {len(body)} is not a multiple of "
                 f"{dtype_name} itemsize",
             )
-        data = np.frombuffer(body, dtype=dtype)
+        return np.frombuffer(body, dtype=dtype)
+
+    # ------------------------------------------------- codebook registry
+    def _codebooks(self, method: str, path: str, headers: dict, body: bytes):
+        """The ``/codebooks`` CRUD surface over the process registry."""
+        from repro.codebooks.registry import process_registry
+
+        registry = process_registry()
+        ref = path[len("/codebooks"):].lstrip("/")
+        if not ref:
+            if method == "GET":
+                doc = {
+                    "books": [e.describe() for e in registry.entries()],
+                    **registry.info(),
+                }
+                return 200, {"Content-Type": "application/json"}, (
+                    json.dumps(doc).encode()
+                )
+            if method == "POST":
+                return self._register_codebook(registry, headers, body)
+            raise _HttpError(405, "use GET or POST")
+        if method == "GET":
+            entry = registry.get(ref)
+            if entry is None:
+                raise _HttpError(404, f"unknown codebook {ref!r}")
+            return 200, {"Content-Type": "application/json"}, (
+                json.dumps(entry.describe()).encode()
+            )
+        if method == "DELETE":
+            if not registry.evict(ref):
+                raise _HttpError(404, f"unknown codebook {ref!r}")
+            return 200, {"Content-Type": "application/json"}, (
+                json.dumps({"evicted": ref}).encode()
+            )
+        raise _HttpError(405, "use GET or DELETE")
+
+    def _register_codebook(self, registry, headers: dict, body: bytes):
+        """``POST /codebooks``: build + register a book from a corpus body."""
+        from repro.core.codebook_parallel import parallel_codebook
+        from repro.serve.batcher import MAX_ALPHABET, _checked_num_symbols
+
+        if not body:
+            raise _HttpError(400, "empty corpus body")
+        data = self._body_array(headers, body)
+        declared = None
+        if "x-repro-num-symbols" in headers:
+            try:
+                declared = int(headers["x-repro-num-symbols"])
+            except ValueError:
+                raise _HttpError(400, "bad X-Repro-Num-Symbols") from None
+        smooth = headers.get("x-repro-smooth", "1") not in ("0", "false")
+        try:
+            num_symbols = _checked_num_symbols(data, declared, MAX_ALPHABET)
+            hist = np.bincount(
+                data.reshape(-1).astype(np.int64), minlength=num_symbols
+            )
+            if smooth:
+                # add-one smoothing: a registered book serves traffic
+                # *beyond* its corpus, so every symbol of the declared
+                # alphabet gets a codeword (opt out: X-Repro-Smooth: 0)
+                hist = hist + 1
+            book = parallel_codebook(
+                hist, device=self.service.config.device
+            ).codebook
+            entry = registry.register(
+                book,
+                name=headers.get("x-repro-name") or None,
+                source="corpus",
+            )
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from None
+        return 200, {"Content-Type": "application/json"}, (
+            json.dumps(entry.describe()).encode()
+        )
+
+    async def _compress(self, headers: dict, body: bytes):
+        if not body:
+            raise _HttpError(400, "empty body")
+        data = self._body_array(headers, body)
         kw = self._common_submit_kw(headers)
+        if "x-repro-codebook-id" in headers:
+            # registry fast path: the batcher resolves the reference and
+            # rejects unknown ids / uncovered symbols as 400-class errors
+            kw["codebook_id"] = headers["x-repro-codebook-id"]
         try:
             fut = self.service.submit_compress(data, **kw)
         except QueueFullError as exc:

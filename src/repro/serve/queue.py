@@ -91,6 +91,14 @@ class ServeRequest:
     delivered through ``future`` — completing it (with a value or an
     exception) is the *only* way a request leaves the system, which is
     what makes "shed, never dropped" checkable.
+
+    ``meta`` carries per-request options end to end.  Service-level
+    keys: ``num_symbols``, ``magnitude``, ``adaptive``, and
+    ``codebook_id`` — a :mod:`repro.codebooks` registry reference
+    (content digest or name alias) selecting the single-stage static
+    -codebook encode path.  The batcher resolves it once in
+    ``batch_key`` and stamps ``registry_entry`` / ``registry_hit``
+    back into ``meta`` for the shard and the flight recorder.
     """
 
     op: str

@@ -38,8 +38,10 @@ import numpy as np
 from repro.app.compressor import (
     CompressionReport,
     compress_symbols,
+    compress_symbols_registered,
     decompress_symbols,
 )
+from repro.codebooks.registry import process_registry
 from repro.core.streaming import StreamingDecoder
 from repro.core.tuning import DEFAULT_MAGNITUDE
 from repro.cuda.device import DeviceSpec, V100
@@ -54,7 +56,12 @@ from repro.obs.flight import (
     set_flight_recorder,
 )
 from repro.obs.slo import SLOTracker, default_serve_slos
-from repro.obs.trace import Tracer, get_global_tracer, thread_tracing
+from repro.obs.trace import (
+    Tracer,
+    add_attrs as _add_span_attrs,
+    get_global_tracer,
+    thread_tracing,
+)
 from repro.serve.batcher import Batch, BatchPolicy, MicroBatcher
 from repro.serve.queue import (
     AdmissionQueue,
@@ -277,6 +284,14 @@ class CompressionService:
         )
         t0 = time.monotonic()
         error: Optional[Exception] = None
+        # registry attribution (satellite of the codebooks subsystem):
+        # the batcher stamped these into meta when a codebook_id request
+        # resolved; decode-side hits are stamped by _do_decompress
+        span_kw: dict = {}
+        if "codebook_id" in req.meta:
+            span_kw["codebook_id"] = req.meta["codebook_id"]
+        if "registry_hit" in req.meta:
+            span_kw["registry_hit"] = bool(req.meta["registry_hit"])
         with thread_tracing(rt):
             try:
                 with rt.span(
@@ -285,6 +300,7 @@ class CompressionService:
                     op=req.op,
                     priority=req.priority.name,
                     attempts=req.attempts,
+                    **span_kw,
                 ):
                     if req.op == "compress":
                         result = self._do_compress(req)
@@ -309,8 +325,20 @@ class CompressionService:
             ts=time.time(),
             error=type(error).__name__ if error is not None else None,
             paths=extract_paths(spans),
-            attrs={"priority": req.priority.name,
-                   "attempts": req.attempts},
+            attrs={
+                "priority": req.priority.name,
+                "attempts": req.attempts,
+                # re-read meta: the decode side resolves its registry
+                # hit during execution, after span_kw was computed
+                **(
+                    {"codebook_id": req.meta["codebook_id"]}
+                    if "codebook_id" in req.meta else {}
+                ),
+                **(
+                    {"registry_hit": bool(req.meta["registry_hit"])}
+                    if "registry_hit" in req.meta else {}
+                ),
+            },
             spans=spans,
         ))
         if g.enabled:
@@ -331,6 +359,22 @@ class CompressionService:
             raise ValueError(
                 f"payload {data.nbytes} B exceeds request_max_bytes"
             )
+        entry = req.meta.get("registry_entry")
+        if entry is not None:
+            # registry hit (resolved + coverage-checked by batch_key):
+            # single-stage encode, no histogram/codebook stages
+            _metrics().counter(
+                "repro_serve_encode_path_total", path="single_stage"
+            ).inc()
+            return compress_symbols_registered(
+                data,
+                entry,
+                magnitude=req.meta.get("magnitude", self.config.magnitude),
+                device=self.config.device,
+            )
+        _metrics().counter(
+            "repro_serve_encode_path_total", path="cold"
+        ).inc()
         return compress_symbols(
             data,
             num_symbols=req.meta.get("num_symbols"),
@@ -339,15 +383,50 @@ class CompressionService:
             adaptive=bool(req.meta.get("adaptive", False)),
         )
 
+    def _resolve_decode_entry(self, buf: bytes):
+        """Match a container header against the codebook registry.
+
+        Returns a ``RegisteredCodebook`` or ``None``; peeks only the
+        serialized length vector (no codebook rebuild) via the same
+        header walk the batcher's coalescing key uses.  Skipped when
+        the registry is empty so unregistered deployments never pay
+        the peek or pollute the miss counters.
+        """
+        from repro.serve.batcher import _peek_codebook_digest
+
+        registry = process_registry()
+        if not registry.entries():
+            return None
+        peek = _peek_codebook_digest(buf)
+        if peek is None:
+            return None
+        return registry.resolve_lengths_digest(peek.split(":")[0])
+
     def _do_decompress(self, req: ServeRequest) -> np.ndarray:
         buf = bytes(req.payload)
         if len(buf) > self.config.request_max_bytes:
             raise ValueError(f"payload {len(buf)} B exceeds request_max_bytes")
+        entry = self._resolve_decode_entry(buf)
+        if entry is not None:
+            # stamp the enclosing serve.request span (open right now on
+            # this thread's tracer) + the flight record via meta
+            req.meta["codebook_id"] = entry.codebook_id
+            req.meta["registry_hit"] = True
+            _add_span_attrs(
+                codebook_id=entry.codebook_id, registry_hit=True
+            )
+            _metrics().counter(
+                "repro_serve_decode_path_total", path="registry"
+            ).inc()
+        else:
+            _metrics().counter(
+                "repro_serve_decode_path_total", path="cold"
+            ).inc()
         if buf[:4] == b"RPRS":
-            return decompress_symbols(buf)
+            return decompress_symbols(buf, book=entry)
         if buf[:4] == b"RPRH":
             # a raw streaming segment (repro.core.streaming)
-            return self._segment_decoder.decode_segment(buf)
+            return self._segment_decoder.decode_segment(buf, book=entry)
         raise ValueError("unrecognized container magic")
 
     # ------------------------------------------------------------- crash
@@ -429,6 +508,22 @@ class CompressionService:
             "lut_fallbacks": int(
                 reg.total("repro_decode_lut_fallback_total")
             ),
+            "registry_requests": int(
+                reg.total("repro_serve_decode_path_total", path="registry")
+            ),
+            "cold_requests": int(
+                reg.total("repro_serve_decode_path_total", path="cold")
+            ),
+        }
+        encode = {
+            "single_stage_requests": int(
+                reg.total(
+                    "repro_serve_encode_path_total", path="single_stage"
+                )
+            ),
+            "cold_requests": int(
+                reg.total("repro_serve_encode_path_total", path="cold")
+            ),
         }
         slo_doc = self.slo.evaluate()
         return {
@@ -461,6 +556,8 @@ class CompressionService:
             },
             "caches": caches,
             "decode": decode,
+            "encode": encode,
+            "codebooks": process_registry().info(),
             "flight": self.flight.stats(),
             "slo": {
                 "healthy": slo_doc["healthy"],

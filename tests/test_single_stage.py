@@ -1,0 +1,129 @@
+"""Single-stage static-codebook encoder: bit identity + coverage guard.
+
+The fast path exists to *skip* the histogram and codebook stages, not
+to change a single output bit: for any ``(data, book)`` the cold scan
+path accepts, ``single_stage_encode`` must serialize to the identical
+container bytes (the conformance matrix enforces this across every
+decoder too; these tests pin it directly, including the degenerate
+books the matrix exercises).  Its failure mode is equally pinned:
+uncovered symbols raise :class:`ValueError` *before* any encode work,
+never an ``IndexError`` from inside a table gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conform.corpora import wbit_codebook
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.serialization import deserialize_stream, serialize_stream
+from repro.core.single_stage import single_stage_encode, validate_coverage
+from repro.core.tuning import EncoderTuning
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    prev = set_registry(MetricsRegistry())
+    yield
+    set_registry(prev)
+
+
+def _book(hist):
+    return parallel_codebook(np.asarray(hist, dtype=np.int64)).codebook
+
+
+def _corpora():
+    """Seeded corpora spanning the conformance families."""
+    rng = np.random.default_rng(7)
+    out = []
+    # text-like bytes
+    data = rng.integers(0, 256, 50_000).astype(np.uint8)
+    out.append(("textlike", data, _book(np.bincount(data, minlength=256))))
+    # nyx_quant-style skewed quantization codes, smoothed alphabet
+    data = rng.geometric(0.3, 50_000).clip(0, 1023).astype(np.uint16)
+    hist = np.bincount(data.astype(np.int64), minlength=1024) + 1
+    out.append(("nyx_quant", data, _book(hist)))
+    # degenerate: single-symbol stream
+    data = np.zeros(4096, dtype=np.uint8)
+    out.append(("single_symbol", data, _book([4096, 1])))
+    # two-symbol coin flips
+    data = (rng.random(8192) < 0.9).astype(np.uint8)
+    out.append(("two_symbol", data, _book(np.bincount(data, minlength=2))))
+    # word-width saturating book: every codeword exactly W=32 bits
+    book = wbit_codebook(32)
+    data = rng.integers(0, book.n_symbols, 2048).astype(np.uint16)
+    out.append(("wbit32", data, book))
+    return out
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "name,data,book",
+        [pytest.param(*c, id=c[0]) for c in _corpora()],
+    )
+    def test_container_bytes_identical_to_scan_path(self, name, data, book):
+        fast = single_stage_encode(data, book)
+        cold = gpu_encode(data, book, impl="scan")
+        assert serialize_stream(fast.stream, book) == \
+            serialize_stream(cold.stream, book)
+        # and to the iterative modeled-kernel reference
+        ref = gpu_encode(data, book, impl="iterative")
+        assert serialize_stream(fast.stream, book) == \
+            serialize_stream(ref.stream, book)
+        # the container still round-trips
+        stream, back_book = deserialize_stream(
+            serialize_stream(fast.stream, book)
+        )
+        assert np.array_equal(back_book.lengths, book.lengths)
+
+    def test_identical_under_explicit_tuning(self):
+        rng = np.random.default_rng(11)
+        data = rng.geometric(0.4, 20_000).clip(0, 255).astype(np.uint8)
+        book = _book(np.bincount(data, minlength=256) + 1)
+        tuning = EncoderTuning(magnitude=11, reduction_factor=2)
+        fast = single_stage_encode(data, book, tuning=tuning)
+        cold = gpu_encode(data, book, tuning=tuning, impl="scan")
+        assert serialize_stream(fast.stream, book) == \
+            serialize_stream(cold.stream, book)
+
+    def test_modeled_costs_match_scan_path(self):
+        rng = np.random.default_rng(13)
+        data = rng.integers(0, 64, 10_000).astype(np.uint8)
+        book = _book(np.bincount(data, minlength=64) + 1)
+        fast = single_stage_encode(data, book)
+        cold = gpu_encode(data, book, impl="scan")
+        assert fast.tuning == cold.tuning
+        assert fast.breaking_fraction == cold.breaking_fraction
+
+
+class TestValidateCoverage:
+    def test_empty_payload_passes(self):
+        validate_coverage(np.array([], dtype=np.uint8), _book([1, 1]))
+
+    def test_float_payload_value_error(self):
+        with pytest.raises(ValueError, match="integer"):
+            validate_coverage(np.array([0.5]), _book([1, 1]))
+
+    def test_negative_symbol_value_error(self):
+        with pytest.raises(ValueError, match="negative"):
+            validate_coverage(np.array([-1], dtype=np.int32), _book([1, 1]))
+
+    def test_out_of_alphabet_value_error(self):
+        book = _book([3, 2, 1])
+        with pytest.raises(ValueError, match="outside the registered"):
+            validate_coverage(np.array([3], dtype=np.uint8), book)
+
+    def test_zero_length_codeword_value_error(self):
+        # symbol 2 is inside the alphabet but has no codeword
+        book = _book([5, 3, 0, 1])
+        assert book.lengths[2] == 0
+        with pytest.raises(ValueError, match="no codeword"):
+            validate_coverage(np.array([0, 2], dtype=np.uint8), book)
+
+    def test_single_stage_rejects_before_encoding(self):
+        book = _book([5, 3, 0, 1])
+        with pytest.raises(ValueError):
+            single_stage_encode(np.array([2], dtype=np.uint8), book)

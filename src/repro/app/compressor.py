@@ -82,9 +82,10 @@ def _record_app_metrics(op: str, report: CompressionReport) -> None:
 
 
 def _encode_to_bytes(
-    data: np.ndarray, num_symbols: int, magnitude: int, device: DeviceSpec
+    data: np.ndarray, num_symbols: int, magnitude: int, device: DeviceSpec,
+    backend: str | None = None,
 ) -> tuple[bytes, CompressionReport]:
-    hist = gpu_histogram(data, num_symbols, device=device)
+    hist = gpu_histogram(data, num_symbols, device=device, backend=backend)
     # The codebook is a pure function of the histogram: repeated compress
     # calls over same-distribution data (timestep streams) skip the whole
     # two-phase construction via the digest-keyed cache.
@@ -95,7 +96,8 @@ def _encode_to_bytes(
     # threshold-gated multiprocess sharding: serve-sized requests stay on
     # the in-process scan path, bulk fields shard whole chunks across
     # cores with a bit-identical result (repro.core.chunk_parallel)
-    enc = parallel_encode(data, book, magnitude=magnitude, device=device)
+    enc = parallel_encode(data, book, magnitude=magnitude, device=device,
+                          backend=backend)
     payload = serialize_stream(enc.stream, book)
     report = CompressionReport(
         input_bytes=int(data.nbytes),
@@ -114,11 +116,14 @@ def compress_symbols(
     magnitude: int = DEFAULT_MAGNITUDE,
     device: DeviceSpec = V100,
     adaptive: bool = False,
+    backend: str | None = None,
 ) -> tuple[bytes, CompressionReport]:
     """Lossless Huffman compression of an integer symbol stream.
 
     ``adaptive=True`` selects the per-chunk reduction factor (better for
-    heterogeneous data, see :mod:`repro.core.adaptive`).
+    heterogeneous data, see :mod:`repro.core.adaptive`).  ``backend``
+    picks the kernel backend (:mod:`repro.backends`) for the histogram
+    and scan-pack stages; the container bytes are backend-invariant.
     """
     data = np.asarray(data)
     if not np.issubdtype(data.dtype, np.integer):
@@ -129,7 +134,8 @@ def compress_symbols(
     with _span("app.compress_symbols", bytes_in=int(data.nbytes),
                adaptive=adaptive):
         if adaptive:
-            hist = gpu_histogram(data, num_symbols, device=device)
+            hist = gpu_histogram(data, num_symbols, device=device,
+                                 backend=backend)
             book = cached_codebook(
                 hist.histogram,
                 lambda: parallel_codebook(hist.histogram, device=device).codebook,
@@ -147,7 +153,7 @@ def compress_symbols(
             )
         else:
             payload, report = _encode_to_bytes(data, num_symbols, magnitude,
-                                               device)
+                                               device, backend=backend)
         header = _SYM_MAGIC + struct.pack("<BQ", itemsize, data.size)
     _record_app_metrics("compress_symbols", report)
     return header + payload, report
@@ -200,7 +206,8 @@ def compress_symbols_registered(
 
 @container_guard
 def decompress_symbols(
-    buf: bytes, decode_strategy: str = "auto", book=None
+    buf: bytes, decode_strategy: str = "auto", book=None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Inverse of :func:`compress_symbols`.
 
@@ -241,7 +248,8 @@ def decompress_symbols(
             stream, book = deserialize_stream(body, book=book)
             if stream.n_symbols != n:
                 raise ValueError("symbol count mismatch in container")
-            out = decode_stream(stream, book, strategy=decode_strategy)
+            out = decode_stream(stream, book, strategy=decode_strategy,
+                                backend=backend)
         dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32,
                  8: np.uint64}.get(itemsize)
         if dtype is None:
@@ -259,6 +267,7 @@ def compress_field(
     n_bins: int = 1024,
     magnitude: int = DEFAULT_MAGNITUDE,
     device: DeviceSpec = V100,
+    backend: str | None = None,
 ) -> tuple[bytes, CompressionReport]:
     """Error-bounded lossy compression of a floating-point array.
 
@@ -278,7 +287,7 @@ def compress_field(
             )
 
         payload, enc_report = _encode_to_bytes(codes, n_bins, magnitude,
-                                               device)
+                                               device, backend=backend)
         header = _FIELD_MAGIC + struct.pack(
             "<dIIQ", error_bound, n_bins, len(qf.shape), qf.outliers_idx.size
         )
@@ -304,7 +313,9 @@ def compress_field(
 
 
 @container_guard
-def decompress_field(buf: bytes, decode_strategy: str = "auto") -> np.ndarray:
+def decompress_field(
+    buf: bytes, decode_strategy: str = "auto", backend: str | None = None
+) -> np.ndarray:
     """Inverse of :func:`compress_field` (same :class:`ValueError`-only
     robustness contract and ``decode_strategy`` forwarding as
     :func:`decompress_symbols`)."""
@@ -312,7 +323,7 @@ def decompress_field(buf: bytes, decode_strategy: str = "auto") -> np.ndarray:
     if buf[:4] != _FIELD_MAGIC:
         raise ValueError("not a field container")
     with _span("app.decompress_field", bytes_in=len(buf)) as sp:
-        out = _decompress_field_body(buf, decode_strategy)
+        out = _decompress_field_body(buf, decode_strategy, backend)
         sp.set_attr(bytes_out=int(out.nbytes))
     _metrics().counter("repro_app_bytes_out_total",
                        op="decompress_field").inc(int(out.nbytes))
@@ -320,7 +331,7 @@ def decompress_field(buf: bytes, decode_strategy: str = "auto") -> np.ndarray:
 
 
 def _decompress_field_body(
-    buf: bytes, decode_strategy: str = "auto"
+    buf: bytes, decode_strategy: str = "auto", backend: str | None = None
 ) -> np.ndarray:
     pos = 4
     eb, n_bins, ndim, n_out = struct.unpack("<dIIQ", buf[pos: pos + 24])
@@ -336,7 +347,7 @@ def _decompress_field_body(
 
     stream, book = deserialize_stream(buf[pos:])
     codes = decode_stream(
-        stream, book, strategy=decode_strategy
+        stream, book, strategy=decode_strategy, backend=backend
     ).astype(np.int32)
     qf = QuantizedField(
         codes=codes, first_value=first_value, error_bound=eb, n_bins=n_bins,

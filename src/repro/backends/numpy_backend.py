@@ -1,0 +1,172 @@
+"""The always-available NumPy reference backend.
+
+Two kinds of kernel live here:
+
+- :func:`fast_histogram` and :meth:`NumpyBackend.scan_pack_cells` are
+  the *production* NumPy hot loops (the histogram moved here from
+  ``core/encoder.py``; the cell fold + scatter delegates to
+  :mod:`repro.core.scan_pack`'s vectorized machinery).
+- the decode passes are deliberately *serial* ports of
+  ``gap_native.py``'s C kernels — the executable definition of the
+  kernel contract, in the same spirit as
+  :func:`repro.decoder.gap_array.reference_gap_array`.  Production
+  NumPy decode keeps its vectorized speculative paths in
+  ``huffman/decoder.py`` / ``decoder/gap_array.py``; these reference
+  walks exist so every backend column of the differential matrix has
+  the same five-kernel surface to diff against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends import KernelBackend
+
+__all__ = ["NumpyBackend", "fast_histogram"]
+
+
+def fast_histogram(data: np.ndarray, n_symbols: int) -> np.ndarray:
+    """``np.bincount`` with a halved input for byte alphabets.
+
+    ``bincount`` casts its input to int64 before counting; viewing a
+    contiguous uint8 stream as uint16 *pairs* halves both the cast and
+    the count loop, and the 64 Ki pair counts fold back to exact
+    per-symbol counts (low-byte sums + high-byte sums — endian-agnostic
+    because the fold is symmetric).
+    """
+    if data.dtype == np.uint8 and data.flags.c_contiguous \
+            and data.size >= (1 << 16):
+        even = data[: data.size & ~1]
+        ph = np.bincount(even.view(np.uint16), minlength=1 << 16)
+        ph = ph.reshape(256, 256)
+        hist = ph.sum(axis=0) + ph.sum(axis=1)
+        if data.size & 1:
+            hist[int(data[-1])] += 1
+        if hist.size > n_symbols and not hist[n_symbols:].any():
+            hist = hist[:n_symbols]  # match bincount's minlength shape
+        elif hist.size < n_symbols:
+            hist = np.concatenate(
+                [hist, np.zeros(n_symbols - hist.size, dtype=hist.dtype)]
+            )
+        return hist
+    return np.bincount(data, minlength=n_symbols)
+
+
+def _window(pbuf: np.ndarray, bp: int, k: int) -> int:
+    """The C kernels' ``load_be64(buf + (bp >> 3)) >> (64 - k - (bp & 7))``
+    on the >= 8-byte-padded buffer, in exact Python integers."""
+    byte = bp >> 3
+    w = int.from_bytes(pbuf[byte:byte + 8].tobytes(), "big")
+    return w >> (64 - k - (bp & 7))
+
+
+class NumpyBackend(KernelBackend):
+    """Reference backend: always available, defines the semantics."""
+
+    name = "numpy"
+
+    def availability(self) -> tuple[bool, str]:
+        return True, ""
+
+    def histogram(self, flat: np.ndarray, num_bins: int) -> np.ndarray:
+        return fast_histogram(flat, num_bins)
+
+    def scan_pack_cells(self, p, group, n_chunks, cpc, word_bits):
+        """Fold ``group`` packed words per cell, zero broken cells, and
+        scatter into the dense grid — the vectorized pairwise tree from
+        :mod:`repro.core.scan_pack`, returned as raw arrays."""
+        import importlib
+
+        # repro.core re-exports a scan_pack *function*; import the module
+        sp = importlib.import_module("repro.core.scan_pack")
+
+        g = int(group)
+        while g > 1:
+            p2 = p.reshape(-1, 2)
+            p = sp._packed_merge(p2[:, 0], p2[:, 1])
+            g >>= 1
+        cell_lengths = (p & sp._LEN_MASK).astype(np.int64)
+        broken = cell_lengths > word_bits
+        values = p >> sp._LEN_SHIFT
+        if broken.any():
+            values = np.where(broken, np.uint64(0), values)
+            eff = np.where(broken, 0, cell_lengths)
+        else:
+            eff = cell_lengths
+        words, bits = sp._scatter_pack(
+            values, eff, n_chunks, cpc, word_bits
+        )
+        return words, bits, broken, cell_lengths
+
+    def decode_lanes_pass(self, pbuf, starts, ends, nsyms, out_off, tab, k):
+        """Serial LUT walk over every lane; ``exhausted`` reproduces the
+        batch decoder's post-decode ``pos > lane_end`` check."""
+        k = int(k)
+        mask = (1 << k) - 1
+        out = np.empty(int(np.sum(nsyms)), np.int64)
+        exhausted = False
+        for j in range(starts.shape[0]):
+            bp = int(starts[j])
+            oi = int(out_off[j])
+            for _ in range(int(nsyms[j])):
+                ent = int(tab[_window(pbuf, bp, k) & mask])
+                out[oi] = ent >> 8
+                oi += 1
+                bp += ent & 0xFF
+            if bp > int(ends[j]):
+                exhausted = True
+        return out, exhausted
+
+    def gap_sync_pass(self, pbuf, ch_start, ch_end, lane_base, S, tab, k):
+        """Serial port of ``gap_native.gap_sync_pass`` (the 8-way
+        interleave is a latency trick, not a semantic one)."""
+        k = int(k)
+        S = int(S)
+        mask = (1 << k) - 1
+        n_ch = ch_start.shape[0]
+        n_lanes = int(lane_base[-1])
+        gap_off = np.empty(n_lanes, np.int64)
+        gap_cnt = np.empty(n_lanes, np.int64)
+        ch_n = np.empty(n_ch, np.int64)
+        ch_endpos = np.empty(n_ch, np.int64)
+        for c in range(n_ch):
+            bp = int(ch_start[c])
+            end = int(ch_end[c])
+            cur = int(lane_base[c])
+            last = int(lane_base[c + 1])
+            nb = bp + S
+            n = 0
+            gap_off[cur] = bp
+            gap_cnt[cur] = 0
+            cur += 1
+            while bp < end:
+                while cur < last and bp >= nb:
+                    gap_off[cur] = bp
+                    gap_cnt[cur] = n
+                    cur += 1
+                    nb += S
+                bp += int(tab[_window(pbuf, bp, k) & mask]) & 0xFF
+                n += 1
+            while cur < last:
+                gap_off[cur] = bp
+                gap_cnt[cur] = n
+                cur += 1
+            ch_n[c] = n
+            ch_endpos[c] = bp
+        return gap_off, gap_cnt, ch_n, ch_endpos
+
+    def gap_decode_pass(self, pbuf, bit_off, out_off, out_end, tab, k, n_out):
+        """Serial port of ``gap_native.gap_decode_pass``."""
+        k = int(k)
+        mask = (1 << k) - 1
+        out = np.empty(int(n_out), np.int64)
+        for j in range(bit_off.shape[0]):
+            bp = int(bit_off[j])
+            oi = int(out_off[j])
+            oe = int(out_end[j])
+            while oi < oe:
+                ent = int(tab[_window(pbuf, bp, k) & mask])
+                out[oi] = ent >> 8
+                oi += 1
+                bp += ent & 0xFF
+        return out

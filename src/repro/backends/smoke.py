@@ -1,0 +1,130 @@
+"""Backends smoke check: fast cross-backend agreement for ``make test``.
+
+Runs the whole encode/decode surface over small corpora under both the
+``numpy`` reference backend and the ``njit`` backend and fails loudly on
+the first divergence:
+
+- ``gpu_encode`` containers must be byte-identical across backends;
+- every decode route (batch lanes, gap two-pass, full
+  ``decode_stream``) must reproduce the input exactly;
+- histograms must be bit-exact;
+- the conformance registry must expose the njit matrix columns.
+
+When numba is not importable the check enables the pure-Python kernel
+sim (``REPRO_NJIT_SIM``) so the njit kernel *logic* is still exercised
+on every ``make test`` — only compiled-speed claims need real numba.
+
+``--seed-divergence`` deliberately corrupts the njit decode output; the
+run MUST then fail.  The Makefile runs this inverted (``!``) so a smoke
+harness that has gone blind fails the build.
+
+Usage::
+
+    python -m repro.backends.smoke [--seed-divergence]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+__all__ = ["run_smoke", "main"]
+
+
+def _corpora(rng: np.random.Generator) -> list[tuple[str, np.ndarray]]:
+    """Small, shape-diverse symbol streams (seconds, not minutes)."""
+    return [
+        ("uniform", rng.integers(0, 64, size=3000).astype(np.int64)),
+        ("skewed", rng.zipf(1.6, size=3000).clip(1, 40).astype(np.int64) - 1),
+        ("binary", rng.integers(0, 2, size=2500).astype(np.int64)),
+        ("runs", np.repeat(rng.integers(0, 8, size=60), 50).astype(np.int64)),
+        ("tiny", rng.integers(0, 16, size=37).astype(np.int64)),
+    ]
+
+
+def run_smoke(seed_divergence: bool = False) -> int:
+    """Return 0 on full agreement, 1 on any divergence."""
+    from repro.backends import available_backends, njit_ready
+    from repro.core.bitstream import decode_stream
+    from repro.core.codebook_parallel import parallel_codebook
+    from repro.core.encoder import gpu_encode
+    from repro.core.serialization import serialize_stream
+    from repro.histogram.gpu_histogram import gpu_histogram
+
+    if not njit_ready():
+        print("backends-smoke: njit backend unavailable "
+              "(numba missing, sim off) — nothing to compare", flush=True)
+        return 0
+
+    rng = np.random.default_rng(20260808)
+    failures: list[str] = []
+
+    def check(label: str, ok: bool) -> None:
+        state = "ok" if ok else "DIVERGED"
+        print(f"backends-smoke: {label}: {state}", flush=True)
+        if not ok:
+            failures.append(label)
+
+    print(f"backends-smoke: available backends: {available_backends()}",
+          flush=True)
+    for name, data in _corpora(rng):
+        nbins = int(data.max()) + 1
+        h_np = gpu_histogram(data, nbins, backend="numpy").histogram
+        h_nj = gpu_histogram(data, nbins, backend="njit").histogram
+        check(f"{name}/histogram", bool(np.array_equal(h_np, h_nj)))
+
+        book = parallel_codebook(np.bincount(data, minlength=nbins)).codebook
+        enc_np = gpu_encode(data, book, backend="numpy")
+        enc_nj = gpu_encode(data, book, backend="njit")
+        blob_np = serialize_stream(enc_np.stream, book)
+        blob_nj = serialize_stream(enc_nj.stream, book)
+        check(f"{name}/container", blob_np == blob_nj)
+
+        for strategy in ("batch", "gap"):
+            out = decode_stream(enc_np.stream, book, strategy=strategy,
+                                backend="njit")
+            if seed_divergence and out.size:
+                # negative-path hook: prove the comparison actually bites
+                out = out.copy()
+                out[-1] = (out[-1] + 1) % max(book.n_symbols, 2)
+            check(f"{name}/decode.{strategy}",
+                  bool(np.array_equal(out, data)))
+
+    from repro.conform.registry import default_registry
+
+    names = {d.name for d in default_registry().decoders}
+    names |= {e.name for e in default_registry().encoders}
+    wanted = {"scan_pack_njit", "stream.batch_njit", "stream.gap_njit",
+              "dense.lanes_njit"}
+    check("conform/njit-columns", wanted <= names)
+
+    if failures:
+        print(f"backends-smoke: FAILED ({len(failures)} divergences): "
+              f"{failures}", flush=True)
+        return 1
+    print("backends-smoke: all backends agree", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seed-divergence", action="store_true",
+        help="corrupt the njit decode output; the run must then fail "
+             "(harness self-test)",
+    )
+    args = parser.parse_args(argv)
+    # exercise the njit kernel logic even without numba: the pure-Python
+    # sim runs the same kernel bodies uncompiled
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        os.environ.setdefault("REPRO_NJIT_SIM", "1")
+    return run_smoke(seed_divergence=args.seed_divergence)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

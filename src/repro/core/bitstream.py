@@ -227,19 +227,24 @@ def decode_stream(
     book: CanonicalCodebook,
     table: DecodeTable | None = None,
     strategy: str = "auto",
+    backend: str | None = None,
 ) -> np.ndarray:
     """Decode an :class:`EncodedStream` back to its symbol array.
 
     ``strategy`` picks the machinery — all produce identical symbols on
     every valid container:
 
-    - ``"auto"`` (default): the gap-array decoder when its compiled
-      backend is available, the book is in gap range, and the stream is
-      big enough to amortize pass 1; else ``"batch"``.
+    - ``"auto"`` (default): the gap-array decoder when a compiled gap
+      backend (native C or the njit registry backend) is available, the
+      book is in gap range, and the stream is big enough to amortize
+      pass 1; else ``"batch"``.
     - ``"gap"``: two-pass gap-array decode (subchunk sync points, then
       lock-step lanes; :mod:`repro.decoder.gap_array`).
     - ``"batch"``: the vectorized chunk-lane decoder.
     - ``"scalar"``: the original per-chunk scalar reference.
+
+    ``backend`` selects the kernel backend from :mod:`repro.backends`
+    for whichever strategy runs (and feeds the auto heuristic above).
     """
     if strategy == "scalar":
         return decode_stream_scalar(stream, book, table)
@@ -247,19 +252,21 @@ def decode_stream(
         raise ValueError(f"unknown decode strategy: {strategy!r}")
     # local import: gap_array builds on the huffman decode machinery
     from repro.decoder import gap_array
-    from repro.decoder.gap_native import native_available
 
     if strategy == "auto":
         strategy = (
             "gap"
-            if native_available()
+            if gap_array.gap_auto_ready(backend)
             and stream.n_symbols >= gap_array.AUTO_MIN_SYMBOLS
             else "batch"
         )
+    from repro.backends import get_backend
+
     with _span("decode.stream", strategy=strategy,
                bytes_in=int(stream.payload_bytes),
                n_symbols=int(stream.n_symbols),
-               chunks=stream.n_chunks) as sp:
+               chunks=stream.n_chunks,
+               backend=get_backend(backend, quiet=True).name) as sp:
         if table is None:
             table = cached_decode_table(book)
         with _span("decode.lanes") as lanes_span:
@@ -267,11 +274,13 @@ def decode_stream(
             lanes_span.set_attr(lanes=int(nsyms.size))
             if strategy == "gap":
                 decoded = gap_array.gap_decode_lanes(
-                    buffer, starts, ends, nsyms, book, table
+                    buffer, starts, ends, nsyms, book, table,
+                    registry_backend=backend,
                 ).symbols
             else:
                 decoded = decode_lanes(
-                    buffer, starts, ends, nsyms, book, table
+                    buffer, starts, ends, nsyms, book, table,
+                    backend=backend,
                 )
         with _span("decode.assemble", broken=stream.breaking.nnz):
             out = assemble_stream_symbols(stream, decoded)

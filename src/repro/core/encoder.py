@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import get_backend
+from repro.backends.numpy_backend import fast_histogram
 from repro.core.bitstream import EncodedStream
 from repro.core.breaking import (
     BreakingStore,
@@ -131,34 +133,15 @@ class GpuEncodeResult:
 ENCODE_IMPLS = ("auto", "scan", "iterative")
 
 
-def _fast_histogram(data: np.ndarray, n_symbols: int) -> np.ndarray:
-    """``np.bincount`` with a halved input for byte alphabets.
-
-    ``bincount`` casts its input to int64 before counting; viewing a
-    contiguous uint8 stream as uint16 *pairs* halves both the cast and
-    the count loop, and the 64 Ki pair counts fold back to exact
-    per-symbol counts (low-byte sums + high-byte sums — endian-agnostic
-    because the fold is symmetric).
-    """
-    if data.dtype == np.uint8 and data.flags.c_contiguous \
-            and data.size >= (1 << 16):
-        even = data[: data.size & ~1]
-        ph = np.bincount(even.view(np.uint16), minlength=1 << 16)
-        ph = ph.reshape(256, 256)
-        hist = ph.sum(axis=0) + ph.sum(axis=1)
-        if data.size & 1:
-            hist[int(data[-1])] += 1
-        if hist.size > n_symbols and not hist[n_symbols:].any():
-            hist = hist[:n_symbols]  # match bincount's minlength shape
-        elif hist.size < n_symbols:
-            hist = np.concatenate(
-                [hist, np.zeros(n_symbols - hist.size, dtype=hist.dtype)]
-            )
-        return hist
-    return np.bincount(data, minlength=n_symbols)
+# moved to repro.backends.numpy_backend; alias kept for call sites
+_fast_histogram = fast_histogram
 
 
-def _scan_symbol_stats(data: np.ndarray, book: CanonicalCodebook) -> float:
+def _scan_symbol_stats(
+    data: np.ndarray,
+    book: CanonicalCodebook,
+    backend: str | None = None,
+) -> float:
     """Average codeword bitwidth + zero-codeword check, histogram-based.
 
     The scan path never materializes the per-symbol length array; the
@@ -180,7 +163,7 @@ def _scan_symbol_stats(data: np.ndarray, book: CanonicalCodebook) -> float:
             )
         return float(int(lens.sum(dtype=np.int64))) / data.size
     try:
-        hist = _fast_histogram(data, book.n_symbols)
+        hist = get_backend(backend).histogram(data, book.n_symbols)
     except (ValueError, TypeError):
         # negative or non-castable symbol dtypes: fall back to a length
         # gather, which reproduces lookup's indexing semantics exactly
@@ -213,12 +196,18 @@ def gpu_encode(
     word_bits: int = 32,
     device: DeviceSpec = V100,
     impl: str = "auto",
+    backend: str | None = None,
 ) -> GpuEncodeResult:
     """Encode ``data`` with the reduce-shuffle-merge scheme.
 
     ``tuning`` pins (M, r) explicitly; otherwise ``magnitude`` is used and
     ``r`` comes from the average-bitwidth rule (or ``reduction_factor``
     when given).  Every symbol must have a codeword in ``book``.
+
+    ``backend`` selects the kernel backend (``repro.backends``) for the
+    histogram and scan-pack hot loops; output is byte-identical across
+    backends (conformance-enforced).  The iterative impl stays on the
+    NumPy reference — it *is* the modeled-kernel reference semantics.
 
     ``impl`` selects the host execution strategy — the produced
     :class:`~repro.core.bitstream.EncodedStream` and the modeled kernel
@@ -237,7 +226,8 @@ def gpu_encode(
     data = np.asarray(data)
     enc_span = _span("encode.reduce_shuffle_merge",
                      bytes_in=int(data.nbytes), device=device.name,
-                     impl="scan" if use_scan else "iterative")
+                     impl="scan" if use_scan else "iterative",
+                     backend=get_backend(backend, quiet=True).name)
     with enc_span:
         if use_scan:
             with _span("encode.lookup", n_symbols=int(data.size)):
@@ -246,13 +236,14 @@ def gpu_encode(
                 # its first REDUCE iteration
                 stats = packed_pair_stats(data, book)
                 if stats is None:
-                    avg_bits, pair_packed = _scan_symbol_stats(data, book), \
-                        None
+                    avg_bits, pair_packed = (
+                        _scan_symbol_stats(data, book, backend), None
+                    )
                 else:
                     avg_bits, pair_packed = stats
             result = _gpu_encode_scan_body(
                 data, book, tuning, magnitude, reduction_factor, word_bits,
-                device, avg_bits, pair_packed,
+                device, avg_bits, pair_packed, backend,
             )
         else:
             with _span("encode.lookup", n_symbols=int(data.size)):
@@ -378,6 +369,7 @@ def _gpu_encode_scan_body(
     device: DeviceSpec,
     avg_bits: float,
     pair_packed: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> "GpuEncodeResult":
     """Scan-pack encode body: one fused gather/reduce/scatter pass."""
     tuning = _resolve_tuning(
@@ -391,7 +383,9 @@ def _gpu_encode_scan_body(
     # -- fused lookup + reduce + exclusive scan + bit scatter ---------------
     with _span("encode.scan_pack", r=tuning.reduction_factor,
                s=tuning.shuffle_factor, chunks=n_full) as scan_span:
-        res = scan_pack_symbols(main, book, tuning, pair_packed=pair_packed)
+        res = scan_pack_symbols(
+            main, book, tuning, pair_packed=pair_packed, backend=backend
+        )
     scan_span.set_attr(moved_words=res.merged.moved_words,
                        cells=res.n_cells)
     frac = res.breaking_fraction

@@ -65,6 +65,7 @@ from repro.obs import span as _span
 __all__ = [
     "GapArray",
     "GapDecodeResult",
+    "gap_auto_ready",
     "gap_decode_lanes",
     "gap_supported",
     "reference_gap_array",
@@ -151,10 +152,11 @@ class GapArray:
 class GapDecodeResult:
     """Symbols plus the gap array that produced them.
 
-    ``backend`` is ``"native"``, ``"numpy"``, or ``"lanes"`` (the book
-    was outside gap-table limits and the whole call fell back, in which
-    case ``gap`` is ``None``).  ``chunk_fallbacks`` counts chunks the
-    numpy backend re-decoded through ``decode_lanes`` after validation.
+    ``backend`` is ``"native"``, ``"njit"``, ``"numpy"``, or ``"lanes"``
+    (the book was outside gap-table limits and the whole call fell back,
+    in which case ``gap`` is ``None``).  ``chunk_fallbacks`` counts
+    chunks the numpy backend re-decoded through ``decode_lanes`` after
+    validation.
     """
 
     symbols: np.ndarray
@@ -358,7 +360,53 @@ def reference_gap_array(
     return GapArray(S, lane_base, offs, cnts)
 
 
-# ------------------------------------------------------------ native backend
+# ----------------------------------------------- native / njit kernel passes
+
+
+def _kernel_gap_decode(
+    sync_pass,
+    decode_pass,
+    label: str,
+    buffer: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    nsyms: np.ndarray,
+    book: CanonicalCodebook,
+    table: DecodeTable,
+    S: int,
+) -> GapDecodeResult:
+    """Two exact kernel passes over the same contract — shared by the
+    compiled C backend and the njit registry backend, which expose
+    signature-identical pass functions."""
+    tab = _native_table(book, table)
+    n_sub, lane_base = _lane_layout(starts, ends, S)
+    pbuf = _pad_buffer(buffer)
+    with _span(
+        "decode.gap.sync",
+        backend=label,
+        subchunk_bits=S,
+        lanes=int(lane_base[-1]),
+        chunks=int(starts.size),
+    ):
+        gap_off, gap_cnt, ch_n, ch_endpos = sync_pass(
+            pbuf, starts, ends, lane_base, S, tab, table.k
+        )
+        # replicate decode_lanes' exhaustion semantics: a chunk whose
+        # chain yields fewer codewords than the container claims, or
+        # exactly as many but with the last one straddling the chunk
+        # end, would leave a lane cursor past its end there
+        exhausted = (ch_n < nsyms) | ((ch_n == nsyms) & (ch_endpos > ends))
+        if bool(exhausted.any()):
+            raise ValueError("bitstream exhausted before all symbols decoded")
+    with _span("decode.gap.decode", backend=label, lanes=int(lane_base[-1])):
+        out_off, out_end, sym_base = _output_ranges(
+            gap_cnt, n_sub, lane_base, nsyms
+        )
+        symbols = decode_pass(
+            pbuf, gap_off, out_off, out_end, tab, table.k, int(sym_base[-1])
+        )
+    gap = GapArray(S, lane_base, gap_off, gap_cnt)
+    return GapDecodeResult(symbols, gap, label)
 
 
 def _native_gap_decode(
@@ -371,35 +419,26 @@ def _native_gap_decode(
     table: DecodeTable,
     S: int,
 ) -> GapDecodeResult:
-    tab = _native_table(book, table)
-    n_sub, lane_base = _lane_layout(starts, ends, S)
-    pbuf = _pad_buffer(buffer)
-    with _span(
-        "decode.gap.sync",
-        backend="native",
-        subchunk_bits=S,
-        lanes=int(lane_base[-1]),
-        chunks=int(starts.size),
-    ):
-        gap_off, gap_cnt, ch_n, ch_endpos = kernel.sync_pass(
-            pbuf, starts, ends, lane_base, S, tab, table.k
-        )
-        # replicate decode_lanes' exhaustion semantics: a chunk whose
-        # chain yields fewer codewords than the container claims, or
-        # exactly as many but with the last one straddling the chunk
-        # end, would leave a lane cursor past its end there
-        exhausted = (ch_n < nsyms) | ((ch_n == nsyms) & (ch_endpos > ends))
-        if bool(exhausted.any()):
-            raise ValueError("bitstream exhausted before all symbols decoded")
-    with _span("decode.gap.decode", backend="native", lanes=int(lane_base[-1])):
-        out_off, out_end, sym_base = _output_ranges(
-            gap_cnt, n_sub, lane_base, nsyms
-        )
-        symbols = kernel.decode_pass(
-            pbuf, gap_off, out_off, out_end, tab, table.k, int(sym_base[-1])
-        )
-    gap = GapArray(S, lane_base, gap_off, gap_cnt)
-    return GapDecodeResult(symbols, gap, "native")
+    return _kernel_gap_decode(
+        kernel.sync_pass, kernel.decode_pass, "native",
+        buffer, starts, ends, nsyms, book, table, S,
+    )
+
+
+def _njit_gap_decode(
+    bk,
+    buffer: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    nsyms: np.ndarray,
+    book: CanonicalCodebook,
+    table: DecodeTable,
+    S: int,
+) -> GapDecodeResult:
+    return _kernel_gap_decode(
+        bk.gap_sync_pass, bk.gap_decode_pass, "njit",
+        buffer, starts, ends, nsyms, book, table, S,
+    )
 
 
 # ------------------------------------------------------------- numpy backend
@@ -822,6 +861,24 @@ def _numpy_gap_decode(
 # --------------------------------------------------------------- entry point
 
 
+def _resolved_njit(registry_backend: str | None):
+    """The njit registry backend, or ``None`` — only when the resolved
+    selection (arg > ``REPRO_BACKEND`` env > default) actually *is*
+    njit, so ``REPRO_BACKEND=numpy`` keeps the reference leg pure."""
+    from repro import backends as _backends
+
+    bk = _backends.get_backend(registry_backend, quiet=True)
+    return bk if bk.name == "njit" else None
+
+
+def gap_auto_ready(registry_backend: str | None = None) -> bool:
+    """Whether ``strategy="auto"`` heuristics should promote the gap
+    path: a compiled gap kernel exists — the native C one, or the njit
+    registry backend when the selection resolves to it."""
+    return gap_native.native_available() or \
+        _resolved_njit(registry_backend) is not None
+
+
 def gap_decode_lanes(
     buffer: np.ndarray,
     starts: np.ndarray,
@@ -832,14 +889,17 @@ def gap_decode_lanes(
     *,
     subchunk_bits: int | None = None,
     backend: str = "auto",
+    registry_backend: str | None = None,
 ) -> GapDecodeResult:
     """Gap-array decode of chunk lanes (drop-in for ``decode_lanes``).
 
-    ``backend="auto"`` prefers the compiled kernel and falls back to the
-    NumPy reference; ``"native"``/``"numpy"`` force one (``"native"``
-    raises if the toolchain is unavailable).  Books the gap tables
-    cannot express (see :func:`gap_supported`) decode through
-    ``decode_lanes`` and report ``backend="lanes"``.
+    ``backend="auto"`` prefers the compiled C kernel, then the njit
+    registry backend (only when ``registry_backend`` — or the
+    ``REPRO_BACKEND`` env it defaults through — resolves to njit), then
+    the NumPy reference; ``"native"``/``"njit"``/``"numpy"`` force one
+    (the first two raise if unavailable).  Books the gap tables cannot
+    express (see :func:`gap_supported`) decode through ``decode_lanes``
+    and report ``backend="lanes"``.
     """
     buffer = np.ascontiguousarray(buffer, dtype=np.uint8)
     starts = np.ascontiguousarray(starts, dtype=np.int64)
@@ -847,7 +907,7 @@ def gap_decode_lanes(
     nsyms = np.ascontiguousarray(nsyms, dtype=np.int64)
     if table is None:
         table = build_decode_table(book, _HOST_TABLE_BITS)
-    if backend not in ("auto", "native", "numpy"):
+    if backend not in ("auto", "native", "njit", "numpy"):
         raise ValueError(f"unknown gap backend: {backend!r}")
     reg = _metrics()
     ok, why = gap_supported(book, table)
@@ -859,25 +919,43 @@ def gap_decode_lanes(
         raise RuntimeError(
             f"native gap backend unavailable: {gap_native.native_error()}"
         )
-    if not ok or (backend == "auto" and kern is None and not numpy_ok) or (
-        backend == "numpy" and not numpy_ok
-    ):
+    njit_bk = None
+    if backend == "njit":
+        njit_bk = _resolved_njit("njit")
+        if njit_bk is None:
+            raise RuntimeError("njit gap backend unavailable")
+    elif backend == "auto" and kern is None:
+        njit_bk = _resolved_njit(registry_backend)
+    if not ok or (
+        backend == "auto"
+        and kern is None
+        and njit_bk is None
+        and not numpy_ok
+    ) or (backend == "numpy" and not numpy_ok):
         reason = why or "numpy_limits"
         reg.counter("repro_decode_gap_lut_fallback_total", reason=reason).inc()
         symbols = decode_lanes(buffer, starts, ends, nsyms, book, table)
         return GapDecodeResult(symbols, None, "lanes")
 
     total_bits = int((ends - starts).sum())
-    use_native = kern is not None and backend != "numpy"
-    bk = "native" if use_native else "numpy"
+    if kern is not None and backend != "numpy" and backend != "njit":
+        bk = "native"
+    elif njit_bk is not None:
+        bk = "njit"
+    else:
+        bk = "numpy"
     S = (
         int(subchunk_bits)
         if subchunk_bits is not None
         else default_subchunk_bits(total_bits, bk)
     )
-    if use_native:
+    if bk == "native":
         res = _native_gap_decode(
             kern, buffer, starts, ends, nsyms, book, table, S
+        )
+    elif bk == "njit":
+        res = _njit_gap_decode(
+            njit_bk, buffer, starts, ends, nsyms, book, table, S
         )
     else:
         res = _numpy_gap_decode(buffer, starts, ends, nsyms, book, table, S)

@@ -98,8 +98,15 @@ def gpu_histogram(
     num_bins: int,
     device: DeviceSpec = V100,
     blocks: int | None = None,
+    backend: str | None = None,
 ) -> GpuHistogramResult:
-    """Histogram ``data`` (integer symbols < num_bins) on the modeled GPU."""
+    """Histogram ``data`` (integer symbols < num_bins) on the modeled GPU.
+
+    ``backend`` selects the counting kernel from ``repro.backends``;
+    bins are bit-exact across backends.
+    """
+    from repro.backends import get_backend
+
     data = np.asarray(data)
     if not np.issubdtype(data.dtype, np.integer):
         raise TypeError("histogram input must be integer symbols")
@@ -108,9 +115,10 @@ def gpu_histogram(
         raise ValueError("symbol out of histogram range")
     blocks = blocks if blocks is not None else device.sm_count * 2
 
+    bk = get_backend(backend)
     with _span("encode.histogram", bytes_in=int(flat.nbytes),
-               bins=int(num_bins), device=device.name):
-        hist = np.bincount(flat, minlength=num_bins).astype(np.int64)
+               bins=int(num_bins), device=device.name, backend=bk.name):
+        hist = bk.histogram(flat, num_bins).astype(np.int64)
         repl = replication_factor(num_bins, device)
         conflict = expected_conflict_degree(hist, device.warp_size, repl)
     block_cost = KernelCost(

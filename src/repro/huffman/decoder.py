@@ -217,6 +217,7 @@ def decode_lanes(
     n_symbols: np.ndarray,
     book: CanonicalCodebook,
     table: DecodeTable | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Decode many independent bitstream lanes in vectorized lock-step.
 
@@ -236,6 +237,11 @@ def decode_lanes(
     Returns the decoded symbols as one flat ``int64`` array, lane-major
     (lane 0's symbols, then lane 1's, ...).  Bit-identical to running
     :func:`decode_canonical` on each lane separately.
+
+    ``backend`` selects the kernel backend (``repro.backends``); the
+    non-reference path requires a *complete* table (no First/Entry
+    fallback) — books beyond it take a counted fallback to the NumPy
+    body.
     """
     if table is None:
         table = build_decode_table(book, _HOST_TABLE_BITS)
@@ -256,6 +262,15 @@ def decode_lanes(
     total_out = int(nsyms.sum())
     if total_out == 0:
         return np.empty(0, dtype=np.int64)
+
+    from repro import backends as _backends
+
+    bk = _backends.get_backend(backend)
+    if bk.name != "numpy":
+        out = _kernel_decode_lanes(bk, buffer, starts, ends, nsyms, book, table)
+        if out is not None:
+            return out
+
     # int32 staging: the hot-loop scatter then casts nothing, and one
     # bulk astype at the end restores the external int64 contract
     out = np.empty(total_out, dtype=np.int32)
@@ -347,6 +362,51 @@ def decode_lanes(
     return out.astype(np.int64)
 
 
+def _kernel_decode_lanes(
+    bk,
+    buffer: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    nsyms: np.ndarray,
+    book: CanonicalCodebook,
+    table: DecodeTable,
+) -> np.ndarray | None:
+    """Run the lane decode through a registry kernel backend.
+
+    Returns ``None`` (after counting the fallback) when the book needs
+    the First/Entry slow path — kernel backends take only *complete*
+    tables, where the final exhaustion check is the sole error source,
+    so raise behaviour matches the NumPy body exactly.
+    """
+    from repro.decoder.gap_native import MAX_NATIVE_SYMBOL
+
+    if (
+        book.max_length > table.k
+        or not bool((table.length > 0).all())
+        or book.n_symbols > MAX_NATIVE_SYMBOL
+    ):
+        _metrics().counter(
+            "repro_backend_fallback_total", reason="incomplete_table"
+        ).inc()
+        return None
+    # local import: gap_array builds on this module
+    from repro.decoder.gap_array import _native_table, _pad_buffer
+
+    tab = _native_table(book, table)
+    pbuf = _pad_buffer(buffer)
+    out_off = np.zeros(nsyms.size, dtype=np.int64)
+    np.cumsum(nsyms[:-1], out=out_off[1:])
+    out, exhausted = bk.decode_lanes_pass(
+        pbuf, starts, ends, nsyms, out_off, tab, table.k
+    )
+    if exhausted:
+        raise ValueError("bitstream exhausted before all symbols decoded")
+    reg = _metrics()
+    reg.counter("repro_decode_symbols_total", path="batch").inc(int(out.size))
+    reg.counter("repro_decode_lanes_total").inc(int(nsyms.size))
+    return out
+
+
 def decode_batch(
     buffer: np.ndarray,
     total_bits: int,
@@ -354,6 +414,7 @@ def decode_batch(
     n_symbols: int,
     table: DecodeTable | None = None,
     impl: str = "auto",
+    backend: str | None = None,
 ) -> np.ndarray:
     """Table-driven batch decode of a single dense bitstream.
 
@@ -362,9 +423,9 @@ def decode_batch(
     ``"lanes"`` walks the stream as a single lane; ``"gap"`` routes
     through the gap-array decoder (:mod:`repro.decoder.gap_array`),
     which subchunks the stream so even one dense stream decodes with
-    thousands of parallel lanes; ``"auto"`` picks ``"gap"`` when its
-    compiled backend is available and the book is in gap range, else
-    ``"lanes"``.
+    thousands of parallel lanes; ``"auto"`` picks ``"gap"`` when a
+    compiled gap backend (native, or the selected registry backend) is
+    available and the book is in gap range, else ``"lanes"``.
     """
     if impl not in ("auto", "gap", "lanes"):
         raise ValueError(f"unknown decode impl: {impl!r}")
@@ -375,15 +436,16 @@ def decode_batch(
     if impl != "lanes":
         # local import: gap_array builds on this module
         from repro.decoder import gap_array
-        from repro.decoder.gap_native import native_available
 
         if impl == "gap" or (
-            native_available() and n_symbols >= gap_array.AUTO_MIN_SYMBOLS
+            gap_array.gap_auto_ready(backend)
+            and n_symbols >= gap_array.AUTO_MIN_SYMBOLS
         ):
             return gap_array.gap_decode_lanes(
-                buffer, starts, ends, nsyms, book, table
+                buffer, starts, ends, nsyms, book, table,
+                registry_backend=backend,
             ).symbols
-    return decode_lanes(buffer, starts, ends, nsyms, book, table)
+    return decode_lanes(buffer, starts, ends, nsyms, book, table, backend)
 
 
 def decode_with_tree(

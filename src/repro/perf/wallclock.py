@@ -95,6 +95,14 @@ class WallclockResult:
     #: timed in its own sequential best-of-N block right after the
     #: iterative reference so the two numbers see the same cache state
     encode_scan_s: float = 0.0
+    #: the njit kernel backend driving the same scan-pack encode /
+    #: batch decode; 0.0 when numba is not importable (the pure-Python
+    #: sim is correctness-only — timing it would be meaningless)
+    encode_njit_s: float = 0.0
+    decode_njit_s: float = 0.0
+    #: which kernel backend the njit columns used ("njit" when timed,
+    #: "" when skipped)
+    kernel_backend: str = ""
     #: per-stage wall time (ms) of one traced encode per implementation:
     #: ``{"iterative": {"encode.lookup": ..., ...}, "scan": {...}}``
     encode_stages: dict = field(default_factory=dict)
@@ -141,6 +149,33 @@ class WallclockResult:
             return 1.0
         return self.decode_batch_s / self.decode_gap_s
 
+    @property
+    def encode_njit_mb_s(self) -> float:
+        if not self.encode_njit_s:
+            return 0.0
+        return self.input_bytes / self.encode_njit_s / 1e6
+
+    @property
+    def decode_njit_mb_s(self) -> float:
+        if not self.decode_njit_s:
+            return 0.0
+        return self.input_bytes / self.decode_njit_s / 1e6
+
+    @property
+    def encode_njit_speedup(self) -> float:
+        """njit scan-pack over the numpy scan-pack (the backend gate:
+        must stay >= 1.0 wherever numba is installed)."""
+        if not self.encode_njit_s or not self.encode_scan_s:
+            return 1.0
+        return self.encode_scan_s / self.encode_njit_s
+
+    @property
+    def decode_njit_speedup(self) -> float:
+        """njit batch decode over the numpy batch decode."""
+        if not self.decode_njit_s:
+            return 1.0
+        return self.decode_batch_s / self.decode_njit_s
+
     def to_dict(self) -> dict:
         d = asdict(self)
         d.update(
@@ -152,6 +187,10 @@ class WallclockResult:
             decode_speedup=round(self.decode_speedup, 1),
             decode_gap_mb_s=round(self.decode_gap_mb_s, 2),
             decode_speedup_gap=round(self.decode_speedup_gap, 2),
+            encode_njit_mb_s=round(self.encode_njit_mb_s, 2),
+            decode_njit_mb_s=round(self.decode_njit_mb_s, 2),
+            encode_njit_speedup=round(self.encode_njit_speedup, 2),
+            decode_njit_speedup=round(self.decode_njit_speedup, 2),
         )
         return d
 
@@ -256,6 +295,23 @@ def run_wallclock(
             serialize_stream(enc.stream, book):
         raise AssertionError(f"scan-pack container divergence on {dataset}")
 
+    # njit kernel-backend columns: timed only with real numba (the
+    # pure-Python sim covers correctness, not speed), and only after the
+    # same byte-identity checks every other column clears
+    from repro.backends import njit_compiled
+
+    time_njit = njit_compiled()
+    if time_njit:
+        enc_njit = gpu_encode(data, book, impl="scan", backend="njit")
+        if serialize_stream(enc_njit.stream, book) != \
+                serialize_stream(enc.stream, book):
+            raise AssertionError(f"njit container divergence on {dataset}")
+        njit_out = decode_stream(
+            enc.stream, book, table=table, strategy="batch", backend="njit"
+        )
+        if not np.array_equal(njit_out, fast):
+            raise AssertionError(f"njit decoder mismatch on {dataset}")
+
     # sequential best-of-N blocks, iterative first then scan: each impl
     # is timed back-to-back so the two numbers see the same cache/page
     # state and the ratio is an honest like-for-like speedup
@@ -281,6 +337,20 @@ def run_wallclock(
         lambda: decode_stream(enc.stream, book, strategy="gap"),
         repeats, dataset=dataset, backend=gap_backend,
     )
+    encode_njit_s = 0.0
+    decode_njit_s = 0.0
+    if time_njit:
+        encode_njit_s = _timed_best(
+            tracer, "bench.encode_njit",
+            lambda: gpu_encode(data, book, impl="scan", backend="njit"),
+            repeats, dataset=dataset, impl="scan", backend="njit",
+        )
+        decode_njit_s = _timed_best(
+            tracer, "bench.decode_njit",
+            lambda: decode_stream(enc.stream, book, strategy="batch",
+                                  backend="njit"),
+            repeats, dataset=dataset, backend="njit",
+        )
     # the scalar reference is ~25x slower; cap its repeats to keep the
     # harness quick while still taking a best-of
     scalar_s = _timed_best(
@@ -303,6 +373,9 @@ def run_wallclock(
         decode_batch_s=batch_s,
         decode_gap_s=gap_s,
         gap_backend=gap_backend,
+        encode_njit_s=encode_njit_s,
+        decode_njit_s=decode_njit_s,
+        kernel_backend="njit" if time_njit else "",
         cache_hits=hits1 - hits0,
         cache_misses=misses1 - misses0,
     )
@@ -534,6 +607,8 @@ def run_codebooks_bench(
 
 
 def wallclock_table(results: Sequence[WallclockResult]) -> str:
+    # the per-backend columns only render when some run timed them
+    with_njit = any(r.encode_njit_s for r in results)
     rows = [
         [
             r.dataset,
@@ -546,11 +621,21 @@ def wallclock_table(results: Sequence[WallclockResult]) -> str:
             r.decode_gap_mb_s,
             round(r.decode_speedup_gap, 2),
         ]
+        + (
+            [r.encode_njit_mb_s, r.decode_njit_mb_s,
+             round(r.encode_njit_speedup, 2)]
+            if with_njit else []
+        )
         for r in results
     ]
+    headers = [
+        "dataset", "KiB", "enc iter MB/s", "enc scan MB/s", "enc x",
+        "dec scalar MB/s", "dec lanes MB/s", "dec gap MB/s", "gap x",
+    ]
+    if with_njit:
+        headers += ["enc njit MB/s", "dec njit MB/s", "njit x"]
     return render_table(
-        ["dataset", "KiB", "enc iter MB/s", "enc scan MB/s", "enc x",
-         "dec scalar MB/s", "dec lanes MB/s", "dec gap MB/s", "gap x"],
+        headers,
         rows,
         title="Wall-clock fast paths (measured, this host)",
     )

@@ -525,6 +525,25 @@ class CompressionService:
                 reg.total("repro_serve_encode_path_total", path="cold")
             ),
         }
+        # kernel-backend registry health: which backend requests resolve
+        # to, what else is registered, and every counted degradation to
+        # the numpy reference (labelled by reason)
+        from repro import backends as _backends
+
+        backend_fallbacks: dict[str, int] = {}
+        bsnap = reg.snapshot().get("repro_backend_fallback_total")
+        if bsnap is not None:
+            for series in bsnap["series"]:
+                reason = series["labels"].get("reason", "unknown")
+                backend_fallbacks[reason] = backend_fallbacks.get(
+                    reason, 0
+                ) + int(series["value"])
+        backends = {
+            "selected": _backends.get_backend(quiet=True).name,
+            "available": _backends.available_backends(),
+            "registered": _backends.registered_backends(),
+            "fallbacks": backend_fallbacks,
+        }
         slo_doc = self.slo.evaluate()
         return {
             "uptime_s": round(time.time() - self.started_at, 3),
@@ -557,6 +576,7 @@ class CompressionService:
             "caches": caches,
             "decode": decode,
             "encode": encode,
+            "backends": backends,
             "codebooks": process_registry().info(),
             "flight": self.flight.stats(),
             "slo": {

@@ -1,0 +1,254 @@
+"""Differential matrix: the njit backend must be indistinguishable from
+the numpy reference, kernel by kernel.
+
+Every property drives both registered backends over the same randomized
+inputs — (M, r, W) tunings, alphabet skew, subchunk widths — and asserts
+bit-exact agreement at the kernel seam (packed scan-pack grids, gap sync
+points, histograms) and at the public decode seam, including *raise
+parity*: a corrupt bitstream must either decode identically or raise
+``ValueError`` on both backends.
+
+Runs the njit kernels through the pure-Python sim when numba is absent,
+so the kernel logic is covered on every machine; with numba installed
+the same properties exercise the compiled code.
+"""
+
+from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_NJIT_SIM", "1")  # before the registry loads
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import backends
+from repro.core.bitstream import stream_lanes
+from repro.core.codebook_parallel import parallel_codebook
+from repro.core.encoder import gpu_encode
+from repro.core.tuning import EncoderTuning
+from repro.decoder.gap_array import (
+    _lane_layout,
+    _native_table,
+    _pad_buffer,
+    gap_decode_lanes,
+    gap_supported,
+)
+from repro.huffman.cache import cached_decode_table
+from repro.huffman.decoder import decode_lanes
+
+pytestmark = pytest.mark.skipif(
+    "njit" not in backends.available_backends(),
+    reason="njit backend kill-switched",
+)
+
+
+def _numpy_bk():
+    return backends.get_backend("numpy")
+
+
+def _njit_bk():
+    return backends.get_backend("njit")
+
+
+def _make(seed: int, n: int, alphabet: int, skew: float):
+    rng = np.random.default_rng(seed)
+    probs = rng.dirichlet(np.ones(alphabet) * skew)
+    data = rng.choice(alphabet, size=n, p=probs).astype(np.uint16)
+    freqs = np.bincount(data, minlength=alphabet).astype(np.int64) + 1
+    book = parallel_codebook(freqs).codebook
+    return data, book
+
+
+# --------------------------------------------------------------- histogram
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(0, 5000),
+    nbins=st.integers(1, 300),
+)
+@settings(max_examples=25)
+def test_histogram_kernel_identical(seed, n, nbins):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, nbins, size=n).astype(np.int64)
+    h_np = _numpy_bk().histogram(data, nbins)
+    h_nj = _njit_bk().histogram(data, nbins)
+    np.testing.assert_array_equal(h_np, h_nj)
+    np.testing.assert_array_equal(h_np, np.bincount(data, minlength=nbins))
+
+
+# --------------------------------------------------------------- scan-pack
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(100, 3000),
+    alphabet=st.integers(2, 48),
+    skew=st.sampled_from([0.1, 0.5, 2.0]),
+    magnitude=st.integers(5, 8),
+    r=st.integers(0, 3),
+    word_bits=st.sampled_from([8, 16, 32]),
+)
+@settings(max_examples=25)
+def test_scan_pack_cells_identical(seed, n, alphabet, skew, magnitude, r,
+                                   word_bits):
+    """Packed-word scan + scatter: identical bit grids, lengths, broken
+    masks for every (M, r, W) the packed gate admits."""
+    assume(r < magnitude)
+    data, book = _make(seed, n, alphabet, skew)
+    tuning = EncoderTuning(magnitude, r, word_bits)
+    n_chunks = data.size // tuning.chunk_symbols
+    assume(n_chunks >= 1)
+    cpc = tuning.cells_per_chunk
+    main = data[: n_chunks * tuning.chunk_symbols]
+    codes, lens = book.lookup(main)
+    p = (codes.astype(np.uint64) << np.uint64(16)) | lens.astype(np.uint64)
+    group = p.size // (n_chunks * cpc)
+    # the packed merge carries (value, length) in disjoint uint64 halves;
+    # only streams inside the production gate use this representation
+    assume(group * int(book.max_length) <= 0xFFFF)
+
+    got = [
+        bk.scan_pack_cells(p.copy(), group, n_chunks, cpc, word_bits)
+        for bk in (_numpy_bk(), _njit_bk())
+    ]
+    for a, b in zip(got[0], got[1]):
+        np.testing.assert_array_equal(a, b)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(200, 4000),
+    alphabet=st.integers(2, 64),
+    skew=st.sampled_from([0.1, 1.0]),
+    magnitude=st.integers(6, 9),
+    r=st.integers(1, 2),
+)
+@settings(max_examples=15)
+def test_encode_containers_identical(seed, n, alphabet, skew, magnitude, r):
+    """Full production encode: byte-identical streams per backend."""
+    data, book = _make(seed, n, alphabet, skew)
+    tuning = EncoderTuning(magnitude, r, 32)
+    enc_np = gpu_encode(data, book, tuning=tuning, backend="numpy")
+    enc_nj = gpu_encode(data, book, tuning=tuning, backend="njit")
+    assert enc_np.stream.payload.tobytes() == enc_nj.stream.payload.tobytes()
+    np.testing.assert_array_equal(
+        enc_np.stream.chunk_bits, enc_nj.stream.chunk_bits
+    )
+
+
+# --------------------------------------------------------------- gap decode
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(500, 6000),
+    alphabet=st.integers(2, 64),
+    skew=st.sampled_from([0.1, 0.5, 2.0]),
+    subchunk_bits=st.sampled_from([256, 512, 1024]),
+)
+@settings(max_examples=15)
+def test_gap_sync_points_identical(seed, n, alphabet, skew, subchunk_bits):
+    """Pass-1 kernels: identical sync offsets/counts per boundary, and
+    identical pass-2 symbols, via the raw kernel seam."""
+    data, book = _make(seed, n, alphabet, skew)
+    stream = gpu_encode(data, book).stream
+    table = cached_decode_table(book)
+    assume(gap_supported(book, table)[0])
+    buffer, starts, ends, nsyms = stream_lanes(stream)
+    assume(starts.size)
+
+    pbuf = _pad_buffer(buffer)
+    tab = _native_table(book, table)
+    _n_sub, lane_base = _lane_layout(starts, ends, subchunk_bits)
+    got = [
+        bk.gap_sync_pass(pbuf, starts, ends, lane_base, subchunk_bits,
+                         tab, table.k)
+        for bk in (_numpy_bk(), _njit_bk())
+    ]
+    for a, b in zip(got[0], got[1]):
+        np.testing.assert_array_equal(a, b)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(500, 6000),
+    alphabet=st.integers(2, 64),
+    skew=st.sampled_from([0.1, 0.5, 2.0]),
+    subchunk_bits=st.sampled_from([256, 512]),
+)
+@settings(max_examples=15)
+def test_gap_decode_identical(seed, n, alphabet, skew, subchunk_bits):
+    """Public gap seam: symbols + full gap arrays agree across backends
+    (and with the native C kernel when it is present)."""
+    data, book = _make(seed, n, alphabet, skew)
+    stream = gpu_encode(data, book).stream
+    table = cached_decode_table(book)
+    assume(gap_supported(book, table)[0])
+    buffer, starts, ends, nsyms = stream_lanes(stream)
+
+    legs = ["numpy", "njit"]
+    from repro.decoder.gap_native import native_available
+
+    if native_available():
+        legs.append("native")
+    results = [
+        gap_decode_lanes(buffer, starts, ends, nsyms, book, table,
+                         subchunk_bits=subchunk_bits, backend=leg)
+        for leg in legs
+    ]
+    ref = results[0]
+    assert ref.backend == "numpy"
+    for leg, res in zip(legs[1:], results[1:]):
+        assert res.backend == leg
+        np.testing.assert_array_equal(ref.symbols, res.symbols)
+        np.testing.assert_array_equal(
+            ref.gap.bit_offsets, res.gap.bit_offsets
+        )
+        np.testing.assert_array_equal(
+            ref.gap.symbol_counts, res.gap.symbol_counts
+        )
+        np.testing.assert_array_equal(ref.gap.lane_base, res.gap.lane_base)
+
+
+# ------------------------------------------------------------- raise parity
+
+
+def _outcome(fn):
+    try:
+        return ("ok", fn())
+    except ValueError as e:
+        return ("raise", str(e))
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(400, 3000),
+    alphabet=st.integers(2, 32),
+    n_flips=st.integers(1, 16),
+)
+@settings(max_examples=15)
+def test_decode_lanes_raise_parity(seed, n, alphabet, n_flips):
+    """In-bounds content corruption: both backends decode to the same
+    symbols or both raise ``ValueError`` (bitstream exhausted)."""
+    data, book = _make(seed, n, alphabet, 0.3)
+    stream = gpu_encode(data, book).stream
+    buffer, starts, ends, nsyms = stream_lanes(stream)
+    assume(buffer.size > 4)
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    corrupt = buffer.copy()
+    idx = rng.integers(0, corrupt.size, size=n_flips)
+    corrupt[idx] ^= rng.integers(1, 256, size=n_flips).astype(np.uint8)
+
+    a = _outcome(lambda: decode_lanes(corrupt, starts, ends, nsyms, book,
+                                      backend="numpy"))
+    b = _outcome(lambda: decode_lanes(corrupt, starts, ends, nsyms, book,
+                                      backend="njit"))
+    assert a[0] == b[0], (a, b)
+    if a[0] == "ok":
+        np.testing.assert_array_equal(a[1], b[1])
+    else:
+        assert a[1] == b[1]

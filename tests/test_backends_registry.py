@@ -1,0 +1,234 @@
+"""Registry and fallback contracts for :mod:`repro.backends`.
+
+The registry is the single switch every hot loop consults, so its
+failure modes are part of the public contract:
+
+- unknown names fail fast with the list of registered backends;
+- an unusable njit backend (kill switch, numba missing, compile error)
+  degrades to the numpy reference *and is counted* by reason in
+  ``repro_backend_fallback_total`` — silent degradation is the one
+  outcome operators cannot debug;
+- lookups are thread-safe (the serve layer resolves the backend on
+  every request);
+- the ``decode_stream(strategy="auto")`` heuristic consults the
+  registry, so an available njit backend promotes the gap decoder even
+  when the native C kernel is absent — the regression this PR fixes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro import backends
+from repro.backends import njit_backend
+from repro.obs import set_tracer
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import Tracer
+
+N_THREADS = 10
+
+
+@pytest.fixture
+def metrics_reg():
+    reg = MetricsRegistry()
+    prev = set_registry(reg)
+    yield reg
+    set_registry(prev)
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    """Neutral backend env: no selection, no kill switch, sim enabled so
+    the njit backend is available without numba."""
+    monkeypatch.delenv(backends.BACKEND_ENV, raising=False)
+    monkeypatch.delenv(njit_backend.DISABLE_ENV, raising=False)
+    monkeypatch.setenv(njit_backend.SIM_ENV, "1")
+    yield monkeypatch
+
+
+class TestRegistry:
+    def test_registered_and_available(self, clean_env):
+        names = backends.registered_backends()
+        assert "numpy" in names and "njit" in names
+        assert "numpy" in backends.available_backends()
+        assert "njit" in backends.available_backends()
+
+    def test_numpy_always_available(self):
+        ok, why = backends.backend_availability("numpy")
+        assert ok and why == ""
+
+    def test_unknown_backend_lists_names(self):
+        with pytest.raises(ValueError) as ei:
+            backends.get_backend("cuda")
+        msg = str(ei.value)
+        assert "cuda" in msg and "numpy" in msg and "njit" in msg
+        with pytest.raises(ValueError):
+            backends.backend_availability("nope")
+
+    def test_env_selection(self, clean_env):
+        clean_env.setenv(backends.BACKEND_ENV, "njit")
+        assert backends.get_backend().name == "njit"
+        # explicit argument beats the environment
+        assert backends.get_backend("numpy").name == "numpy"
+
+    def test_default_is_numpy(self, clean_env):
+        assert backends.get_backend().name == backends.DEFAULT_BACKEND
+
+
+class TestCountedFallback:
+    def test_kill_switch_falls_back_counted(self, clean_env, metrics_reg):
+        clean_env.setenv(njit_backend.DISABLE_ENV, "1")
+        bk = backends.get_backend("njit")
+        assert bk.name == "numpy"
+        assert metrics_reg.total(
+            "repro_backend_fallback_total", reason="disabled"
+        ) == 1
+
+    def test_numba_import_failure_falls_back_counted(
+        self, clean_env, metrics_reg
+    ):
+        """Simulated broken numba install: reason-labelled fallback."""
+        clean_env.delenv(njit_backend.SIM_ENV, raising=False)
+        clean_env.setitem(sys.modules, "numba", None)  # import -> error
+        njit_backend._reset_for_tests()
+        try:
+            ok, why = backends.backend_availability("njit")
+            assert not ok and why == "numba_missing"
+            bk = backends.get_backend("njit")
+            assert bk.name == "numpy"
+            assert metrics_reg.total(
+                "repro_backend_fallback_total", reason="numba_missing"
+            ) == 1
+        finally:
+            clean_env.delitem(sys.modules, "numba", raising=False)
+            njit_backend._reset_for_tests()
+
+    def test_quiet_lookup_not_counted(self, clean_env, metrics_reg):
+        clean_env.setenv(njit_backend.DISABLE_ENV, "1")
+        bk = backends.get_backend("njit", quiet=True)
+        assert bk.name == "numpy"
+        assert metrics_reg.total("repro_backend_fallback_total") == 0
+
+    def test_incomplete_table_falls_back_counted(
+        self, clean_env, metrics_reg
+    ):
+        """A one-entry book has an incomplete LUT: the lane decode takes
+        the per-call numpy fallback and counts why."""
+        from repro.core.codebook_parallel import parallel_codebook
+        from repro.core.encoder import gpu_encode
+        from repro.core.bitstream import decode_stream
+
+        data = np.zeros(3000, dtype=np.int64)
+        book = parallel_codebook(np.array([3000], dtype=np.int64)).codebook
+        stream = gpu_encode(data, book).stream
+        out = decode_stream(stream, book, strategy="batch", backend="njit")
+        np.testing.assert_array_equal(out, data)
+        assert metrics_reg.total(
+            "repro_backend_fallback_total", reason="incomplete_table"
+        ) >= 1
+
+
+class TestThreadSafety:
+    def test_concurrent_lookup_and_reregister(self, clean_env):
+        """10 threads hammering lookups while backends re-register."""
+        errs: list[str] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def worker(tid):
+            try:
+                for _ in range(200):
+                    bk = backends.get_backend(
+                        "njit" if tid % 2 else "numpy", quiet=True
+                    )
+                    assert bk.name in ("numpy", "njit")
+                    names = backends.registered_backends()
+                    assert "numpy" in names
+                    avail = backends.available_backends()
+                    assert "numpy" in avail
+                    if tid == 0:
+                        # replace-on-reregister must never leave a gap
+                        backends.register_backend(
+                            "numpy",
+                            backends.get_backend("numpy", quiet=True),
+                        )
+            except Exception as exc:  # noqa: BLE001 - surfaced in assert
+                with lock:
+                    errs.append(f"thread {tid}: {exc!r}")
+            finally:
+                stop.set()
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        assert not any(t.is_alive() for t in threads), "lookup thread hung"
+        assert not errs, errs[:5]
+
+
+class TestAutoStrategyRegistryRouting:
+    """decode_stream's auto heuristic must consult the registry, not
+    just the native C kernel (the pre-registry behavior)."""
+
+    @pytest.fixture
+    def encoded(self):
+        from repro.core.codebook_parallel import parallel_codebook
+        from repro.core.encoder import gpu_encode
+        from repro.decoder import gap_array
+
+        rng = np.random.default_rng(7)
+        n = max(60_000, gap_array.AUTO_MIN_SYMBOLS)
+        data = rng.integers(0, 40, size=n).astype(np.int64)
+        book = parallel_codebook(
+            np.bincount(data, minlength=64) + 1
+        ).codebook
+        return data, book, gpu_encode(data, book).stream
+
+    def _strategy_of(self, stream, book, backend):
+        from repro.core.bitstream import decode_stream
+
+        tracer = Tracer()
+        prev = set_tracer(tracer)
+        try:
+            out = decode_stream(stream, book, backend=backend)
+        finally:
+            set_tracer(prev)
+        sp = [s for s in tracer.spans if s.name == "decode.stream"][0]
+        return out, sp.attrs["strategy"], sp.attrs["backend"]
+
+    def test_njit_promotes_gap_without_native(
+        self, clean_env, encoded, monkeypatch
+    ):
+        from repro.decoder import gap_native
+
+        monkeypatch.setattr(gap_native, "native_available", lambda: False)
+        monkeypatch.setattr(gap_native, "kernel", lambda: None)
+        data, book, stream = encoded
+        out, strategy, bk = self._strategy_of(stream, book, "njit")
+        assert (strategy, bk) == ("gap", "njit")
+        np.testing.assert_array_equal(out, data)
+
+        # the reference leg stays pure: numpy selection, no compiled gap
+        # kernel anywhere -> batch
+        out, strategy, bk = self._strategy_of(stream, book, "numpy")
+        assert (strategy, bk) == ("batch", "numpy")
+        np.testing.assert_array_equal(out, data)
+
+    def test_native_still_promotes_gap(self, clean_env, encoded):
+        from repro.decoder.gap_native import native_available
+
+        if not native_available():
+            pytest.skip("native gap kernel not built")
+        data, book, stream = encoded
+        out, strategy, _bk = self._strategy_of(stream, book, None)
+        assert strategy == "gap"
+        np.testing.assert_array_equal(out, data)

@@ -44,6 +44,10 @@ from repro.huffman.codebook import CanonicalCodebook
 from repro.huffman.decoder import decode_lanes
 from repro.obs.metrics import MetricsRegistry, set_registry
 
+# run this whole module once per registered kernel backend (the gap
+# decoder consults the backend registry for its auto heuristic)
+pytestmark = pytest.mark.usefixtures("repro_backend")
+
 
 def _backends() -> list[str]:
     return ["numpy"] + (["native"] if native_available() else [])

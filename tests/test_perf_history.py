@@ -36,6 +36,11 @@ class FakeResult:
             "decode_speedup": 40.0,
             "decode_gap_mb_s": 160.0 * self.scale,
             "decode_speedup_gap": 4.0,
+            "kernel_backend": "njit",
+            "encode_njit_mb_s": 80.0 * self.scale,
+            "encode_njit_speedup": 1.3,
+            "decode_njit_mb_s": 50.0 * self.scale,
+            "decode_njit_speedup": 1.25,
             "compressed_bytes": 1234,
             "cache_hits": 5,
             "cache_misses": 2,
@@ -54,6 +59,7 @@ def test_history_entry_shape():
     e = entry()
     assert e["git_rev"] == "abc1234"
     assert e["gap_backend"] == "native"
+    assert e["backend"] == "njit"  # which kernel backend's columns ran
     assert set(e["datasets"]) == {"enwik8", "nyx_quant"}
     ds = e["datasets"]["enwik8"]
     for m in THROUGHPUT_METRICS:

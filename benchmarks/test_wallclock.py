@@ -16,7 +16,10 @@ compiled gap kernel is available — the gap-array decoder >=3x over the
 lane decoder on both surrogates (``run_wallclock`` aborts unless the
 gap output is bit-identical to the lane decoder's first), and the
 codebook-registry fast path >=2x amortized over the cold per-request
-codebook-build path at hot mean batch sizes >=8.  The
+codebook-build path at hot mean batch sizes >=8, and the tiered decode
+table >=2x over the flat-table First/Entry fallback on the crafted
+large-alphabet scenario at <=25% of the flat 2^16 table's memory (with
+zero tiered LUT fallbacks on both deep-book scenarios).  The
 assertions keep a margin for machine noise; the checked-in JSON carries
 the actual measured ratios, including the per-stage encode breakdown.
 """
@@ -33,8 +36,10 @@ from repro.perf.history import (
 )
 from repro.perf.report import write_wallclock_json
 from repro.perf.wallclock import (
+    TABLE_BENCH_SCENARIOS,
     run_codebooks_bench,
     run_serve_bench,
+    run_table_bench,
     run_wallclock,
     wallclock_table,
 )
@@ -59,11 +64,15 @@ def test_wallclock(results_dir, bench_rng):
     # codebook_id, single-stage encode); the amortized ratio is the
     # PR-level acceptance bar
     codebooks = run_codebooks_bench(n_requests=64)
+    # deep-book decode tables: the flat-table First/Entry fallback
+    # ("before") vs the tiered two-level table ("after") on the genomics
+    # and crafted large-alphabet scenarios
+    tables = {s: run_table_bench(s) for s in TABLE_BENCH_SCENARIOS}
     doc = write_wallclock_json(
         results_dir / BENCH_JSON, results,
         extra={
             "surrogate_bytes": BENCH_SIZE, "serve": serve,
-            "codebooks": codebooks,
+            "codebooks": codebooks, "tables": tables,
         },
     )
     emit(results_dir, "wallclock", wallclock_table(results))
@@ -141,12 +150,51 @@ def test_wallclock(results_dir, bench_rng):
         f"cold per-request codebook path (needs >= 2x)"
     )
 
+    # tiered-decode-table gates: both scenarios decode byte-identically
+    # (run_table_bench aborts otherwise) with zero LUT fallbacks on the
+    # tiered path; the crafted large-alphabet scenario — where nearly
+    # every window used to take the scalar First/Entry fallback — must
+    # clear the >= 2x acceptance bar (it measures ~10x here), and its
+    # tiered table must cost <= 25% of the flat 2^16 table
+    for s, row in tables.items():
+        assert row["max_length"] > 16, (
+            f"{s} bench book no longer exercises the tiered regime "
+            f"(max_length {row['max_length']})"
+        )
+        assert row["lut_fallbacks_tiered"] == 0, (
+            f"tiered decode took {row['lut_fallbacks_tiered']} LUT "
+            f"fallbacks on {s}"
+        )
+        assert row["subtable_gathers"] > 0
+    big = tables["large_alphabet"]
+    assert big["lut_fallbacks_flat"] > 0  # the path being replaced
+    assert big["tiered_speedup"] >= 2.0, (
+        f"tiered decode only {big['tiered_speedup']}x over the flat "
+        f"fallback path on large_alphabet (needs >= 2x)"
+    )
+    assert big["table_bytes"]["tiered"] <= (
+        big["table_bytes"]["flat16"] // 4
+    ), (
+        f"tiered table {big['table_bytes']['tiered']} B exceeds 25% of "
+        f"the flat 2^16 table ({big['table_bytes']['flat16']} B)"
+    )
+
     # ---- perf-history sentinel: this run vs the rolling baseline -------
     history_path = results_dir / BENCH_HISTORY
     prior = load_history(history_path)
     entry = history_entry(
         results,
         extra={
+            "tables": {
+                s: {
+                    "decode_flat_mb_s": row["decode_flat_mb_s"],
+                    "decode_tiered_mb_s": row["decode_tiered_mb_s"],
+                    "tiered_speedup": row["tiered_speedup"],
+                    "table_bytes_tiered": row["table_bytes"]["tiered"],
+                    "lut_fallbacks_tiered": row["lut_fallbacks_tiered"],
+                }
+                for s, row in tables.items()
+            },
             "codebooks": {
                 "cold_mb_s": cb["cold"]["mb_s"],
                 "hot_mb_s": cb["hot"]["mb_s"],

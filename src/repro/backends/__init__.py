@@ -77,6 +77,12 @@ class KernelBackend:
       :meth:`gap_decode_pass` — the LUT-gather decode walks over a
       packed ``(symbol << 8) | length`` table, mirroring
       :mod:`repro.decoder.gap_native`'s kernel contract.
+    - :meth:`decode_lanes_tiered_pass` / :meth:`gap_sync_tiered_pass` /
+      :meth:`gap_decode_tiered_pass` — the same walks over a *tiered*
+      table (2^k1 packed root + flat subtable array; see
+      ``huffman/decoder.py``): long codewords resolve by descending
+      node pointers instead of a First/Entry scan, so a complete tiered
+      table never needs a fallback path.
     """
 
     #: registry name; also the value of span/label attributes
@@ -102,6 +108,24 @@ class KernelBackend:
         raise NotImplementedError  # pragma: no cover - abstract
 
     def gap_decode_pass(self, pbuf, bit_off, out_off, out_end, tab, k, n_out):
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def decode_lanes_tiered_pass(
+        self, pbuf, starts, ends, nsyms, out_off,
+        l1, sub, node_base, node_bits, k1,
+    ):
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def gap_sync_tiered_pass(
+        self, pbuf, ch_start, ch_end, lane_base, S,
+        l1, sub, node_base, node_bits, k1,
+    ):
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def gap_decode_tiered_pass(
+        self, pbuf, bit_off, out_off, out_end,
+        l1, sub, node_base, node_bits, k1, n_out,
+    ):
         raise NotImplementedError  # pragma: no cover - abstract
 
 

@@ -1,7 +1,7 @@
 """The ``njit`` backend: numba ``@njit(cache=True)`` CPU kernels.
 
-The five kernel bodies below are plain-Python *nopython-compatible*
-functions.  When numba imports cleanly they are wrapped with
+The kernel bodies below (five flat-table ones plus the three tiered
+decode walks) are plain-Python *nopython-compatible* functions.  When numba imports cleanly they are wrapped with
 ``numba.njit(cache=True)`` on first use; when it does not, the backend
 reports unavailable and the registry degrades to the NumPy reference —
 **unless** ``REPRO_NJIT_SIM=1``, in which case the *uncompiled* bodies
@@ -213,12 +213,168 @@ def _k_gap_decode(pbuf, bit_off, out_off, out_end, tab, k, n_out):
     return out
 
 
+def _k_decode_lanes_tiered(pbuf, starts, ends, nsyms, out_off,
+                           l1, sub, node_base, node_bits, k1):
+    # tiered resolve: the k1-bit root gather either carries a packed
+    # (sym << 8) | abs_len entry (low byte nonzero) or a node pointer;
+    # pointers descend through the flat subtable array, node_bits[n]
+    # fresh stream bits per level.  Window parity rules are identical
+    # to the flat walk: k1 <= 12 and node_bits <= 8 both satisfy
+    # k + 7 <= 32 for the four-byte assembly.
+    mask1 = np.int64((1 << k1) - 1)
+    lim = pbuf.size - 4
+    n_out = np.int64(0)
+    for j in range(nsyms.size):
+        n_out += nsyms[j]
+    out = np.empty(n_out, np.int64)
+    exhausted = False
+    sub_steps = np.int64(0)
+    for j in range(starts.size):
+        bp = starts[j]
+        oi = out_off[j]
+        for _ in range(nsyms[j]):
+            bidx = bp >> 3
+            if bidx > lim:
+                bidx = lim
+            w32 = (np.int64(pbuf[bidx]) << 24) \
+                | (np.int64(pbuf[bidx + 1]) << 16) \
+                | (np.int64(pbuf[bidx + 2]) << 8) \
+                | np.int64(pbuf[bidx + 3])
+            win = (w32 >> (32 - k1 - (bp & 7))) & mask1
+            ent = np.int64(l1[win])
+            q = bp + k1
+            while (ent & _I8) == 0:
+                node = ent >> 8
+                nb = np.int64(node_bits[node])
+                bidx = q >> 3
+                if bidx > lim:
+                    bidx = lim
+                w32 = (np.int64(pbuf[bidx]) << 24) \
+                    | (np.int64(pbuf[bidx + 1]) << 16) \
+                    | (np.int64(pbuf[bidx + 2]) << 8) \
+                    | np.int64(pbuf[bidx + 3])
+                win = (w32 >> (32 - nb - (q & 7))) & ((np.int64(1) << nb) - 1)
+                ent = np.int64(sub[node_base[node] + win])
+                q += nb
+                sub_steps += 1
+            out[oi] = ent >> 8
+            oi += 1
+            bp += ent & _I8
+        if bp > ends[j]:
+            exhausted = True
+    return out, exhausted, sub_steps
+
+
+def _k_gap_sync_tiered(pbuf, ch_start, ch_end, lane_base, S,
+                       l1, sub, node_base, node_bits, k1):
+    mask1 = np.int64((1 << k1) - 1)
+    lim = pbuf.size - 4
+    n_ch = ch_start.size
+    n_lanes = lane_base[lane_base.size - 1]
+    gap_off = np.empty(n_lanes, np.int64)
+    gap_cnt = np.empty(n_lanes, np.int64)
+    ch_n = np.empty(n_ch, np.int64)
+    ch_endpos = np.empty(n_ch, np.int64)
+    for c in range(n_ch):
+        bp = ch_start[c]
+        end = ch_end[c]
+        cur = lane_base[c]
+        last = lane_base[c + 1]
+        nb_mark = bp + S
+        n = np.int64(0)
+        gap_off[cur] = bp
+        gap_cnt[cur] = 0
+        cur += 1
+        while bp < end:
+            while cur < last and bp >= nb_mark:
+                gap_off[cur] = bp
+                gap_cnt[cur] = n
+                cur += 1
+                nb_mark += S
+            bidx = bp >> 3
+            if bidx > lim:
+                bidx = lim
+            w32 = (np.int64(pbuf[bidx]) << 24) \
+                | (np.int64(pbuf[bidx + 1]) << 16) \
+                | (np.int64(pbuf[bidx + 2]) << 8) \
+                | np.int64(pbuf[bidx + 3])
+            win = (w32 >> (32 - k1 - (bp & 7))) & mask1
+            ent = np.int64(l1[win])
+            q = bp + k1
+            while (ent & _I8) == 0:
+                node = ent >> 8
+                nb = np.int64(node_bits[node])
+                bidx = q >> 3
+                if bidx > lim:
+                    bidx = lim
+                w32 = (np.int64(pbuf[bidx]) << 24) \
+                    | (np.int64(pbuf[bidx + 1]) << 16) \
+                    | (np.int64(pbuf[bidx + 2]) << 8) \
+                    | np.int64(pbuf[bidx + 3])
+                win = (w32 >> (32 - nb - (q & 7))) \
+                    & ((np.int64(1) << nb) - 1)
+                ent = np.int64(sub[node_base[node] + win])
+                q += nb
+            bp += ent & _I8
+            n += 1
+        while cur < last:
+            gap_off[cur] = bp
+            gap_cnt[cur] = n
+            cur += 1
+        ch_n[c] = n
+        ch_endpos[c] = bp
+    return gap_off, gap_cnt, ch_n, ch_endpos
+
+
+def _k_gap_decode_tiered(pbuf, bit_off, out_off, out_end,
+                         l1, sub, node_base, node_bits, k1, n_out):
+    mask1 = np.int64((1 << k1) - 1)
+    lim = pbuf.size - 4
+    out = np.empty(n_out, np.int64)
+    for j in range(bit_off.size):
+        bp = bit_off[j]
+        oi = out_off[j]
+        oe = out_end[j]
+        while oi < oe:
+            bidx = bp >> 3
+            if bidx > lim:
+                bidx = lim
+            w32 = (np.int64(pbuf[bidx]) << 24) \
+                | (np.int64(pbuf[bidx + 1]) << 16) \
+                | (np.int64(pbuf[bidx + 2]) << 8) \
+                | np.int64(pbuf[bidx + 3])
+            win = (w32 >> (32 - k1 - (bp & 7))) & mask1
+            ent = np.int64(l1[win])
+            q = bp + k1
+            while (ent & _I8) == 0:
+                node = ent >> 8
+                nb = np.int64(node_bits[node])
+                bidx = q >> 3
+                if bidx > lim:
+                    bidx = lim
+                w32 = (np.int64(pbuf[bidx]) << 24) \
+                    | (np.int64(pbuf[bidx + 1]) << 16) \
+                    | (np.int64(pbuf[bidx + 2]) << 8) \
+                    | np.int64(pbuf[bidx + 3])
+                win = (w32 >> (32 - nb - (q & 7))) \
+                    & ((np.int64(1) << nb) - 1)
+                ent = np.int64(sub[node_base[node] + win])
+                q += nb
+            out[oi] = ent >> 8
+            oi += 1
+            bp += ent & _I8
+    return out
+
+
 _PURE = {
     "histogram": _k_histogram,
     "scan_pack_cells": _k_scan_pack_cells,
     "decode_lanes": _k_decode_lanes,
     "gap_sync": _k_gap_sync,
     "gap_decode": _k_gap_decode,
+    "decode_lanes_tiered": _k_decode_lanes_tiered,
+    "gap_sync_tiered": _k_gap_sync_tiered,
+    "gap_decode_tiered": _k_gap_decode_tiered,
 }
 
 _LOCK = threading.Lock()
@@ -339,5 +495,51 @@ class NjitBackend(KernelBackend):
             np.ascontiguousarray(out_end, np.int64),
             tab,
             int(k),
+            int(n_out),
+        )
+
+    @staticmethod
+    def _tiered_arrays(l1, sub, node_base, node_bits):
+        return (
+            np.ascontiguousarray(l1, np.int32),
+            np.ascontiguousarray(sub, np.int32),
+            np.ascontiguousarray(node_base, np.int64),
+            np.ascontiguousarray(node_bits, np.int32),
+        )
+
+    def decode_lanes_tiered_pass(self, pbuf, starts, ends, nsyms, out_off,
+                                 l1, sub, node_base, node_bits, k1):
+        out, exhausted, sub_steps = self._fns()["decode_lanes_tiered"](
+            pbuf,
+            np.ascontiguousarray(starts, np.int64),
+            np.ascontiguousarray(ends, np.int64),
+            np.ascontiguousarray(nsyms, np.int64),
+            np.ascontiguousarray(out_off, np.int64),
+            *self._tiered_arrays(l1, sub, node_base, node_bits),
+            int(k1),
+        )
+        return out, bool(exhausted), int(sub_steps)
+
+    def gap_sync_tiered_pass(self, pbuf, ch_start, ch_end, lane_base, S,
+                             l1, sub, node_base, node_bits, k1):
+        return self._fns()["gap_sync_tiered"](
+            pbuf,
+            np.ascontiguousarray(ch_start, np.int64),
+            np.ascontiguousarray(ch_end, np.int64),
+            np.ascontiguousarray(lane_base, np.int64),
+            int(S),
+            *self._tiered_arrays(l1, sub, node_base, node_bits),
+            int(k1),
+        )
+
+    def gap_decode_tiered_pass(self, pbuf, bit_off, out_off, out_end,
+                               l1, sub, node_base, node_bits, k1, n_out):
+        return self._fns()["gap_decode_tiered"](
+            pbuf,
+            np.ascontiguousarray(bit_off, np.int64),
+            np.ascontiguousarray(out_off, np.int64),
+            np.ascontiguousarray(out_end, np.int64),
+            *self._tiered_arrays(l1, sub, node_base, node_bits),
+            int(k1),
             int(n_out),
         )

@@ -60,6 +60,31 @@ def _window(pbuf: np.ndarray, bp: int, k: int) -> int:
     return w >> (64 - k - (bp & 7))
 
 
+def _tiered_step(
+    pbuf, bp: int, l1, sub, node_base, node_bits, k1: int, mask1: int
+) -> tuple[int, int]:
+    """One tiered-table codeword resolve starting at bit ``bp``.
+
+    Gathers the k1-bit root window, then descends node pointers (length
+    byte 0) through the flat subtable array until a packed
+    ``(symbol << 8) | abs_length`` entry resolves.  Kernel backends only
+    ever see *complete* tables, so a pointer is always valid here.
+    Returns ``(packed_entry, n_subtable_gathers)``.
+    """
+    ent = int(l1[_window(pbuf, bp, k1) & mask1])
+    q = bp + k1
+    steps = 0
+    while (ent & 0xFF) == 0:
+        node = ent >> 8
+        nb = int(node_bits[node])
+        ent = int(sub[
+            int(node_base[node]) + (_window(pbuf, q, nb) & ((1 << nb) - 1))
+        ])
+        q += nb
+        steps += 1
+    return ent, steps
+
+
 class NumpyBackend(KernelBackend):
     """Reference backend: always available, defines the semantics."""
 
@@ -166,6 +191,92 @@ class NumpyBackend(KernelBackend):
             oe = int(out_end[j])
             while oi < oe:
                 ent = int(tab[_window(pbuf, bp, k) & mask])
+                out[oi] = ent >> 8
+                oi += 1
+                bp += ent & 0xFF
+        return out
+
+    def decode_lanes_tiered_pass(self, pbuf, starts, ends, nsyms, out_off,
+                                 l1, sub, node_base, node_bits, k1):
+        """Serial tiered LUT walk over every lane; same exhaustion
+        contract as :meth:`decode_lanes_pass`, plus the subtable-gather
+        count for the observability counters."""
+        k1 = int(k1)
+        mask1 = (1 << k1) - 1
+        out = np.empty(int(np.sum(nsyms)), np.int64)
+        exhausted = False
+        sub_steps = 0
+        for j in range(starts.shape[0]):
+            bp = int(starts[j])
+            oi = int(out_off[j])
+            for _ in range(int(nsyms[j])):
+                ent, st = _tiered_step(
+                    pbuf, bp, l1, sub, node_base, node_bits, k1, mask1
+                )
+                sub_steps += st
+                out[oi] = ent >> 8
+                oi += 1
+                bp += ent & 0xFF
+            if bp > int(ends[j]):
+                exhausted = True
+        return out, exhausted, sub_steps
+
+    def gap_sync_tiered_pass(self, pbuf, ch_start, ch_end, lane_base, S,
+                             l1, sub, node_base, node_bits, k1):
+        """Tiered twin of :meth:`gap_sync_pass`: identical boundary
+        recording, with the flat gather swapped for the tiered resolve."""
+        k1 = int(k1)
+        S = int(S)
+        mask1 = (1 << k1) - 1
+        n_ch = ch_start.shape[0]
+        n_lanes = int(lane_base[-1])
+        gap_off = np.empty(n_lanes, np.int64)
+        gap_cnt = np.empty(n_lanes, np.int64)
+        ch_n = np.empty(n_ch, np.int64)
+        ch_endpos = np.empty(n_ch, np.int64)
+        for c in range(n_ch):
+            bp = int(ch_start[c])
+            end = int(ch_end[c])
+            cur = int(lane_base[c])
+            last = int(lane_base[c + 1])
+            nb = bp + S
+            n = 0
+            gap_off[cur] = bp
+            gap_cnt[cur] = 0
+            cur += 1
+            while bp < end:
+                while cur < last and bp >= nb:
+                    gap_off[cur] = bp
+                    gap_cnt[cur] = n
+                    cur += 1
+                    nb += S
+                ent, _st = _tiered_step(
+                    pbuf, bp, l1, sub, node_base, node_bits, k1, mask1
+                )
+                bp += ent & 0xFF
+                n += 1
+            while cur < last:
+                gap_off[cur] = bp
+                gap_cnt[cur] = n
+                cur += 1
+            ch_n[c] = n
+            ch_endpos[c] = bp
+        return gap_off, gap_cnt, ch_n, ch_endpos
+
+    def gap_decode_tiered_pass(self, pbuf, bit_off, out_off, out_end,
+                               l1, sub, node_base, node_bits, k1, n_out):
+        """Tiered twin of :meth:`gap_decode_pass`."""
+        k1 = int(k1)
+        mask1 = (1 << k1) - 1
+        out = np.empty(int(n_out), np.int64)
+        for j in range(bit_off.shape[0]):
+            bp = int(bit_off[j])
+            oi = int(out_off[j])
+            oe = int(out_end[j])
+            while oi < oe:
+                ent, _st = _tiered_step(
+                    pbuf, bp, l1, sub, node_base, node_bits, k1, mask1
+                )
                 out[oi] = ent >> 8
                 oi += 1
                 bp += ent & 0xFF

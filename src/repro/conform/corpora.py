@@ -19,6 +19,14 @@ Corpus families:
     First/Entry scan.
 ``skewed`` / ``uniform``
     Dirichlet-skewed and uniform draws: the compression-ratio extremes.
+``large_alphabet``
+    A crafted deep codebook (``max_length = 19 > 16``, 4103 symbols):
+    the regime where the flat 2^16 decode table cannot express every
+    codeword and decoders must run the tiered two-level table.
+``genomics``
+    DNA k-mer symbol streams (k = 3 and k = 4, alphabets 11^3 = 1331
+    and 11^4 = 14641) — the paper's gbbct1.seq use case, with the
+    codebook built from each sample's own histogram.
 ``enwik8`` / ``nyx_quant`` / …
     Paper-dataset surrogates from :mod:`repro.datasets.registry`.
 """
@@ -34,12 +42,15 @@ from repro.datasets.registry import PAPER_DATASETS, get_dataset
 from repro.huffman.codebook import CanonicalCodebook, canonical_from_lengths
 
 __all__ = ["Sample", "Corpus", "build_corpora", "corpus_names",
-           "SMOKE_CORPORA", "FULL_CORPORA", "wbit_codebook"]
+           "SMOKE_CORPORA", "FULL_CORPORA", "wbit_codebook",
+           "deep_codebook"]
 
 #: conformance corpora run by the smoke matrix (>= 4 per the contract)
-SMOKE_CORPORA = ("degenerate", "maxlen_w", "skewed", "enwik8")
+SMOKE_CORPORA = ("degenerate", "maxlen_w", "skewed", "enwik8",
+                 "large_alphabet")
 #: additional corpora the full matrix adds
-FULL_CORPORA = SMOKE_CORPORA + ("uniform", "nyx_quant", "boundary")
+FULL_CORPORA = SMOKE_CORPORA + ("uniform", "nyx_quant", "boundary",
+                                "genomics")
 
 _DEFAULT_SEED = 20210521  # the paper's IPDPS date
 
@@ -155,6 +166,62 @@ def _maxlen_w(seed: int, magnitude: int) -> Corpus:
     )
 
 
+def deep_codebook(depth: int = 19, n_deep: int = 4096) -> CanonicalCodebook:
+    """Codebook with ``n_deep`` codewords of length ``depth`` (> 16).
+
+    Lengths ``[1..7]`` plus 4096 codewords at 19 bits keep the Kraft sum
+    exactly 1 while putting the bulk of the alphabet past the flat 2^16
+    host table — every decode of this book must run the tiered table
+    (or the scalar First/Entry fallback it replaces).
+    """
+    lens = np.array(
+        list(range(1, 8)) + [depth] * n_deep, dtype=np.int32
+    )
+    return canonical_from_lengths(lens)
+
+
+def _large_alphabet(seed: int, magnitude: int) -> Corpus:
+    rng = np.random.default_rng(seed + 6)
+    book = deep_codebook()
+    n_sym = book.n_symbols
+    uniform = rng.integers(0, n_sym, 2_000).astype(np.uint16)
+    # skew toward the short codewords with a heavy deep tail: mixes
+    # root-resolved and subtable-resolved symbols within every window
+    probs = np.concatenate([
+        np.full(7, 0.5 / 7), np.full(n_sym - 7, 0.5 / (n_sym - 7))
+    ])
+    mixed = rng.choice(n_sym, size=3_000, p=probs).astype(np.uint16)
+    return Corpus(
+        "large_alphabet",
+        [
+            Sample("uniform_deep", uniform, n_sym, book=book),
+            Sample("short_heavy_deep", mixed, n_sym, book=book),
+        ],
+        "crafted max_length=19 book: tiered-decode-table regime",
+    )
+
+
+def _genomics(seed: int, magnitude: int) -> Corpus:
+    from repro.datasets.genomics import (
+        generate_dna,
+        kmer_alphabet_size,
+        kmer_symbolize,
+    )
+
+    rng = np.random.default_rng(seed + 7)
+    samples = []
+    for k, n_chars in ((3, 9_000), (4, 12_000)):
+        seq = generate_dna(n_chars, rng, ambiguity_rate=0.01)
+        syms = kmer_symbolize(seq, k)
+        samples.append(Sample(
+            f"kmer{k}", syms, kmer_alphabet_size(k)
+        ))
+    return Corpus(
+        "genomics", samples,
+        "DNA k-mer streams (k=3,4): large sparse alphabets",
+    )
+
+
 def _skewed(seed: int, magnitude: int) -> Corpus:
     rng = np.random.default_rng(seed + 2)
     samples = []
@@ -226,6 +293,10 @@ def build_corpora(
             out.append(_degenerate(seed, magnitude))
         elif name == "maxlen_w":
             out.append(_maxlen_w(seed, magnitude))
+        elif name == "large_alphabet":
+            out.append(_large_alphabet(seed, magnitude))
+        elif name == "genomics":
+            out.append(_genomics(seed, magnitude))
         elif name == "skewed":
             out.append(_skewed(seed, magnitude))
         elif name == "uniform":

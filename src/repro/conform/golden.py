@@ -128,8 +128,9 @@ def _materialize(name: str):
     dense_buf, dense_bits = serial_encode(data, book)
     decoded = decode_stream(stream, book)
     # gap-array side channel: the reference walk's sync points at the
-    # pinned width (None when the book is outside gap-table range, e.g.
-    # the crafted W=32 book)
+    # pinned width (None only for books the gap machinery cannot decode
+    # at all — deep books now qualify through the tiered table, so the
+    # crafted W=32 vector carries a gap artifact too)
     table = cached_decode_table(book)
     gap_payload = None
     if gap_supported(book, table)[0]:
@@ -211,11 +212,18 @@ def _check_gap(name, golden_dir, gap_payload, stream, book) -> list[str]:
         stored = GapArray.from_payload(json.loads(stored_bytes))
     except (ValueError, KeyError, TypeError) as exc:
         return problems + [f"{name}: {gap_path.name} unreadable: {exc}"]
+    from repro.backends import njit_ready
     from repro.decoder.gap_native import native_available
+    from repro.huffman.decoder import TieredDecodeTable
 
     buffer, starts, ends, nsyms = stream_lanes(stream)
     table = cached_decode_table(book)
-    backends = ["numpy"] + (["native"] if native_available() else [])
+    if isinstance(table, TieredDecodeTable):
+        # the native C kernel is flat-only; tiered books check the numpy
+        # serial reference and (when resolvable) the njit tiered kernels
+        backends = ["numpy"] + (["njit"] if njit_ready() else [])
+    else:
+        backends = ["numpy"] + (["native"] if native_available() else [])
     for backend in backends:
         res = gap_decode_lanes(
             buffer, starts, ends, nsyms, book, table,

@@ -292,6 +292,38 @@ def _dec_dense_lanes_njit(art):
                         backend="njit")
 
 
+def _dec_dense_tiered(art):
+    # force the tiered two-level table even for shallow books — pins the
+    # tiered resolve byte-identical to the flat gather everywhere, not
+    # just in the deep-book regime that requires it
+    from repro.huffman.decoder import build_tiered_decode_table
+
+    buf, nbits = art.payload
+    table = build_tiered_decode_table(art.book)
+    return decode_batch(
+        buf, nbits, art.book, art.n_symbols, table=table, impl="lanes"
+    )
+
+
+def _dec_dense_tiered_njit(art):
+    from repro.huffman.decoder import build_tiered_decode_table
+
+    buf, nbits = art.payload
+    table = build_tiered_decode_table(art.book)
+    return decode_batch(
+        buf, nbits, art.book, art.n_symbols, table=table, impl="lanes",
+        backend="njit",
+    )
+
+
+def _dec_chunks_tiered(art):
+    from repro.huffman.decoder import build_tiered_decode_table
+
+    buffer, starts, ends, syms = _chunks_lanes_layout(art)
+    table = build_tiered_decode_table(art.book)
+    return decode_lanes(buffer, starts, ends, syms, art.book, table)
+
+
 def _dec_dense_selfsync(art):
     buf, nbits = art.payload
     sub = max(256, 2 * max(art.book.max_length, 1))
@@ -478,6 +510,8 @@ def default_registry() -> ConformRegistry:
         ),
         DecoderImpl("dense.lanes", ("dense",), _dec_dense_lanes),
         DecoderImpl("dense.gap", ("dense",), _dec_dense_gap),
+        DecoderImpl("dense.tiered", ("dense",), _dec_dense_tiered),
+        DecoderImpl("chunks.tiered", ("chunks",), _dec_chunks_tiered),
         DecoderImpl(
             "dense.self_sync", ("dense",), _dec_dense_selfsync,
             max_symbols=20_000,
@@ -513,6 +547,10 @@ def default_registry() -> ConformRegistry:
             ),
             DecoderImpl(
                 "dense.lanes_njit", ("dense",), _dec_dense_lanes_njit,
+                max_symbols=njit_cap,
+            ),
+            DecoderImpl(
+                "dense.tiered_njit", ("dense",), _dec_dense_tiered_njit,
                 max_symbols=njit_cap,
             ),
         ]:

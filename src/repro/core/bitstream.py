@@ -31,6 +31,7 @@ from repro.huffman.cache import cached_decode_table
 from repro.huffman.codebook import CanonicalCodebook
 from repro.huffman.decoder import (
     DecodeTable,
+    TieredDecodeTable,
     build_decode_table,
     decode_canonical,
     decode_lanes,
@@ -225,7 +226,7 @@ def assemble_stream_symbols(
 def decode_stream(
     stream: EncodedStream,
     book: CanonicalCodebook,
-    table: DecodeTable | None = None,
+    table: DecodeTable | TieredDecodeTable | None = None,
     strategy: str = "auto",
     backend: str | None = None,
 ) -> np.ndarray:
@@ -254,9 +255,12 @@ def decode_stream(
     from repro.decoder import gap_array
 
     if strategy == "auto":
+        # tier-aware: a book headed for a tiered table only promotes to
+        # gap when the njit tiered kernels are resolvable (the native C
+        # kernel is flat-only)
         strategy = (
             "gap"
-            if gap_array.gap_auto_ready(backend)
+            if gap_array.gap_auto_ready(backend, book=book, table=table)
             and stream.n_symbols >= gap_array.AUTO_MIN_SYMBOLS
             else "batch"
         )
@@ -269,6 +273,11 @@ def decode_stream(
                backend=get_backend(backend, quiet=True).name) as sp:
         if table is None:
             table = cached_decode_table(book)
+        sp.set_attr(
+            table_tier="tiered"
+            if isinstance(table, TieredDecodeTable)
+            else "flat"
+        )
         with _span("decode.lanes") as lanes_span:
             buffer, starts, ends, nsyms = stream_lanes(stream)
             lanes_span.set_attr(lanes=int(nsyms.size))

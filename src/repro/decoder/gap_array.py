@@ -55,8 +55,10 @@ from repro.huffman.codebook import CanonicalCodebook
 from repro.huffman.decoder import (
     _HOST_TABLE_BITS,
     DecodeTable,
+    TieredDecodeTable,
     _window_words,
     build_decode_table,
+    build_tiered_decode_table,
     decode_lanes,
 )
 from repro.obs import metrics as _metrics
@@ -185,14 +187,23 @@ def default_subchunk_bits(total_bits: int, backend: str) -> int:
     return 1024
 
 
-def gap_supported(book: CanonicalCodebook, table: DecodeTable) -> tuple[bool, str]:
+def gap_supported(
+    book: CanonicalCodebook, table: DecodeTable | TieredDecodeTable
+) -> tuple[bool, str]:
     """Whether the gap machinery can decode this book at all.
 
-    Requires a *complete* single-window table: every window resolves to
-    a real codeword without First/Entry fallback.  Books beyond that
-    (max code length over the host table width) stay on
-    ``decode_lanes`` — its per-symbol fallback handles them.
+    Requires a *complete* table: every reachable index resolves to a
+    real codeword without First/Entry fallback.  A complete
+    :class:`TieredDecodeTable` qualifies regardless of ``max_length`` —
+    tiered tables are exactly how W=32 and genomics-scale books stay on
+    the gap path instead of degrading to ``decode_lanes``.
     """
+    if isinstance(table, TieredDecodeTable):
+        if not table.complete:
+            return False, "incomplete_table"
+        if int(book.n_symbols) > gap_native.MAX_NATIVE_SYMBOL:
+            return False, "alphabet_too_large"
+        return True, ""
     if int(book.max_length) > int(table.k):
         return False, "max_length_exceeds_table"
     if not bool((table.length > 0).all()):
@@ -322,7 +333,11 @@ def reference_gap_array(
     inputs only.
     """
     if table is None:
-        table = build_decode_table(book, _HOST_TABLE_BITS)
+        table = (
+            build_tiered_decode_table(book)
+            if int(book.max_length) > _HOST_TABLE_BITS
+            else build_decode_table(book, _HOST_TABLE_BITS)
+        )
     ok, why = gap_supported(book, table)
     if not ok:
         raise ValueError(f"gap decode unsupported for this book: {why}")
@@ -330,11 +345,46 @@ def reference_gap_array(
     starts = np.asarray(starts, dtype=np.int64)
     ends = np.asarray(ends, dtype=np.int64)
     n_sub, lane_base = _lane_layout(starts, ends, S)
-    W = _window_words(_pad_buffer(np.asarray(buffer, dtype=np.uint8)), np.int32)
-    lt = table.length
-    k = table.k
+    pbuf = _pad_buffer(np.asarray(buffer, dtype=np.uint8))
     offs = np.empty(int(lane_base[-1]), np.int64)
     cnts = np.empty(int(lane_base[-1]), np.int64)
+    if isinstance(table, TieredDecodeTable):
+        # function-local import: backends/__init__ registers backends at
+        # import time, so a module-level import here would be cyclic
+        from repro.backends.numpy_backend import _tiered_step
+
+        l1, sub = table.l1, table.sub
+        nbase, nbits = table.node_base, table.node_bits
+        k1 = int(table.k1)
+        mask1 = (1 << k1) - 1
+        for c in range(starts.size):
+            p = int(starts[c])
+            end = int(ends[c])
+            cur, last = int(lane_base[c]), int(lane_base[c + 1])
+            nb = p + S
+            n = 0
+            offs[cur] = p
+            cnts[cur] = 0
+            cur += 1
+            while p < end:
+                while cur < last and p >= nb:
+                    offs[cur] = p
+                    cnts[cur] = n
+                    cur += 1
+                    nb += S
+                ent, _st = _tiered_step(
+                    pbuf, p, l1, sub, nbase, nbits, k1, mask1
+                )
+                p += ent & 0xFF
+                n += 1
+            while cur < last:
+                offs[cur] = p
+                cnts[cur] = n
+                cur += 1
+        return GapArray(S, lane_base, offs, cnts)
+    W = _window_words(pbuf, np.int32)
+    lt = table.length
+    k = table.k
     for c in range(starts.size):
         p = int(starts[c])
         end = int(ends[c])
@@ -404,6 +454,50 @@ def _kernel_gap_decode(
         )
         symbols = decode_pass(
             pbuf, gap_off, out_off, out_end, tab, table.k, int(sym_base[-1])
+        )
+    gap = GapArray(S, lane_base, gap_off, gap_cnt)
+    return GapDecodeResult(symbols, gap, label)
+
+
+def _kernel_gap_decode_tiered(
+    sync_pass,
+    decode_pass,
+    label: str,
+    buffer: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    nsyms: np.ndarray,
+    book: CanonicalCodebook,
+    table: TieredDecodeTable,
+    S: int,
+) -> GapDecodeResult:
+    """Tiered twin of :func:`_kernel_gap_decode`: the same two-pass
+    contract with the flat packed table swapped for the tiered root +
+    subtable arrays.  Serves the njit registry backend and (test-sized)
+    the NumPy reference backend's serial walks."""
+    targs = (table.l1, table.sub, table.node_base, table.node_bits,
+             int(table.k1))
+    n_sub, lane_base = _lane_layout(starts, ends, S)
+    pbuf = _pad_buffer(buffer)
+    with _span(
+        "decode.gap.sync",
+        backend=label,
+        subchunk_bits=S,
+        lanes=int(lane_base[-1]),
+        chunks=int(starts.size),
+    ):
+        gap_off, gap_cnt, ch_n, ch_endpos = sync_pass(
+            pbuf, starts, ends, lane_base, S, *targs
+        )
+        exhausted = (ch_n < nsyms) | ((ch_n == nsyms) & (ch_endpos > ends))
+        if bool(exhausted.any()):
+            raise ValueError("bitstream exhausted before all symbols decoded")
+    with _span("decode.gap.decode", backend=label, lanes=int(lane_base[-1])):
+        out_off, out_end, sym_base = _output_ranges(
+            gap_cnt, n_sub, lane_base, nsyms
+        )
+        symbols = decode_pass(
+            pbuf, gap_off, out_off, out_end, *targs, int(sym_base[-1])
         )
     gap = GapArray(S, lane_base, gap_off, gap_cnt)
     return GapDecodeResult(symbols, gap, label)
@@ -871,10 +965,28 @@ def _resolved_njit(registry_backend: str | None):
     return bk if bk.name == "njit" else None
 
 
-def gap_auto_ready(registry_backend: str | None = None) -> bool:
+def gap_auto_ready(
+    registry_backend: str | None = None,
+    book: CanonicalCodebook | None = None,
+    table: DecodeTable | TieredDecodeTable | None = None,
+) -> bool:
     """Whether ``strategy="auto"`` heuristics should promote the gap
     path: a compiled gap kernel exists — the native C one, or the njit
-    registry backend when the selection resolves to it."""
+    registry backend when the selection resolves to it.
+
+    With ``book``/``table`` the answer is tier-aware: a decode that will
+    run on a :class:`TieredDecodeTable` (explicitly, or by the automatic
+    deep-book promotion) needs the njit tiered kernels — the native C
+    kernel is flat-only, so its presence alone must not promote such a
+    stream off the batch path.
+    """
+    tiered = isinstance(table, TieredDecodeTable) or (
+        table is None
+        and book is not None
+        and int(book.max_length) > _HOST_TABLE_BITS
+    )
+    if tiered:
+        return _resolved_njit(registry_backend) is not None
     return gap_native.native_available() or \
         _resolved_njit(registry_backend) is not None
 
@@ -900,17 +1012,83 @@ def gap_decode_lanes(
     (the first two raise if unavailable).  Books the gap tables cannot
     express (see :func:`gap_supported`) decode through ``decode_lanes``
     and report ``backend="lanes"``.
+
+    Tiered tables (automatic for ``max_length`` over the host budget)
+    route differently: the native C kernel is flat-only and raises when
+    forced; ``"njit"`` runs the tiered kernel pair; ``"numpy"`` runs the
+    reference backend's serial tiered walks (exact, test-sized — the
+    vectorized speculative path stays flat-only); ``"auto"`` takes njit
+    when resolved, else falls back to ``decode_lanes`` (whose tiered
+    batch path is vectorized) with a counted
+    ``reason="tiered_no_kernel"``.
     """
     buffer = np.ascontiguousarray(buffer, dtype=np.uint8)
     starts = np.ascontiguousarray(starts, dtype=np.int64)
     ends = np.ascontiguousarray(ends, dtype=np.int64)
     nsyms = np.ascontiguousarray(nsyms, dtype=np.int64)
     if table is None:
-        table = build_decode_table(book, _HOST_TABLE_BITS)
+        table = (
+            build_tiered_decode_table(book)
+            if int(book.max_length) > _HOST_TABLE_BITS
+            else build_decode_table(book, _HOST_TABLE_BITS)
+        )
     if backend not in ("auto", "native", "njit", "numpy"):
         raise ValueError(f"unknown gap backend: {backend!r}")
     reg = _metrics()
+    tiered = isinstance(table, TieredDecodeTable)
     ok, why = gap_supported(book, table)
+
+    if tiered:
+        if backend == "native":
+            raise RuntimeError(
+                "native gap backend does not support tiered tables"
+            )
+        njit_bk = None
+        if backend == "njit":
+            njit_bk = _resolved_njit("njit")
+            if njit_bk is None:
+                raise RuntimeError("njit gap backend unavailable")
+        elif backend == "auto":
+            njit_bk = _resolved_njit(registry_backend)
+        if not ok or (backend == "auto" and njit_bk is None):
+            reason = why or "tiered_no_kernel"
+            reg.counter(
+                "repro_decode_gap_lut_fallback_total", reason=reason
+            ).inc()
+            symbols = decode_lanes(buffer, starts, ends, nsyms, book, table)
+            return GapDecodeResult(symbols, None, "lanes")
+        if njit_bk is not None:
+            bk, pass_bk = "njit", njit_bk
+        else:  # backend == "numpy": exact serial reference walks
+            from repro import backends as _backends
+
+            bk, pass_bk = "numpy", _backends.get_backend("numpy", quiet=True)
+        total_bits = int((ends - starts).sum())
+        S = (
+            int(subchunk_bits)
+            if subchunk_bits is not None
+            else default_subchunk_bits(total_bits, bk)
+        )
+        res = _kernel_gap_decode_tiered(
+            pass_bk.gap_sync_tiered_pass, pass_bk.gap_decode_tiered_pass,
+            bk, buffer, starts, ends, nsyms, book, table, S,
+        )
+        gap = res.gap
+        assert gap is not None
+        reg.counter(
+            "repro_decode_table_tier_total", tier="tiered"
+        ).inc()
+        reg.counter("repro_decode_symbols_total", path="gap").inc(
+            int(res.symbols.size)
+        )
+        reg.counter("repro_decode_gap_subchunks_total", backend=bk).inc(
+            gap.n_subchunks
+        )
+        reg.counter("repro_decode_gap_sync_points_total", backend=bk).inc(
+            gap.n_sync_points
+        )
+        return res
+
     numpy_ok = ok and int(book.n_symbols) <= 1024 and (
         int(ends.max()) if ends.size else 0
     ) < _INT32_BIT_LIMIT
@@ -961,6 +1139,7 @@ def gap_decode_lanes(
         res = _numpy_gap_decode(buffer, starts, ends, nsyms, book, table, S)
     gap = res.gap
     assert gap is not None
+    reg.counter("repro_decode_table_tier_total", tier="flat").inc()
     reg.counter("repro_decode_symbols_total", path="gap").inc(
         int(res.symbols.size)
     )

@@ -12,11 +12,19 @@ arrays), so a cache hit is independent of object identity: a codebook
 deserialized from a segment container hits the same table entry as the
 one the encoder built.  Caches are LRU-bounded, thread-safe, and expose
 hit/miss counters so tests can assert that the cache actually works.
+
+The decode-table cache additionally accounts **bytes**: every cached
+table reports its real footprint (flat tables are 2^16 entries; tiered
+tables are O(alphabet + 2^k1)), the total is capped per process
+(``REPRO_TABLE_CACHE_BYTES``, default 64 MiB), eviction runs by bytes
+as well as entry count, and the live total is exported as the
+``repro_decode_table_bytes`` gauge.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -25,7 +33,13 @@ from typing import Callable
 import numpy as np
 
 from repro.huffman.codebook import CanonicalCodebook
-from repro.huffman.decoder import _HOST_TABLE_BITS, DecodeTable, build_decode_table
+from repro.huffman.decoder import (
+    _HOST_TABLE_BITS,
+    DecodeTable,
+    TieredDecodeTable,
+    build_decode_table,
+    build_tiered_decode_table,
+)
 from repro.obs import metrics as _metrics
 from repro.obs.trace import add_attrs as _add_attrs
 
@@ -42,6 +56,19 @@ __all__ = [
     "cache_infos",
 ]
 
+#: per-process decode-table memory cap (bytes); override with the
+#: REPRO_TABLE_CACHE_BYTES environment variable
+_DEFAULT_TABLE_CACHE_BYTES = 64 << 20
+
+
+def _table_cache_bytes() -> int:
+    raw = os.environ.get("REPRO_TABLE_CACHE_BYTES", "")
+    try:
+        v = int(raw)
+    except ValueError:
+        v = 0
+    return v if v > 0 else _DEFAULT_TABLE_CACHE_BYTES
+
 
 @dataclass(frozen=True)
 class CacheInfo:
@@ -49,6 +76,12 @@ class CacheInfo:
     misses: int
     size: int
     maxsize: int
+    #: total bytes of cached values (0 for caches that don't track size)
+    bytes: int = 0
+    #: byte cap (0 = unbounded)
+    max_bytes: int = 0
+    #: per-entry byte sizes, newest last (empty when untracked)
+    entry_bytes: tuple = ()
 
 
 def codebook_digest(book: CanonicalCodebook) -> str:
@@ -81,14 +114,32 @@ class _LruCache:
     (``repro_cache_hits_total`` / ``repro_cache_misses_total``, labelled
     by cache ``name``), so a traced run's metrics dump shows the cache
     effectiveness next to the stage spans.
+
+    With ``sizeof`` set the cache also tracks value bytes and evicts
+    down to ``max_bytes`` (a soft cap: a single entry larger than the
+    whole budget stays resident, since evicting it would just force a
+    rebuild on the very next call).  ``bytes_gauge`` names a metrics
+    gauge kept equal to the live byte total.
     """
 
-    def __init__(self, maxsize: int, name: str = "lru") -> None:
+    def __init__(
+        self,
+        maxsize: int,
+        name: str = "lru",
+        max_bytes: int = 0,
+        sizeof: Callable | None = None,
+        bytes_gauge: str | None = None,
+    ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = int(maxsize)
         self.name = name
+        self.max_bytes = int(max_bytes)
+        self._sizeof = sizeof
+        self._bytes_gauge = bytes_gauge
         self._data: OrderedDict = OrderedDict()
+        self._sizes: dict = {}
+        self.bytes = 0
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -100,6 +151,25 @@ class _LruCache:
         # caches it hit (surfaced as RequestRecord.paths in the flight
         # recorder); a no-op when tracing is off
         _add_attrs(**{f"{self.name}_cache": "hit" if hit else "miss"})
+
+    def _set_gauge(self) -> None:
+        if self._bytes_gauge is not None:
+            _metrics().gauge(self._bytes_gauge).set(self.bytes)
+
+    def _insert_locked(self, key, value) -> None:
+        self._data[key] = value
+        if self._sizeof is not None:
+            size = int(self._sizeof(value))
+            self._sizes[key] = size
+            self.bytes += size
+        while len(self._data) > self.maxsize or (
+            self.max_bytes
+            and self.bytes > self.max_bytes
+            and len(self._data) > 1
+        ):
+            old_key, _old = self._data.popitem(last=False)
+            self.bytes -= self._sizes.pop(old_key, 0)
+        self._set_gauge()
 
     def get_or_build(self, key, build: Callable):
         with self._lock:
@@ -118,9 +188,7 @@ class _LruCache:
             if key not in self._data:
                 self.misses += 1
                 hit = False
-                self._data[key] = value
-                while len(self._data) > self.maxsize:
-                    self._data.popitem(last=False)
+                self._insert_locked(key, value)
             else:
                 # another thread raced us; keep the cached instance
                 self.hits += 1
@@ -133,22 +201,63 @@ class _LruCache:
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            self._sizes.clear()
+            self.bytes = 0
             self.hits = 0
             self.misses = 0
+            self._set_gauge()
 
     def info(self) -> CacheInfo:
         with self._lock:
-            return CacheInfo(self.hits, self.misses, len(self._data), self.maxsize)
+            return CacheInfo(
+                self.hits, self.misses, len(self._data), self.maxsize,
+                bytes=self.bytes, max_bytes=self.max_bytes,
+                entry_bytes=tuple(
+                    self._sizes[k] for k in self._data if k in self._sizes
+                ),
+            )
 
 
 class DecodeTableCache(_LruCache):
-    """LRU of :class:`DecodeTable` keyed by ``(codebook digest, k)``."""
+    """Byte-capped LRU of decode tables keyed by ``(digest, k, tier)``.
 
-    def __init__(self, maxsize: int = 64) -> None:
-        super().__init__(maxsize, name="decode_table")
+    Tier selection is automatic: books whose longest codeword fits the
+    flat host index get the flat 2^16 table, anything deeper gets a
+    :class:`TieredDecodeTable` — so every ``cached_decode_table`` caller
+    (decode_stream, the chunk pool, streaming, the serve shards)
+    inherits the tiered fast path without code changes.
+    """
 
-    def get(self, book: CanonicalCodebook, k: int = _HOST_TABLE_BITS) -> DecodeTable:
-        key = (codebook_digest(book), int(k))
+    def __init__(self, maxsize: int = 64, max_bytes: int | None = None) -> None:
+        super().__init__(
+            maxsize,
+            name="decode_table",
+            max_bytes=_table_cache_bytes() if max_bytes is None else max_bytes,
+            sizeof=lambda t: t.nbytes(),
+            bytes_gauge="repro_decode_table_bytes",
+        )
+
+    def get(
+        self,
+        book: CanonicalCodebook,
+        k: int = _HOST_TABLE_BITS,
+        tier: str | None = None,
+    ) -> DecodeTable | TieredDecodeTable:
+        if tier is None:
+            # the tier rule keys off the host flat-table budget, not the
+            # caller's k: explicit small-k flat tables (with First/Entry
+            # fallback) remain requestable, while any book too deep for
+            # the 2^16 host table is promoted to tiered
+            tier = "tiered" if book.max_length > _HOST_TABLE_BITS else "flat"
+        if tier not in ("flat", "tiered"):
+            raise ValueError(f"unknown table tier: {tier!r}")
+        if tier == "tiered":
+            # tiered geometry is fixed (k1/k2), so k is not part of the key
+            key = (codebook_digest(book), 0, "tiered")
+            return self.get_or_build(
+                key, lambda: build_tiered_decode_table(book)
+            )
+        key = (codebook_digest(book), int(k), "flat")
         return self.get_or_build(key, lambda: build_decode_table(book, k))
 
 
@@ -185,9 +294,13 @@ def codebook_cache() -> CodebookCache:
     return _CODEBOOK_CACHE
 
 
-def cached_decode_table(book: CanonicalCodebook, k: int = _HOST_TABLE_BITS) -> DecodeTable:
-    """Memoized :func:`repro.huffman.decoder.build_decode_table`."""
-    return _TABLE_CACHE.get(book, k)
+def cached_decode_table(
+    book: CanonicalCodebook,
+    k: int = _HOST_TABLE_BITS,
+    tier: str | None = None,
+) -> DecodeTable | TieredDecodeTable:
+    """Memoized decode table with automatic flat/tiered selection."""
+    return _TABLE_CACHE.get(book, k, tier)
 
 
 def cached_codebook(

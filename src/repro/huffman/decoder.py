@@ -31,7 +31,9 @@ from repro.utils.bits import unpack_to_bits
 
 __all__ = [
     "DecodeTable",
+    "TieredDecodeTable",
     "build_decode_table",
+    "build_tiered_decode_table",
     "decode_canonical",
     "decode_lanes",
     "decode_batch",
@@ -56,6 +58,32 @@ _MAX_BATCH_TABLE_BITS = 25
 #: gather).  ``build_decode_table`` still clamps k to ``max_length``.
 _HOST_TABLE_BITS = 16
 
+#: Tiered-table geometry (see ARCHITECTURE.md, "Tiered decode tables"):
+#: a 2^k1-entry first level resolves every codeword of <= k1 bits in one
+#: gather; longer codewords descend through per-prefix subtables of at
+#: most 2^k2 entries each, so a W=32 chain costs three extra gathers and
+#: total memory stays O(alphabet + 2^k1) instead of 2^max_length.
+_TIERED_ROOT_BITS = 12
+_TIERED_NODE_BITS = 8
+
+#: When the bits left below a node are only slightly past ``k2``, one
+#: wider level (up to this many bits) is cheaper than a k2 level whose
+#: children are thousands of near-empty 1–3-bit tables, each paying
+#: node_base/node_bits overhead.  Capped so the node index plus the
+#: 7-bit intra-byte offset still fits the 32-bit gather window.
+_TIERED_NODE_SPILL = 12
+
+#: Packed tiered entry: ``(symbol_or_node << 8) | length``.  A nonzero
+#: low byte is a resolved symbol with its *absolute* codeword length; a
+#: zero low byte with a non-negative high part points at a subtable
+#: node; ``-256`` (node -1) marks an index no codeword reaches — hitting
+#: one means the bitstream is corrupt.
+_TIERED_INVALID = -256
+
+#: Symbols must fit the 24-bit high part of a packed int32 entry (the
+#: same bound as the gap decoder's native table packing).
+_MAX_PACKED_SYMBOL = (1 << 23) - 1
+
 
 class DecodeTable:
     """2^K-entry lookup: next K bits → (symbol, codeword length).
@@ -68,6 +96,54 @@ class DecodeTable:
         self.k = k
         self.symbol = symbol
         self.length = length
+
+    def nbytes(self) -> int:
+        return int(self.symbol.nbytes + self.length.nbytes)
+
+
+class TieredDecodeTable:
+    """Two-plus-level decode table for books with codewords > k1 bits.
+
+    ``l1`` is a 2^k1-entry packed table (``(sym_or_node << 8) | len``);
+    long-code entries point into ``sub``, one flat int32 array holding
+    every subtable back to back.  Node ``n`` occupies
+    ``sub[node_base[n] : node_base[n] + 2**node_bits[n]]`` and is
+    indexed by the next ``node_bits[n]`` stream bits.  Resolved entries
+    carry the absolute codeword length, so the lane cursor advances by
+    ``entry & 0xFF`` exactly as with the flat table.
+
+    ``complete`` is True when every reachable index maps to a codeword
+    (no ``-256`` sentinels) — the precondition for the kernel backends,
+    whose only error source is then the final exhaustion check.
+    """
+
+    def __init__(
+        self,
+        k1: int,
+        l1: np.ndarray,
+        sub: np.ndarray,
+        node_base: np.ndarray,
+        node_bits: np.ndarray,
+        complete: bool,
+        max_length: int,
+    ):
+        self.k1 = k1
+        self.l1 = l1
+        self.sub = sub
+        self.node_base = node_base
+        self.node_bits = node_bits
+        self.complete = complete
+        self.max_length = max_length
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.node_bits.size)
+
+    def nbytes(self) -> int:
+        return int(
+            self.l1.nbytes + self.sub.nbytes
+            + self.node_base.nbytes + self.node_bits.nbytes
+        )
 
 
 def build_decode_table(book: CanonicalCodebook, k: int = _TABLE_BITS) -> DecodeTable:
@@ -89,6 +165,122 @@ def build_decode_table(book: CanonicalCodebook, k: int = _TABLE_BITS) -> DecodeT
     return DecodeTable(k, symbol, length)
 
 
+def _packed_span_fill(
+    tbl: np.ndarray,
+    width: int,
+    tails: np.ndarray,
+    rem: np.ndarray,
+    syms: np.ndarray,
+    lens: np.ndarray,
+) -> None:
+    """Scatter packed ``(sym << 8) | len`` entries over their spans.
+
+    A codeword whose last ``rem`` bits (within this table) are ``tails``
+    owns the ``2**(width - rem)`` consecutive indices starting at
+    ``tails << (width - rem)`` — the same repeat idiom as the flat
+    builder, shared by the root level and every subtable.
+    """
+    starts = tails << (width - rem)
+    spans = np.int64(1) << (width - rem)
+    idx = np.repeat(starts, spans) + (
+        np.arange(int(spans.sum())) - np.repeat(np.cumsum(spans) - spans, spans)
+    )
+    tbl[idx] = np.repeat((syms << 8) | lens, spans).astype(np.int32)
+
+
+def build_tiered_decode_table(
+    book: CanonicalCodebook,
+    k1: int = _TIERED_ROOT_BITS,
+    k2: int = _TIERED_NODE_BITS,
+) -> TieredDecodeTable:
+    """Build the multi-level table: 2^k1 root + per-prefix subtables.
+
+    Codewords of <= k1 bits span-fill the root exactly like the flat
+    builder; longer codewords are grouped by their first k1 bits, one
+    subtable node per distinct prefix, and each node recursively covers
+    the next ``k2`` bits — or every remaining bit at once when the
+    remainder fits a single (slightly wider) level.  Every codeword —
+    including
+    W=32 chains and 2^16+-symbol books — resolves through gathers only;
+    there is no First/Entry fallback from a tiered table.
+    """
+    if book.n_symbols - 1 > _MAX_PACKED_SYMBOL:
+        raise ValueError(
+            f"alphabet too large for packed tiered entries "
+            f"(max symbol {_MAX_PACKED_SYMBOL})"
+        )
+    maxlen = int(book.max_length)
+    k1 = min(k1, max(maxlen, 1))
+    l1 = np.full(1 << k1, _TIERED_INVALID, dtype=np.int32)
+    used = np.flatnonzero(book.lengths > 0)
+    lens = book.lengths[used].astype(np.int64)
+    codes = book.codes[used].astype(np.int64)
+    syms = used.astype(np.int64)
+
+    short = lens <= k1
+    if short.any():
+        _packed_span_fill(
+            l1, k1, codes[short], lens[short], syms[short], lens[short]
+        )
+
+    # worklist of nodes: (consumed_bits, codes, lens, syms) per node id,
+    # grown while iterating — children are appended as they are found
+    specs: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+    deep = ~short
+    if deep.any():
+        dl, dc, ds = lens[deep], codes[deep], syms[deep]
+        prefixes = dc >> (dl - k1)
+        uniq, inv = np.unique(prefixes, return_inverse=True)
+        for gi, pref in enumerate(uniq.tolist()):
+            sel = inv == gi
+            l1[pref] = np.int32(len(specs) << 8)
+            specs.append((k1, dc[sel], dl[sel], ds[sel]))
+
+    tables: list[np.ndarray] = []
+    widths: list[int] = []
+    qi = 0
+    while qi < len(specs):
+        c, gc, gl, gs = specs[qi]
+        qi += 1
+        rem_bits = int(gl.max()) - c  # >= 1: every code here is > c bits
+        e = rem_bits if rem_bits <= _TIERED_NODE_SPILL else k2
+        tbl = np.full(1 << e, _TIERED_INVALID, dtype=np.int32)
+        fit = gl <= c + e
+        if fit.any():
+            rem = gl[fit] - c
+            _packed_span_fill(
+                tbl, e, gc[fit] & ((np.int64(1) << rem) - 1), rem,
+                gs[fit], gl[fit],
+            )
+        deeper = ~fit
+        if deeper.any():
+            dl, dc, ds = gl[deeper], gc[deeper], gs[deeper]
+            sub_pref = (dc >> (dl - (c + e))) & ((np.int64(1) << e) - 1)
+            uniq, inv = np.unique(sub_pref, return_inverse=True)
+            for gi, pref in enumerate(uniq.tolist()):
+                sel = inv == gi
+                tbl[pref] = np.int32(len(specs) << 8)
+                specs.append((c + e, dc[sel], dl[sel], ds[sel]))
+        tables.append(tbl)
+        widths.append(e)
+
+    if tables:
+        node_bits = np.asarray(widths, dtype=np.int32)
+        sizes = np.int64(1) << node_bits.astype(np.int64)
+        node_base = np.zeros(node_bits.size, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=node_base[1:])
+        sub = np.concatenate(tables).astype(np.int32, copy=False)
+    else:
+        node_bits = np.empty(0, dtype=np.int32)
+        node_base = np.empty(0, dtype=np.int64)
+        sub = np.empty(0, dtype=np.int32)
+    complete = bool(
+        (l1 != _TIERED_INVALID).all() and (sub != _TIERED_INVALID).all()
+    )
+    return TieredDecodeTable(k1, l1, sub, node_base, node_bits, complete,
+                             maxlen)
+
+
 def decode_canonical(
     buffer: np.ndarray,
     total_bits: int,
@@ -97,7 +289,10 @@ def decode_canonical(
     table: DecodeTable | None = None,
 ) -> np.ndarray:
     """Decode ``n_symbols`` symbols from a dense MSB-first bitstream."""
-    if table is None:
+    if table is None or isinstance(table, TieredDecodeTable):
+        # the scalar reference stays on the flat table + First/Entry
+        # machinery — it is the yardstick the tiered path is checked
+        # against, so it never routes through the structure under test
         table = build_decode_table(book)
     bits = unpack_to_bits(np.asarray(buffer, dtype=np.uint8), total_bits)
     k = table.k
@@ -244,8 +439,15 @@ def decode_lanes(
     body.
     """
     if table is None:
-        table = build_decode_table(book, _HOST_TABLE_BITS)
-    k = table.k
+        # automatic tier selection: the flat 2^16 table whenever it can
+        # resolve every codeword in one gather, the tiered table beyond
+        table = (
+            build_tiered_decode_table(book)
+            if book.max_length > _HOST_TABLE_BITS
+            else build_decode_table(book, _HOST_TABLE_BITS)
+        )
+    tiered = isinstance(table, TieredDecodeTable)
+    k = table.k1 if tiered else table.k
     if k > _MAX_BATCH_TABLE_BITS:
         raise ValueError(f"table index must be <= {_MAX_BATCH_TABLE_BITS} bits")
     buffer = np.ascontiguousarray(buffer, dtype=np.uint8)
@@ -263,11 +465,22 @@ def decode_lanes(
     if total_out == 0:
         return np.empty(0, dtype=np.int64)
 
+    _metrics().counter(
+        "repro_decode_table_tier_total",
+        tier="tiered" if tiered else "flat",
+    ).inc()
+
     from repro import backends as _backends
 
     bk = _backends.get_backend(backend)
     if bk.name != "numpy":
-        out = _kernel_decode_lanes(bk, buffer, starts, ends, nsyms, book, table)
+        out = (
+            _kernel_decode_lanes_tiered(bk, buffer, starts, ends, nsyms,
+                                        book, table)
+            if tiered
+            else _kernel_decode_lanes(bk, buffer, starts, ends, nsyms,
+                                      book, table)
+        )
         if out is not None:
             return out
 
@@ -288,16 +501,27 @@ def decode_lanes(
     W = _window_words(buffer, dt)
     kmask = dt((1 << k) - 1)
     shift_base = dt(32 - k)
-    sym_t = table.symbol if table.symbol.dtype == np.int32 else table.symbol.astype(np.int32)
-    len_t = table.length if table.length.dtype == np.int32 else table.length.astype(np.int32)
+    if tiered:
+        l1_t, sub_t = table.l1, table.sub
+        nb_t, nbase_t = table.node_bits, table.node_base
+        sym_t = len_t = None
+        any_long = False
+        # a root gather may return a node pointer (length byte 0), so
+        # the resolve loop runs whenever subtables exist or the root has
+        # unreachable (invalid) indices
+        check = table.n_nodes > 0 or not table.complete
+        pad_bytes = None
+    else:
+        sym_t = table.symbol if table.symbol.dtype == np.int32 else table.symbol.astype(np.int32)
+        len_t = table.length if table.length.dtype == np.int32 else table.length.astype(np.int32)
 
-    any_long = book.max_length > k
-    # a complete table (every window maps to a codeword) needs no
-    # per-iteration validity check at all
-    check = any_long or not len_t.all()
-    pad_bytes = (
-        np.concatenate([buffer, np.zeros(8, dtype=np.uint8)]) if check else None
-    )
+        any_long = book.max_length > k
+        # a complete table (every window maps to a codeword) needs no
+        # per-iteration validity check at all
+        check = any_long or not len_t.all()
+        pad_bytes = (
+            np.concatenate([buffer, np.zeros(8, dtype=np.uint8)]) if check else None
+        )
 
     # Lanes sorted by symbol count (descending): the active set is always
     # a prefix, so no per-iteration masking is needed — the prefix just
@@ -321,6 +545,7 @@ def decode_lanes(
 
     cur_m = -1
     n_fallback = 0
+    n_subgather = 0
     for t in range(max_syms):
         m = active[t]
         if m != cur_m:
@@ -333,20 +558,52 @@ def decode_lanes(
         np.subtract(shift_base, i, out=i)
         np.right_shift(v, i, out=v)
         np.bitwise_and(v, kmask, out=v)
-        sym_t.take(v, out=e)
-        len_t.take(v, out=l)
-        if check and not l.all():
-            if not any_long:
-                # no codeword of any length matches this window
-                raise ValueError("corrupt bitstream: no codeword matches")
-            slow = np.flatnonzero(l == 0)
-            n_fallback += slow.size
-            for j in slow:
-                s_j, l_j = _slow_lane_symbol(
-                    pad_bytes, int(v[j]), int(p[j]), int(lane_end[j]), k, book
-                )
-                e[j] = s_j
-                l[j] = l_j
+        if tiered:
+            l1_t.take(v, out=e)
+            np.bitwise_and(e, 255, out=l)
+            np.right_shift(e, 8, out=e)
+            if check and not l.all():
+                # resolve the long-code lanes: gather the next node_bits
+                # stream bits per lane and descend until every packed
+                # entry carries a nonzero (absolute) length
+                un = np.flatnonzero(l == 0)
+                q = p[un].astype(np.int64) + k
+                while un.size:
+                    nodes = e[un].astype(np.int64)
+                    if np.any(nodes < 0):
+                        raise ValueError(
+                            "corrupt bitstream: no codeword matches"
+                        )
+                    nb = nb_t.take(nodes).astype(np.int64)
+                    w = W.take(q >> 3, mode="clip").astype(np.int64)
+                    sh = 32 - nb - (q & 7)
+                    sent = sub_t.take(
+                        nbase_t.take(nodes)
+                        + ((w >> sh) & ((np.int64(1) << nb) - 1))
+                    )
+                    e[un] = sent >> 8
+                    l[un] = sent & 255
+                    n_subgather += int(un.size)
+                    q += nb
+                    still = (sent & 255) == 0
+                    un = un[still]
+                    q = q[still]
+        else:
+            sym_t.take(v, out=e)
+            len_t.take(v, out=l)
+            if check and not l.all():
+                if not any_long:
+                    # no codeword of any length matches this window
+                    raise ValueError("corrupt bitstream: no codeword matches")
+                slow = np.flatnonzero(l == 0)
+                n_fallback += slow.size
+                for j in slow:
+                    s_j, l_j = _slow_lane_symbol(
+                        pad_bytes, int(v[j]), int(p[j]), int(lane_end[j]), k,
+                        book,
+                    )
+                    e[j] = s_j
+                    l[j] = l_j
         out[d] = e
         d += 1
         p += l
@@ -359,6 +616,10 @@ def decode_lanes(
     reg.counter("repro_decode_lut_fallback_total", path="batch").inc(
         int(n_fallback)
     )
+    if n_subgather:
+        reg.counter(
+            "repro_decode_subtable_gather_total", path="batch"
+        ).inc(int(n_subgather))
     return out.astype(np.int64)
 
 
@@ -407,6 +668,48 @@ def _kernel_decode_lanes(
     return out
 
 
+def _kernel_decode_lanes_tiered(
+    bk,
+    buffer: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    nsyms: np.ndarray,
+    book: CanonicalCodebook,
+    table: TieredDecodeTable,
+) -> np.ndarray | None:
+    """Run the tiered lane decode through a registry kernel backend.
+
+    Kernel backends take only *complete* tiered tables (every reachable
+    index resolves), so the final exhaustion check is the sole error
+    source and raise behaviour matches the NumPy body exactly.
+    """
+    if not table.complete or book.n_symbols - 1 > _MAX_PACKED_SYMBOL:
+        _metrics().counter(
+            "repro_backend_fallback_total", reason="incomplete_table"
+        ).inc()
+        return None
+    # local import: gap_array builds on this module
+    from repro.decoder.gap_array import _pad_buffer
+
+    pbuf = _pad_buffer(buffer)
+    out_off = np.zeros(nsyms.size, dtype=np.int64)
+    np.cumsum(nsyms[:-1], out=out_off[1:])
+    out, exhausted, sub_steps = bk.decode_lanes_tiered_pass(
+        pbuf, starts, ends, nsyms, out_off,
+        table.l1, table.sub, table.node_base, table.node_bits, table.k1,
+    )
+    if exhausted:
+        raise ValueError("bitstream exhausted before all symbols decoded")
+    reg = _metrics()
+    reg.counter("repro_decode_symbols_total", path="batch").inc(int(out.size))
+    reg.counter("repro_decode_lanes_total").inc(int(nsyms.size))
+    if sub_steps:
+        reg.counter(
+            "repro_decode_subtable_gather_total", path="batch"
+        ).inc(int(sub_steps))
+    return out
+
+
 def decode_batch(
     buffer: np.ndarray,
     total_bits: int,
@@ -438,7 +741,7 @@ def decode_batch(
         from repro.decoder import gap_array
 
         if impl == "gap" or (
-            gap_array.gap_auto_ready(backend)
+            gap_array.gap_auto_ready(backend, book=book, table=table)
             and n_symbols >= gap_array.AUTO_MIN_SYMBOLS
         ):
             return gap_array.gap_decode_lanes(

@@ -53,9 +53,12 @@ __all__ = [
 #: ``RequestRecord.paths`` so path health is greppable without walking
 #: the span tree
 _PATH_ATTRS = {
-    "encode.reduce_shuffle_merge": ("impl", "encode_impl"),
-    "decode.stream": ("strategy", "decode_strategy"),
-    "decode.gap": ("backend", "gap_backend"),
+    "encode.reduce_shuffle_merge": (("impl", "encode_impl"),),
+    "decode.stream": (
+        ("strategy", "decode_strategy"),
+        ("table_tier", "table_tier"),
+    ),
+    "decode.gap": (("backend", "gap_backend"),),
 }
 _CACHE_ATTRS = ("codebook_cache", "decode_table_cache", "codebook_registry")
 
@@ -72,9 +75,9 @@ def extract_paths(spans: Iterable[dict]) -> dict:
         attrs = sp.get("attrs") or {}
         rule = _PATH_ATTRS.get(sp.get("name", ""))
         if rule is not None:
-            src, dst = rule
-            if src in attrs and dst not in paths:
-                paths[dst] = str(attrs[src])
+            for src, dst in rule:
+                if src in attrs and dst not in paths:
+                    paths[dst] = str(attrs[src])
         for key in _CACHE_ATTRS:
             if key in attrs and key not in paths:
                 paths[key] = str(attrs[key])

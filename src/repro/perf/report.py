@@ -124,6 +124,11 @@ def write_wallclock_json(
             # the codebook-registry amortized fast-path numbers (cold
             # per-request codebook builds vs hot registered-id requests)
             doc["codebooks"] = codebooks
+        tables = extra.pop("tables", None)
+        if tables is not None:
+            # the deep-book decode-table scenarios (flat-table fallback
+            # vs tiered): the tiered-decode acceptance record
+            doc["tables"] = tables
         doc["meta"].update(extra)
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

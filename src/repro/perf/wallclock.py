@@ -58,6 +58,8 @@ __all__ = [
     "run_wallclock",
     "run_serve_bench",
     "run_codebooks_bench",
+    "run_table_bench",
+    "TABLE_BENCH_SCENARIOS",
     "wallclock_table",
     "main",
 ]
@@ -381,6 +383,138 @@ def run_wallclock(
     )
 
 
+#: deep-book decode scenarios timed by ``run_table_bench``: the regime
+#: where codewords exceed the flat 2^16 host index and decode must run
+#: either the tiered table or the scalar First/Entry fallback
+TABLE_BENCH_SCENARIOS = ("genomics", "large_alphabet")
+
+
+def _table_bench_input(scenario: str, n_symbols: int, seed: int):
+    """Data + codebook for one deep-book scenario.
+
+    ``genomics`` mirrors the paper's gbbct1.seq use case: k=4 DNA k-mer
+    symbols (alphabet 11^4 = 14641) whose add-one-smoothed histogram over
+    a 2^18-symbol sample yields a *natural* book with ``max_length > 16``
+    — the rare ambiguity-bearing k-mers land past the flat host index.
+    ``large_alphabet`` is the crafted worst case: the conformance deep
+    book (4096 codewords at 19 bits), drawn uniformly so nearly every
+    window needs a deep lookup.
+    """
+    rng = np.random.default_rng(seed)
+    if scenario == "genomics":
+        from repro.datasets.genomics import (
+            generate_dna,
+            kmer_alphabet_size,
+            kmer_symbolize,
+        )
+
+        k = 4
+        seq = generate_dna(k * (1 << 18), rng, ambiguity_rate=0.02)
+        syms = kmer_symbolize(seq, k)
+        alpha = kmer_alphabet_size(k)
+        hist = np.bincount(syms.astype(np.int64), minlength=alpha) + 1
+        book = parallel_codebook(hist.astype(np.int64)).codebook
+        data = syms[:n_symbols].astype(np.uint16)
+    elif scenario == "large_alphabet":
+        from repro.conform.corpora import deep_codebook
+
+        book = deep_codebook()
+        data = rng.integers(0, book.n_symbols, n_symbols).astype(np.uint16)
+    else:
+        raise ValueError(
+            f"unknown table-bench scenario {scenario!r}; "
+            f"known: {TABLE_BENCH_SCENARIOS}"
+        )
+    return data, book
+
+
+def run_table_bench(
+    scenario: str,
+    n_symbols: int = 1 << 16,
+    repeats: int = 3,
+    seed: int = 2021,
+    tracer: Tracer | None = None,
+) -> dict:
+    """Time deep-book batch decode: flat-table fallback vs tiered table.
+
+    Both paths decode the *same* chunked container; the flat 2^16 table
+    cannot express the deep codewords, so its lanes drop to the scalar
+    First/Entry fallback (the pre-tiered behavior), while the tiered
+    table resolves every window through gathers.  The run aborts unless
+    both outputs are byte-identical to the input, and unless the tiered
+    decode takes **zero** LUT fallbacks.  The returned dict — stored
+    under ``"tables"`` in ``BENCH_wallclock.json`` — carries both
+    timings, the table memory footprints, and the fallback/subtable
+    counter deltas.
+    """
+    from repro.huffman.decoder import (
+        build_decode_table,
+        build_tiered_decode_table,
+    )
+
+    if tracer is None:
+        installed = get_tracer()
+        tracer = installed if installed.enabled else Tracer("repro-bench")
+    data, book = _table_bench_input(scenario, n_symbols, seed)
+    flat16 = build_decode_table(book, 16)
+    tiered = build_tiered_decode_table(book)
+    stream = gpu_encode(data, book, magnitude=10).stream
+
+    reg = obs_metrics()
+    fb0 = int(reg.total("repro_decode_lut_fallback_total"))
+    sub0 = int(reg.total("repro_decode_subtable_gather_total"))
+    out_tier = decode_stream(stream, book, table=tiered, strategy="batch")
+    fb_tier = int(reg.total("repro_decode_lut_fallback_total")) - fb0
+    sub_tier = int(reg.total("repro_decode_subtable_gather_total")) - sub0
+    out_flat = decode_stream(stream, book, table=flat16, strategy="batch")
+    fb_flat = (
+        int(reg.total("repro_decode_lut_fallback_total")) - fb0 - fb_tier
+    )
+    if not np.array_equal(out_tier, data) or \
+            not np.array_equal(out_flat, out_tier):
+        raise AssertionError(f"tiered/flat decode mismatch on {scenario}")
+    if fb_tier:
+        raise AssertionError(
+            f"tiered decode took {fb_tier} LUT fallbacks on {scenario}"
+        )
+
+    flat_s = _timed_best(
+        tracer, "bench.decode_table_flat",
+        lambda: decode_stream(stream, book, table=flat16,
+                              strategy="batch"),
+        repeats, scenario=scenario,
+    )
+    tiered_s = _timed_best(
+        tracer, "bench.decode_table_tiered",
+        lambda: decode_stream(stream, book, table=tiered,
+                              strategy="batch"),
+        repeats, scenario=scenario,
+    )
+    input_bytes = int(data.nbytes)
+    return {
+        "scenario": scenario,
+        "n_symbols": int(data.size),
+        "input_bytes": input_bytes,
+        "alphabet": int(book.n_symbols),
+        "max_length": int(book.max_length),
+        "table_bytes": {
+            "flat16": int(flat16.nbytes()),
+            "tiered": int(tiered.nbytes()),
+            "tiered_pct": round(
+                100.0 * tiered.nbytes() / flat16.nbytes(), 2
+            ),
+        },
+        "decode_flat_s": flat_s,
+        "decode_tiered_s": tiered_s,
+        "decode_flat_mb_s": round(input_bytes / flat_s / 1e6, 2),
+        "decode_tiered_mb_s": round(input_bytes / tiered_s / 1e6, 2),
+        "tiered_speedup": round(flat_s / tiered_s, 2),
+        "lut_fallbacks_flat": fb_flat,
+        "lut_fallbacks_tiered": fb_tier,
+        "subtable_gathers": sub_tier,
+    }
+
+
 def run_serve_bench(
     n_clients: int = 8,
     requests_per_client: int = 25,
@@ -673,6 +807,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                          "the history line")
     ap.add_argument("--codebooks-requests", type=int, default=64,
                     help="requests per phase of the codebooks bench")
+    ap.add_argument("--tables", action="store_true",
+                    help="also run the deep-book decode-table bench "
+                         "(flat-table First/Entry fallback vs tiered "
+                         "two-level table on the genomics and "
+                         "large-alphabet scenarios) and record timings, "
+                         "table bytes and fallback counters in the JSON "
+                         "artifact and the history line")
     ap.add_argument("--conform", action="store_true",
                     help="also run the conformance smoke matrix and "
                          "surface its cell counts (pairs x corpora, "
@@ -735,6 +876,23 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"misses {codebooks_doc['registry_misses']}")
         if codebooks_doc["corrupt_roundtrips"]:
             print("  WARNING: corrupt round trips detected!")
+    tables_doc = None
+    if args.tables:
+        tables_doc = {
+            s: run_table_bench(s) for s in TABLE_BENCH_SCENARIOS
+        }
+        print()
+        print("deep-book decode tables (flat fallback vs tiered):")
+        for s, row in tables_doc.items():
+            tb = row["table_bytes"]
+            print(f"  {s}: alphabet {row['alphabet']}, "
+                  f"max_length {row['max_length']}; "
+                  f"dec flat {row['decode_flat_mb_s']} MB/s "
+                  f"({row['lut_fallbacks_flat']} fallbacks) vs "
+                  f"tiered {row['decode_tiered_mb_s']} MB/s "
+                  f"({row['tiered_speedup']}x); "
+                  f"table {tb['tiered']} B vs flat16 {tb['flat16']} B "
+                  f"({tb['tiered_pct']}%)")
     conform_doc = None
     if args.conform:
         from repro.conform.matrix import run_matrix
@@ -762,6 +920,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             extra["serve"] = serve_doc
         if codebooks_doc is not None:
             extra["codebooks"] = codebooks_doc
+        if tables_doc is not None:
+            extra["tables"] = tables_doc
         if conform_doc is not None:
             extra["conform"] = conform_doc
         write_wallclock_json(args.json, results, extra=extra or None)
@@ -783,11 +943,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
 
         hist_extra = None
+        if tables_doc is not None:
+            hist_extra = {
+                "tables": {
+                    s: {
+                        "decode_flat_mb_s": row["decode_flat_mb_s"],
+                        "decode_tiered_mb_s": row["decode_tiered_mb_s"],
+                        "tiered_speedup": row["tiered_speedup"],
+                        "table_bytes_tiered":
+                            row["table_bytes"]["tiered"],
+                        "lut_fallbacks_tiered":
+                            row["lut_fallbacks_tiered"],
+                    }
+                    for s, row in tables_doc.items()
+                }
+            }
         if codebooks_doc is not None:
             # the amortized fast-path numbers ride along on the history
             # line so the sentinel's rolling window sees them too
-            hist_extra = {
-                "codebooks": {
+            hist_extra = hist_extra or {}
+            hist_extra.update(
+                codebooks={
                     "cold_mb_s": codebooks_doc["cold"]["mb_s"],
                     "hot_mb_s": codebooks_doc["hot"]["mb_s"],
                     "amortized_speedup":
@@ -797,7 +973,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "registry_hits": codebooks_doc["registry_hits"],
                     "registry_misses": codebooks_doc["registry_misses"],
                 }
-            }
+            )
         entry = history_entry(results, extra=hist_extra)
         prior = load_history(args.history)
         if args.sentinel:

@@ -470,6 +470,8 @@ class CompressionService:
                 "misses": info.misses,
                 "size": info.size,
                 "maxsize": info.maxsize,
+                "bytes": info.bytes,
+                "max_bytes": info.max_bytes,
                 "hit_rate": (
                     round(info.hits / (info.hits + info.misses), 4)
                     if (info.hits + info.misses)
@@ -490,9 +492,22 @@ class CompressionService:
                 path = series["labels"].get("path", "unknown")
                 per_path[path] = per_path.get(path, 0) \
                     + int(series["value"])
+        # flat-vs-tiered table selection split (the tiered fast path for
+        # deep books; see huffman/decoder.py)
+        table_tiers: dict[str, int] = {}
+        tsnap = reg.snapshot().get("repro_decode_table_tier_total")
+        if tsnap is not None:
+            for series in tsnap["series"]:
+                tier = series["labels"].get("tier", "unknown")
+                table_tiers[tier] = table_tiers.get(tier, 0) \
+                    + int(series["value"])
         decode = {
             "gap_backend": "native" if native_available() else "numpy",
             "symbols_by_path": per_path,
+            "table_tiers": table_tiers,
+            "subtable_gathers": int(
+                reg.total("repro_decode_subtable_gather_total")
+            ),
             "gap_subchunks": int(
                 reg.total("repro_decode_gap_subchunks_total")
             ),

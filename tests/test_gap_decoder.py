@@ -10,8 +10,10 @@ magnitude, skew, reduction factor, and subchunk width):
 - on corrupted containers the gap path either raises the same
   ``ValueError`` as ``decode_lanes`` or returns bit-identical symbols —
   corruption must never silently change behavior between decoders;
-- books outside gap-table range fall back to ``decode_lanes`` inside
-  :func:`gap_decode_lanes` and say so;
+- deep books (``max_length`` over the flat host table) stay on the gap
+  path through the tiered table when a tiered kernel is resolvable, and
+  fall back to ``decode_lanes`` (which handles them vectorized) when
+  not — saying so either way;
 - the chunk-parallel driver's output is independent of worker count at
   subchunk granularity, and an injected shard crash degrades to the
   serial path with the fallback counter bumped, never to a wrong answer.
@@ -39,9 +41,10 @@ from repro.decoder.gap_array import (
     subchunk_lane_counts,
 )
 from repro.decoder.gap_native import native_available
+from repro.backends import njit_ready
 from repro.huffman.cache import cached_decode_table
 from repro.huffman.codebook import CanonicalCodebook
-from repro.huffman.decoder import decode_lanes
+from repro.huffman.decoder import TieredDecodeTable, decode_lanes
 from repro.obs.metrics import MetricsRegistry, set_registry
 
 # run this whole module once per registered kernel backend (the gap
@@ -200,21 +203,49 @@ class TestCorruptStreams:
                                  subchunk_bits=96, backend=backend)
 
 
-class TestUnsupportedBooks:
-    def test_wide_book_falls_back_to_lanes(self):
-        """W=32 codewords exceed the 16-bit host table: the gap entry
-        point must route through decode_lanes and say so."""
+class TestDeepBooks:
+    def test_wide_book_stays_on_gap_path_via_tiered_table(self):
+        """W=32 codewords exceed the flat 16-bit host table, but the
+        automatic tiered promotion keeps the book gap-supported: the
+        tiered backends reproduce the reference walk and decode_lanes
+        byte-for-byte, and only the native flat-only kernel refuses."""
         rng = np.random.default_rng(3)
         book = wbit_codebook(32)
         table = cached_decode_table(book)
-        assert gap_supported(book, table)[0] is False
+        assert isinstance(table, TieredDecodeTable)
+        assert gap_supported(book, table)[0] is True
         data = rng.integers(0, book.n_symbols, 800).astype(np.uint16)
         stream = gpu_encode(data, book, magnitude=8,
                             reduction_factor=2).stream
         buffer, starts, ends, nsyms = stream_lanes(stream)
         want = decode_lanes(buffer, starts, ends, nsyms, book, table)
+        ref = reference_gap_array(buffer, starts, ends, book, 256, table)
+        for backend in ["numpy"] + (["njit"] if njit_ready() else []):
+            res = gap_decode_lanes(buffer, starts, ends, nsyms, book,
+                                   table, subchunk_bits=256,
+                                   backend=backend)
+            assert res.backend == backend
+            assert res.gap is not None and res.gap.equal(ref)
+            np.testing.assert_array_equal(res.symbols, want)
+        with pytest.raises(RuntimeError):
+            gap_decode_lanes(buffer, starts, ends, nsyms, book, table,
+                             subchunk_bits=256, backend="native")
+
+    def test_auto_without_njit_falls_back_to_lanes(self):
+        """``backend="auto"`` with a numpy-resolved registry has no
+        tiered gap kernel: the call degrades to decode_lanes (whose
+        vectorized tiered batch path handles the book) and says so."""
+        rng = np.random.default_rng(4)
+        book = wbit_codebook(32)
+        table = cached_decode_table(book)
+        data = rng.integers(0, book.n_symbols, 500).astype(np.uint16)
+        stream = gpu_encode(data, book, magnitude=8,
+                            reduction_factor=2).stream
+        buffer, starts, ends, nsyms = stream_lanes(stream)
+        want = decode_lanes(buffer, starts, ends, nsyms, book, table)
         res = gap_decode_lanes(buffer, starts, ends, nsyms, book, table,
-                               subchunk_bits=256)
+                               subchunk_bits=256, backend="auto",
+                               registry_backend="numpy")
         assert res.backend == "lanes"
         assert res.gap is None
         np.testing.assert_array_equal(res.symbols, want)
